@@ -1,0 +1,189 @@
+//! Criterion micro-benchmarks for the substrate hot paths — the ablation
+//! benches for the design choices DESIGN.md calls out: clustering order,
+//! prefix compression, join algorithm, tuple-at-a-time vs vectorized
+//! execution, and the dictionary/hash substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use swans_btree::{BTree, BTreeOptions};
+use swans_colstore::ops;
+use swans_rdf::{Dictionary, SortOrder, Triple};
+use swans_storage::{MachineProfile, StorageManager};
+
+fn storage() -> StorageManager {
+    StorageManager::new(MachineProfile::B)
+}
+
+/// B+tree point probes and prefix range scans.
+fn bench_btree(c: &mut Criterion) {
+    let m = storage();
+    let n = 200_000u64;
+    let rows: Vec<u64> = (0..n).flat_map(|i| [i % 222, i, i * 7 % 1000]).collect();
+    let tree = BTree::bulk_load(&m, "bench", 3, rows, BTreeOptions::default());
+
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("probe_point", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 17) % 222;
+            black_box(tree.probe(&[k]))
+        })
+    });
+    g.bench_function("scan_prefix_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for row in tree.scan_prefix(&[black_box(7u64)]).take(1000) {
+                acc ^= row[1];
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: bulk-load cost with and without adaptive prefix compression,
+/// for PSO-style (low-cardinality lead) vs SPO-style (distinct lead) keys.
+fn bench_btree_compression(c: &mut Criterion) {
+    let n = 100_000u64;
+    let pso_rows: Vec<u64> = (0..n).flat_map(|i| [i % 222, i, i]).collect();
+    let spo_rows: Vec<u64> = (0..n).flat_map(|i| [i, i % 222, i]).collect();
+
+    let mut g = c.benchmark_group("btree_bulk_load");
+    g.throughput(Throughput::Elements(n));
+    for (label, rows) in [("pso_keys", &pso_rows), ("spo_keys", &spo_rows)] {
+        for compressed in [false, true] {
+            g.bench_with_input(
+                BenchmarkId::new(label.to_string(), compressed),
+                rows,
+                |b, rows| {
+                    b.iter(|| {
+                        let m = storage();
+                        black_box(BTree::bulk_load(
+                            &m,
+                            "t",
+                            3,
+                            rows.to_vec(),
+                            BTreeOptions {
+                                prefix_compressed: compressed,
+                            },
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Ablation: merge join vs hash join on sorted inputs (the VP claim of
+/// "fast (linear) merge joins" vs what a hash join actually costs).
+fn bench_joins(c: &mut Criterion) {
+    let n = 100_000usize;
+    let left: Vec<u64> = (0..n as u64).map(|i| i / 2).collect(); // sorted, dup pairs
+    let right: Vec<u64> = (0..n as u64).map(|i| i / 3).collect();
+
+    let mut g = c.benchmark_group("join");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("merge_sorted", |b| {
+        b.iter(|| black_box(ops::merge_join(&left, &right)))
+    });
+    g.bench_function("hash", |b| {
+        b.iter(|| black_box(ops::hash_join(&left, &right)))
+    });
+    g.finish();
+}
+
+/// Vectorized kernels: selection and grouping.
+fn bench_kernels(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let col: Vec<u64> = (0..n as u64).map(|i| i % 500).collect();
+
+    let mut g = c.benchmark_group("kernels");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("select_eq", |b| {
+        b.iter(|| black_box(ops::select_cmp(&col, black_box(42), false)))
+    });
+    g.bench_function("group_count_1", |b| {
+        b.iter(|| black_box(ops::group_count_1(&col)))
+    });
+    g.finish();
+}
+
+/// Dictionary interning throughput.
+fn bench_dictionary(c: &mut Criterion) {
+    let terms: Vec<String> = (0..50_000).map(|i| format!("<sub{i:07}>")).collect();
+    let mut g = c.benchmark_group("dictionary");
+    g.throughput(Throughput::Elements(terms.len() as u64));
+    g.bench_function("intern_fresh", |b| {
+        b.iter(|| {
+            let mut d = Dictionary::with_capacity(terms.len());
+            for t in &terms {
+                black_box(d.intern(t));
+            }
+            black_box(d.len())
+        })
+    });
+    g.bench_function("lookup_hot", |b| {
+        let mut d = Dictionary::with_capacity(terms.len());
+        for t in &terms {
+            d.intern(t);
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for t in &terms {
+                acc ^= d.id_of(t).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: the architectural gap — tuple-at-a-time Volcano scan vs a
+/// vectorized column scan over the same selection.
+fn bench_execution_styles(c: &mut Criterion) {
+    use swans_colstore::ColumnEngine;
+    use swans_plan::algebra::{group_count, project, scan_p};
+    use swans_rowstore::engine::{RowEngine, TripleIndexConfig};
+
+    let n = 200_000u64;
+    let triples: Vec<Triple> = (0..n)
+        .map(|i| Triple::new(i % 50_000, i % 222, i % 4000))
+        .collect();
+
+    let m = storage();
+    let mut row = RowEngine::new();
+    row.load_triple_store(&m, &triples, &TripleIndexConfig::pso());
+    let mut col = ColumnEngine::new();
+    col.load_triple_store(&m, &triples, SortOrder::Pso, true);
+
+    // q1-shaped plan: select on property, group objects.
+    let plan = group_count(project(scan_p(7), vec![2]), vec![0]);
+    // Warm the pool so only CPU is compared.
+    let _ = row.execute(&plan);
+    let _ = col.execute(&plan);
+
+    let mut g = c.benchmark_group("execution_style_q1");
+    g.bench_function("row_volcano", |b| b.iter(|| black_box(row.execute(&plan))));
+    g.bench_function("column_vectorized", |b| {
+        b.iter(|| black_box(col.execute(&plan)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets =
+    bench_btree,
+    bench_btree_compression,
+    bench_joins,
+    bench_kernels,
+    bench_dictionary,
+    bench_execution_styles
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks over the benchmark queries themselves: hot-run
+//! CPU time per (engine × layout) for representative queries, on a small
+//! calibrated data set. These are the per-query ablations behind Tables 6
+//! and 7 (absolute simulated-I/O effects are covered by the harness
+//! binaries; criterion measures the compute path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use swans_core::{Layout, RdfStore, StoreConfig};
+use swans_datagen::{generate, BartonConfig};
+use swans_plan::queries::{QueryContext, QueryId};
+use swans_rdf::SortOrder;
+
+fn bench_queries(c: &mut Criterion) {
+    let dataset = generate(&BartonConfig {
+        scale: 0.002, // ~100k triples
+        seed: 42,
+        n_properties: 222,
+    });
+    let ctx = QueryContext::from_dataset(&dataset, 28);
+
+    let configs = [
+        ("row_triple_pso", StoreConfig::row(Layout::TripleStore(SortOrder::Pso))),
+        ("row_vert", StoreConfig::row(Layout::VerticallyPartitioned)),
+        (
+            "col_triple_pso",
+            StoreConfig::column(Layout::TripleStore(SortOrder::Pso)),
+        ),
+        ("col_vert", StoreConfig::column(Layout::VerticallyPartitioned)),
+    ];
+    let stores: Vec<(&str, RdfStore)> = configs
+        .into_iter()
+        .map(|(label, c)| (label, RdfStore::load(&dataset, c)))
+        .collect();
+
+    for q in [QueryId::Q1, QueryId::Q2, QueryId::Q2Star, QueryId::Q5, QueryId::Q8] {
+        let mut g = c.benchmark_group(format!("query_{}", q.name().replace('*', "_star")));
+        for (label, store) in &stores {
+            // Warm up (hot-run protocol).
+            let _ = store.run_query(q, &ctx);
+            g.bench_with_input(BenchmarkId::from_parameter(label), store, |b, store| {
+                b.iter(|| black_box(store.run_query(q, &ctx).rows.len()))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_queries
+);
+criterion_main!(benches);

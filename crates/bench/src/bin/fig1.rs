@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 1 (cumulative frequency distributions).
+fn main() {
+    let cfg = swans_bench::HarnessConfig::from_env();
+    let ds = cfg.dataset();
+    print!("{}", swans_bench::experiments::fig1(&ds));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 5 (I/O read history for q3 and q5).
+fn main() {
+    let cfg = swans_bench::HarnessConfig::from_env();
+    let ds = cfg.dataset();
+    print!("{}", swans_bench::experiments::fig5(&cfg, &ds));
+}

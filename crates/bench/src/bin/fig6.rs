@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 6 (time vs number of properties).
+fn main() {
+    let cfg = swans_bench::HarnessConfig::from_env();
+    let ds = cfg.dataset();
+    print!("{}", swans_bench::experiments::fig6(&cfg, &ds));
+}

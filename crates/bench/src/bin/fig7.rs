@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 7 (splitting scalability experiment).
+fn main() {
+    let cfg = swans_bench::HarnessConfig::from_env();
+    let ds = cfg.dataset();
+    print!("{}", swans_bench::experiments::fig7(&cfg, &ds));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 2 (query-space coverage).
+fn main() {
+    let cfg = swans_bench::HarnessConfig::from_env();
+    let ds = cfg.dataset();
+    print!("{}", swans_bench::experiments::table2(&ds));
+}

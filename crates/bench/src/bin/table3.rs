@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 3 (machine configurations).
+fn main() {
+    print!("{}", swans_bench::experiments::table3());
+}

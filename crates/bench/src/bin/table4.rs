@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 4 (repetition of the C-Store experiment).
+fn main() {
+    let cfg = swans_bench::HarnessConfig::from_env();
+    let ds = cfg.dataset();
+    print!("{}", swans_bench::experiments::table4(&cfg, &ds));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 5 (data relevant to a query).
+fn main() {
+    let cfg = swans_bench::HarnessConfig::from_env();
+    let ds = cfg.dataset();
+    print!("{}", swans_bench::experiments::table5(&cfg, &ds));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 7 (hot runs, full configuration matrix).
+fn main() {
+    let cfg = swans_bench::HarnessConfig::from_env();
+    let ds = cfg.dataset();
+    let (_, t7) = swans_bench::experiments::tables_6_and_7(&cfg, &ds);
+    print!("{t7}");
+}

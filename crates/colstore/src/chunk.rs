@@ -1,0 +1,226 @@
+//! Materialized columnar intermediates.
+
+use std::sync::Arc;
+
+/// One intermediate column: either owned by the operator that produced it,
+/// or a zero-copy reference to a base column (MonetDB-style BAT sharing —
+/// a full-column scan does not copy).
+#[derive(Debug, Clone)]
+pub enum ColData {
+    /// Operator-produced values.
+    Owned(Vec<u64>),
+    /// A shared base column (unbounded scan output).
+    Shared(Arc<Vec<u64>>),
+}
+
+impl ColData {
+    /// The values.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        match self {
+            ColData::Owned(v) => v,
+            ColData::Shared(a) => a,
+        }
+    }
+
+    /// Converts to an owned vector, cloning only if shared.
+    pub fn into_owned(self) -> Vec<u64> {
+        match self {
+            ColData::Owned(v) => v,
+            ColData::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+
+    /// Length of the column.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the column has no values.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl From<Vec<u64>> for ColData {
+    fn from(v: Vec<u64>) -> Self {
+        ColData::Owned(v)
+    }
+}
+
+/// A materialized intermediate relation in column-major form.
+///
+/// Positions the needed-column analysis proved dead are `None`; touching
+/// one is an engine bug (the result-equivalence tests would catch the
+/// miscomputation that follows).
+#[derive(Debug, Clone, Default)]
+pub struct Chunk {
+    /// Row count.
+    len: usize,
+    cols: Vec<Option<ColData>>,
+}
+
+impl Chunk {
+    /// A chunk with `arity` absent columns and `len` rows.
+    pub fn absent(arity: usize, len: usize) -> Self {
+        Self {
+            len,
+            cols: vec![None; arity],
+        }
+    }
+
+    /// Builds a chunk from present owned columns. All must share a length.
+    pub fn from_cols(cols: Vec<Vec<u64>>) -> Self {
+        let len = cols.first().map_or(0, Vec::len);
+        debug_assert!(cols.iter().all(|c| c.len() == len));
+        Self {
+            len,
+            cols: cols.into_iter().map(|c| Some(ColData::Owned(c))).collect(),
+        }
+    }
+
+    /// Builds a chunk from optional columns (absent = dead position).
+    pub fn from_optional(len: usize, cols: Vec<Option<ColData>>) -> Self {
+        debug_assert!(cols
+            .iter()
+            .all(|c| c.as_ref().is_none_or(|c| c.len() == len)));
+        Self { len, cols }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the chunk has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns (present or absent).
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The values of column `i`.
+    ///
+    /// # Panics
+    /// Panics if the column was pruned by the needed-column analysis —
+    /// that indicates an engine bug, not a user error.
+    #[inline]
+    pub fn col(&self, i: usize) -> &[u64] {
+        self.cols[i]
+            .as_ref()
+            .map(ColData::as_slice)
+            .unwrap_or_else(|| panic!("column {i} was pruned as dead but is being read"))
+    }
+
+    /// Whether column `i` is materialized.
+    pub fn has_col(&self, i: usize) -> bool {
+        self.cols[i].is_some()
+    }
+
+    /// Takes ownership of column `i` if present.
+    pub fn take_col(&mut self, i: usize) -> Option<ColData> {
+        self.cols[i].take()
+    }
+
+    /// Consumes the chunk into its optional columns.
+    pub fn into_cols(self) -> Vec<Option<ColData>> {
+        self.cols
+    }
+
+    /// Gathers the rows selected by `sel` (positions) into a new chunk,
+    /// preserving absent columns.
+    pub fn gather(&self, sel: &[u32]) -> Chunk {
+        let cols = self
+            .cols
+            .iter()
+            .map(|c| {
+                c.as_ref().map(|data| {
+                    let src = data.as_slice();
+                    ColData::Owned(sel.iter().map(|&i| src[i as usize]).collect())
+                })
+            })
+            .collect();
+        Chunk {
+            len: sel.len(),
+            cols,
+        }
+    }
+
+    /// Converts to row-major form (absent columns as 0) — result delivery.
+    pub fn to_rows(&self) -> Vec<Vec<u64>> {
+        (0..self.len)
+            .map(|r| {
+                self.cols
+                    .iter()
+                    .map(|c| c.as_ref().map_or(0, |c| c.as_slice()[r]))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_cols_roundtrip() {
+        let c = Chunk::from_cols(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.arity(), 2);
+        assert_eq!(c.col(1), &[4, 5, 6]);
+        assert_eq!(c.to_rows(), vec![vec![1, 4], vec![2, 5], vec![3, 6]]);
+    }
+
+    #[test]
+    fn gather_selects_positions() {
+        let c = Chunk::from_cols(vec![vec![10, 20, 30, 40], vec![1, 2, 3, 4]]);
+        let g = c.gather(&[3, 1]);
+        assert_eq!(g.col(0), &[40, 20]);
+        assert_eq!(g.col(1), &[4, 2]);
+    }
+
+    #[test]
+    fn gather_preserves_absent_columns() {
+        let c = Chunk::from_optional(2, vec![Some(ColData::Owned(vec![7, 8])), None]);
+        let g = c.gather(&[1]);
+        assert!(g.has_col(0));
+        assert!(!g.has_col(1));
+        assert_eq!(g.col(0), &[8]);
+    }
+
+    #[test]
+    fn shared_columns_are_zero_copy() {
+        let base = Arc::new(vec![1u64, 2, 3]);
+        let c = Chunk::from_optional(3, vec![Some(ColData::Shared(base.clone()))]);
+        assert_eq!(c.col(0), &[1, 2, 3]);
+        // The chunk holds a reference, not a copy.
+        assert_eq!(Arc::strong_count(&base), 2);
+    }
+
+    #[test]
+    fn into_owned_unwraps_or_clones() {
+        let base = Arc::new(vec![9u64, 9]);
+        let shared = ColData::Shared(base.clone());
+        assert_eq!(shared.into_owned(), vec![9, 9]);
+        assert_eq!(ColData::Owned(vec![1]).into_owned(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pruned as dead")]
+    fn reading_absent_column_panics() {
+        let c = Chunk::from_optional(1, vec![None]);
+        let _ = c.col(0);
+    }
+
+    #[test]
+    fn empty_chunk() {
+        let c = Chunk::absent(3, 0);
+        assert!(c.is_empty());
+        assert_eq!(c.arity(), 3);
+        assert!(c.to_rows().is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! A single stored column backed by a disk segment.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use swans_storage::{SegmentId, StorageManager};
+
+/// One column of a stored table.
+///
+/// The in-memory vector is the authoritative data (this is a simulation —
+/// the "disk" only accounts I/O); the segment describes its on-disk
+/// footprint. Reading the column touches the whole segment, the
+/// column-store's unit of I/O. The data is held behind an `Arc` so that
+/// full-column scans can hand out zero-copy references (BAT sharing).
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: Arc<Vec<u64>>,
+    segment: SegmentId,
+    sorted: bool,
+    storage: StorageManager,
+}
+
+impl Column {
+    /// Registers a column with `storage`.
+    ///
+    /// `sorted` marks the column as non-decreasing (enables binary-search
+    /// selection). `rle_compressed` stores the segment run-length encoded —
+    /// only meaningful for sorted columns, where equal values are adjacent;
+    /// the segment then holds `(value, run_length)` pairs.
+    pub fn new(
+        storage: &StorageManager,
+        name: &str,
+        data: Vec<u64>,
+        sorted: bool,
+        rle_compressed: bool,
+    ) -> Self {
+        let plain_bytes = data.len() as u64 * 8;
+        let bytes = if rle_compressed {
+            debug_assert!(sorted, "RLE layout requires a sorted column");
+            // (value, run_length) pairs — but a storage engine falls back
+            // to the plain layout when RLE would not pay off (a sorted but
+            // near-distinct column).
+            (count_runs(&data) * 16).min(plain_bytes)
+        } else {
+            plain_bytes
+        };
+        let segment = storage.create_segment(name, bytes.max(1));
+        Self {
+            data: Arc::new(data),
+            segment,
+            sorted,
+            storage: storage.clone(),
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the column has no values.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Whether the column is sorted non-decreasing.
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// The column's on-disk footprint in bytes.
+    pub fn disk_bytes(&self) -> u64 {
+        self.storage.segment_pages(self.segment) as u64 * swans_storage::PAGE_SIZE as u64
+    }
+
+    /// Reads the column: touches the whole segment (charged on first use,
+    /// free once resident) and returns the values.
+    pub fn read(&self) -> &[u64] {
+        self.storage.touch_segment(self.segment);
+        &self.data
+    }
+
+    /// Reads the column and returns a zero-copy shared handle (BAT
+    /// sharing for full-column scan outputs).
+    pub fn read_shared(&self) -> Arc<Vec<u64>> {
+        self.storage.touch_segment(self.segment);
+        self.data.clone()
+    }
+
+    /// The values without I/O accounting (internal/test use only).
+    pub fn peek(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Positions holding `value` in a sorted column (binary search; charges
+    /// the column read).
+    ///
+    /// # Panics
+    /// Panics if the column is not sorted.
+    pub fn eq_range(&self, value: u64) -> Range<usize> {
+        assert!(self.sorted, "eq_range requires a sorted column");
+        let data = self.read();
+        let lo = data.partition_point(|&x| x < value);
+        let hi = data.partition_point(|&x| x <= value);
+        lo..hi
+    }
+}
+
+/// Number of equal-value runs in a slice.
+fn count_runs(data: &[u64]) -> u64 {
+    if data.is_empty() {
+        return 0;
+    }
+    1 + data.windows(2).filter(|w| w[0] != w[1]).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swans_storage::{MachineProfile, PAGE_SIZE};
+
+    fn mgr() -> StorageManager {
+        StorageManager::new(MachineProfile::B)
+    }
+
+    #[test]
+    fn read_touches_whole_segment_once() {
+        let m = mgr();
+        let c = Column::new(&m, "c", (0..10_000).collect(), true, false);
+        m.reset_stats();
+        let _ = c.read();
+        let cold = m.stats().bytes_read;
+        assert_eq!(cold, c.disk_bytes());
+        let _ = c.read();
+        assert_eq!(m.stats().bytes_read, cold, "second read is free (hot)");
+    }
+
+    #[test]
+    fn eq_range_matches_linear_scan() {
+        let m = mgr();
+        let data = vec![1, 1, 2, 2, 2, 5, 7, 7];
+        let c = Column::new(&m, "c", data.clone(), true, false);
+        for v in 0..9 {
+            let r = c.eq_range(v);
+            let want: Vec<usize> = data
+                .iter()
+                .enumerate()
+                .filter(|&(_, &x)| x == v)
+                .map(|(i, _)| i)
+                .collect();
+            if want.is_empty() {
+                assert!(r.is_empty(), "value {v}");
+            } else {
+                assert_eq!(r, want[0]..want[want.len() - 1] + 1, "value {v}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a sorted column")]
+    fn eq_range_panics_on_unsorted() {
+        let m = mgr();
+        let c = Column::new(&m, "c", vec![3, 1, 2], false, false);
+        let _ = c.eq_range(1);
+    }
+
+    #[test]
+    fn rle_never_inflates_distinct_columns() {
+        let m = mgr();
+        let data: Vec<u64> = (0..100_000).collect(); // all runs length 1
+        let plain = Column::new(&m, "p", data.clone(), true, false);
+        let rle = Column::new(&m, "r", data, true, true);
+        assert_eq!(rle.disk_bytes(), plain.disk_bytes());
+    }
+
+    #[test]
+    fn rle_compression_shrinks_low_cardinality_sorted_column() {
+        let m = mgr();
+        // 100k values, 4 runs.
+        let mut data = vec![0u64; 25_000];
+        data.extend(vec![1u64; 25_000]);
+        data.extend(vec![2u64; 25_000]);
+        data.extend(vec![3u64; 25_000]);
+        let plain = Column::new(&m, "p", data.clone(), true, false);
+        let rle = Column::new(&m, "r", data, true, true);
+        assert_eq!(rle.disk_bytes(), PAGE_SIZE as u64, "4 runs fit one page");
+        assert!(plain.disk_bytes() > 90 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn count_runs_counts_transitions() {
+        assert_eq!(count_runs(&[]), 0);
+        assert_eq!(count_runs(&[5]), 1);
+        assert_eq!(count_runs(&[5, 5, 5]), 1);
+        assert_eq!(count_runs(&[1, 1, 2, 3, 3]), 3);
+    }
+}

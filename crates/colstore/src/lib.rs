@@ -1,0 +1,34 @@
+//! # swans-colstore
+//!
+//! The column-store engine — the reproduction's MonetDB/SQL stand-in.
+//!
+//! Architectural commitments, mirroring what the paper observes about
+//! MonetDB in §4.3:
+//!
+//! * **Full-column reads.** A column is the I/O unit: the first touch of a
+//!   column in a (cold) run reads the whole column segment into the buffer
+//!   pool. This is why, on the column store, the triple-store layout pays a
+//!   large up-front read for the big `triples` columns while the vertically
+//!   partitioned layout "only \[reads\] the property tables relevant to a
+//!   query".
+//! * **Vectorized, materializing operators.** Operators consume and produce
+//!   column vectors ([`Chunk`]s), processing a column at a time in tight
+//!   loops — the architectural counterpoint to the row engine's
+//!   tuple-at-a-time iterators.
+//! * **Sorted-column selections.** Selections on the leading sort columns
+//!   binary-search instead of scanning; the leading column of a sorted
+//!   table can be RLE-compressed (`compression`), shrinking its on-disk
+//!   segment — the effect the paper attributes to "column-stores with
+//!   compression (e.g., RLE or delta-compression)" achieving PSO clustering
+//!   without storing the property column.
+//! * **Projection pushdown.** Only the columns a query actually consumes
+//!   are read and materialized (late materialization).
+
+pub mod chunk;
+pub mod column;
+pub mod engine;
+pub mod ops;
+
+pub use chunk::Chunk;
+pub use column::Column;
+pub use engine::ColumnEngine;

@@ -1,0 +1,132 @@
+//! # swans-core
+//!
+//! The public API of the `swans` reproduction of *"Column-Store Support for
+//! RDF Data Management: not all swans are white"* (Sidirourgos, Goncalves,
+//! Kersten, Nes, Manegold — VLDB 2008).
+//!
+//! The paper evaluates two RDF storage schemes — the **triple-store** (one
+//! 3-column table, clustered SPO or PSO) and **vertical partitioning** (one
+//! 2-column table per property) — on two engine architectures: a commercial
+//! **row store** ("DBX") and the **MonetDB/SQL column store**. This crate
+//! glues the reproduction together:
+//!
+//! * [`RdfStore`] loads a [`swans_rdf::Dataset`] into any (engine, layout)
+//!   combination and executes benchmark queries under the paper's cold/hot
+//!   protocol, reporting *real* time (compute + simulated I/O wait) and
+//!   *user* time (compute);
+//! * [`runner`] drives the full experiment matrices behind Tables 4, 6
+//!   and 7, including the geometric means G, G\* and the G\*/G ratio;
+//! * [`sweep`] runs the Figure 6 property sweep and the Figure 7
+//!   property-splitting scalability experiment.
+//!
+//! ```no_run
+//! use swans_core::{EngineKind, Layout, RdfStore, StoreConfig};
+//! use swans_datagen::{generate, BartonConfig};
+//! use swans_plan::{QueryContext, QueryId};
+//!
+//! let dataset = generate(&BartonConfig::with_triples(100_000));
+//! let ctx = QueryContext::from_dataset(&dataset, 28);
+//! let store = RdfStore::load(
+//!     &dataset,
+//!     StoreConfig::column(Layout::VerticallyPartitioned),
+//! );
+//! let run = store.run_query(QueryId::Q1, &ctx);
+//! println!("q1: {} rows in {:.3}s real", run.rows.len(), run.real_seconds);
+//! ```
+
+pub mod runner;
+pub mod store;
+pub mod sweep;
+
+pub use runner::{geometric_mean, measure_cold, measure_hot, Measurement};
+pub use store::{EngineKind, Layout, QueryRun, RdfStore, StoreConfig};
+
+/// Normalizes a query result for order-insensitive comparison. q8 is
+/// compared as a *set*: the paper's vertically-partitioned formulation
+/// routes through a temporary table of distinct objects, so its bag
+/// multiplicities legitimately differ from the triple-store SQL.
+pub fn normalize_result(query: swans_plan::QueryId, mut rows: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+    rows.sort_unstable();
+    if query == swans_plan::QueryId::Q8 {
+        rows.dedup();
+    }
+    rows
+}
+
+/// Scales a machine profile's *seek* penalty by the data-set scale factor.
+///
+/// Rationale: transfer time shrinks linearly with the data-set scale, but a
+/// seek is a constant. A 1/50-scale run would therefore be seek-dominated
+/// in a way the paper's full-size runs are not. Scaling the seek penalty by
+/// the same factor preserves the paper's seek-vs-transfer balance (e.g.
+/// the per-property-table open/seek overhead of the vertically-partitioned
+/// cold runs stays ~6–7 ms *per full-scale table*, as the Table 6/7 deltas
+/// imply).
+pub fn scaled_profile(
+    base: swans_storage::MachineProfile,
+    data_scale: f64,
+) -> swans_storage::MachineProfile {
+    swans_storage::MachineProfile {
+        seek_ms: base.seek_ms * data_scale,
+        ..base
+    }
+}
+
+/// A machine profile whose seek penalty is scaled to match `dataset`'s
+/// size relative to the full Barton data set — the convenient form of
+/// [`scaled_profile`] for examples and tests.
+pub fn profile_for(
+    dataset: &swans_rdf::Dataset,
+    base: swans_storage::MachineProfile,
+) -> swans_storage::MachineProfile {
+    scaled_profile(
+        base,
+        dataset.len() as f64 / swans_datagen::BARTON_TRIPLES as f64,
+    )
+}
+
+/// The paper's C-Store stand-in I/O profile: C-Store "only exploits a
+/// small fraction of the I/O bandwidth" (Figure 5 — ~12–15 MB/s effective
+/// on machines capable of 100–390 MB/s), because of synchronous small
+/// reads and no pre-caching. The cap is a property of the *engine*, not
+/// the disk — which is why the paper's machine B, with 4× machine A's
+/// bandwidth, "does not materialize in a significant improvement in the
+/// timings". We model it as a machine-independent effective-bandwidth
+/// ceiling.
+pub fn cstore_profile(base: swans_storage::MachineProfile) -> swans_storage::MachineProfile {
+    swans_storage::MachineProfile {
+        io_read_mb_s: base.io_read_mb_s.min(14.0),
+        ..base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swans_storage::MachineProfile;
+
+    #[test]
+    fn normalize_dedups_only_q8() {
+        let rows = vec![vec![2u64], vec![1], vec![2]];
+        let q8 = normalize_result(swans_plan::QueryId::Q8, rows.clone());
+        assert_eq!(q8, vec![vec![1], vec![2]]);
+        let q1 = normalize_result(swans_plan::QueryId::Q1, rows);
+        assert_eq!(q1, vec![vec![1], vec![2], vec![2]]);
+    }
+
+    #[test]
+    fn scaled_profile_shrinks_seeks_only() {
+        let m = scaled_profile(MachineProfile::B, 0.02);
+        assert!((m.seek_ms - MachineProfile::B.seek_ms * 0.02).abs() < 1e-12);
+        assert_eq!(m.io_read_mb_s, MachineProfile::B.io_read_mb_s);
+    }
+
+    #[test]
+    fn cstore_profile_caps_bandwidth_machine_independently() {
+        let a = cstore_profile(MachineProfile::A);
+        let b = cstore_profile(MachineProfile::B);
+        assert_eq!(a.io_read_mb_s, b.io_read_mb_s, "the engine is the bottleneck");
+        assert!(a.io_read_mb_s < 15.0);
+        assert_eq!(a.seek_ms, MachineProfile::A.seek_ms);
+    }
+}

@@ -1,0 +1,219 @@
+//! The measurement protocol of §2.3 and the Table 4/6/7 experiment driver.
+
+use serde::Serialize;
+
+use swans_plan::queries::{QueryContext, QueryId};
+
+use crate::store::RdfStore;
+
+/// Averaged timings for one (configuration, query, temperature) cell.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Measurement {
+    /// Average wall+I/O seconds (the paper's *real time*).
+    pub real_seconds: f64,
+    /// Average compute seconds (the paper's *user time*).
+    pub user_seconds: f64,
+    /// Average bytes read from the simulated disk.
+    pub bytes_read: u64,
+    /// Rows returned (identical across repetitions).
+    pub rows: usize,
+}
+
+/// Cold runs: "a run of the query right after a DBMS is started and no
+/// data is preloaded" — the pool is emptied before *every* repetition, and
+/// the average of `repeats` runs is reported (the paper uses 3).
+pub fn measure_cold(
+    store: &RdfStore,
+    q: QueryId,
+    ctx: &QueryContext,
+    repeats: usize,
+) -> Measurement {
+    let repeats = repeats.max(1);
+    let mut real = 0.0;
+    let mut user = 0.0;
+    let mut bytes = 0u64;
+    let mut rows = 0usize;
+    for _ in 0..repeats {
+        store.make_cold();
+        let run = store.run_query(q, ctx);
+        real += run.real_seconds;
+        user += run.user_seconds;
+        bytes += run.io.bytes_read;
+        rows = run.rows.len();
+    }
+    Measurement {
+        real_seconds: real / repeats as f64,
+        user_seconds: user / repeats as f64,
+        bytes_read: bytes / repeats as u64,
+        rows,
+    }
+}
+
+/// Hot runs: "repeated runs of the same query without stopping the DBMS,
+/// ignoring the initial (semi) cold run" — one warm-up execution, then the
+/// average of `repeats` measured runs.
+pub fn measure_hot(
+    store: &RdfStore,
+    q: QueryId,
+    ctx: &QueryContext,
+    repeats: usize,
+) -> Measurement {
+    let repeats = repeats.max(1);
+    let _ = store.run_query(q, ctx); // warm-up, discarded
+    let mut real = 0.0;
+    let mut user = 0.0;
+    let mut bytes = 0u64;
+    let mut rows = 0usize;
+    for _ in 0..repeats {
+        let run = store.run_query(q, ctx);
+        real += run.real_seconds;
+        user += run.user_seconds;
+        bytes += run.io.bytes_read;
+        rows = run.rows.len();
+    }
+    Measurement {
+        real_seconds: real / repeats as f64,
+        user_seconds: user / repeats as f64,
+        bytes_read: bytes / repeats as u64,
+        rows,
+    }
+}
+
+/// Geometric mean — the paper's summary statistic for query sets (columns
+/// G and G\* of Tables 4, 6, 7).
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// One configuration row of Tables 6/7: all 12 queries plus the G, G\*,
+/// G\*/G summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConfigRow {
+    /// Configuration label, e.g. `"MonetDB-sim (column) vert/SO"`.
+    pub label: String,
+    /// Per-query measurements in [`QueryId::ALL`] order.
+    pub cells: Vec<Measurement>,
+}
+
+impl ConfigRow {
+    /// Geometric mean over the initial 7 queries (paper column *G*).
+    pub fn g(&self, time: fn(&Measurement) -> f64) -> f64 {
+        let base: Vec<f64> = QueryId::ALL
+            .iter()
+            .zip(&self.cells)
+            .filter(|(q, _)| QueryId::BASE7.contains(q))
+            .map(|(_, m)| time(m))
+            .collect();
+        geometric_mean(&base)
+    }
+
+    /// Geometric mean over all 12 queries (paper column *G\**).
+    pub fn g_star(&self, time: fn(&Measurement) -> f64) -> f64 {
+        let all: Vec<f64> = self.cells.iter().map(time).collect();
+        geometric_mean(&all)
+    }
+
+    /// The paper's G\*/G column: the relative increase when moving from the
+    /// restricted 7-query set to the full 12-query set.
+    pub fn g_ratio(&self, time: fn(&Measurement) -> f64) -> f64 {
+        let g = self.g(time);
+        if g <= 0.0 {
+            return 0.0;
+        }
+        self.g_star(time) / g
+    }
+}
+
+/// Runs all 12 queries against `store` at the given temperature.
+pub fn run_all_queries(
+    store: &RdfStore,
+    ctx: &QueryContext,
+    cold: bool,
+    repeats: usize,
+) -> ConfigRow {
+    let cells = QueryId::ALL
+        .iter()
+        .map(|&q| {
+            if cold {
+                measure_cold(store, q, ctx, repeats)
+            } else {
+                measure_hot(store, q, ctx, repeats)
+            }
+        })
+        .collect();
+    ConfigRow {
+        label: store.config().label(),
+        cells,
+    }
+}
+
+/// Accessor for real time (for [`ConfigRow::g`] etc.).
+pub fn real(m: &Measurement) -> f64 {
+    m.real_seconds
+}
+
+/// Accessor for user time.
+pub fn user(m: &Measurement) -> f64 {
+    m.user_seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Layout, StoreConfig};
+    use swans_datagen::{generate, BartonConfig};
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        // Unlike the arithmetic mean, one outlier does not dominate.
+        let g = geometric_mean(&[1.0, 1.0, 1.0, 1000.0]);
+        assert!(g < 6.0);
+    }
+
+    #[test]
+    fn cold_and_hot_protocols() {
+        let ds = generate(&BartonConfig {
+            scale: 0.0004,
+            seed: 5,
+            n_properties: 40,
+        });
+        let ctx = QueryContext::from_dataset(&ds, 20);
+        let store = RdfStore::load(&ds, StoreConfig::column(Layout::VerticallyPartitioned));
+        let cold = measure_cold(&store, QueryId::Q1, &ctx, 2);
+        let hot = measure_hot(&store, QueryId::Q1, &ctx, 2);
+        assert!(cold.bytes_read > 0);
+        assert_eq!(hot.bytes_read, 0);
+        assert!(cold.real_seconds >= hot.real_seconds);
+        assert_eq!(cold.rows, hot.rows);
+    }
+
+    #[test]
+    fn config_row_summaries() {
+        let cells: Vec<Measurement> = (1..=12)
+            .map(|i| Measurement {
+                real_seconds: i as f64,
+                user_seconds: i as f64 / 2.0,
+                bytes_read: 0,
+                rows: 0,
+            })
+            .collect();
+        let row = ConfigRow {
+            label: "test".into(),
+            cells,
+        };
+        // BASE7 = q1,q2,q3,q4,q5,q6,q7 → positions 1,2,4,6,8,9,11 (1-based
+        // values 1,2,4,6,8,9,11).
+        let g = row.g(real);
+        let want = geometric_mean(&[1.0, 2.0, 4.0, 6.0, 8.0, 9.0, 11.0]);
+        assert!((g - want).abs() < 1e-9);
+        assert!(row.g_star(real) > 0.0);
+        assert!(row.g_ratio(real) > 1.0);
+    }
+}

@@ -1,0 +1,361 @@
+//! [`RdfStore`]: one loaded (engine × layout × machine) configuration.
+
+use std::time::Instant;
+
+use swans_colstore::ColumnEngine;
+use swans_plan::algebra::Plan;
+use swans_plan::queries::{build_plan, QueryContext, QueryId, Scheme};
+use swans_rdf::{Dataset, SortOrder};
+use swans_rowstore::engine::TripleIndexConfig;
+use swans_rowstore::RowEngine;
+use swans_storage::{IoStats, MachineProfile, StorageManager};
+
+/// Which engine architecture executes the queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Tuple-at-a-time row store with B+tree access paths (the paper's
+    /// "DBX" stand-in).
+    Row,
+    /// Column-at-a-time vectorized engine with full-column reads (the
+    /// paper's MonetDB/SQL stand-in).
+    Column,
+}
+
+impl EngineKind {
+    /// Display name used in result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Row => "DBX-sim (row)",
+            EngineKind::Column => "MonetDB-sim (column)",
+        }
+    }
+}
+
+/// The physical RDF layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// One `triples(s, p, o)` table clustered by the given order. The row
+    /// engine gets the paper's index sets (§4.1): SPO → unclustered POS,
+    /// OSP; PSO → all five other permutations.
+    TripleStore(SortOrder),
+    /// One `(subject, object)` table per property, sorted/clustered SO with
+    /// an unclustered OS index (§4.2).
+    VerticallyPartitioned,
+}
+
+impl Layout {
+    /// The scheme the query generator should target.
+    pub fn scheme(self) -> Scheme {
+        match self {
+            Layout::TripleStore(_) => Scheme::TripleStore,
+            Layout::VerticallyPartitioned => Scheme::VerticallyPartitioned,
+        }
+    }
+
+    /// Display name, e.g. `"triple/PSO"`.
+    pub fn name(self) -> String {
+        match self {
+            Layout::TripleStore(o) => format!("triple/{o}"),
+            Layout::VerticallyPartitioned => "vert/SO".to_string(),
+        }
+    }
+}
+
+/// Configuration for loading an [`RdfStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Engine architecture.
+    pub engine: EngineKind,
+    /// Physical layout.
+    pub layout: Layout,
+    /// Simulated machine (Table 3). Defaults to machine B, the paper's
+    /// §4 test-bed.
+    pub machine: MachineProfile,
+    /// Buffer-pool capacity in pages (`None` = unbounded, the paper's
+    /// data-fits-in-RAM setting).
+    pub pool_pages: Option<usize>,
+    /// Column-store leading-column RLE compression.
+    pub compression: bool,
+}
+
+impl StoreConfig {
+    /// A row-store configuration on machine B.
+    pub fn row(layout: Layout) -> Self {
+        Self {
+            engine: EngineKind::Row,
+            layout,
+            machine: MachineProfile::B,
+            pool_pages: None,
+            compression: false,
+        }
+    }
+
+    /// A column-store configuration on machine B (compression on, as the
+    /// leading sorted column is trivially RLE-compressible).
+    pub fn column(layout: Layout) -> Self {
+        Self {
+            engine: EngineKind::Column,
+            layout,
+            machine: MachineProfile::B,
+            pool_pages: None,
+            compression: true,
+        }
+    }
+
+    /// Overrides the machine profile.
+    pub fn on_machine(mut self, machine: MachineProfile) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Restricts the buffer pool (the C-Store stand-in).
+    pub fn with_pool_pages(mut self, pages: usize) -> Self {
+        self.pool_pages = Some(pages);
+        self
+    }
+
+    /// Human-readable configuration label.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.engine.name(), self.layout.name())
+    }
+}
+
+/// The result and cost of one query execution.
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    /// Result rows (dictionary-encoded).
+    pub rows: Vec<Vec<u64>>,
+    /// Measured compute seconds (the paper's *user time*).
+    pub user_seconds: f64,
+    /// Compute + simulated I/O wait (the paper's *real time*).
+    pub real_seconds: f64,
+    /// I/O performed during this execution.
+    pub io: IoStats,
+}
+
+/// A loaded store: a data set materialized in one physical configuration.
+pub struct RdfStore {
+    config: StoreConfig,
+    storage: StorageManager,
+    row: Option<RowEngine>,
+    col: Option<ColumnEngine>,
+}
+
+impl RdfStore {
+    /// Loads `dataset` under `config`. Loading (sorting, index builds,
+    /// segment registration) happens outside the measured window, matching
+    /// the benchmark convention of §2.3.
+    pub fn load(dataset: &Dataset, config: StoreConfig) -> Self {
+        let storage = match config.pool_pages {
+            Some(pages) => StorageManager::with_pool(config.machine, pages),
+            None => StorageManager::new(config.machine),
+        };
+        let mut row = None;
+        let mut col = None;
+        match config.engine {
+            EngineKind::Row => {
+                let mut e = RowEngine::new();
+                match config.layout {
+                    Layout::TripleStore(order) => {
+                        let idx = match order {
+                            SortOrder::Spo => TripleIndexConfig::spo(),
+                            SortOrder::Pso => TripleIndexConfig::pso(),
+                            other => TripleIndexConfig {
+                                cluster: other,
+                                secondaries: vec![],
+                            },
+                        };
+                        e.load_triple_store(&storage, &dataset.triples, &idx);
+                    }
+                    Layout::VerticallyPartitioned => {
+                        e.load_vertical(&storage, &dataset.triples);
+                    }
+                }
+                row = Some(e);
+            }
+            EngineKind::Column => {
+                let mut e = ColumnEngine::new();
+                match config.layout {
+                    Layout::TripleStore(order) => {
+                        e.load_triple_store(
+                            &storage,
+                            &dataset.triples,
+                            order,
+                            config.compression,
+                        );
+                    }
+                    Layout::VerticallyPartitioned => {
+                        e.load_vertical(&storage, &dataset.triples, config.compression);
+                    }
+                }
+                col = Some(e);
+            }
+        }
+        // Loading touched nothing through the pool, but be explicit: the
+        // first run must observe a cold system with zeroed counters.
+        storage.clear_pool();
+        storage.reset_stats();
+        Self {
+            config,
+            storage,
+            row,
+            col,
+        }
+    }
+
+    /// The loaded configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The storage manager (I/O statistics, traces, pool control).
+    pub fn storage(&self) -> &StorageManager {
+        &self.storage
+    }
+
+    /// Total on-disk footprint of this layout in bytes.
+    pub fn disk_bytes(&self) -> u64 {
+        self.storage.total_bytes()
+    }
+
+    /// Empties the buffer pool so the next execution runs cold.
+    pub fn make_cold(&self) {
+        self.storage.clear_pool();
+    }
+
+    /// Executes a raw logical plan (no timing), returning result rows.
+    pub fn execute_plan(&self, plan: &Plan) -> Vec<Vec<u64>> {
+        match self.config.engine {
+            EngineKind::Row => self.row.as_ref().expect("row engine loaded").execute(plan),
+            EngineKind::Column => self
+                .col
+                .as_ref()
+                .expect("column engine loaded")
+                .execute(plan)
+                .to_rows(),
+        }
+    }
+
+    /// Builds and executes benchmark query `q`, measuring user/real time
+    /// and I/O. Whether the run is cold or hot depends on the pool state —
+    /// use [`RdfStore::make_cold`] or prior executions to set it up.
+    pub fn run_query(&self, q: QueryId, ctx: &QueryContext) -> QueryRun {
+        let plan = build_plan(q, self.config.layout.scheme(), ctx);
+        self.run_plan(&plan)
+    }
+
+    /// Executes an arbitrary plan under the measurement protocol.
+    pub fn run_plan(&self, plan: &Plan) -> QueryRun {
+        let io_before = self.storage.stats();
+        let start = Instant::now();
+        let rows = self.execute_plan(plan);
+        let user_seconds = start.elapsed().as_secs_f64();
+        let io = self.storage.stats().since(&io_before);
+        QueryRun {
+            rows,
+            user_seconds,
+            real_seconds: user_seconds + io.io_seconds,
+            io,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swans_datagen::{generate, BartonConfig};
+    use swans_plan::naive;
+
+    fn dataset() -> Dataset {
+        generate(&BartonConfig {
+            scale: 0.0005, // ~25k triples
+            seed: 21,
+            n_properties: 60,
+        })
+    }
+
+    /// All six (engine × layout) configurations return identical results
+    /// for every benchmark query — the central correctness invariant of
+    /// the reproduction.
+    #[test]
+    fn all_configurations_agree() {
+        let ds = dataset();
+        let ctx = QueryContext::from_dataset(&ds, 28);
+        let configs = [
+            StoreConfig::row(Layout::TripleStore(SortOrder::Spo)),
+            StoreConfig::row(Layout::TripleStore(SortOrder::Pso)),
+            StoreConfig::row(Layout::VerticallyPartitioned),
+            StoreConfig::column(Layout::TripleStore(SortOrder::Spo)),
+            StoreConfig::column(Layout::TripleStore(SortOrder::Pso)),
+            StoreConfig::column(Layout::VerticallyPartitioned),
+        ];
+        let stores: Vec<RdfStore> =
+            configs.iter().map(|c| RdfStore::load(&ds, c.clone())).collect();
+        for q in QueryId::ALL {
+            let reference = crate::normalize_result(
+                q,
+                naive::execute(
+                    &build_plan(q, Scheme::TripleStore, &ctx),
+                    &ds.triples,
+                ),
+            );
+            for store in &stores {
+                let got = crate::normalize_result(q, store.run_query(q, &ctx).rows);
+                assert_eq!(
+                    got,
+                    reference,
+                    "{} disagrees on {q}",
+                    store.config().label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cold_reads_more_than_hot() {
+        let ds = dataset();
+        let ctx = QueryContext::from_dataset(&ds, 28);
+        let store = RdfStore::load(&ds, StoreConfig::column(Layout::VerticallyPartitioned));
+        store.make_cold();
+        let cold = store.run_query(QueryId::Q2, &ctx);
+        let hot = store.run_query(QueryId::Q2, &ctx);
+        assert!(cold.io.bytes_read > 0);
+        assert_eq!(hot.io.bytes_read, 0, "hot run must be I/O-free");
+        assert!(cold.real_seconds > hot.user_seconds);
+        assert_eq!(
+            crate::normalize_result(QueryId::Q2, cold.rows),
+            crate::normalize_result(QueryId::Q2, hot.rows),
+        );
+    }
+
+    #[test]
+    fn triple_store_cold_reads_more_than_vp_on_column_engine() {
+        let ds = dataset();
+        let ctx = QueryContext::from_dataset(&ds, 28);
+        let tri = RdfStore::load(
+            &ds,
+            StoreConfig::column(Layout::TripleStore(SortOrder::Pso)),
+        );
+        let vp = RdfStore::load(&ds, StoreConfig::column(Layout::VerticallyPartitioned));
+        tri.make_cold();
+        vp.make_cold();
+        // q1 touches only the <type> data: VP reads one table, the triple
+        // store reads whole columns (§4.3's explanation).
+        let t = tri.run_query(QueryId::Q1, &ctx);
+        let v = vp.run_query(QueryId::Q1, &ctx);
+        assert!(
+            v.io.bytes_read < t.io.bytes_read,
+            "VP {}B vs triple {}B",
+            v.io.bytes_read,
+            t.io.bytes_read
+        );
+    }
+
+    #[test]
+    fn disk_footprint_reported() {
+        let ds = dataset();
+        let store = RdfStore::load(&ds, StoreConfig::row(Layout::TripleStore(SortOrder::Pso)));
+        // triples + 5 secondaries: at least arity*8*n bytes.
+        assert!(store.disk_bytes() > ds.len() as u64 * 24);
+    }
+}

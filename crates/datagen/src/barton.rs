@@ -1,0 +1,473 @@
+//! The calibrated Barton-like generator.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use swans_plan::queries::vocab;
+use swans_rdf::{Dataset, Id, Triple};
+
+/// Triple count of the real Barton Libraries core table (Table 1).
+pub const BARTON_TRIPLES: u64 = 50_255_599;
+
+/// Distinct-subject fraction of the real data set
+/// (12,304,739 / 50,255,599).
+const SUBJECT_FRACTION: f64 = 0.2448;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct BartonConfig {
+    /// Fraction of the full Barton triple count to generate
+    /// (1.0 ≈ 50.3M triples; the default 0.02 ≈ 1.0M).
+    pub scale: f64,
+    /// RNG seed — the generator is fully deterministic given the config.
+    pub seed: u64,
+    /// Number of distinct properties (the real data set has 222).
+    pub n_properties: usize,
+}
+
+impl Default for BartonConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.02,
+            seed: 42,
+            n_properties: 222,
+        }
+    }
+}
+
+impl BartonConfig {
+    /// A config producing roughly `n` triples.
+    pub fn with_triples(n: u64) -> Self {
+        Self {
+            scale: n as f64 / BARTON_TRIPLES as f64,
+            ..Self::default()
+        }
+    }
+}
+
+/// Object-generation behaviour of a property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PropKind {
+    /// `<type>`: object is a class drawn from the class distribution.
+    Type,
+    /// Object is another subject (records and a third of the generic
+    /// properties) — these create the subject/object overlap and feed join
+    /// pattern C.
+    Entity,
+    /// Object drawn from a per-property literal pool with a skewed
+    /// popularity profile.
+    Literal,
+    /// `<language>`: small fixed pool, French at ~15%.
+    Language,
+    /// `<origin>`: small fixed pool, DLC at ~60%.
+    Origin,
+    /// `<Point>`: `"end"` or `"start"`.
+    Point,
+}
+
+/// Frequency-rank layout of the named properties. `<type>` is rank 0 by
+/// construction (one triple per subject).
+const RECORDS_RANK: usize = 1;
+const TITLE_RANK: usize = 2;
+const CREATOR_RANK: usize = 3;
+const DATE_RANK: usize = 4;
+const SUBJECT_RANK: usize = 5;
+const LANGUAGE_RANK: usize = 6;
+const DESCRIPTION_RANK: usize = 7;
+const ORIGIN_RANK: usize = 8;
+const ENCODING_RANK: usize = 9;
+const POINT_RANK: usize = 10;
+
+/// Human-readable names for the most frequent properties (Longwell-style).
+const NAMED_PROPS: [(usize, &str); 10] = [
+    (RECORDS_RANK, vocab::RECORDS),
+    (TITLE_RANK, "<title>"),
+    (CREATOR_RANK, "<creator>"),
+    (DATE_RANK, "<date>"),
+    (SUBJECT_RANK, "<subject>"),
+    (LANGUAGE_RANK, vocab::LANGUAGE),
+    (DESCRIPTION_RANK, "<description>"),
+    (ORIGIN_RANK, vocab::ORIGIN),
+    (ENCODING_RANK, vocab::ENCODING),
+    (POINT_RANK, vocab::POINT),
+];
+
+/// Relative property masses for ranks `1..n` (rank 0 = `<type>` is handled
+/// separately): the head (ranks 1–27) carries ~94% − 24.5%, ranks 28–55
+/// another ~5%, the tail ~1% — reproducing the paper's "top 13% of the
+/// total properties account for the 99% of all triples" and Figure 6's
+/// 56-property knee.
+fn property_weights(n_props: usize) -> Vec<f64> {
+    assert!(n_props >= 12, "need at least the named properties");
+    let zipf = |s: f64, lo: usize, hi: usize| -> Vec<f64> {
+        (lo..hi).map(|r| 1.0 / ((r - lo + 1) as f64).powf(s)).collect()
+    };
+    let head_hi = 28.min(n_props);
+    let mid_hi = 56.min(n_props);
+    let head = zipf(1.1, 1, head_hi);
+    let mid = zipf(1.0, head_hi, mid_hi);
+    let tail = zipf(0.8, mid_hi, n_props);
+
+    // Mass fractions of the non-type population (which is ~75.5% of all
+    // triples): head ≈ 0.695/0.755, mid ≈ 0.05/0.755, tail ≈ 0.01/0.755.
+    let mut out = vec![0.0; n_props];
+    let scale_into = |dst: &mut [f64], src: &[f64], mass: f64| {
+        let sum: f64 = src.iter().sum();
+        if sum > 0.0 {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = s / sum * mass;
+            }
+        }
+    };
+    scale_into(&mut out[1..head_hi], &head, 0.695 / 0.755);
+    if mid_hi > head_hi {
+        scale_into(&mut out[head_hi..mid_hi], &mid, 0.050 / 0.755);
+    }
+    if n_props > mid_hi {
+        scale_into(&mut out[mid_hi..n_props], &tail, 0.010 / 0.755);
+    }
+    out
+}
+
+fn prop_kind(rank: usize) -> PropKind {
+    match rank {
+        0 => PropKind::Type,
+        RECORDS_RANK => PropKind::Entity,
+        LANGUAGE_RANK => PropKind::Language,
+        ORIGIN_RANK => PropKind::Origin,
+        POINT_RANK => PropKind::Point,
+        r if r >= 11 && r % 3 == 2 => PropKind::Entity,
+        _ => PropKind::Literal,
+    }
+}
+
+/// Class shares of the `<type>` triples: `<Date>` ~32.7% (8% of all
+/// triples), `<Text>` ~14.8% (the q2–q6 selection), seven more named-class
+/// shares, then a thin tail.
+const CLASS_SHARES: [f64; 9] = [0.327, 0.148, 0.10, 0.08, 0.07, 0.06, 0.05, 0.04, 0.03];
+
+/// Generates the data set.
+pub fn generate(cfg: &BartonConfig) -> Dataset {
+    assert!(cfg.scale > 0.0, "scale must be positive");
+    let n_total = ((BARTON_TRIPLES as f64 * cfg.scale).round() as usize).max(1000);
+    let n_subjects = ((n_total as f64 * SUBJECT_FRACTION).round() as usize).max(100);
+    let n_props = cfg.n_properties.max(12);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut ds = Dataset::with_capacity(n_total + 16);
+
+    // --- intern the fixed vocabulary -------------------------------------
+    let type_p = ds.dict.intern(vocab::TYPE);
+    let mut prop_ids: Vec<Id> = vec![0; n_props];
+    prop_ids[0] = type_p;
+    for (rank, slot) in prop_ids.iter_mut().enumerate().skip(1) {
+        let name = NAMED_PROPS
+            .iter()
+            .find(|(r, _)| *r == rank)
+            .map(|&(_, n)| n.to_string())
+            .unwrap_or_else(|| format!("<prop{rank}>"));
+        *slot = ds.dict.intern(&name);
+    }
+
+    // Classes: Date, Text, 7 named-ish, then a tail of minor classes.
+    let n_classes = 40.min(8 + n_total / 2000).max(10);
+    let mut class_ids: Vec<Id> = Vec::with_capacity(n_classes);
+    class_ids.push(ds.dict.intern(vocab::DATE));
+    class_ids.push(ds.dict.intern(vocab::TEXT));
+    for i in 2..n_classes {
+        class_ids.push(ds.dict.intern(&format!("<class{i}>")));
+    }
+    // Cumulative class distribution: the named shares + uniform tail.
+    let class_cdf = {
+        let named: f64 = CLASS_SHARES.iter().sum();
+        let tail_each = (1.0 - named) / (n_classes - CLASS_SHARES.len()) as f64;
+        let mut acc = 0.0;
+        (0..n_classes)
+            .map(|i| {
+                acc += CLASS_SHARES.get(i).copied().unwrap_or(tail_each);
+                acc
+            })
+            .collect::<Vec<f64>>()
+    };
+
+    // Languages: French at ~15% (the q4 selectivity), English dominant.
+    let language_pool: Vec<(Id, f64)> = {
+        let fre = ds.dict.intern(vocab::FRENCH);
+        let eng = ds.dict.intern("<language/iso639-2b/eng>");
+        let ger = ds.dict.intern("<language/iso639-2b/ger>");
+        let spa = ds.dict.intern("<language/iso639-2b/spa>");
+        let rus = ds.dict.intern("<language/iso639-2b/rus>");
+        vec![(eng, 0.55), (fre, 0.15), (ger, 0.12), (spa, 0.10), (rus, 0.08)]
+    };
+    let origin_pool: Vec<(Id, f64)> = {
+        let dlc = ds.dict.intern(vocab::DLC);
+        let ocm = ds.dict.intern("<info:marcorg/OCoLC>");
+        let mh = ds.dict.intern("<info:marcorg/MH>");
+        vec![(dlc, 0.60), (ocm, 0.25), (mh, 0.15)]
+    };
+    let point_pool: Vec<(Id, f64)> = {
+        let end = ds.dict.intern(vocab::END);
+        let start = ds.dict.intern("\"start\"");
+        vec![(end, 0.5), (start, 0.5)]
+    };
+
+    // Subjects.
+    let subject_ids: Vec<Id> = (0..n_subjects)
+        .map(|i| ds.dict.intern(&format!("<sub{i:07}>")))
+        .collect();
+
+    // --- per-property triple counts ---------------------------------------
+    let weights = property_weights(n_props);
+    let remaining = n_total - n_subjects; // type triples take n_subjects
+    let mut counts: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w * remaining as f64).round() as usize).max(1))
+        .collect();
+    counts[0] = 0; // type handled below
+    // Trim/pad rounding drift on the largest property.
+    let drift = counts.iter().sum::<usize>() as i64 - remaining as i64;
+    let big = 1; // records, the largest non-type property
+    counts[big] = (counts[big] as i64 - drift).max(1) as usize;
+
+    // --- type triples: one per subject ------------------------------------
+    for &s in &subject_ids {
+        let u: f64 = rng.random();
+        let class = class_ids[class_cdf.partition_point(|&c| c < u).min(n_classes - 1)];
+        ds.add_encoded(Triple::new(s, type_p, class));
+    }
+
+    // --- remaining properties ---------------------------------------------
+    let skewed_subject = |rng: &mut StdRng| -> Id {
+        // Mild skew: a few subjects are "collections" with many triples,
+        // most have a handful — the near-uniform CFD of Figure 1.
+        let u: f64 = rng.random();
+        let idx = ((n_subjects as f64) * u.powf(1.35)) as usize;
+        subject_ids[idx.min(n_subjects - 1)]
+    };
+
+    for rank in 1..n_props {
+        let p = prop_ids[rank];
+        let kind = prop_kind(rank);
+        let n_p = counts[rank];
+        // Literal pool: ~32% of the property's triple count, skewed reuse.
+        let pool: Vec<Id> = if kind == PropKind::Literal {
+            let pool_n = ((n_p as f64 * 0.32).ceil() as usize).clamp(1, n_p.max(1));
+            (0..pool_n)
+                .map(|k| ds.dict.intern(&format!("\"v{rank}_{k}\"")))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for _ in 0..n_p {
+            let s = skewed_subject(&mut rng);
+            let o = match kind {
+                PropKind::Type => unreachable!("type triples emitted above"),
+                PropKind::Entity => {
+                    let idx = rng.random_range(0..n_subjects);
+                    subject_ids[idx]
+                }
+                PropKind::Literal => {
+                    let u: f64 = rng.random();
+                    pool[((pool.len() as f64) * u * u) as usize % pool.len()]
+                }
+                PropKind::Language => weighted(&language_pool, &mut rng),
+                PropKind::Origin => weighted(&origin_pool, &mut rng),
+                PropKind::Point => weighted(&point_pool, &mut rng),
+            };
+            ds.add_encoded(Triple::new(s, p, o));
+        }
+    }
+
+    // --- the q8 subject ----------------------------------------------------
+    // <conferences> shares literal objects with other subjects: copy the
+    // objects of a few existing triples of frequent literal properties.
+    let conf = ds.dict.intern(vocab::CONFERENCES);
+    let text = ds.expect_id(vocab::TEXT);
+    let mut borrowed: Vec<Triple> = Vec::new();
+    for rank in [TITLE_RANK, SUBJECT_RANK, DESCRIPTION_RANK, DATE_RANK] {
+        let p = prop_ids[rank];
+        if let Some(t) = ds.triples.iter().find(|t| t.p == p) {
+            borrowed.push(Triple::new(conf, p, t.o));
+        }
+    }
+    ds.add_encoded(Triple::new(conf, type_p, text));
+    for t in borrowed {
+        ds.add_encoded(t);
+    }
+
+    ds
+}
+
+fn weighted(pool: &[(Id, f64)], rng: &mut StdRng) -> Id {
+    let mut u: f64 = rng.random();
+    for &(id, w) in pool {
+        if u < w {
+            return id;
+        }
+        u -= w;
+    }
+    pool.last().expect("non-empty pool").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swans_rdf::stats::{cfd, DatasetStats};
+
+    fn small() -> Dataset {
+        generate(&BartonConfig {
+            scale: 0.004, // ~200k triples
+            seed: 7,
+            n_properties: 222,
+        })
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = BartonConfig {
+            scale: 0.0005,
+            seed: 99,
+            n_properties: 222,
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.triples, b.triples);
+        assert_eq!(a.dict.len(), b.dict.len());
+    }
+
+    /// Table 1 calibration: ratios within tolerance of the paper.
+    #[test]
+    fn table1_calibration() {
+        let ds = small();
+        let st = DatasetStats::compute(&ds);
+        let n = st.total_triples as f64;
+
+        assert_eq!(st.distinct_properties, 222);
+
+        // Subjects: 24.48% of triples (paper: 12.30M / 50.26M = 24.5%).
+        let subj_frac = st.distinct_subjects as f64 / n;
+        assert!((0.22..0.27).contains(&subj_frac), "subjects {subj_frac}");
+
+        // Objects: 31.5% of triples (paper: 15.82M / 50.26M).
+        let obj_frac = st.distinct_objects as f64 / n;
+        assert!((0.24..0.40).contains(&obj_frac), "objects {obj_frac}");
+
+        // Subject∩object overlap: ~78% of subjects (9.65M / 12.30M).
+        let overlap = st.subject_object_overlap as f64 / st.distinct_subjects as f64;
+        assert!((0.6..0.95).contains(&overlap), "overlap {overlap}");
+
+        // Dictionary: ~37% of triples (18.47M / 50.26M).
+        let dict_frac = st.dictionary_strings as f64 / n;
+        assert!((0.28..0.48).contains(&dict_frac), "dict {dict_frac}");
+
+        // Top property (<type>) ≈ 24.5% of triples.
+        let top_p = st.top_property_count as f64 / n;
+        assert!((0.22..0.27).contains(&top_p), "type share {top_p}");
+
+        // Top object (<Date>) ≈ 8% of triples.
+        let top_o = st.top_object_count as f64 / n;
+        assert!((0.05..0.11).contains(&top_o), "Date share {top_o}");
+    }
+
+    /// Figure 1 / Figure 6 calibration: property CFD knee points.
+    #[test]
+    fn property_cfd_calibration() {
+        let ds = small();
+        let by_freq = ds.properties_by_frequency();
+        let total: u64 = by_freq.iter().map(|&(_, c)| c).sum();
+        let cum = |k: usize| -> f64 {
+            by_freq[..k].iter().map(|&(_, c)| c).sum::<u64>() as f64 / total as f64
+        };
+        let top28 = cum(28);
+        let top56 = cum(56);
+        assert!((0.90..0.97).contains(&top28), "top-28 coverage {top28}");
+        assert!(top56 >= 0.985, "top-56 coverage {top56}");
+        // Long tail: the least frequent properties have little data.
+        let min = by_freq.last().expect("non-empty").1;
+        assert!(min <= 30, "tail property has {min} rows");
+    }
+
+    /// Figure 1 shape: the property CFD rises far faster than subjects'.
+    #[test]
+    fn cfd_property_skew_exceeds_subject_skew() {
+        let ds = small();
+        let [props, subjects, _objects] = cfd(&ds);
+        assert!(props.coverage_at(15.0) > 95.0);
+        assert!(subjects.coverage_at(15.0) < 50.0);
+    }
+
+    /// Every benchmark constant exists and each query has non-trivial
+    /// matching data.
+    #[test]
+    fn query_constants_present_with_sane_selectivities() {
+        let ds = small();
+        let n = ds.len() as f64;
+        let count = |p: &str, o: Option<&str>| -> usize {
+            let pid = ds.expect_id(p);
+            let oid = o.map(|o| ds.expect_id(o));
+            ds.triples
+                .iter()
+                .filter(|t| t.p == pid && oid.is_none_or(|x| t.o == x))
+                .count()
+        };
+        let text = count(vocab::TYPE, Some(vocab::TEXT));
+        assert!((text as f64 / n) > 0.02, "Text class too rare: {text}");
+        assert!(count(vocab::LANGUAGE, Some(vocab::FRENCH)) > 50);
+        assert!(count(vocab::ORIGIN, Some(vocab::DLC)) > 50);
+        assert!(count(vocab::POINT, Some(vocab::END)) > 50);
+        assert!(count(vocab::RECORDS, None) as f64 / n > 0.08);
+        // <conferences> exists with shared objects.
+        let conf = ds.expect_id(vocab::CONFERENCES);
+        let conf_objects: Vec<_> = ds
+            .triples
+            .iter()
+            .filter(|t| t.s == conf)
+            .map(|t| t.o)
+            .collect();
+        assert!(!conf_objects.is_empty());
+        let shared = ds
+            .triples
+            .iter()
+            .any(|t| t.s != conf && conf_objects.contains(&t.o));
+        assert!(shared, "q8 would return an empty result");
+    }
+
+    /// `<records>` links subjects to subjects (join pattern C feeds q5/q6).
+    #[test]
+    fn records_objects_are_subjects() {
+        let ds = small();
+        let records = ds.expect_id(vocab::RECORDS);
+        let type_p = ds.expect_id(vocab::TYPE);
+        let subjects: std::collections::HashSet<Id> = ds
+            .triples
+            .iter()
+            .filter(|t| t.p == type_p)
+            .map(|t| t.s)
+            .collect();
+        let sample: Vec<Id> = ds
+            .triples
+            .iter()
+            .filter(|t| t.p == records)
+            .take(1000)
+            .map(|t| t.o)
+            .collect();
+        assert!(!sample.is_empty());
+        assert!(sample.iter().all(|o| subjects.contains(o)));
+    }
+
+    #[test]
+    fn with_triples_hits_target() {
+        let ds = generate(&BartonConfig::with_triples(50_000));
+        let got = ds.len() as f64;
+        assert!((45_000.0..55_000.0).contains(&got), "got {got}");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        let _ = generate(&BartonConfig {
+            scale: 0.0,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,178 @@
+//! The §4.4 property-splitting transform.
+//!
+//! "We conduct a scalability experiment using the same data-set, thus
+//! keeping the same number of triples, but increasing gradually the number
+//! of properties in the data-set. This is done by splitting in each round
+//! an arbitrary number of properties into n sub-properties, where
+//! n = 1…9. The triples defined over the split properties are re-defined
+//! on one of the sub-properties following a uniform distribution."
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use swans_plan::queries::vocab;
+use swans_rdf::hash::FxHashMap;
+use swans_rdf::{Dataset, Id};
+
+/// Properties the benchmark queries bind by name; splitting them would
+/// change query semantics, so they are exempt (the paper's splits are
+/// "arbitrary" — the queries kept running, so the bound properties must
+/// have survived).
+const PROTECTED: [&str; 6] = [
+    vocab::TYPE,
+    vocab::RECORDS,
+    vocab::ORIGIN,
+    vocab::LANGUAGE,
+    vocab::POINT,
+    vocab::ENCODING,
+];
+
+/// Splits properties until the data set has `target` distinct properties.
+/// The triple count is preserved exactly; only property ids change.
+///
+/// # Panics
+/// Panics if `target` is below the current property count, or if there is
+/// not enough splittable data to reach it.
+pub fn split_properties(ds: &Dataset, target: usize, seed: u64) -> Dataset {
+    let mut out = ds.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let protected: Vec<Id> = PROTECTED
+        .iter()
+        .filter_map(|name| out.dict.id_of(name))
+        .collect();
+
+    // Triple indexes per property.
+    let mut by_prop: FxHashMap<Id, Vec<u32>> = FxHashMap::default();
+    for (i, t) in out.triples.iter().enumerate() {
+        by_prop.entry(t.p).or_default().push(i as u32);
+    }
+    let mut n_props = by_prop.len();
+    assert!(
+        target >= n_props,
+        "target {target} below current property count {n_props}"
+    );
+
+    let mut splittable: Vec<Id> = by_prop
+        .keys()
+        .copied()
+        .filter(|p| !protected.contains(p) && by_prop[p].len() >= 2)
+        .collect();
+    splittable.sort_unstable(); // determinism
+
+    let mut round = 0u64;
+    while n_props < target {
+        assert!(
+            !splittable.is_empty(),
+            "no splittable properties left at {n_props}/{target}"
+        );
+        let pick = rng.random_range(0..splittable.len());
+        let p = splittable.swap_remove(pick);
+        let idxs = by_prop.remove(&p).expect("tracked property");
+
+        // n sub-properties, capped by available triples and by the target.
+        let max_new = (target - n_props + 1).min(9).min(idxs.len());
+        let n: usize = if max_new <= 2 {
+            2
+        } else {
+            rng.random_range(2..=max_new)
+        };
+        round += 1;
+
+        let base_name = out.dict.term(p).to_owned();
+        let sub_ids: Vec<Id> = (0..n)
+            .map(|k| out.dict.intern(&format!("{base_name}|r{round}k{k}")))
+            .collect();
+        let mut sub_idxs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &i in &idxs {
+            let k = rng.random_range(0..n);
+            out.triples[i as usize].p = sub_ids[k];
+            sub_idxs[k].push(i);
+        }
+        for (k, sid) in sub_ids.iter().enumerate() {
+            if !sub_idxs[k].is_empty() {
+                if sub_idxs[k].len() >= 2 {
+                    splittable.push(*sid);
+                }
+                by_prop.insert(*sid, std::mem::take(&mut sub_idxs[k]));
+            }
+        }
+        n_props = by_prop.len();
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barton::{generate, BartonConfig};
+
+    fn base() -> Dataset {
+        generate(&BartonConfig {
+            scale: 0.001, // ~50k triples
+            seed: 3,
+            n_properties: 222,
+        })
+    }
+
+    #[test]
+    fn reaches_exact_target() {
+        let ds = base();
+        for target in [250, 400, 700, 1000] {
+            let split = split_properties(&ds, target, 11);
+            assert_eq!(split.distinct_properties().len(), target);
+        }
+    }
+
+    #[test]
+    fn preserves_triple_count_and_subjects_objects() {
+        let ds = base();
+        let split = split_properties(&ds, 500, 11);
+        assert_eq!(split.len(), ds.len());
+        for (a, b) in ds.triples.iter().zip(&split.triples) {
+            assert_eq!(a.s, b.s);
+            assert_eq!(a.o, b.o);
+        }
+    }
+
+    #[test]
+    fn protected_properties_survive() {
+        let ds = base();
+        let split = split_properties(&ds, 800, 11);
+        for name in PROTECTED {
+            let before = {
+                let p = ds.expect_id(name);
+                ds.triples.iter().filter(|t| t.p == p).count()
+            };
+            let after = {
+                let p = split.expect_id(name);
+                split.triples.iter().filter(|t| t.p == p).count()
+            };
+            assert_eq!(before, after, "{name} changed");
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let ds = base();
+        let a = split_properties(&ds, 300, 5);
+        let b = split_properties(&ds, 300, 5);
+        assert_eq!(a.triples, b.triples);
+    }
+
+    #[test]
+    fn noop_when_target_equals_current() {
+        let ds = base();
+        let n = ds.distinct_properties().len();
+        let same = split_properties(&ds, n, 1);
+        assert_eq!(same.triples, ds.triples);
+    }
+
+    #[test]
+    #[should_panic(expected = "below current property count")]
+    fn rejects_shrinking() {
+        let ds = base();
+        let _ = split_properties(&ds, 10, 1);
+    }
+}

@@ -1,0 +1,536 @@
+//! The logical algebra both engines execute.
+//!
+//! Plans operate on relations of `u64` columns in dictionary-encoded space.
+//! A `Join` output is the concatenation of the left and right input rows;
+//! `GroupCount` appends the count as the last column. The two base scans
+//! correspond to the two physical schemes: [`Plan::ScanTriples`] reads the
+//! 3-column `triples` table, [`Plan::ScanProperty`] reads one 2-column
+//! property table of the vertically-partitioned layout.
+
+use swans_rdf::Id;
+
+/// Comparison operators for [`Predicate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal (e.g. q5's `C.obj != '<Text>'`).
+    Ne,
+}
+
+/// A single-column comparison against a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Predicate {
+    /// Output column index of the input plan.
+    pub col: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Dictionary-encoded constant.
+    pub value: Id,
+}
+
+impl Predicate {
+    /// Evaluates the predicate against one row.
+    #[inline]
+    pub fn eval(&self, row: &[u64]) -> bool {
+        match self.op {
+            CmpOp::Eq => row[self.col] == self.value,
+            CmpOp::Ne => row[self.col] != self.value,
+        }
+    }
+}
+
+/// A logical query plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Plan {
+    /// Scan the `triples(s, p, o)` relation, with optional bound positions
+    /// pushed into the access path. Output schema: `(s, p, o)`.
+    ScanTriples {
+        /// Bound subject.
+        s: Option<Id>,
+        /// Bound property.
+        p: Option<Id>,
+        /// Bound object.
+        o: Option<Id>,
+    },
+    /// Scan one vertically-partitioned property table. Output schema
+    /// `(s, o)`, or `(s, p, o)` when `emit_property` (the constant property
+    /// column is re-materialized, as the VP SQL does with literal columns).
+    ScanProperty {
+        /// The property whose table is scanned.
+        property: Id,
+        /// Bound subject.
+        s: Option<Id>,
+        /// Bound object.
+        o: Option<Id>,
+        /// Emit the property as a middle column.
+        emit_property: bool,
+    },
+    /// Filter rows by a predicate.
+    Select {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Filter predicate.
+        pred: Predicate,
+    },
+    /// Equi-join; output = left row ++ right row.
+    Join {
+        /// Left input (build side for hash joins).
+        left: Box<Plan>,
+        /// Right input (probe side).
+        right: Box<Plan>,
+        /// Join column in the left schema.
+        left_col: usize,
+        /// Join column in the right schema.
+        right_col: usize,
+    },
+    /// Keep rows whose `col` is in `values` — the benchmark's
+    /// "28 interesting properties" restriction, realized in the paper's SQL
+    /// as a join against a `properties` table.
+    FilterIn {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Column to test.
+        col: usize,
+        /// Allowed values.
+        values: Vec<Id>,
+    },
+    /// Column projection / reordering.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Output columns as indices into the input schema.
+        cols: Vec<usize>,
+    },
+    /// Group by `keys`, count rows per group. Output: keys ++ count.
+    GroupCount {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Grouping columns.
+        keys: Vec<usize>,
+    },
+    /// Keep groups with count > `min`; input's last column is the count.
+    HavingCountGt {
+        /// Input plan (a `GroupCount`).
+        input: Box<Plan>,
+        /// Exclusive lower bound on the count.
+        min: u64,
+    },
+    /// Bag union of union-compatible inputs.
+    UnionAll {
+        /// Input plans (all the same arity).
+        inputs: Vec<Plan>,
+    },
+    /// Duplicate elimination over whole rows.
+    Distinct {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+}
+
+impl Plan {
+    /// Number of output columns.
+    pub fn arity(&self) -> usize {
+        match self {
+            Plan::ScanTriples { .. } => 3,
+            Plan::ScanProperty { emit_property, .. } => {
+                if *emit_property {
+                    3
+                } else {
+                    2
+                }
+            }
+            Plan::Select { input, .. }
+            | Plan::FilterIn { input, .. }
+            | Plan::HavingCountGt { input, .. }
+            | Plan::Distinct { input } => input.arity(),
+            Plan::Join { left, right, .. } => left.arity() + right.arity(),
+            Plan::Project { cols, .. } => cols.len(),
+            Plan::GroupCount { keys, .. } => keys.len() + 1,
+            Plan::UnionAll { inputs } => inputs.first().map_or(0, Plan::arity),
+        }
+    }
+
+    /// Validates column references and union compatibility, returning a
+    /// human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Plan::ScanTriples { .. } => Ok(()),
+            Plan::ScanProperty { .. } => Ok(()),
+            Plan::Select { input, pred } => {
+                input.validate()?;
+                if pred.col >= input.arity() {
+                    return Err(format!(
+                        "Select references column {} of an arity-{} input",
+                        pred.col,
+                        input.arity()
+                    ));
+                }
+                Ok(())
+            }
+            Plan::Join {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => {
+                left.validate()?;
+                right.validate()?;
+                if *left_col >= left.arity() {
+                    return Err(format!(
+                        "Join left column {} out of range (arity {})",
+                        left_col,
+                        left.arity()
+                    ));
+                }
+                if *right_col >= right.arity() {
+                    return Err(format!(
+                        "Join right column {} out of range (arity {})",
+                        right_col,
+                        right.arity()
+                    ));
+                }
+                Ok(())
+            }
+            Plan::FilterIn { input, col, .. } => {
+                input.validate()?;
+                if *col >= input.arity() {
+                    return Err(format!(
+                        "FilterIn references column {} of an arity-{} input",
+                        col,
+                        input.arity()
+                    ));
+                }
+                Ok(())
+            }
+            Plan::Project { input, cols } => {
+                input.validate()?;
+                for &c in cols {
+                    if c >= input.arity() {
+                        return Err(format!(
+                            "Project references column {c} of an arity-{} input",
+                            input.arity()
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            Plan::GroupCount { input, keys } => {
+                input.validate()?;
+                for &k in keys {
+                    if k >= input.arity() {
+                        return Err(format!(
+                            "GroupCount key {k} out of range (arity {})",
+                            input.arity()
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            Plan::HavingCountGt { input, .. } => {
+                input.validate()?;
+                if input.arity() == 0 {
+                    return Err("HavingCountGt over empty schema".into());
+                }
+                Ok(())
+            }
+            Plan::UnionAll { inputs } => {
+                if inputs.is_empty() {
+                    return Err("UnionAll with no inputs".into());
+                }
+                let a = inputs[0].arity();
+                for (i, p) in inputs.iter().enumerate() {
+                    p.validate()?;
+                    if p.arity() != a {
+                        return Err(format!(
+                            "UnionAll input {i} has arity {} but input 0 has {a}",
+                            p.arity()
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            Plan::Distinct { input } => input.validate(),
+        }
+    }
+
+    /// Renders an EXPLAIN-style indented operator tree. Unions over many
+    /// property tables (the vertically-partitioned expansion) are
+    /// summarized rather than listed in full.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::ScanTriples { s, p, o } => {
+                let b = |x: &Option<Id>| x.map_or("?".to_string(), |v| v.to_string());
+                let _ = writeln!(
+                    out,
+                    "{pad}ScanTriples(s={}, p={}, o={})",
+                    b(s),
+                    b(p),
+                    b(o)
+                );
+            }
+            Plan::ScanProperty {
+                property,
+                s,
+                o,
+                emit_property,
+            } => {
+                let b = |x: &Option<Id>| x.map_or("?".to_string(), |v| v.to_string());
+                let _ = writeln!(
+                    out,
+                    "{pad}ScanProperty(p{property}, s={}, o={}{})",
+                    b(s),
+                    b(o),
+                    if *emit_property { ", emit p" } else { "" }
+                );
+            }
+            Plan::Select { input, pred } => {
+                let op = match pred.op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "!=",
+                };
+                let _ = writeln!(out, "{pad}Select(col{} {op} {})", pred.col, pred.value);
+                input.explain_into(out, depth + 1);
+            }
+            Plan::FilterIn { input, col, values } => {
+                let _ = writeln!(out, "{pad}FilterIn(col{col} in {} values)", values.len());
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Join {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => {
+                let _ = writeln!(out, "{pad}Join(left.col{left_col} = right.col{right_col})");
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::Project { input, cols } => {
+                let _ = writeln!(out, "{pad}Project({cols:?})");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::GroupCount { input, keys } => {
+                let _ = writeln!(out, "{pad}GroupCount(keys={keys:?})");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::HavingCountGt { input, min } => {
+                let _ = writeln!(out, "{pad}HavingCountGt({min})");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::UnionAll { inputs } => {
+                let _ = writeln!(out, "{pad}UnionAll({} inputs)", inputs.len());
+                if inputs.len() <= 4 {
+                    for i in inputs {
+                        i.explain_into(out, depth + 1);
+                    }
+                } else {
+                    inputs[0].explain_into(out, depth + 1);
+                    let _ = writeln!(
+                        out,
+                        "{}... {} more property-table scans ...",
+                        "  ".repeat(depth + 1),
+                        inputs.len() - 1
+                    );
+                }
+            }
+            Plan::Distinct { input } => {
+                let _ = writeln!(out, "{pad}Distinct");
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+
+    /// Number of operator nodes (plan size — the "hundreds of unions and
+    /// joins" the paper measures against the optimizer).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Plan::ScanTriples { .. } | Plan::ScanProperty { .. } => 0,
+            Plan::Select { input, .. }
+            | Plan::FilterIn { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::GroupCount { input, .. }
+            | Plan::HavingCountGt { input, .. }
+            | Plan::Distinct { input } => input.node_count(),
+            Plan::Join { left, right, .. } => left.node_count() + right.node_count(),
+            Plan::UnionAll { inputs } => inputs.iter().map(Plan::node_count).sum(),
+        }
+    }
+}
+
+// ------- convenience builders (used by the query generator and tests) ----
+
+/// Scan of the full triples relation.
+pub fn scan_all() -> Plan {
+    Plan::ScanTriples {
+        s: None,
+        p: None,
+        o: None,
+    }
+}
+
+/// Scan of triples with a bound property.
+pub fn scan_p(p: Id) -> Plan {
+    Plan::ScanTriples {
+        s: None,
+        p: Some(p),
+        o: None,
+    }
+}
+
+/// Scan of triples with bound property and object.
+pub fn scan_po(p: Id, o: Id) -> Plan {
+    Plan::ScanTriples {
+        s: None,
+        p: Some(p),
+        o: Some(o),
+    }
+}
+
+/// Equi-join helper.
+pub fn join(left: Plan, right: Plan, left_col: usize, right_col: usize) -> Plan {
+    Plan::Join {
+        left: Box::new(left),
+        right: Box::new(right),
+        left_col,
+        right_col,
+    }
+}
+
+/// Projection helper.
+pub fn project(input: Plan, cols: Vec<usize>) -> Plan {
+    Plan::Project {
+        input: Box::new(input),
+        cols,
+    }
+}
+
+/// Group-count helper.
+pub fn group_count(input: Plan, keys: Vec<usize>) -> Plan {
+    Plan::GroupCount {
+        input: Box::new(input),
+        keys,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_propagates() {
+        let p = group_count(
+            project(join(scan_po(1, 2), scan_all(), 0, 0), vec![4]),
+            vec![0],
+        );
+        // join: 3+3=6, project: 1, group: key+count = 2
+        assert_eq!(p.arity(), 2);
+    }
+
+    #[test]
+    fn scan_property_arity_depends_on_emit() {
+        let a = Plan::ScanProperty {
+            property: 1,
+            s: None,
+            o: None,
+            emit_property: false,
+        };
+        let b = Plan::ScanProperty {
+            property: 1,
+            s: None,
+            o: None,
+            emit_property: true,
+        };
+        assert_eq!(a.arity(), 2);
+        assert_eq!(b.arity(), 3);
+    }
+
+    #[test]
+    fn validate_catches_bad_columns() {
+        let bad = project(scan_all(), vec![3]);
+        assert!(bad.validate().is_err());
+        let ok = project(scan_all(), vec![2, 0]);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_union_mismatch() {
+        let bad = Plan::UnionAll {
+            inputs: vec![scan_all(), project(scan_all(), vec![0])],
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_union() {
+        assert!(Plan::UnionAll { inputs: vec![] }.validate().is_err());
+    }
+
+    #[test]
+    fn node_count_counts_all_operators() {
+        let p = join(scan_all(), scan_all(), 0, 0);
+        assert_eq!(p.node_count(), 3);
+        let u = Plan::UnionAll {
+            inputs: vec![scan_all(), scan_all(), scan_all()],
+        };
+        assert_eq!(u.node_count(), 4);
+    }
+
+    #[test]
+    fn explain_renders_indented_tree() {
+        let p = group_count(
+            project(join(scan_po(1, 2), scan_all(), 0, 0), vec![4]),
+            vec![0],
+        );
+        let text = p.explain();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "GroupCount(keys=[0])");
+        assert_eq!(lines[1], "  Project([4])");
+        assert_eq!(lines[2], "    Join(left.col0 = right.col0)");
+        assert!(lines[3].contains("ScanTriples(s=?, p=1, o=2)"));
+    }
+
+    #[test]
+    fn explain_summarizes_wide_unions() {
+        let u = Plan::UnionAll {
+            inputs: (0..222)
+                .map(|p| Plan::ScanProperty {
+                    property: p,
+                    s: None,
+                    o: None,
+                    emit_property: true,
+                })
+                .collect(),
+        };
+        let text = u.explain();
+        assert!(text.contains("UnionAll(222 inputs)"));
+        assert!(text.contains("221 more property-table scans"));
+        assert!(text.lines().count() < 10, "wide unions must be summarized");
+    }
+
+    #[test]
+    fn predicate_eval() {
+        let eq = Predicate {
+            col: 1,
+            op: CmpOp::Eq,
+            value: 7,
+        };
+        let ne = Predicate {
+            col: 1,
+            op: CmpOp::Ne,
+            value: 7,
+        };
+        assert!(eq.eval(&[0, 7, 0]));
+        assert!(!eq.eval(&[0, 8, 0]));
+        assert!(ne.eval(&[0, 8, 0]));
+        assert!(!ne.eval(&[0, 7, 0]));
+    }
+}

@@ -1,0 +1,43 @@
+//! # swans-plan
+//!
+//! The query layer shared by both engines:
+//!
+//! * [`pattern`] — the paper's Figure 2: the 8 simple triple query patterns
+//!   (`p1`–`p8`) and the join patterns (`A`, `B`, `C`, plus the RDF/S
+//!   reasoning combinations),
+//! * [`algebra`] — a small logical algebra (`scan`, `select`, `join`,
+//!   `group-count`, `union`, ...) in dictionary-encoded integer space,
+//! * [`queries`] — the benchmark query generator: builds q1–q8 (and the
+//!   unrestricted `*` variants) as logical plans for either the
+//!   *triple-store* or the *vertically-partitioned* scheme. This is the
+//!   analogue of the Perl script the paper used to produce the
+//!   vertically-partitioned SQL ("the SQL code for the
+//!   vertically-partitioned implementation is produced by a Perl script",
+//!   appendix),
+//! * [`coverage`] — reproduces Table 2 by analysing which simple/join
+//!   patterns each query plan exercises,
+//! * [`naive`] — a deliberately simple reference executor defining the
+//!   semantics both engines must match (used heavily by the test suites),
+//! * [`optimize`] — a rule-based rewriter (selection pushdown into scans,
+//!   through unions, joins and projections),
+//! * [`lower`] — scheme lowering: any triple-store plan rewritten for the
+//!   vertically-partitioned layout (the generalized "Perl script"),
+//! * [`sparql`] — a miniature SPARQL front-end compiling
+//!   `SELECT ... WHERE { BGP }` to logical plans, so *new* queries (the
+//!   thing the paper could not do with C-Store) are one string away.
+
+pub mod algebra;
+pub mod coverage;
+pub mod lower;
+pub mod naive;
+pub mod optimize;
+pub mod pattern;
+pub mod queries;
+pub mod sparql;
+
+pub use algebra::{CmpOp, Plan, Predicate};
+pub use coverage::{analyze, Coverage};
+pub use lower::lower_to_vertical;
+pub use optimize::optimize;
+pub use pattern::{JoinPattern, SimplePattern};
+pub use queries::{build_plan, QueryContext, QueryId, Scheme};

@@ -1,0 +1,352 @@
+//! A small rule-based plan optimizer.
+//!
+//! The paper repeatedly turns on optimizer behaviour: DBX "creates more
+//! efficient query plans" given all index permutations, while the 222-way
+//! vertically-partitioned SQL "seriously challenges" it. Our engines pick
+//! access paths at execution time, but they can only exploit a bound
+//! column if the *plan* exposes it as a scan bound. These rewrites close
+//! that gap:
+//!
+//! 1. **Selection pushdown into scans** — `Select(col = const)` over a
+//!    `ScanTriples`/`ScanProperty` output column becomes a scan bound,
+//!    unlocking clustered/sorted access paths.
+//! 2. **Selection pushdown through unions** — a filter over a `UnionAll`
+//!    is applied to every input (so per-property-table scans can bind it).
+//! 3. **Selection pushdown through joins** — a filter lands on whichever
+//!    join side owns the column.
+//!
+//! All rewrites are proven answer-preserving by the cross-engine fuzzer in
+//! `tests/random_plans.rs` (which round-trips every random plan through
+//! [`optimize`]).
+
+use crate::algebra::{CmpOp, Plan, Predicate};
+
+/// Applies the rewrite rules bottom-up until a fixpoint (bounded by plan
+/// depth). Returns an equivalent plan.
+pub fn optimize(plan: Plan) -> Plan {
+    let rewritten = rewrite(plan);
+    debug_assert_eq!(rewritten.validate(), Ok(()));
+    rewritten
+}
+
+fn rewrite(plan: Plan) -> Plan {
+    // First rewrite children, then try to sink a Select at this node.
+    match plan {
+        Plan::Select { input, pred } => {
+            let input = rewrite(*input);
+            push_select(input, pred)
+        }
+        Plan::FilterIn { input, col, values } => Plan::FilterIn {
+            input: Box::new(rewrite(*input)),
+            col,
+            values,
+        },
+        Plan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+        } => Plan::Join {
+            left: Box::new(rewrite(*left)),
+            right: Box::new(rewrite(*right)),
+            left_col,
+            right_col,
+        },
+        Plan::Project { input, cols } => Plan::Project {
+            input: Box::new(rewrite(*input)),
+            cols,
+        },
+        Plan::GroupCount { input, keys } => Plan::GroupCount {
+            input: Box::new(rewrite(*input)),
+            keys,
+        },
+        Plan::HavingCountGt { input, min } => Plan::HavingCountGt {
+            input: Box::new(rewrite(*input)),
+            min,
+        },
+        Plan::UnionAll { inputs } => Plan::UnionAll {
+            inputs: inputs.into_iter().map(rewrite).collect(),
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(rewrite(*input)),
+        },
+        leaf => leaf,
+    }
+}
+
+/// Sinks `Select(pred)` into `input` as far as semantics allow.
+fn push_select(input: Plan, pred: Predicate) -> Plan {
+    match input {
+        // --- into a triples scan: only Eq on an unbound position ---------
+        Plan::ScanTriples { s, p, o } if pred.op == CmpOp::Eq => {
+            let mut bounds = [s, p, o];
+            match bounds[pred.col] {
+                None => {
+                    bounds[pred.col] = Some(pred.value);
+                    Plan::ScanTriples {
+                        s: bounds[0],
+                        p: bounds[1],
+                        o: bounds[2],
+                    }
+                }
+                Some(v) if v == pred.value => Plan::ScanTriples { s, p, o },
+                // Contradiction: the scan is already bound to another
+                // value; keep the filter (it yields the empty result).
+                Some(_) => wrap(Plan::ScanTriples { s, p, o }, pred),
+            }
+        }
+        // --- into a property-table scan -----------------------------------
+        Plan::ScanProperty {
+            property,
+            s,
+            o,
+            emit_property,
+        } if pred.op == CmpOp::Eq => {
+            let o_pos = if emit_property { 2 } else { 1 };
+            let scan = |s, o| Plan::ScanProperty {
+                property,
+                s,
+                o,
+                emit_property,
+            };
+            if pred.col == 0 && s.is_none() {
+                scan(Some(pred.value), o)
+            } else if pred.col == o_pos && o.is_none() {
+                scan(s, Some(pred.value))
+            } else if emit_property && pred.col == 1 {
+                // Filter on the constant property column: statically
+                // decidable.
+                if pred.value == property {
+                    scan(s, o)
+                } else {
+                    // Always-false: empty via a contradictory filter.
+                    wrap(scan(s, o), pred)
+                }
+            } else if (pred.col == 0 && s == Some(pred.value))
+                || (pred.col == o_pos && o == Some(pred.value))
+            {
+                scan(s, o)
+            } else {
+                wrap(scan(s, o), pred)
+            }
+        }
+        // --- through a union ----------------------------------------------
+        Plan::UnionAll { inputs } => Plan::UnionAll {
+            inputs: inputs
+                .into_iter()
+                .map(|i| push_select(i, pred))
+                .collect(),
+        },
+        // --- through a join ------------------------------------------------
+        Plan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+        } => {
+            let la = left.arity();
+            if pred.col < la {
+                Plan::Join {
+                    left: Box::new(push_select(*left, pred)),
+                    right,
+                    left_col,
+                    right_col,
+                }
+            } else {
+                let mut p = pred;
+                p.col -= la;
+                Plan::Join {
+                    left,
+                    right: Box::new(push_select(*right, p)),
+                    left_col,
+                    right_col,
+                }
+            }
+        }
+        // --- through a projection ------------------------------------------
+        Plan::Project { input, cols } => {
+            let mut p = pred;
+            p.col = cols[pred.col];
+            Plan::Project {
+                input: Box::new(push_select(*input, p)),
+                cols,
+            }
+        }
+        // --- through another select (reorder so ours can keep sinking) -----
+        Plan::Select {
+            input,
+            pred: inner,
+        } => Plan::Select {
+            input: Box::new(push_select(*input, pred)),
+            pred: inner,
+        },
+        // Anything else: stop sinking.
+        other => wrap(other, pred),
+    }
+}
+
+fn wrap(input: Plan, pred: Predicate) -> Plan {
+    Plan::Select {
+        input: Box::new(input),
+        pred,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{join, project, scan_all, scan_p};
+    use crate::naive;
+    use swans_rdf::Triple;
+
+    fn select(input: Plan, col: usize, value: u64) -> Plan {
+        Plan::Select {
+            input: Box::new(input),
+            pred: Predicate {
+                col,
+                op: CmpOp::Eq,
+                value,
+            },
+        }
+    }
+
+    #[test]
+    fn select_fuses_into_scan_bound() {
+        let p = select(scan_all(), 1, 7);
+        assert_eq!(
+            optimize(p),
+            Plan::ScanTriples {
+                s: None,
+                p: Some(7),
+                o: None
+            }
+        );
+    }
+
+    #[test]
+    fn contradictory_select_is_kept() {
+        let p = select(scan_p(3), 1, 7);
+        // p bound to 3, filter wants 7: the filter must survive so the
+        // result stays empty.
+        assert!(matches!(optimize(p), Plan::Select { .. }));
+    }
+
+    #[test]
+    fn redundant_select_is_dropped() {
+        let p = select(scan_p(7), 1, 7);
+        assert_eq!(optimize(p), scan_p(7));
+    }
+
+    #[test]
+    fn select_pushes_through_union_into_property_scans() {
+        let union = Plan::UnionAll {
+            inputs: (0..3)
+                .map(|pid| Plan::ScanProperty {
+                    property: pid,
+                    s: None,
+                    o: None,
+                    emit_property: true,
+                })
+                .collect(),
+        };
+        let p = select(union, 0, 5); // bind the subject
+        let opt = optimize(p);
+        let Plan::UnionAll { inputs } = opt else {
+            panic!("union should survive");
+        };
+        for i in inputs {
+            assert!(
+                matches!(
+                    i,
+                    Plan::ScanProperty { s: Some(5), .. }
+                ),
+                "subject bound in every branch: {i:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn select_routes_to_the_owning_join_side() {
+        let p = select(join(scan_all(), scan_all(), 0, 0), 4, 9); // right p
+        let opt = optimize(p);
+        assert_eq!(
+            opt,
+            join(
+                scan_all(),
+                Plan::ScanTriples {
+                    s: None,
+                    p: Some(9),
+                    o: None
+                },
+                0,
+                0
+            )
+        );
+    }
+
+    #[test]
+    fn select_pushes_through_projection() {
+        let p = select(project(scan_all(), vec![2, 0]), 0, 4); // col 0 = o
+        let opt = optimize(p);
+        assert_eq!(
+            opt,
+            project(
+                Plan::ScanTriples {
+                    s: None,
+                    p: None,
+                    o: Some(4)
+                },
+                vec![2, 0]
+            )
+        );
+    }
+
+    #[test]
+    fn ne_predicates_are_not_fused() {
+        let p = Plan::Select {
+            input: Box::new(scan_all()),
+            pred: Predicate {
+                col: 0,
+                op: CmpOp::Ne,
+                value: 1,
+            },
+        };
+        assert!(matches!(optimize(p), Plan::Select { .. }));
+    }
+
+    #[test]
+    fn benchmark_plans_unchanged_by_optimizer_semantics() {
+        // All benchmark plans already push their bounds into scans, so the
+        // optimizer must leave their answers intact (and mostly their
+        // shapes too).
+        use crate::queries::{build_plan, QueryContext, QueryId, Scheme};
+        let ctx = QueryContext {
+            type_p: 0,
+            text_o: 100,
+            language_p: 1,
+            fre_o: 101,
+            origin_p: 2,
+            dlc_o: 102,
+            records_p: 3,
+            point_p: 4,
+            end_o: 103,
+            encoding_p: 5,
+            conferences_s: 200,
+            interesting: (0..6).collect(),
+            all_properties: (0..8).collect(),
+        };
+        let triples: Vec<Triple> = (0..400)
+            .map(|i| Triple::new(200 + i % 40, i % 8, 100 + i % 7))
+            .collect();
+        for q in QueryId::ALL {
+            for scheme in [Scheme::TripleStore, Scheme::VerticallyPartitioned] {
+                let plan = build_plan(q, scheme, &ctx);
+                let opt = optimize(plan.clone());
+                assert_eq!(opt.validate(), Ok(()));
+                let a = naive::normalize(naive::execute(&plan, &triples));
+                let b = naive::normalize(naive::execute(&opt, &triples));
+                assert_eq!(a, b, "{q}/{} changed answers", scheme.name());
+            }
+        }
+    }
+}

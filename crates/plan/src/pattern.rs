@@ -1,0 +1,208 @@
+//! The RDF query design space of the paper's §2.2 / Figure 2.
+
+use swans_rdf::Id;
+
+/// The eight simple triple query patterns: every combination of binding
+/// subject / property / object to a constant or a variable.
+///
+/// `P1 = (s, p, o)` is a point lookup; `P8 = (?s, ?p, ?o)` scans everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimplePattern {
+    /// `(s, p, o)` — all constants (the missing point-lookup pattern the
+    /// paper notes "should be present in every benchmark").
+    P1,
+    /// `(?s, p, o)`
+    P2,
+    /// `(s, ?p, o)`
+    P3,
+    /// `(s, p, ?o)`
+    P4,
+    /// `(?s, ?p, o)`
+    P5,
+    /// `(s, ?p, ?o)`
+    P6,
+    /// `(?s, p, ?o)`
+    P7,
+    /// `(?s, ?p, ?o)`
+    P8,
+}
+
+impl SimplePattern {
+    /// All patterns in Figure 2 order.
+    pub const ALL: [SimplePattern; 8] = [
+        SimplePattern::P1,
+        SimplePattern::P2,
+        SimplePattern::P3,
+        SimplePattern::P4,
+        SimplePattern::P5,
+        SimplePattern::P6,
+        SimplePattern::P7,
+        SimplePattern::P8,
+    ];
+
+    /// Classifies a triple access by which positions are bound.
+    pub fn classify(s: Option<Id>, p: Option<Id>, o: Option<Id>) -> Self {
+        match (s.is_some(), p.is_some(), o.is_some()) {
+            (true, true, true) => SimplePattern::P1,
+            (false, true, true) => SimplePattern::P2,
+            (true, false, true) => SimplePattern::P3,
+            (true, true, false) => SimplePattern::P4,
+            (false, false, true) => SimplePattern::P5,
+            (true, false, false) => SimplePattern::P6,
+            (false, true, false) => SimplePattern::P7,
+            (false, false, false) => SimplePattern::P8,
+        }
+    }
+
+    /// Pattern name, e.g. `"p2"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimplePattern::P1 => "p1",
+            SimplePattern::P2 => "p2",
+            SimplePattern::P3 => "p3",
+            SimplePattern::P4 => "p4",
+            SimplePattern::P5 => "p5",
+            SimplePattern::P6 => "p6",
+            SimplePattern::P7 => "p7",
+            SimplePattern::P8 => "p8",
+        }
+    }
+
+    /// The `(s, p, o)` template with `?` for variables, as in Figure 2.
+    pub fn template(self) -> &'static str {
+        match self {
+            SimplePattern::P1 => "(s, p, o)",
+            SimplePattern::P2 => "(?s, p, o)",
+            SimplePattern::P3 => "(s, ?p, o)",
+            SimplePattern::P4 => "(s, p, ?o)",
+            SimplePattern::P5 => "(?s, ?p, o)",
+            SimplePattern::P6 => "(s, ?p, ?o)",
+            SimplePattern::P7 => "(?s, p, ?o)",
+            SimplePattern::P8 => "(?s, ?p, ?o)",
+        }
+    }
+}
+
+impl std::fmt::Display for SimplePattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The role a column plays relative to its originating triple scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Role {
+    /// Subject position.
+    S,
+    /// Property position.
+    P,
+    /// Object position.
+    O,
+}
+
+/// How two triples are related by an equality join (§2.2).
+///
+/// Patterns `A`, `B`, `C` "form the RDF data graph"; the property-involving
+/// combinations "play a role in semantic reasoning, usually found on the
+/// RDF Schema level".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JoinPattern {
+    /// Pattern A: `s = s'` — join on the subjects of two triples.
+    A,
+    /// Pattern B: `o = o'` — join on the objects of two triples.
+    B,
+    /// Pattern C: `o = s'` (or `s = o'`) — semantic role change.
+    C,
+    /// `p = p'` — strongly-typed property equality.
+    PropertyProperty,
+    /// `s = p'` or `p = s'` — RDF/S reasoning.
+    PropertySubject,
+    /// `o = p'` or `p = o'` — RDF/S reasoning.
+    PropertyObject,
+}
+
+impl JoinPattern {
+    /// Classifies a join by the roles of its two join columns.
+    pub fn classify(left: Role, right: Role) -> Self {
+        use Role::*;
+        match (left, right) {
+            (S, S) => JoinPattern::A,
+            (O, O) => JoinPattern::B,
+            (S, O) | (O, S) => JoinPattern::C,
+            (P, P) => JoinPattern::PropertyProperty,
+            (P, S) | (S, P) => JoinPattern::PropertySubject,
+            (P, O) | (O, P) => JoinPattern::PropertyObject,
+        }
+    }
+
+    /// Name as used in Table 2, e.g. `"A"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinPattern::A => "A",
+            JoinPattern::B => "B",
+            JoinPattern::C => "C",
+            JoinPattern::PropertyProperty => "p=p'",
+            JoinPattern::PropertySubject => "s=p'",
+            JoinPattern::PropertyObject => "o=p'",
+        }
+    }
+}
+
+impl std::fmt::Display for JoinPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_covers_all_eight() {
+        use SimplePattern::*;
+        let b = Some(1u64);
+        assert_eq!(SimplePattern::classify(b, b, b), P1);
+        assert_eq!(SimplePattern::classify(None, b, b), P2);
+        assert_eq!(SimplePattern::classify(b, None, b), P3);
+        assert_eq!(SimplePattern::classify(b, b, None), P4);
+        assert_eq!(SimplePattern::classify(None, None, b), P5);
+        assert_eq!(SimplePattern::classify(b, None, None), P6);
+        assert_eq!(SimplePattern::classify(None, b, None), P7);
+        assert_eq!(SimplePattern::classify(None, None, None), P8);
+    }
+
+    #[test]
+    fn join_patterns_match_figure_2() {
+        use Role::*;
+        assert_eq!(JoinPattern::classify(S, S), JoinPattern::A);
+        assert_eq!(JoinPattern::classify(O, O), JoinPattern::B);
+        assert_eq!(JoinPattern::classify(O, S), JoinPattern::C);
+        assert_eq!(JoinPattern::classify(S, O), JoinPattern::C);
+        assert_eq!(JoinPattern::classify(P, P), JoinPattern::PropertyProperty);
+        assert_eq!(JoinPattern::classify(P, O), JoinPattern::PropertyObject);
+    }
+
+    #[test]
+    fn templates_have_question_marks_for_variables() {
+        assert_eq!(SimplePattern::P7.template(), "(?s, p, ?o)");
+        assert!(!SimplePattern::P1.template().contains('?'));
+    }
+
+    /// §2.2: 2^4 × 6/2 ... the paper counts 6 equality predicates between
+    /// two triple patterns and 4 remaining free terms — sanity-check the
+    /// enumeration sizes our types encode.
+    #[test]
+    fn design_space_sizes() {
+        assert_eq!(SimplePattern::ALL.len(), 8);
+        // 6 distinct role pairings (A, B, C and the three RDF/S ones).
+        use Role::*;
+        let mut kinds = std::collections::BTreeSet::new();
+        for l in [S, P, O] {
+            for r in [S, P, O] {
+                kinds.insert(JoinPattern::classify(l, r));
+            }
+        }
+        assert_eq!(kinds.len(), 6);
+    }
+}

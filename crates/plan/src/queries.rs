@@ -1,0 +1,615 @@
+//! The benchmark query generator.
+//!
+//! Builds the paper's queries q1–q7 (Abadi et al.'s benchmark), their
+//! unrestricted `*` variants (q2*, q3*, q4*, q6* — "our full-scale
+//! experiment where all 222 properties are included in the aggregation"),
+//! and the paper's extension q8 (join pattern B), as logical plans for
+//! either storage scheme.
+//!
+//! For the vertically-partitioned scheme, any triple access whose property
+//! is unbound expands into a `UnionAll` over one `ScanProperty` per
+//! property — the plan-level equivalent of the paper's generated SQL whose
+//! `*` variants "grow to a size that seriously challenges the optimizer of
+//! DBX" with "more than two hundred unions and joins".
+
+use swans_rdf::{Dataset, Id};
+
+use crate::algebra::{group_count, join, project, scan_all, scan_p, scan_po};
+use crate::algebra::{CmpOp, Plan, Predicate};
+
+/// Well-known term spellings shared by the data generator and the query
+/// layer. These mirror the constants in the paper's appendix SQL.
+pub mod vocab {
+    /// The `<type>` property (rdf:type).
+    pub const TYPE: &str = "<type>";
+    /// The `<Text>` class.
+    pub const TEXT: &str = "<Text>";
+    /// The `<Date>` class (most frequent object in the data set).
+    pub const DATE: &str = "<Date>";
+    /// The `<language>` property.
+    pub const LANGUAGE: &str = "<language>";
+    /// The French language object.
+    pub const FRENCH: &str = "<language/iso639-2b/fre>";
+    /// The `<origin>` property.
+    pub const ORIGIN: &str = "<origin>";
+    /// The Library of Congress origin object.
+    pub const DLC: &str = "<info:marcorg/DLC>";
+    /// The `<records>` property (links records to the entities they
+    /// describe; object position holds *subjects*).
+    pub const RECORDS: &str = "<records>";
+    /// The `<Point>` property.
+    pub const POINT: &str = "<Point>";
+    /// The `"end"` literal object of `<Point>`.
+    pub const END: &str = "\"end\"";
+    /// The `<Encoding>` property.
+    pub const ENCODING: &str = "<Encoding>";
+    /// The `<conferences>` subject used by q8.
+    pub const CONFERENCES: &str = "<conferences>";
+}
+
+/// The twelve benchmark queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum QueryId {
+    Q1,
+    Q2,
+    Q2Star,
+    Q3,
+    Q3Star,
+    Q4,
+    Q4Star,
+    Q5,
+    Q6,
+    Q6Star,
+    Q7,
+    Q8,
+}
+
+impl QueryId {
+    /// All queries in result-table order (q1, q2, q2*, ..., q8).
+    pub const ALL: [QueryId; 12] = [
+        QueryId::Q1,
+        QueryId::Q2,
+        QueryId::Q2Star,
+        QueryId::Q3,
+        QueryId::Q3Star,
+        QueryId::Q4,
+        QueryId::Q4Star,
+        QueryId::Q5,
+        QueryId::Q6,
+        QueryId::Q6Star,
+        QueryId::Q7,
+        QueryId::Q8,
+    ];
+
+    /// The original seven queries of Abadi et al. (the geometric-mean-G
+    /// subset also run on C-Store).
+    pub const BASE7: [QueryId; 7] = [
+        QueryId::Q1,
+        QueryId::Q2,
+        QueryId::Q3,
+        QueryId::Q4,
+        QueryId::Q5,
+        QueryId::Q6,
+        QueryId::Q7,
+    ];
+
+    /// True for the unrestricted `*` variants.
+    pub fn is_star(self) -> bool {
+        matches!(
+            self,
+            QueryId::Q2Star | QueryId::Q3Star | QueryId::Q4Star | QueryId::Q6Star
+        )
+    }
+
+    /// Display name, e.g. `"q2*"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryId::Q1 => "q1",
+            QueryId::Q2 => "q2",
+            QueryId::Q2Star => "q2*",
+            QueryId::Q3 => "q3",
+            QueryId::Q3Star => "q3*",
+            QueryId::Q4 => "q4",
+            QueryId::Q4Star => "q4*",
+            QueryId::Q5 => "q5",
+            QueryId::Q6 => "q6",
+            QueryId::Q6Star => "q6*",
+            QueryId::Q7 => "q7",
+            QueryId::Q8 => "q8",
+        }
+    }
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The storage scheme a plan is generated for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// One 3-column `triples` table.
+    TripleStore,
+    /// One 2-column `(subject, object)` table per property.
+    VerticallyPartitioned,
+}
+
+impl Scheme {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::TripleStore => "triple-store",
+            Scheme::VerticallyPartitioned => "vertically-partitioned",
+        }
+    }
+}
+
+/// Dictionary-encoded constants and property lists needed to build the
+/// benchmark plans.
+#[derive(Debug, Clone)]
+pub struct QueryContext {
+    /// `<type>` property id.
+    pub type_p: Id,
+    /// `<Text>` class id.
+    pub text_o: Id,
+    /// `<language>` property id.
+    pub language_p: Id,
+    /// French-language object id.
+    pub fre_o: Id,
+    /// `<origin>` property id.
+    pub origin_p: Id,
+    /// `<info:marcorg/DLC>` object id.
+    pub dlc_o: Id,
+    /// `<records>` property id.
+    pub records_p: Id,
+    /// `<Point>` property id.
+    pub point_p: Id,
+    /// `"end"` object id.
+    pub end_o: Id,
+    /// `<Encoding>` property id.
+    pub encoding_p: Id,
+    /// `<conferences>` subject id.
+    pub conferences_s: Id,
+    /// The "interesting" properties the Longwell administrator selected
+    /// (28 in the paper) — the aggregation restriction of q2, q3, q4, q6.
+    pub interesting: Vec<Id>,
+    /// All properties in the data set, most frequent first — the expansion
+    /// list for vertically-partitioned plans with unbound property.
+    pub all_properties: Vec<Id>,
+}
+
+impl QueryContext {
+    /// Builds a context from a data set: resolves the vocabulary constants
+    /// and takes the `n_interesting` most frequent properties (the paper
+    /// uses 28), force-including the six properties the queries bind.
+    ///
+    /// # Panics
+    /// Panics if a vocabulary constant is missing from the data set.
+    pub fn from_dataset(ds: &Dataset, n_interesting: usize) -> Self {
+        let by_freq = ds.properties_by_frequency();
+        let all_properties: Vec<Id> = by_freq.iter().map(|&(p, _)| p).collect();
+        let mut ctx = Self {
+            type_p: ds.expect_id(vocab::TYPE),
+            text_o: ds.expect_id(vocab::TEXT),
+            language_p: ds.expect_id(vocab::LANGUAGE),
+            fre_o: ds.expect_id(vocab::FRENCH),
+            origin_p: ds.expect_id(vocab::ORIGIN),
+            dlc_o: ds.expect_id(vocab::DLC),
+            records_p: ds.expect_id(vocab::RECORDS),
+            point_p: ds.expect_id(vocab::POINT),
+            end_o: ds.expect_id(vocab::END),
+            encoding_p: ds.expect_id(vocab::ENCODING),
+            conferences_s: ds.expect_id(vocab::CONFERENCES),
+            interesting: Vec::new(),
+            all_properties,
+        };
+        ctx.set_interesting(n_interesting);
+        ctx
+    }
+
+    /// Re-selects the interesting-property list as the `n` most frequent
+    /// properties (force-including the bound query properties). Used by the
+    /// Figure 6 sweep.
+    pub fn set_interesting(&mut self, n: usize) {
+        let n = n.min(self.all_properties.len());
+        let required = [
+            self.type_p,
+            self.records_p,
+            self.origin_p,
+            self.language_p,
+            self.point_p,
+            self.encoding_p,
+        ];
+        let mut interesting: Vec<Id> = self.all_properties[..n].to_vec();
+        for req in required {
+            if !interesting.contains(&req) {
+                // Evict the least frequent non-required property to make room.
+                if let Some(pos) = interesting.iter().rposition(|p| !required.contains(p)) {
+                    interesting.remove(pos);
+                }
+                interesting.push(req);
+            }
+        }
+        self.interesting = interesting;
+    }
+}
+
+/// One `ScanProperty` node.
+fn vp_scan(property: Id, s: Option<Id>, o: Option<Id>, emit_property: bool) -> Plan {
+    Plan::ScanProperty {
+        property,
+        s,
+        o,
+        emit_property,
+    }
+}
+
+/// Expands a property-unbound triple access into a union over property
+/// tables (the VP "Perl script" step).
+fn vp_scan_union(props: &[Id], s: Option<Id>, o: Option<Id>, emit_property: bool) -> Plan {
+    Plan::UnionAll {
+        inputs: props
+            .iter()
+            .map(|&p| vp_scan(p, s, o, emit_property))
+            .collect(),
+    }
+}
+
+/// Restricts column `col` to the interesting-property list — the paper's
+/// join against the `properties` table.
+fn filter_props(input: Plan, col: usize, ctx: &QueryContext) -> Plan {
+    Plan::FilterIn {
+        input: Box::new(input),
+        col,
+        values: ctx.interesting.clone(),
+    }
+}
+
+fn select_ne(input: Plan, col: usize, value: Id) -> Plan {
+    Plan::Select {
+        input: Box::new(input),
+        pred: Predicate {
+            col,
+            op: CmpOp::Ne,
+            value,
+        },
+    }
+}
+
+fn distinct(input: Plan) -> Plan {
+    Plan::Distinct {
+        input: Box::new(input),
+    }
+}
+
+fn having_gt(input: Plan, min: u64) -> Plan {
+    Plan::HavingCountGt {
+        input: Box::new(input),
+        min,
+    }
+}
+
+/// Builds the logical plan for `query` under `scheme`.
+pub fn build_plan(query: QueryId, scheme: Scheme, ctx: &QueryContext) -> Plan {
+    let plan = match scheme {
+        Scheme::TripleStore => build_triple_store(query, ctx),
+        Scheme::VerticallyPartitioned => build_vertical(query, ctx),
+    };
+    debug_assert_eq!(plan.validate(), Ok(()));
+    plan
+}
+
+/// Plans against the single `triples(s, p, o)` table, following the
+/// appendix SQL.
+fn build_triple_store(query: QueryId, ctx: &QueryContext) -> Plan {
+    match query {
+        // SELECT A.obj, count(*) FROM triples A WHERE A.prop = <type>
+        // GROUP BY A.obj
+        QueryId::Q1 => group_count(project(scan_p(ctx.type_p), vec![2]), vec![0]),
+
+        // q2/q2*: A(type=Text) ⋈s B [⋈ properties P], GROUP BY B.prop
+        QueryId::Q2 | QueryId::Q2Star => {
+            let a = scan_po(ctx.type_p, ctx.text_o);
+            let mut b = scan_all();
+            if query == QueryId::Q2 {
+                b = filter_props(b, 1, ctx);
+            }
+            // join out: (A.s, A.p, A.o, B.s, B.p, B.o)
+            group_count(project(join(a, b, 0, 0), vec![4]), vec![0])
+        }
+
+        // q3/q3*: as q2 but GROUP BY B.prop, B.obj HAVING count(*) > 1
+        QueryId::Q3 | QueryId::Q3Star => {
+            let a = scan_po(ctx.type_p, ctx.text_o);
+            let mut b = scan_all();
+            if query == QueryId::Q3 {
+                b = filter_props(b, 1, ctx);
+            }
+            having_gt(
+                group_count(project(join(a, b, 0, 0), vec![4, 5]), vec![0, 1]),
+                1,
+            )
+        }
+
+        // q4/q4*: q3 plus C(language=fre) joined on subject
+        QueryId::Q4 | QueryId::Q4Star => {
+            let a = scan_po(ctx.type_p, ctx.text_o);
+            let mut b = scan_all();
+            if query == QueryId::Q4 {
+                b = filter_props(b, 1, ctx);
+            }
+            let c = scan_po(ctx.language_p, ctx.fre_o);
+            // (A.s,A.p,A.o,B.s,B.p,B.o) ⋈ C on A.s=C.s -> 9 cols
+            let j = join(join(a, b, 0, 0), c, 0, 0);
+            having_gt(group_count(project(j, vec![4, 5]), vec![0, 1]), 1)
+        }
+
+        // q5: A(origin=DLC) ⋈s B(records) ; B.obj = C.subj, C(type != Text)
+        QueryId::Q5 => {
+            let a = scan_po(ctx.origin_p, ctx.dlc_o);
+            let b = scan_p(ctx.records_p);
+            let c = select_ne(scan_p(ctx.type_p), 2, ctx.text_o);
+            // (A..,B..) = 6 cols; B.obj = col 5; join C on C.s (col 0)
+            let j = join(join(a, b, 0, 0), c, 5, 0);
+            project(j, vec![3, 8]) // B.subj, C.obj
+        }
+
+        // q6/q6*: uniontable = {type=Text subjects} ∪ {records-chain
+        // subjects}; A ⋈s uniontable, GROUP BY A.prop
+        QueryId::Q6 | QueryId::Q6Star => {
+            let b = scan_po(ctx.type_p, ctx.text_o);
+            let c = scan_p(ctx.records_p);
+            let d = scan_po(ctx.type_p, ctx.text_o);
+            let chain = project(join(c, d, 2, 0), vec![0]); // C.subj
+            let union = distinct(Plan::UnionAll {
+                inputs: vec![project(b, vec![0]), chain],
+            });
+            let mut a = scan_all();
+            if query == QueryId::Q6 {
+                a = filter_props(a, 1, ctx);
+            }
+            // (A.s,A.p,A.o,U.s) -> group by A.prop
+            group_count(project(join(a, union, 0, 0), vec![1]), vec![0])
+        }
+
+        // q7: A(Point="end") ⋈s B(Encoding) ⋈s C(type)
+        QueryId::Q7 => {
+            let a = scan_po(ctx.point_p, ctx.end_o);
+            let b = scan_p(ctx.encoding_p);
+            let c = scan_p(ctx.type_p);
+            let j = join(join(a, b, 0, 0), c, 0, 0);
+            project(j, vec![0, 5, 8]) // A.subj, B.obj, C.obj
+        }
+
+        // q8: subjects sharing an object with <conferences>
+        QueryId::Q8 => {
+            let a = Plan::ScanTriples {
+                s: Some(ctx.conferences_s),
+                p: None,
+                o: None,
+            };
+            let b = select_ne(scan_all(), 0, ctx.conferences_s);
+            // (A.s,A.p,A.o,B.s,B.p,B.o), join A.o = B.o
+            project(join(a, b, 2, 2), vec![3]) // B.subj
+        }
+    }
+}
+
+/// Plans against the per-property tables. Property-unbound accesses expand
+/// into unions; the `*` variants union over *all* properties.
+fn build_vertical(query: QueryId, ctx: &QueryContext) -> Plan {
+    let interesting = &ctx.interesting;
+    let all = &ctx.all_properties;
+    match query {
+        QueryId::Q1 => group_count(
+            project(vp_scan(ctx.type_p, None, None, false), vec![1]),
+            vec![0],
+        ),
+
+        QueryId::Q2 | QueryId::Q2Star => {
+            let props = if query == QueryId::Q2 { interesting } else { all };
+            let a = vp_scan(ctx.type_p, None, Some(ctx.text_o), false); // (s,o)
+            let b = vp_scan_union(props, None, None, true); // (s,p,o)
+            // (A.s, A.o, B.s, B.p, B.o)
+            group_count(project(join(a, b, 0, 0), vec![3]), vec![0])
+        }
+
+        QueryId::Q3 | QueryId::Q3Star => {
+            let props = if query == QueryId::Q3 { interesting } else { all };
+            let a = vp_scan(ctx.type_p, None, Some(ctx.text_o), false);
+            let b = vp_scan_union(props, None, None, true);
+            having_gt(
+                group_count(project(join(a, b, 0, 0), vec![3, 4]), vec![0, 1]),
+                1,
+            )
+        }
+
+        QueryId::Q4 | QueryId::Q4Star => {
+            let props = if query == QueryId::Q4 { interesting } else { all };
+            let a = vp_scan(ctx.type_p, None, Some(ctx.text_o), false);
+            let b = vp_scan_union(props, None, None, true);
+            let c = vp_scan(ctx.language_p, None, Some(ctx.fre_o), false);
+            // (A.s,A.o,B.s,B.p,B.o) ⋈ C on A.s=C.s -> 7 cols
+            let j = join(join(a, b, 0, 0), c, 0, 0);
+            having_gt(group_count(project(j, vec![3, 4]), vec![0, 1]), 1)
+        }
+
+        QueryId::Q5 => {
+            let a = vp_scan(ctx.origin_p, None, Some(ctx.dlc_o), false);
+            let b = vp_scan(ctx.records_p, None, None, false);
+            let c = select_ne(vp_scan(ctx.type_p, None, None, false), 1, ctx.text_o);
+            // (A.s,A.o,B.s,B.o) ; B.o = col 3 ; C.s = col 0
+            let j = join(join(a, b, 0, 0), c, 3, 0);
+            project(j, vec![2, 5]) // B.subj, C.obj
+        }
+
+        QueryId::Q6 | QueryId::Q6Star => {
+            let props = if query == QueryId::Q6 { interesting } else { all };
+            let b = vp_scan(ctx.type_p, None, Some(ctx.text_o), false);
+            let c = vp_scan(ctx.records_p, None, None, false);
+            let d = vp_scan(ctx.type_p, None, Some(ctx.text_o), false);
+            let chain = project(join(c, d, 1, 0), vec![0]);
+            let union = distinct(Plan::UnionAll {
+                inputs: vec![project(b, vec![0]), chain],
+            });
+            let a = vp_scan_union(props, None, None, true); // (s,p,o)
+            group_count(project(join(a, union, 0, 0), vec![1]), vec![0])
+        }
+
+        QueryId::Q7 => {
+            let a = vp_scan(ctx.point_p, None, Some(ctx.end_o), false);
+            let b = vp_scan(ctx.encoding_p, None, None, false);
+            let c = vp_scan(ctx.type_p, None, None, false);
+            let j = join(join(a, b, 0, 0), c, 0, 0);
+            project(j, vec![0, 3, 5]) // A.s, B.o, C.o
+        }
+
+        // q8 VP (§4.2): first collect the objects of <conferences> from
+        // every property table into a temporary t, then join t back against
+        // every property table with subj != <conferences>.
+        QueryId::Q8 => {
+            let t = distinct(project(
+                vp_scan_union(all, Some(ctx.conferences_s), None, false),
+                vec![1],
+            ));
+            let b = select_ne(
+                vp_scan_union(all, None, None, false),
+                0,
+                ctx.conferences_s,
+            );
+            // (t.o, B.s, B.o), join t.o = B.o
+            project(join(t, b, 0, 1), vec![1]) // B.subj
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> QueryContext {
+        QueryContext {
+            type_p: 0,
+            text_o: 100,
+            language_p: 1,
+            fre_o: 101,
+            origin_p: 2,
+            dlc_o: 102,
+            records_p: 3,
+            point_p: 4,
+            end_o: 103,
+            encoding_p: 5,
+            conferences_s: 200,
+            interesting: (0..28).collect(),
+            all_properties: (0..222).collect(),
+        }
+    }
+
+    #[test]
+    fn all_plans_validate_both_schemes() {
+        let ctx = ctx();
+        for q in QueryId::ALL {
+            for scheme in [Scheme::TripleStore, Scheme::VerticallyPartitioned] {
+                let p = build_plan(q, scheme, &ctx);
+                assert_eq!(p.validate(), Ok(()), "{q} {}", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn result_arities_match_the_sql() {
+        let ctx = ctx();
+        let arities = [
+            (QueryId::Q1, 2),     // obj, count
+            (QueryId::Q2, 2),     // prop, count
+            (QueryId::Q2Star, 2),
+            (QueryId::Q3, 3),     // prop, obj, count
+            (QueryId::Q3Star, 3),
+            (QueryId::Q4, 3),
+            (QueryId::Q4Star, 3),
+            (QueryId::Q5, 2),     // B.subj, C.obj
+            (QueryId::Q6, 2),     // prop, count
+            (QueryId::Q6Star, 2),
+            (QueryId::Q7, 3),     // subj, B.obj, C.obj
+            (QueryId::Q8, 1),     // B.subj
+        ];
+        for (q, want) in arities {
+            for scheme in [Scheme::TripleStore, Scheme::VerticallyPartitioned] {
+                assert_eq!(
+                    build_plan(q, scheme, &ctx).arity(),
+                    want,
+                    "{q} {}",
+                    scheme.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_vp_plans_explode_in_size() {
+        let ctx = ctx();
+        let q2 = build_plan(QueryId::Q2, Scheme::VerticallyPartitioned, &ctx);
+        let q2s = build_plan(QueryId::Q2Star, Scheme::VerticallyPartitioned, &ctx);
+        // "more than two hundred unions and joins"
+        assert!(q2s.node_count() > 222, "q2* has {} nodes", q2s.node_count());
+        assert!(q2s.node_count() > 3 * q2.node_count());
+        // Triple-store plans stay small regardless.
+        let t2s = build_plan(QueryId::Q2Star, Scheme::TripleStore, &ctx);
+        assert!(t2s.node_count() < 10);
+    }
+
+    #[test]
+    fn non_star_triple_plans_carry_property_filter() {
+        let ctx = ctx();
+        fn has_filter(p: &Plan) -> bool {
+            match p {
+                Plan::FilterIn { .. } => true,
+                Plan::Select { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::GroupCount { input, .. }
+                | Plan::HavingCountGt { input, .. }
+                | Plan::Distinct { input } => has_filter(input),
+                Plan::Join { left, right, .. } => has_filter(left) || has_filter(right),
+                Plan::UnionAll { inputs } => inputs.iter().any(has_filter),
+                _ => false,
+            }
+        }
+        for (q, star) in [
+            (QueryId::Q2, QueryId::Q2Star),
+            (QueryId::Q3, QueryId::Q3Star),
+            (QueryId::Q4, QueryId::Q4Star),
+            (QueryId::Q6, QueryId::Q6Star),
+        ] {
+            assert!(has_filter(&build_plan(q, Scheme::TripleStore, &ctx)));
+            assert!(!has_filter(&build_plan(star, Scheme::TripleStore, &ctx)));
+        }
+    }
+
+    #[test]
+    fn base7_is_the_c_store_subset() {
+        assert_eq!(QueryId::BASE7.len(), 7);
+        assert!(QueryId::BASE7.iter().all(|q| !q.is_star() && *q != QueryId::Q8));
+    }
+
+    #[test]
+    fn set_interesting_forces_query_properties() {
+        let mut c = ctx();
+        // Make the frequency ranking exclude the bound properties.
+        c.all_properties = (50..272).collect();
+        c.set_interesting(10);
+        for p in [c.type_p, c.records_p, c.origin_p, c.language_p, c.point_p, c.encoding_p] {
+            assert!(c.interesting.contains(&p));
+        }
+        assert_eq!(c.interesting.len(), 10);
+    }
+
+    #[test]
+    fn query_names_follow_paper() {
+        assert_eq!(QueryId::Q2Star.name(), "q2*");
+        assert_eq!(QueryId::Q8.name(), "q8");
+        assert!(QueryId::Q2Star.is_star());
+        assert!(!QueryId::Q8.is_star());
+    }
+}

@@ -1,0 +1,549 @@
+//! A miniature SPARQL front-end.
+//!
+//! The paper frames its query-space analysis in terms of SPARQL-style
+//! triple patterns (§2.2, citing the W3C recommendation \[7\]); C-Store's
+//! inability to accept *any* new query is one of its criticisms. This
+//! module closes that loop: a small but real subset of SPARQL —
+//! `SELECT [DISTINCT] ?vars WHERE { basic graph pattern }` — parses and
+//! compiles to the same logical [`Plan`]s the benchmark queries use, so a
+//! hand-written query runs on every engine/layout combination.
+//!
+//! Supported:
+//!
+//! * terms: `?variable`, `<uri>`, `"literal"`;
+//! * a basic graph pattern of `.`-separated triple patterns;
+//! * `SELECT *`, explicit projections, and `DISTINCT`.
+//!
+//! Each additional pattern must share at least one variable with the
+//! patterns before it (a connected BGP); patterns sharing several
+//! variables apply the extra equalities as residual filters via
+//! [`Plan::Select`]-on-join-output... which the algebra expresses as a
+//! post-join [`crate::algebra::Predicate`]-style equality — see
+//! [`SparqlError::Unsupported`] for the constructs we reject outright.
+
+use swans_rdf::{Dataset, Id};
+
+use crate::algebra::Plan;
+
+/// A parsed SPARQL term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// `?name`
+    Var(String),
+    /// `<uri>` or `"literal"` — kept verbatim, dictionary-encoded at
+    /// compile time.
+    Const(String),
+}
+
+/// One triple pattern of the basic graph pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub s: Term,
+    /// Property position.
+    pub p: Term,
+    /// Object position.
+    pub o: Term,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparqlQuery {
+    /// Projected variables (empty means `SELECT *`).
+    pub select: Vec<String>,
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// The basic graph pattern.
+    pub patterns: Vec<TriplePattern>,
+}
+
+/// Errors from parsing or compiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// Lexical / grammatical problem, with a human-readable message.
+    Parse(String),
+    /// The query is valid SPARQL but outside the supported subset.
+    Unsupported(String),
+    /// A constant term does not occur in the data set.
+    UnknownTerm(String),
+    /// A projected variable is not bound by the graph pattern.
+    UnboundVariable(String),
+}
+
+impl std::fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SparqlError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            SparqlError::UnknownTerm(t) => write!(f, "term not in data set: {t}"),
+            SparqlError::UnboundVariable(v) => write!(f, "unbound variable: ?{v}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+// ---------------------------------------------------------------------
+// Tokenizer + parser
+// ---------------------------------------------------------------------
+
+fn tokenize(input: &str) -> Result<Vec<String>, SparqlError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '{' | '}' | '.' => {
+                tokens.push(c.to_string());
+                chars.next();
+            }
+            '<' => {
+                let mut t = String::new();
+                for c in chars.by_ref() {
+                    t.push(c);
+                    if c == '>' {
+                        break;
+                    }
+                }
+                if !t.ends_with('>') {
+                    return Err(SparqlError::Parse(format!("unterminated uri: {t}")));
+                }
+                if t[1..t.len() - 1].contains(['<', '>', ' ', '\t', '\n']) {
+                    return Err(SparqlError::Parse(format!("malformed uri: {t}")));
+                }
+                tokens.push(t);
+            }
+            '"' => {
+                let mut t = String::new();
+                t.push(chars.next().expect("peeked"));
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    t.push(c);
+                    if c == '"' {
+                        closed = true;
+                        break;
+                    }
+                }
+                if !closed {
+                    return Err(SparqlError::Parse(format!("unterminated literal: {t}")));
+                }
+                tokens.push(t);
+            }
+            _ => {
+                let mut t = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || matches!(c, '{' | '}' | '.') {
+                        break;
+                    }
+                    t.push(c);
+                    chars.next();
+                }
+                tokens.push(t);
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn parse_term(tok: &str) -> Result<Term, SparqlError> {
+    if let Some(name) = tok.strip_prefix('?') {
+        if name.is_empty() {
+            return Err(SparqlError::Parse("empty variable name".into()));
+        }
+        Ok(Term::Var(name.to_string()))
+    } else if tok.starts_with('<') || tok.starts_with('"') {
+        Ok(Term::Const(tok.to_string()))
+    } else {
+        Err(SparqlError::Parse(format!(
+            "expected ?var, <uri> or \"literal\", found {tok:?}"
+        )))
+    }
+}
+
+/// Parses the supported SPARQL subset.
+pub fn parse(input: &str) -> Result<SparqlQuery, SparqlError> {
+    let tokens = tokenize(input)?;
+    let mut pos = 0usize;
+    let peek = |pos: usize| tokens.get(pos).map(String::as_str);
+
+    if !peek(pos).is_some_and(|t| t.eq_ignore_ascii_case("select")) {
+        return Err(SparqlError::Parse("query must start with SELECT".into()));
+    }
+    pos += 1;
+
+    let distinct = peek(pos).is_some_and(|t| t.eq_ignore_ascii_case("distinct"));
+    if distinct {
+        pos += 1;
+    }
+
+    let mut select = Vec::new();
+    let mut star = false;
+    while let Some(t) = peek(pos) {
+        if t.eq_ignore_ascii_case("where") {
+            break;
+        }
+        if t == "*" {
+            star = true;
+            pos += 1;
+            continue;
+        }
+        match parse_term(t)? {
+            Term::Var(v) => select.push(v),
+            Term::Const(c) => {
+                return Err(SparqlError::Parse(format!(
+                    "cannot project constant {c}"
+                )))
+            }
+        }
+        pos += 1;
+    }
+    if !star && select.is_empty() {
+        return Err(SparqlError::Parse(
+            "SELECT needs variables or *".into(),
+        ));
+    }
+    if star && !select.is_empty() {
+        return Err(SparqlError::Parse(
+            "SELECT cannot mix * with variables".into(),
+        ));
+    }
+
+    if !peek(pos).is_some_and(|t| t.eq_ignore_ascii_case("where")) {
+        return Err(SparqlError::Parse("expected WHERE".into()));
+    }
+    pos += 1;
+    if peek(pos) != Some("{") {
+        return Err(SparqlError::Parse("expected '{' after WHERE".into()));
+    }
+    pos += 1;
+
+    let mut patterns = Vec::new();
+    loop {
+        match peek(pos) {
+            Some("}") => {
+                pos += 1;
+                break;
+            }
+            Some(_) => {
+                let s = parse_term(peek(pos).expect("checked"))?;
+                let p = peek(pos + 1)
+                    .ok_or_else(|| SparqlError::Parse("pattern cut short".into()))
+                    .and_then(parse_term)?;
+                let o = peek(pos + 2)
+                    .ok_or_else(|| SparqlError::Parse("pattern cut short".into()))
+                    .and_then(parse_term)?;
+                pos += 3;
+                patterns.push(TriplePattern { s, p, o });
+                if peek(pos) == Some(".") {
+                    pos += 1;
+                }
+            }
+            None => return Err(SparqlError::Parse("missing '}'".into())),
+        }
+    }
+    if pos != tokens.len() {
+        return Err(SparqlError::Parse(format!(
+            "trailing tokens after '}}': {:?}",
+            &tokens[pos..]
+        )));
+    }
+    if patterns.is_empty() {
+        return Err(SparqlError::Parse("empty graph pattern".into()));
+    }
+    Ok(SparqlQuery {
+        select,
+        distinct,
+        patterns,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------
+
+/// Variable → output-column bindings of a partially built plan.
+#[derive(Debug, Default, Clone)]
+struct Bindings(Vec<(String, usize)>);
+
+impl Bindings {
+    fn col(&self, var: &str) -> Option<usize> {
+        self.0.iter().find(|(v, _)| v == var).map(|&(_, c)| c)
+    }
+    fn bind(&mut self, var: &str, col: usize) {
+        if self.col(var).is_none() {
+            self.0.push((var.to_string(), col));
+        }
+    }
+}
+
+fn resolve(ds: &Dataset, term: &Term) -> Result<Option<Id>, SparqlError> {
+    match term {
+        Term::Var(_) => Ok(None),
+        Term::Const(c) => ds
+            .dict
+            .id_of(c)
+            .map(Some)
+            .ok_or_else(|| SparqlError::UnknownTerm(c.clone())),
+    }
+}
+
+/// Compiles a parsed query to a triple-store logical plan over `ds`.
+///
+/// The BGP must be *connected*: each pattern after the first shares at
+/// least one variable with the preceding ones; one shared variable becomes
+/// the join condition, additional shared variables are currently rejected
+/// (see [`SparqlError::Unsupported`]).
+pub fn compile(query: &SparqlQuery, ds: &Dataset) -> Result<Plan, SparqlError> {
+    let mut plan: Option<Plan> = None;
+    let mut bindings = Bindings::default();
+
+    for pat in &query.patterns {
+        let s = resolve(ds, &pat.s)?;
+        let p = resolve(ds, &pat.p)?;
+        let o = resolve(ds, &pat.o)?;
+        let scan = Plan::ScanTriples { s, p, o };
+
+        // Variables of this pattern at their scan-local columns.
+        let local: Vec<(&str, usize)> = [(&pat.s, 0usize), (&pat.p, 1), (&pat.o, 2)]
+            .into_iter()
+            .filter_map(|(t, c)| match t {
+                Term::Var(v) => Some((v.as_str(), c)),
+                Term::Const(_) => None,
+            })
+            .collect();
+        // Repeated variable within one pattern (e.g. ?x <p> ?x) is rare
+        // and unsupported.
+        for i in 0..local.len() {
+            for j in i + 1..local.len() {
+                if local[i].0 == local[j].0 {
+                    return Err(SparqlError::Unsupported(format!(
+                        "variable ?{} repeats within one pattern",
+                        local[i].0
+                    )));
+                }
+            }
+        }
+
+        match plan.take() {
+            None => {
+                for (v, c) in &local {
+                    bindings.bind(v, *c);
+                }
+                plan = Some(scan);
+            }
+            Some(acc) => {
+                let shared: Vec<(&str, usize, usize)> = local
+                    .iter()
+                    .filter_map(|&(v, c)| bindings.col(v).map(|bc| (v, bc, c)))
+                    .collect();
+                match shared.len() {
+                    0 => {
+                        return Err(SparqlError::Unsupported(
+                            "disconnected graph pattern (cartesian product)".into(),
+                        ))
+                    }
+                    1 => {}
+                    _ => {
+                        return Err(SparqlError::Unsupported(
+                            "patterns sharing more than one variable".into(),
+                        ))
+                    }
+                }
+                let (_, left_col, right_col) = shared[0];
+                let offset = acc.arity();
+                let joined = Plan::Join {
+                    left: Box::new(acc),
+                    right: Box::new(scan),
+                    left_col,
+                    right_col,
+                };
+                for (v, c) in &local {
+                    bindings.bind(v, offset + *c);
+                }
+                plan = Some(joined);
+            }
+        }
+    }
+    let plan = plan.expect("patterns checked non-empty");
+
+    // Projection.
+    let cols: Vec<usize> = if query.select.is_empty() {
+        // SELECT *: every bound variable, in first-mention order.
+        bindings.0.iter().map(|&(_, c)| c).collect()
+    } else {
+        query
+            .select
+            .iter()
+            .map(|v| {
+                bindings
+                    .col(v)
+                    .ok_or_else(|| SparqlError::UnboundVariable(v.clone()))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let mut out = Plan::Project {
+        input: Box::new(plan),
+        cols,
+    };
+    if query.distinct {
+        out = Plan::Distinct {
+            input: Box::new(out),
+        };
+    }
+    debug_assert_eq!(out.validate(), Ok(()));
+    Ok(out)
+}
+
+/// Parse + compile in one step.
+pub fn plan_for(input: &str, ds: &Dataset) -> Result<Plan, SparqlError> {
+    compile(&parse(input)?, ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        ds.add("<s1>", "<type>", "<Text>");
+        ds.add("<s2>", "<type>", "<Text>");
+        ds.add("<s3>", "<type>", "<Date>");
+        ds.add("<s1>", "<lang>", "\"fre\"");
+        ds.add("<s2>", "<lang>", "\"eng\"");
+        ds.add("<s3>", "<lang>", "\"fre\"");
+        ds
+    }
+
+    #[test]
+    fn parses_select_where() {
+        let q = parse("SELECT ?s WHERE { ?s <type> <Text> }").unwrap();
+        assert_eq!(q.select, vec!["s"]);
+        assert!(!q.distinct);
+        assert_eq!(q.patterns.len(), 1);
+        assert_eq!(q.patterns[0].p, Term::Const("<type>".into()));
+    }
+
+    #[test]
+    fn parses_distinct_star_and_multiple_patterns() {
+        let q = parse(
+            "select distinct * where { ?s <type> <Text> . ?s <lang> ?l . }",
+        )
+        .unwrap();
+        assert!(q.distinct);
+        assert!(q.select.is_empty());
+        assert_eq!(q.patterns.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        assert!(matches!(
+            parse("FROB ?x WHERE { }"),
+            Err(SparqlError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("SELECT ?x WHERE { ?x <p> }"),
+            Err(SparqlError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("SELECT <c> WHERE { ?x <p> ?y }"),
+            Err(SparqlError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("SELECT ?x WHERE { ?x <p <q> ?y }"),
+            Err(SparqlError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn single_pattern_query_runs() {
+        let ds = dataset();
+        let plan = plan_for("SELECT ?s WHERE { ?s <type> <Text> }", &ds).unwrap();
+        let rows = naive::normalize(naive::execute(&plan, &ds.triples));
+        let s1 = ds.expect_id("<s1>");
+        let s2 = ds.expect_id("<s2>");
+        assert_eq!(rows, vec![vec![s1.min(s2)], vec![s1.max(s2)]]);
+    }
+
+    #[test]
+    fn join_query_runs() {
+        let ds = dataset();
+        let plan = plan_for(
+            "SELECT ?s ?l WHERE { ?s <type> <Text> . ?s <lang> ?l }",
+            &ds,
+        )
+        .unwrap();
+        let rows = naive::normalize(naive::execute(&plan, &ds.triples));
+        assert_eq!(rows.len(), 2); // s1/fre, s2/eng
+        let fre = ds.expect_id("\"fre\"");
+        assert!(rows.iter().any(|r| r[1] == fre));
+    }
+
+    #[test]
+    fn select_star_projects_all_variables() {
+        let ds = dataset();
+        let plan = plan_for("SELECT * WHERE { ?s <lang> ?l }", &ds).unwrap();
+        assert_eq!(plan.arity(), 2);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let ds = dataset();
+        let plan = plan_for("SELECT DISTINCT ?t WHERE { ?s <type> ?t }", &ds).unwrap();
+        let rows = naive::execute(&plan, &ds.triples);
+        assert_eq!(rows.len(), 2); // Text, Date
+    }
+
+    #[test]
+    fn unknown_constant_is_reported() {
+        let ds = dataset();
+        assert_eq!(
+            plan_for("SELECT ?s WHERE { ?s <nope> ?o }", &ds),
+            Err(SparqlError::UnknownTerm("<nope>".into()))
+        );
+    }
+
+    #[test]
+    fn unbound_projection_is_reported() {
+        let ds = dataset();
+        assert_eq!(
+            plan_for("SELECT ?zzz WHERE { ?s <type> ?t }", &ds),
+            Err(SparqlError::UnboundVariable("zzz".into()))
+        );
+    }
+
+    #[test]
+    fn disconnected_patterns_rejected() {
+        let ds = dataset();
+        assert!(matches!(
+            plan_for(
+                "SELECT ?a ?b WHERE { ?a <type> <Text> . ?b <lang> \"eng\" }",
+                &ds
+            ),
+            Err(SparqlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn multi_shared_variable_rejected() {
+        let ds = dataset();
+        assert!(matches!(
+            plan_for(
+                "SELECT ?s WHERE { ?s <type> ?t . ?s <lang> ?t }",
+                &ds
+            ),
+            Err(SparqlError::Unsupported(_))
+        ));
+    }
+
+    /// The q1-analogue written in SPARQL matches pattern p7 coverage.
+    #[test]
+    fn coverage_of_sparql_plans() {
+        let ds = dataset();
+        let plan = plan_for("SELECT ?o WHERE { ?s <type> ?o }", &ds).unwrap();
+        let cov = crate::coverage::analyze(&plan);
+        assert!(cov.simple.contains(&crate::pattern::SimplePattern::P7));
+    }
+}

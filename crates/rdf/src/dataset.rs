@@ -1,0 +1,144 @@
+//! The in-memory data set: a triple bag plus its dictionary.
+
+use crate::hash::FxHashSet;
+use crate::{Dictionary, Id, Triple};
+
+/// A dictionary-encoded RDF data set.
+///
+/// This is the neutral interchange form: the storage engines load from it,
+/// the generator produces it, and [`crate::stats`] summarizes it. Triples
+/// are kept in load order; the storage schemes impose their own clustering.
+#[derive(Debug, Default, Clone)]
+pub struct Dataset {
+    /// Term dictionary shared by subjects, properties and objects.
+    pub dict: Dictionary,
+    /// The triple bag, in load order.
+    pub triples: Vec<Triple>,
+}
+
+impl Dataset {
+    /// Creates an empty data set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty data set sized for `triples` triples.
+    pub fn with_capacity(triples: usize) -> Self {
+        Self {
+            dict: Dictionary::with_capacity(triples / 2),
+            triples: Vec::with_capacity(triples),
+        }
+    }
+
+    /// Interns the three terms and appends the triple.
+    pub fn add(&mut self, s: &str, p: &str, o: &str) -> Triple {
+        let t = Triple::new(self.dict.intern(s), self.dict.intern(p), self.dict.intern(o));
+        self.triples.push(t);
+        t
+    }
+
+    /// Appends an already-encoded triple. The caller guarantees the ids came
+    /// from this data set's dictionary.
+    pub fn add_encoded(&mut self, t: Triple) {
+        self.triples.push(t);
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when the data set holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Distinct property ids, sorted by descending frequency (ties by id).
+    ///
+    /// This ordering matters: the benchmark's "28 interesting properties"
+    /// and the Figure 6 property sweep both take prefixes of the
+    /// frequency-ranked property list.
+    pub fn properties_by_frequency(&self) -> Vec<(Id, u64)> {
+        let mut freq: crate::hash::FxHashMap<Id, u64> = Default::default();
+        for t in &self.triples {
+            *freq.entry(t.p).or_insert(0) += 1;
+        }
+        let mut v: Vec<(Id, u64)> = freq.into_iter().collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Distinct property ids in ascending id order.
+    pub fn distinct_properties(&self) -> Vec<Id> {
+        let mut set = FxHashSet::default();
+        for t in &self.triples {
+            set.insert(t.p);
+        }
+        let mut v: Vec<Id> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Looks up a term id, panicking with a clear message when the term is
+    /// not part of this data set (benchmark constants must exist).
+    pub fn expect_id(&self, term: &str) -> Id {
+        self.dict
+            .id_of(term)
+            .unwrap_or_else(|| panic!("term {term:?} is not in the data set dictionary"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let mut d = Dataset::new();
+        d.add("s1", "type", "Text");
+        d.add("s1", "lang", "fre");
+        d.add("s2", "type", "Text");
+        d.add("s2", "type", "Date");
+        d
+    }
+
+    #[test]
+    fn add_interns_and_appends() {
+        let d = tiny();
+        assert_eq!(d.len(), 4);
+        // s1, type, Text, lang, fre, s2, Date = 7 strings
+        assert_eq!(d.dict.len(), 7);
+    }
+
+    #[test]
+    fn properties_by_frequency_ranks_type_first() {
+        let d = tiny();
+        let props = d.properties_by_frequency();
+        assert_eq!(props.len(), 2);
+        assert_eq!(d.dict.term(props[0].0), "type");
+        assert_eq!(props[0].1, 3);
+        assert_eq!(d.dict.term(props[1].0), "lang");
+    }
+
+    #[test]
+    fn distinct_properties_sorted_by_id() {
+        let d = tiny();
+        let props = d.distinct_properties();
+        assert_eq!(props.len(), 2);
+        assert!(props.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the data set dictionary")]
+    fn expect_id_panics_on_missing_term() {
+        tiny().expect_id("<nope>");
+    }
+
+    #[test]
+    fn frequency_ties_break_by_id() {
+        let mut d = Dataset::new();
+        d.add("a", "p1", "x");
+        d.add("a", "p2", "x");
+        let props = d.properties_by_frequency();
+        assert!(props[0].0 < props[1].0);
+    }
+}

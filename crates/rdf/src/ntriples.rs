@@ -1,0 +1,154 @@
+//! Minimal N-Triples-style reader/writer.
+//!
+//! The Barton Libraries data set ships as RDF/XML converted to triples; for
+//! this reproduction we exchange data in the simplest whitespace-separated
+//! line format: three terms followed by ` .`. Terms may be `<uri>`s,
+//! `"literal"`s (no embedded spaces after escaping) or bare tokens. This is
+//! deliberately not a full W3C N-Triples parser — it supports round-tripping
+//! our own exports and loading simple third-party dumps.
+
+use std::io::{BufRead, Write};
+
+use crate::{Dataset, Triple};
+
+/// Errors raised while parsing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line did not have the `<s> <p> <o> .` shape.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "I/O error: {e}"),
+            ParseError::Malformed { line, content } => {
+                write!(f, "malformed triple at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Splits one line into its three terms. Returns `None` for blank lines and
+/// `#` comments, or when the shape is wrong.
+fn split_line(line: &str) -> Option<(&str, &str, &str)> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let line = line.strip_suffix('.').unwrap_or(line).trim_end();
+    let mut parts = line.split_whitespace();
+    let s = parts.next()?;
+    let p = parts.next()?;
+    let o = parts.next()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((s, p, o))
+}
+
+/// Reads triples from `reader` into a fresh [`Dataset`].
+pub fn read<R: BufRead>(reader: R) -> Result<Dataset, ParseError> {
+    let mut ds = Dataset::new();
+    for (i, line) in reader.lines().enumerate() {
+        let n = i + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match split_line(&line) {
+            Some((s, p, o)) => {
+                ds.add(s, p, o);
+            }
+            None => {
+                return Err(ParseError::Malformed {
+                    line: n,
+                    content: line,
+                })
+            }
+        }
+    }
+    Ok(ds)
+}
+
+/// Writes `ds` in the line format accepted by [`read`].
+pub fn write<W: Write>(ds: &Dataset, out: &mut W) -> std::io::Result<()> {
+    let mut buf = std::io::BufWriter::new(out);
+    for &Triple { s, p, o } in &ds.triples {
+        writeln!(
+            buf,
+            "{} {} {} .",
+            ds.dict.term(s),
+            ds.dict.term(p),
+            ds.dict.term(o)
+        )?;
+    }
+    buf.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_lines() {
+        let input = "<s1> <type> <Text> .\n# comment\n\n<s2> <lang> \"fre\" .\n";
+        let ds = read(input.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.dict.term(ds.triples[1].o), "\"fre\"");
+    }
+
+    #[test]
+    fn rejects_malformed_line_with_position() {
+        let input = "<s1> <type> <Text> .\n<s2> <only-two>\n";
+        let err = read(input.as_bytes()).unwrap_err();
+        match err {
+            ParseError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_four_terms() {
+        let err = read("<a> <b> <c> <d> .\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut ds = Dataset::new();
+        ds.add("<s1>", "<type>", "<Text>");
+        ds.add("<s1>", "<lang>", "\"fre\"");
+        let mut buf = Vec::new();
+        write(&ds, &mut buf).unwrap();
+        let ds2 = read(buf.as_slice()).unwrap();
+        assert_eq!(ds2.len(), 2);
+        for (a, b) in ds.triples.iter().zip(&ds2.triples) {
+            assert_eq!(ds.dict.term(a.s), ds2.dict.term(b.s));
+            assert_eq!(ds.dict.term(a.p), ds2.dict.term(b.p));
+            assert_eq!(ds.dict.term(a.o), ds2.dict.term(b.o));
+        }
+    }
+
+    #[test]
+    fn dot_is_optional() {
+        let ds = read("<a> <b> <c>\n".as_bytes()).unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Data-set statistics: the paper's Table 1 and Figure 1.
+//!
+//! Table 1 reports, for the Barton Libraries data set: total triples,
+//! distinct properties / subjects / objects, the subject∩object overlap,
+//! dictionary size and raw data size. Figure 1 plots cumulative frequency
+//! distributions (CFDs) of properties, subjects and objects over the triple
+//! population: x = % of the distinct items (most frequent first),
+//! y = % of triples they cover.
+
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::{Dataset, Id};
+
+/// The Table 1 summary of a data set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// Total triples (paper: 50,255,599).
+    pub total_triples: u64,
+    /// Distinct properties (paper: 222).
+    pub distinct_properties: u64,
+    /// Distinct subjects (paper: 12,304,739).
+    pub distinct_subjects: u64,
+    /// Distinct objects (paper: 15,817,921).
+    pub distinct_objects: u64,
+    /// Distinct terms appearing as both subject and object
+    /// (paper: 9,654,007).
+    pub subject_object_overlap: u64,
+    /// Strings in the dictionary (paper: 18,468,875) — the distinct terms
+    /// occurring in the triples (|subjects ∪ properties ∪ objects|).
+    pub dictionary_strings: u64,
+    /// Estimated raw data-set size in bytes: each triple serialized as its
+    /// three terms plus separators, N-Triples style (paper: 1253 MB).
+    pub raw_bytes: u64,
+    /// Frequency of the most frequent property (paper: 12,327,859 for
+    /// `#type`).
+    pub top_property_count: u64,
+    /// Frequency of the most frequent object (paper: 4,035,522 for
+    /// `#Date`).
+    pub top_object_count: u64,
+    /// Frequency of the most frequent subject (paper: 3,794).
+    pub top_subject_count: u64,
+}
+
+impl DatasetStats {
+    /// Computes all Table 1 statistics in two passes over the triples.
+    pub fn compute(ds: &Dataset) -> Self {
+        let mut prop_freq: FxHashMap<Id, u64> = Default::default();
+        let mut subj_freq: FxHashMap<Id, u64> = Default::default();
+        let mut obj_freq: FxHashMap<Id, u64> = Default::default();
+        let mut raw_bytes: u64 = 0;
+
+        for t in &ds.triples {
+            *prop_freq.entry(t.p).or_insert(0) += 1;
+            *subj_freq.entry(t.s).or_insert(0) += 1;
+            *obj_freq.entry(t.o).or_insert(0) += 1;
+            // "<s> <p> <o> .\n" — three terms, three spaces, dot, newline.
+            raw_bytes += ds.dict.term(t.s).len() as u64
+                + ds.dict.term(t.p).len() as u64
+                + ds.dict.term(t.o).len() as u64
+                + 5;
+        }
+
+        let subjects: FxHashSet<Id> = subj_freq.keys().copied().collect();
+        let overlap = obj_freq
+            .keys()
+            .filter(|o| subjects.contains(o))
+            .count() as u64;
+        let mut terms: FxHashSet<Id> = subjects;
+        terms.extend(prop_freq.keys());
+        terms.extend(obj_freq.keys());
+
+        Self {
+            total_triples: ds.triples.len() as u64,
+            distinct_properties: prop_freq.len() as u64,
+            distinct_subjects: subj_freq.len() as u64,
+            distinct_objects: obj_freq.len() as u64,
+            subject_object_overlap: overlap,
+            dictionary_strings: terms.len() as u64,
+            raw_bytes,
+            top_property_count: prop_freq.values().copied().max().unwrap_or(0),
+            top_object_count: obj_freq.values().copied().max().unwrap_or(0),
+            top_subject_count: subj_freq.values().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+/// One cumulative-frequency-distribution series of Figure 1.
+///
+/// `points[i] = (pct_of_items, pct_of_triples)` after including the
+/// `i+1` most frequent items.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfdSeries {
+    /// Which dimension this CFD describes ("properties", "subjects",
+    /// "objects").
+    pub label: &'static str,
+    /// Cumulative points, most frequent item first.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl CfdSeries {
+    /// Builds the CFD for a frequency map.
+    fn from_freqs(label: &'static str, freqs: &FxHashMap<Id, u64>, total: u64) -> Self {
+        let mut counts: Vec<u64> = freqs.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let n_items = counts.len() as f64;
+        let total = total as f64;
+        let mut cum = 0u64;
+        let points = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                cum += c;
+                (100.0 * (i + 1) as f64 / n_items, 100.0 * cum as f64 / total)
+            })
+            .collect();
+        Self { label, points }
+    }
+
+    /// The % of triples covered by the top `pct_items` % of items.
+    pub fn coverage_at(&self, pct_items: f64) -> f64 {
+        self.points
+            .iter()
+            .take_while(|(x, _)| *x <= pct_items + 1e-9)
+            .last()
+            .map(|&(_, y)| y)
+            .unwrap_or(0.0)
+    }
+}
+
+/// All three Figure 1 series for a data set.
+pub fn cfd(ds: &Dataset) -> [CfdSeries; 3] {
+    let mut prop_freq: FxHashMap<Id, u64> = Default::default();
+    let mut subj_freq: FxHashMap<Id, u64> = Default::default();
+    let mut obj_freq: FxHashMap<Id, u64> = Default::default();
+    for t in &ds.triples {
+        *prop_freq.entry(t.p).or_insert(0) += 1;
+        *subj_freq.entry(t.s).or_insert(0) += 1;
+        *obj_freq.entry(t.o).or_insert(0) += 1;
+    }
+    let total = ds.triples.len() as u64;
+    [
+        CfdSeries::from_freqs("properties", &prop_freq, total),
+        CfdSeries::from_freqs("subjects", &subj_freq, total),
+        CfdSeries::from_freqs("objects", &obj_freq, total),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new();
+        // type appears 3x, lang 1x; s1 is also an object of one triple.
+        d.add("s1", "type", "Text");
+        d.add("s2", "type", "Text");
+        d.add("s3", "type", "Date");
+        d.add("s2", "lang", "s1");
+        d
+    }
+
+    #[test]
+    fn table1_counts() {
+        let st = DatasetStats::compute(&sample());
+        assert_eq!(st.total_triples, 4);
+        assert_eq!(st.distinct_properties, 2);
+        assert_eq!(st.distinct_subjects, 3);
+        assert_eq!(st.distinct_objects, 3); // Text, Date, s1
+        assert_eq!(st.subject_object_overlap, 1); // s1
+        assert_eq!(st.dictionary_strings, 7); // s1 s2 s3 type lang Text Date
+        assert_eq!(st.top_property_count, 3);
+        assert_eq!(st.top_subject_count, 2); // s2
+        assert_eq!(st.top_object_count, 2); // Text
+    }
+
+    #[test]
+    fn raw_bytes_counts_terms_and_separators() {
+        let mut d = Dataset::new();
+        d.add("ab", "c", "def"); // 2+1+3 + 5 = 11
+        let st = DatasetStats::compute(&d);
+        assert_eq!(st.raw_bytes, 11);
+    }
+
+    #[test]
+    fn cfd_is_monotone_and_ends_at_100() {
+        let series = cfd(&sample());
+        for s in &series {
+            let mut prev = (0.0, 0.0);
+            for &(x, y) in &s.points {
+                assert!(x >= prev.0 && y >= prev.1, "CFD must be monotone");
+                prev = (x, y);
+            }
+            let last = s.points.last().unwrap();
+            assert!((last.0 - 100.0).abs() < 1e-9);
+            assert!((last.1 - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cfd_property_skew_visible() {
+        let series = cfd(&sample());
+        let props = &series[0];
+        // Top property (type, 3 of 4 triples) = 50% of items, 75% of triples.
+        assert_eq!(props.points[0], (50.0, 75.0));
+        assert!((props.coverage_at(50.0) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_is_all_zeroes() {
+        let st = DatasetStats::compute(&Dataset::new());
+        assert_eq!(st.total_triples, 0);
+        assert_eq!(st.top_property_count, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # swans-rowstore
+//!
+//! The row-store engine — the reproduction's stand-in for "DBX", the
+//! commercial row store of the paper's §4.
+//!
+//! Architectural commitments:
+//!
+//! * **Clustered B+tree storage.** A table *is* its clustered index
+//!   ([`swans_btree::BTree`], bulk-loaded, key-prefix compressed); leaf
+//!   pages hold full rows, so scans move whole rows across the I/O
+//!   boundary — the row store reads 3×8 bytes per triple where the column
+//!   store reads only the columns it needs.
+//! * **TID-style secondary indexes.** Unclustered indexes store key columns
+//!   plus a row locator; resolving a locator costs a scattered page touch
+//!   in the clustered tree. A rule/cost hybrid picks the access path:
+//!   clustered prefix if available, else a selective secondary, else a full
+//!   scan (probing a secondary for a huge result would cost more scattered
+//!   I/O than scanning — the reason the paper's DBX "remaining indices have
+//!   little impact").
+//! * **Tuple-at-a-time Volcano execution.** Operators are chained row
+//!   iterators with dynamic dispatch per row — the classical row-engine
+//!   processing model whose per-tuple overhead the paper contrasts with
+//!   column-at-a-time execution.
+
+pub mod engine;
+pub mod row;
+pub mod table;
+
+pub use engine::RowEngine;
+pub use row::Row;
+pub use table::{RowTable, TableOptions};

@@ -1,0 +1,151 @@
+//! The fixed-capacity row passed between Volcano operators.
+
+/// Maximum operator schema width. The widest benchmark schema is 9 columns
+/// (q5/q7 after two joins); 12 leaves headroom for user plans.
+pub const MAX_COLS: usize = 12;
+
+/// A row flowing through the Volcano iterators: a short inline array, so
+/// passing rows costs a copy but never an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Row {
+    vals: [u64; MAX_COLS],
+    len: u8,
+}
+
+impl Row {
+    /// An empty row.
+    pub const EMPTY: Row = Row {
+        vals: [0; MAX_COLS],
+        len: 0,
+    };
+
+    /// Builds a row from a slice.
+    ///
+    /// # Panics
+    /// Panics if `vals` exceeds [`MAX_COLS`].
+    #[inline]
+    pub fn from_slice(vals: &[u64]) -> Self {
+        assert!(vals.len() <= MAX_COLS, "row too wide: {}", vals.len());
+        let mut r = Row::EMPTY;
+        r.vals[..vals.len()].copy_from_slice(vals);
+        r.len = vals.len() as u8;
+        r
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True for the zero-column row.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Column accessor.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len());
+        self.vals[i]
+    }
+
+    /// The columns as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.vals[..self.len()]
+    }
+
+    /// Appends a column.
+    #[inline]
+    pub fn push(&mut self, v: u64) {
+        assert!(self.len() < MAX_COLS, "row overflow");
+        self.vals[self.len()] = v;
+        self.len += 1;
+    }
+
+    /// `self ++ other` (join output).
+    #[inline]
+    pub fn concat(&self, other: &Row) -> Row {
+        let n = self.len() + other.len();
+        assert!(n <= MAX_COLS, "joined row too wide: {n}");
+        let mut r = *self;
+        r.vals[self.len()..n].copy_from_slice(other.as_slice());
+        r.len = n as u8;
+        r
+    }
+
+    /// Projects columns `cols` into a new row.
+    #[inline]
+    pub fn project(&self, cols: &[usize]) -> Row {
+        let mut r = Row::EMPTY;
+        for (i, &c) in cols.iter().enumerate() {
+            r.vals[i] = self.get(c);
+        }
+        r.len = cols.len() as u8;
+        r
+    }
+
+    /// Converts to an owned vector (result delivery).
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl From<&[u64]> for Row {
+    fn from(vals: &[u64]) -> Self {
+        Row::from_slice(vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_slice_roundtrip() {
+        let r = Row::from_slice(&[1, 2, 3]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.as_slice(), &[1, 2, 3]);
+        assert_eq!(r.get(1), 2);
+    }
+
+    #[test]
+    fn concat_joins_rows() {
+        let a = Row::from_slice(&[1, 2]);
+        let b = Row::from_slice(&[3]);
+        assert_eq!(a.concat(&b).as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let r = Row::from_slice(&[10, 20, 30]);
+        assert_eq!(r.project(&[2, 0]).as_slice(), &[30, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn concat_overflow_panics() {
+        let a = Row::from_slice(&[0; 9]);
+        let b = Row::from_slice(&[0; 9]);
+        let _ = a.concat(&b);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut r = Row::EMPTY;
+        r.push(7);
+        r.push(8);
+        assert_eq!(r.as_slice(), &[7, 8]);
+    }
+
+    #[test]
+    fn equality_ignores_slack() {
+        let mut a = Row::from_slice(&[1, 2, 3]);
+        let b = Row::from_slice(&[1, 2]);
+        assert_ne!(a, b);
+        a = Row::from_slice(&[1, 2]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,81 @@
+//! I/O accounting types.
+
+/// Cumulative I/O statistics for a window of execution.
+///
+/// `bytes_read` feeds the paper's Table 5 ("Data read from disk"); the
+/// derived `io_seconds` is the simulated wait that separates *real* from
+/// *user* time in Tables 4, 6 and 7.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IoStats {
+    /// Bytes transferred from the simulated disk.
+    pub bytes_read: u64,
+    /// Number of distinct read calls issued to the disk.
+    pub read_calls: u64,
+    /// Read calls that required a random repositioning (non-sequential).
+    pub seeks: u64,
+    /// Simulated seconds spent waiting on the disk.
+    pub io_seconds: f64,
+}
+
+impl IoStats {
+    /// `self - earlier`, for windowed measurements.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            read_calls: self.read_calls - earlier.read_calls,
+            seeks: self.seeks - earlier.seeks,
+            io_seconds: self.io_seconds - earlier.io_seconds,
+        }
+    }
+
+    /// Bytes read, in decimal megabytes (the unit of Table 5 / Figure 5).
+    pub fn megabytes_read(&self) -> f64 {
+        self.bytes_read as f64 / 1_000_000.0
+    }
+}
+
+/// One point of the Figure 5 I/O read history: after some amount of
+/// (simulated real) time, how many bytes have been read cumulatively.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoTracePoint {
+    /// Simulated real-time offset from the start of the traced window,
+    /// in seconds (I/O wait so far + measured compute so far).
+    pub at_seconds: f64,
+    /// Cumulative bytes read since the trace began.
+    pub cumulative_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fields() {
+        let a = IoStats {
+            bytes_read: 100,
+            read_calls: 3,
+            seeks: 2,
+            io_seconds: 1.5,
+        };
+        let b = IoStats {
+            bytes_read: 40,
+            read_calls: 1,
+            seeks: 1,
+            io_seconds: 0.5,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.bytes_read, 60);
+        assert_eq!(d.read_calls, 2);
+        assert_eq!(d.seeks, 1);
+        assert!((d.io_seconds - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn megabytes_are_decimal() {
+        let s = IoStats {
+            bytes_read: 2_500_000,
+            ..Default::default()
+        };
+        assert!((s.megabytes_read() - 2.5).abs() < 1e-12);
+    }
+}

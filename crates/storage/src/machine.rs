@@ -1,0 +1,123 @@
+//! Machine I/O profiles (the paper's Table 3).
+//!
+//! The paper benchmarks on two CWI machines (A, B) and compares against the
+//! machine used by Abadi et al. (C). What matters for the simulation is the
+//! sustained sequential read bandwidth and a per-random-access seek penalty;
+//! the CPU fields are retained for the Table 3 reproduction printout.
+
+/// I/O and hardware profile of one benchmark machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineProfile {
+    /// Short name: "A", "B", or "C".
+    pub name: &'static str,
+    /// Number of CPUs.
+    pub num_cpus: u32,
+    /// CPU description as printed in Table 3.
+    pub cpu: &'static str,
+    /// Clock speed in GHz.
+    pub cpu_ghz: f64,
+    /// L2 cache size in KB.
+    pub cache_kb: u32,
+    /// RAM size in GB.
+    pub ram_gb: u32,
+    /// Sustained sequential read bandwidth in MB/s (decimal megabytes).
+    pub io_read_mb_s: f64,
+    /// Average random-access (seek + rotational) penalty in milliseconds.
+    pub seek_ms: f64,
+    /// Number of RAID disks.
+    pub raid_disks: u32,
+    /// RAID level.
+    pub raid_level: u32,
+    /// Operating system string.
+    pub os: &'static str,
+}
+
+impl MachineProfile {
+    /// Machine A: 1× AMD Athlon 64 Dual Core 2 GHz, 2 GB RAM,
+    /// 2-disk RAID-0 reading 100–110 MB/s.
+    pub const A: MachineProfile = MachineProfile {
+        name: "A",
+        num_cpus: 1,
+        cpu: "AMD Athlon 64 Dual Core",
+        cpu_ghz: 2.0,
+        cache_kb: 512,
+        ram_gb: 2,
+        io_read_mb_s: 105.0,
+        seek_ms: 8.0,
+        raid_disks: 2,
+        raid_level: 0,
+        os: "Fedora 8 (Linux 2.6.22)",
+    };
+
+    /// Machine B: 2× Intel Xeon 3 GHz, 4 GB RAM, 10-disk RAID-5 reading
+    /// 380–390 MB/s.
+    pub const B: MachineProfile = MachineProfile {
+        name: "B",
+        num_cpus: 2,
+        cpu: "Intel Xeon",
+        cpu_ghz: 3.0,
+        cache_kb: 1024,
+        ram_gb: 4,
+        io_read_mb_s: 385.0,
+        seek_ms: 6.0,
+        raid_disks: 10,
+        raid_level: 5,
+        os: "Fedora Core 6 (Linux 2.6.23)",
+    };
+
+    /// Machine C: the Abadi et al. machine — 1× Pentium IV HT 3 GHz,
+    /// 2 GB RAM, 3-disk RAID-0 reading 150–180 MB/s.
+    pub const C: MachineProfile = MachineProfile {
+        name: "C",
+        num_cpus: 1,
+        cpu: "Intel Pentium IV Hyperthreaded",
+        cpu_ghz: 3.0,
+        cache_kb: 1024,
+        ram_gb: 2,
+        io_read_mb_s: 165.0,
+        seek_ms: 9.0,
+        raid_disks: 3,
+        raid_level: 0,
+        os: "RedHat Linux",
+    };
+
+    /// All Table 3 machines.
+    pub const ALL: [MachineProfile; 3] =
+        [MachineProfile::A, MachineProfile::B, MachineProfile::C];
+
+    /// Simulated seconds to sequentially transfer `bytes` bytes.
+    #[inline]
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.io_read_mb_s * 1_000_000.0)
+    }
+
+    /// Simulated seconds for `seeks` random repositionings.
+    #[inline]
+    pub fn seek_seconds(&self, seeks: u64) -> f64 {
+        seeks as f64 * self.seek_ms / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_b_reads_roughly_4x_faster_than_a() {
+        let ratio = MachineProfile::B.io_read_mb_s / MachineProfile::A.io_read_mb_s;
+        assert!((3.5..4.2).contains(&ratio), "paper: B handles I/O ~4x faster");
+    }
+
+    #[test]
+    fn transfer_time_is_linear_in_bytes() {
+        let m = MachineProfile::A;
+        let t1 = m.transfer_seconds(105_000_000);
+        assert!((t1 - 1.0).abs() < 1e-9, "105 MB at 105 MB/s is 1 s");
+        assert!((m.transfer_seconds(210_000_000) - 2.0 * t1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeks_cost_milliseconds() {
+        assert!((MachineProfile::A.seek_seconds(1000) - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,266 @@
+//! The [`StorageManager`]: segments, page touches, cold/hot control.
+//!
+//! Engines never issue raw disk reads. They *touch* pages of named
+//! segments; the manager consults the buffer pool and charges the simulated
+//! disk only for non-resident pages, batching consecutive misses into
+//! sequential runs.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::disk::SimDisk;
+use crate::io::{IoStats, IoTracePoint};
+use crate::machine::MachineProfile;
+use crate::pool::BufferPool;
+use crate::{pages_for, PAGE_SIZE};
+
+/// Identifies one on-disk segment (a table, a column, an index, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub u32);
+
+#[derive(Debug)]
+struct SegmentMeta {
+    name: String,
+    pages: u32,
+}
+
+#[derive(Debug)]
+struct Inner {
+    disk: SimDisk,
+    pool: BufferPool,
+    segments: Vec<SegmentMeta>,
+}
+
+/// Shared storage service: one per loaded store instance.
+///
+/// Cloning the handle (`Arc`) shares the same disk, pool and segments, so a
+/// row table and its indices account against one I/O budget.
+#[derive(Debug, Clone)]
+pub struct StorageManager {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl StorageManager {
+    /// Creates a manager with the given machine profile and an unbounded
+    /// buffer pool.
+    pub fn new(profile: MachineProfile) -> Self {
+        Self::with_pool(profile, usize::MAX)
+    }
+
+    /// Creates a manager whose pool holds at most `pool_pages` pages.
+    pub fn with_pool(profile: MachineProfile, pool_pages: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                disk: SimDisk::new(profile),
+                pool: BufferPool::new(pool_pages),
+                segments: Vec::new(),
+            })),
+        }
+    }
+
+    /// The machine profile in effect.
+    pub fn profile(&self) -> MachineProfile {
+        self.inner.lock().disk.profile()
+    }
+
+    /// Registers a segment big enough for `bytes` bytes and returns its id.
+    pub fn create_segment(&self, name: impl Into<String>, bytes: u64) -> SegmentId {
+        let mut inner = self.inner.lock();
+        let id = SegmentId(inner.segments.len() as u32);
+        inner.segments.push(SegmentMeta {
+            name: name.into(),
+            pages: pages_for(bytes),
+        });
+        id
+    }
+
+    /// Number of pages in `seg`.
+    pub fn segment_pages(&self, seg: SegmentId) -> u32 {
+        self.inner.lock().segments[seg.0 as usize].pages
+    }
+
+    /// Name of `seg` (for diagnostics).
+    pub fn segment_name(&self, seg: SegmentId) -> String {
+        self.inner.lock().segments[seg.0 as usize].name.clone()
+    }
+
+    /// Total registered pages across all segments.
+    pub fn total_pages(&self) -> u64 {
+        self.inner
+            .lock()
+            .segments
+            .iter()
+            .map(|s| s.pages as u64)
+            .sum()
+    }
+
+    /// Total registered bytes across all segments (on-disk footprint).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_pages() * PAGE_SIZE as u64
+    }
+
+    /// Touches a single page (a point access, e.g. a secondary-index probe
+    /// or a B+tree node visit).
+    pub fn touch_page(&self, seg: SegmentId, page: u32) {
+        let mut inner = self.inner.lock();
+        debug_assert!(page < inner.segments[seg.0 as usize].pages);
+        if !inner.pool.access(seg, page) {
+            inner.disk.read_run(seg, page, 1);
+        }
+    }
+
+    /// Touches `count` pages starting at `first` as one scan. Consecutive
+    /// non-resident pages are fetched in sequential runs; resident pages
+    /// are skipped (and refreshed in the pool).
+    pub fn touch_range(&self, seg: SegmentId, first: u32, count: u32) {
+        let mut inner = self.inner.lock();
+        debug_assert!(
+            first + count <= inner.segments[seg.0 as usize].pages,
+            "range beyond segment {:?}: {first}+{count} > {}",
+            seg,
+            inner.segments[seg.0 as usize].pages
+        );
+        let mut run_start = None;
+        for page in first..first + count {
+            let hit = inner.pool.access(seg, page);
+            match (hit, run_start) {
+                (true, Some(start)) => {
+                    inner.disk.read_run(seg, start, page - start);
+                    run_start = None;
+                }
+                (false, None) => run_start = Some(page),
+                _ => {}
+            }
+        }
+        if let Some(start) = run_start {
+            inner.disk.read_run(seg, start, first + count - start);
+        }
+    }
+
+    /// Touches the whole segment (the column-store "read the column on
+    /// first use" behaviour).
+    pub fn touch_segment(&self, seg: SegmentId) {
+        let pages = self.segment_pages(seg);
+        self.touch_range(seg, 0, pages);
+    }
+
+    /// Empties the buffer pool: the next touches will be cold.
+    pub fn clear_pool(&self) {
+        self.inner.lock().pool.clear();
+    }
+
+    /// Current cumulative I/O statistics.
+    pub fn stats(&self) -> IoStats {
+        self.inner.lock().disk.stats()
+    }
+
+    /// Zeroes the I/O statistics.
+    pub fn reset_stats(&self) {
+        self.inner.lock().disk.reset_stats();
+    }
+
+    /// Number of pages currently resident in the pool.
+    pub fn resident_pages(&self) -> usize {
+        self.inner.lock().pool.resident_pages()
+    }
+
+    /// Starts recording the I/O read history (Figure 5).
+    pub fn begin_trace(&self) {
+        self.inner.lock().disk.begin_trace();
+    }
+
+    /// Stops recording and returns the history.
+    pub fn take_trace(&self) -> Vec<IoTracePoint> {
+        self.inner.lock().disk.take_trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> StorageManager {
+        StorageManager::new(MachineProfile::B)
+    }
+
+    #[test]
+    fn cold_then_hot_range() {
+        let m = mgr();
+        let seg = m.create_segment("col", 10 * PAGE_SIZE as u64);
+        m.touch_range(seg, 0, 10);
+        let cold = m.stats();
+        assert_eq!(cold.bytes_read, 10 * PAGE_SIZE as u64);
+        m.touch_range(seg, 0, 10);
+        let hot = m.stats();
+        assert_eq!(
+            hot.bytes_read, cold.bytes_read,
+            "warm pages cost nothing"
+        );
+    }
+
+    #[test]
+    fn clear_pool_makes_next_touch_cold_again() {
+        let m = mgr();
+        let seg = m.create_segment("col", 4 * PAGE_SIZE as u64);
+        m.touch_range(seg, 0, 4);
+        m.clear_pool();
+        m.touch_range(seg, 0, 4);
+        assert_eq!(m.stats().bytes_read, 8 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn partial_residency_reads_only_gaps() {
+        let m = mgr();
+        let seg = m.create_segment("col", 6 * PAGE_SIZE as u64);
+        m.touch_page(seg, 2);
+        m.touch_page(seg, 4);
+        let before = m.stats();
+        m.touch_range(seg, 0, 6); // pages 0,1,3,5 are cold
+        let delta = m.stats().since(&before);
+        assert_eq!(delta.bytes_read, 4 * PAGE_SIZE as u64);
+        // Runs: [0,1], [3], [5] -> 3 read calls.
+        assert_eq!(delta.read_calls, 3);
+    }
+
+    #[test]
+    fn touch_segment_covers_all_pages() {
+        let m = mgr();
+        let seg = m.create_segment("col", 3 * PAGE_SIZE as u64 + 17);
+        m.touch_segment(seg);
+        assert_eq!(m.stats().bytes_read, 4 * PAGE_SIZE as u64);
+        assert_eq!(m.resident_pages(), 4);
+    }
+
+    #[test]
+    fn small_pool_forces_rereads() {
+        let m = StorageManager::with_pool(MachineProfile::A, 4);
+        let seg = m.create_segment("big", 16 * PAGE_SIZE as u64);
+        m.touch_range(seg, 0, 16);
+        let first = m.stats();
+        m.touch_range(seg, 0, 16);
+        let second = m.stats().since(&first);
+        assert_eq!(
+            second.bytes_read,
+            16 * PAGE_SIZE as u64,
+            "a 4-page pool cannot retain a 16-page scan"
+        );
+    }
+
+    #[test]
+    fn shared_handle_shares_accounting() {
+        let m = mgr();
+        let m2 = m.clone();
+        let seg = m.create_segment("t", PAGE_SIZE as u64);
+        m2.touch_page(seg, 0);
+        assert_eq!(m.stats().bytes_read, PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn total_bytes_sums_segments() {
+        let m = mgr();
+        m.create_segment("a", 100);
+        m.create_segment("b", PAGE_SIZE as u64 + 1);
+        assert_eq!(m.total_bytes(), 3 * PAGE_SIZE as u64);
+    }
+}

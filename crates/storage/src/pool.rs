@@ -1,0 +1,118 @@
+//! The buffer pool: tracks which pages are memory-resident.
+
+use crate::lru::LruSet;
+use crate::manager::SegmentId;
+
+/// Page-granular buffer pool with LRU replacement.
+///
+/// An unbounded pool models the paper's main setting, where the data fits
+/// in RAM during hot runs; a small bounded pool models C-Store's
+/// restrictive buffering, which re-reads data during a single query
+/// (Figure 5 discussion).
+#[derive(Debug)]
+pub struct BufferPool {
+    lru: LruSet<(SegmentId, u32)>,
+    capacity_pages: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity_pages` pages; `usize::MAX` for an
+    /// effectively unbounded pool.
+    pub fn new(capacity_pages: usize) -> Self {
+        Self {
+            lru: LruSet::new(capacity_pages),
+            capacity_pages,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// True if the page is resident (refreshes recency on hit).
+    /// On miss the page becomes resident (possibly evicting another).
+    pub fn access(&mut self, seg: SegmentId, page: u32) -> bool {
+        let key = (seg, page);
+        if self.lru.contains(&key) {
+            self.lru.touch(key);
+            self.hits += 1;
+            true
+        } else {
+            self.lru.touch(key);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Whether the page is resident, without touching recency or counters.
+    pub fn peek(&self, seg: SegmentId, page: u32) -> bool {
+        self.lru.contains(&(seg, page))
+    }
+
+    /// Empties the pool — the *cold run* reset.
+    pub fn clear(&mut self) {
+        self.lru.clear();
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// (hits, misses) since construction.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut p = BufferPool::new(usize::MAX);
+        let seg = SegmentId(0);
+        assert!(!p.access(seg, 0));
+        assert!(p.access(seg, 0));
+        assert_eq!(p.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn clear_makes_everything_cold() {
+        let mut p = BufferPool::new(usize::MAX);
+        let seg = SegmentId(0);
+        p.access(seg, 0);
+        p.access(seg, 1);
+        p.clear();
+        assert_eq!(p.resident_pages(), 0);
+        assert!(!p.access(seg, 0));
+    }
+
+    #[test]
+    fn bounded_pool_evicts_and_rereads() {
+        let mut p = BufferPool::new(2);
+        let seg = SegmentId(0);
+        p.access(seg, 0);
+        p.access(seg, 1);
+        p.access(seg, 2); // evicts page 0
+        assert!(!p.access(seg, 0), "page 0 was evicted, must re-read");
+        assert_eq!(p.resident_pages(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut p = BufferPool::new(2);
+        let seg = SegmentId(0);
+        p.access(seg, 0);
+        p.access(seg, 1);
+        assert!(p.peek(seg, 0));
+        let (h, m) = p.hit_miss();
+        assert_eq!((h, m), (0, 2));
+    }
+}

@@ -1,0 +1,109 @@
+//! Exploring the RDF query design space (§2.2) — and going beyond the
+//! fixed benchmark.
+//!
+//! The paper criticizes C-Store's hardwired query plans: new queries or
+//! storage schemes could not be added "without major resource investments".
+//! This reproduction keeps queries as *data* (logical plans), so this
+//! example (a) prints the Table 2 coverage analysis and (b) builds and runs
+//! a custom query — the point-lookup pattern p1 the benchmark lacks, plus a
+//! brand-new join-pattern-B query — on both storage schemes.
+//!
+//! ```sh
+//! cargo run --release --example query_space
+//! ```
+
+use swans_core::{Layout, RdfStore, StoreConfig};
+use swans_datagen::{generate, BartonConfig};
+use swans_plan::algebra::{join, project, Plan};
+use swans_plan::{analyze, build_plan, QueryContext, QueryId, Scheme};
+use swans_rdf::SortOrder;
+
+fn main() {
+    let dataset = generate(&BartonConfig::with_triples(100_000));
+    let ctx = QueryContext::from_dataset(&dataset, 28);
+    let machine = swans_core::profile_for(&dataset, swans_storage::MachineProfile::B);
+
+    // (a) Table 2: which patterns does the benchmark cover?
+    println!("Table 2 — coverage of the query space:\n");
+    println!("{:<6} {:<16} join patterns", "query", "triple patterns");
+    for q in [
+        QueryId::Q1,
+        QueryId::Q2,
+        QueryId::Q3,
+        QueryId::Q4,
+        QueryId::Q5,
+        QueryId::Q6,
+        QueryId::Q7,
+        QueryId::Q8,
+    ] {
+        let cov = analyze(&build_plan(q, Scheme::TripleStore, &ctx));
+        println!("{:<6} {}", q.name(), cov.render());
+    }
+
+    // (b) A custom query the benchmark does not contain: the origins of
+    // all French-language resources — two p2/p7 accesses glued by a
+    // subject-subject join, composed directly in the algebra.
+    let custom = project(
+        join(
+            // (s, p, o) of French-language triples: pattern p2
+            Plan::ScanTriples {
+                s: None,
+                p: Some(ctx.language_p),
+                o: Some(ctx.fre_o),
+            },
+            // (s, p, o) of origin triples: pattern p7
+            Plan::ScanTriples {
+                s: None,
+                p: Some(ctx.origin_p),
+                o: None,
+            },
+            0,
+            0, // join pattern A (subject = subject)
+        ),
+        vec![3, 5], // origin subject, origin object
+    );
+    let cov = analyze(&custom);
+    println!("\ncustom query coverage: {}", cov.render());
+
+    let triple = RdfStore::load(
+        &dataset,
+        StoreConfig::column(Layout::TripleStore(SortOrder::Pso)).on_machine(machine),
+    );
+    let row = RdfStore::load(&dataset, StoreConfig::row(Layout::TripleStore(SortOrder::Pso)).on_machine(machine));
+    let a = triple.run_plan(&custom);
+    let b = row.run_plan(&custom);
+    assert_eq!(
+        {
+            let mut x = a.rows.clone();
+            x.sort_unstable();
+            x
+        },
+        {
+            let mut y = b.rows.clone();
+            y.sort_unstable();
+            y
+        },
+        "engines must agree on custom plans too"
+    );
+    println!(
+        "custom query: {} rows; column engine {:.3} ms, row engine {:.3} ms (hot)",
+        a.rows.len(),
+        a.user_seconds * 1e3,
+        b.user_seconds * 1e3
+    );
+
+    // The point-lookup pattern p1 the paper says "should be present in
+    // every benchmark to highlight index support":
+    let some = &dataset.triples[dataset.len() / 2];
+    let p1 = Plan::ScanTriples {
+        s: Some(some.s),
+        p: Some(some.p),
+        o: Some(some.o),
+    };
+    let hit = row.run_plan(&p1);
+    println!(
+        "p1 point lookup: {} hit(s) in {:.3} ms via the clustered B+tree",
+        hit.rows.len(),
+        hit.user_seconds * 1e3
+    );
+}

@@ -1,0 +1,97 @@
+//! The §2.3 benchmark conventions, verified as invariants: cold runs pay
+//! I/O, hot runs do not; answers are temperature-independent; cold I/O is
+//! deterministic.
+
+use swans_core::runner::{measure_cold, measure_hot};
+use swans_core::{Layout, RdfStore, StoreConfig};
+use swans_datagen::{generate, BartonConfig};
+use swans_plan::queries::{QueryContext, QueryId};
+use swans_rdf::SortOrder;
+
+fn dataset() -> swans_rdf::Dataset {
+    generate(&BartonConfig {
+        scale: 0.0006,
+        seed: 5150,
+        n_properties: 80,
+    })
+}
+
+#[test]
+fn hot_runs_do_no_io_in_any_configuration() {
+    let ds = dataset();
+    let ctx = QueryContext::from_dataset(&ds, 28);
+    for config in [
+        StoreConfig::row(Layout::TripleStore(SortOrder::Pso)),
+        StoreConfig::row(Layout::VerticallyPartitioned),
+        StoreConfig::column(Layout::TripleStore(SortOrder::Spo)),
+        StoreConfig::column(Layout::VerticallyPartitioned),
+    ] {
+        let store = RdfStore::load(&ds, config);
+        for q in QueryId::ALL {
+            let hot = measure_hot(&store, q, &ctx, 1);
+            assert_eq!(
+                hot.bytes_read,
+                0,
+                "{} leaked I/O into a hot {q} run",
+                store.config().label()
+            );
+            assert!(
+                (hot.real_seconds - hot.user_seconds).abs() < 1e-9,
+                "hot real time must equal user time"
+            );
+        }
+    }
+}
+
+#[test]
+fn cold_runs_read_deterministic_volumes() {
+    let ds = dataset();
+    let ctx = QueryContext::from_dataset(&ds, 28);
+    let store = RdfStore::load(&ds, StoreConfig::column(Layout::VerticallyPartitioned));
+    for q in [QueryId::Q1, QueryId::Q2Star, QueryId::Q8] {
+        store.make_cold();
+        let a = store.run_query(q, &ctx);
+        store.make_cold();
+        let b = store.run_query(q, &ctx);
+        assert_eq!(a.io.bytes_read, b.io.bytes_read, "{q} cold I/O varies");
+        assert!(a.io.bytes_read > 0, "{q} cold run read nothing");
+    }
+}
+
+#[test]
+fn answers_are_temperature_independent() {
+    let ds = dataset();
+    let ctx = QueryContext::from_dataset(&ds, 28);
+    let store = RdfStore::load(&ds, StoreConfig::row(Layout::TripleStore(SortOrder::Spo)));
+    for q in QueryId::ALL {
+        store.make_cold();
+        let cold = swans_core::normalize_result(q, store.run_query(q, &ctx).rows);
+        let hot = swans_core::normalize_result(q, store.run_query(q, &ctx).rows);
+        assert_eq!(cold, hot, "{q} answers differ cold vs hot");
+    }
+}
+
+#[test]
+fn cold_real_time_exceeds_user_time() {
+    let ds = dataset();
+    let ctx = QueryContext::from_dataset(&ds, 28);
+    let store = RdfStore::load(&ds, StoreConfig::column(Layout::TripleStore(SortOrder::Pso)));
+    let cold = measure_cold(&store, QueryId::Q2, &ctx, 2);
+    assert!(cold.real_seconds > cold.user_seconds);
+}
+
+#[test]
+fn restricted_pool_rereads_like_cstore() {
+    let ds = dataset();
+    let ctx = QueryContext::from_dataset(&ds, 28);
+    // A pool far smaller than the data forces re-reads even "hot".
+    let store = RdfStore::load(
+        &ds,
+        StoreConfig::column(Layout::VerticallyPartitioned).with_pool_pages(8),
+    );
+    let hot = measure_hot(&store, QueryId::Q2Star, &ctx, 1);
+    assert!(
+        hot.bytes_read > 0,
+        "an 8-page pool cannot keep a multi-MB working set resident"
+    );
+}

@@ -1,0 +1,205 @@
+//! Property-based cross-engine fuzzing: for *arbitrary* logical plans over
+//! arbitrary small data sets, the row engine, the column engine (all three
+//! clustering orders) and the naive reference executor must return exactly
+//! the same bag of rows. This goes beyond the twelve benchmark queries and
+//! exercises operator compositions the benchmark never builds.
+
+use proptest::prelude::*;
+
+use swans_colstore::ColumnEngine;
+use swans_plan::algebra::{CmpOp, Plan, Predicate};
+use swans_plan::naive;
+use swans_rowstore::engine::{RowEngine, TripleIndexConfig};
+use swans_rdf::{SortOrder, Triple};
+use swans_storage::{MachineProfile, StorageManager};
+
+const ID_SPACE: u64 = 8;
+
+fn arb_opt_id() -> impl Strategy<Value = Option<u64>> {
+    proptest::option::of(0..ID_SPACE)
+}
+
+fn arb_leaf() -> impl Strategy<Value = Plan> {
+    prop_oneof![
+        (arb_opt_id(), arb_opt_id(), arb_opt_id())
+            .prop_map(|(s, p, o)| Plan::ScanTriples { s, p, o }),
+        (0..ID_SPACE, arb_opt_id(), arb_opt_id(), any::<bool>()).prop_map(
+            |(property, s, o, emit_property)| Plan::ScanProperty {
+                property,
+                s,
+                o,
+                emit_property,
+            }
+        ),
+    ]
+}
+
+/// Recursive plan generator. Column indices are drawn as raw seeds and
+/// reduced modulo the child arity, so every generated plan is valid.
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    arb_leaf().prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            // Select
+            (inner.clone(), any::<usize>(), 0..ID_SPACE, any::<bool>()).prop_map(
+                |(p, colseed, value, ne)| {
+                    let col = colseed % p.arity();
+                    Plan::Select {
+                        input: Box::new(p),
+                        pred: Predicate {
+                            col,
+                            op: if ne { CmpOp::Ne } else { CmpOp::Eq },
+                            value,
+                        },
+                    }
+                }
+            ),
+            // FilterIn
+            (
+                inner.clone(),
+                any::<usize>(),
+                proptest::collection::vec(0..ID_SPACE, 0..4)
+            )
+                .prop_map(|(p, colseed, values)| {
+                    let col = colseed % p.arity();
+                    Plan::FilterIn {
+                        input: Box::new(p),
+                        col,
+                        values,
+                    }
+                }),
+            // Join (cap the combined arity to keep row widths legal)
+            (inner.clone(), inner.clone(), any::<usize>(), any::<usize>()).prop_map(
+                |(l, r, ls, rs)| {
+                    if l.arity() + r.arity() > 9 {
+                        // Too wide: degrade to the left child.
+                        return l;
+                    }
+                    let left_col = ls % l.arity();
+                    let right_col = rs % r.arity();
+                    Plan::Join {
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        left_col,
+                        right_col,
+                    }
+                }
+            ),
+            // Project (non-empty)
+            (inner.clone(), proptest::collection::vec(any::<usize>(), 1..4)).prop_map(
+                |(p, seeds)| {
+                    let a = p.arity();
+                    Plan::Project {
+                        input: Box::new(p),
+                        cols: seeds.into_iter().map(|s| s % a).collect(),
+                    }
+                }
+            ),
+            // GroupCount on 1–2 distinct keys
+            (inner.clone(), any::<usize>(), proptest::option::of(any::<usize>())).prop_map(
+                |(p, k0, k1)| {
+                    let a = p.arity();
+                    let mut keys = vec![k0 % a];
+                    if let Some(k1) = k1 {
+                        let k1 = k1 % a;
+                        if !keys.contains(&k1) {
+                            keys.push(k1);
+                        }
+                    }
+                    Plan::GroupCount {
+                        input: Box::new(p),
+                        keys,
+                    }
+                }
+            ),
+            // HavingCountGt (valid over any non-empty schema: filters on
+            // the last column)
+            (inner.clone(), 0u64..3).prop_map(|(p, min)| Plan::HavingCountGt {
+                input: Box::new(p),
+                min,
+            }),
+            // UnionAll of two structurally identical branches
+            inner.clone().prop_map(|p| Plan::UnionAll {
+                inputs: vec![p.clone(), p],
+            }),
+            // Distinct
+            inner.prop_map(|p| Plan::Distinct { input: Box::new(p) }),
+        ]
+    })
+}
+
+fn arb_triples() -> impl Strategy<Value = Vec<Triple>> {
+    proptest::collection::vec(
+        (0..ID_SPACE, 0..ID_SPACE, 0..ID_SPACE).prop_map(|(s, p, o)| Triple::new(s, p, o)),
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn engines_match_naive_on_random_plans(
+        triples in arb_triples(),
+        plan in arb_plan(),
+    ) {
+        prop_assert_eq!(plan.validate(), Ok(()));
+        let want = naive::normalize(naive::execute(&plan, &triples));
+
+        // The optimizer's rewrites must preserve answers on any plan.
+        let optimized = swans_plan::optimize(plan.clone());
+        prop_assert_eq!(optimized.validate(), Ok(()));
+        let opt_rows = naive::normalize(naive::execute(&optimized, &triples));
+        prop_assert_eq!(
+            &opt_rows, &want,
+            "optimize() changed answers: {:?} -> {:?}", plan, optimized
+        );
+
+        // Scheme lowering must preserve answers too (given the complete
+        // property list of the data set).
+        let all_props: Vec<u64> = {
+            let mut ps: Vec<u64> = triples.iter().map(|t| t.p).collect();
+            ps.sort_unstable();
+            ps.dedup();
+            ps
+        };
+        let lowered = swans_plan::lower_to_vertical(&plan, &all_props);
+        prop_assert_eq!(lowered.validate(), Ok(()));
+        let low_rows = naive::normalize(naive::execute(&lowered, &triples));
+        prop_assert_eq!(
+            &low_rows, &want,
+            "lower_to_vertical() changed answers on {:?}", plan
+        );
+
+        // Column engine under all clustering orders — executing both the
+        // raw and the optimized plan.
+        for order in [SortOrder::Spo, SortOrder::Pso, SortOrder::Osp] {
+            let m = StorageManager::new(MachineProfile::B);
+            let mut col = ColumnEngine::new();
+            col.load_triple_store(&m, &triples, order, true);
+            col.load_vertical(&m, &triples, false);
+            let got = naive::normalize(col.execute(&plan).to_rows());
+            prop_assert_eq!(
+                &got, &want,
+                "column engine ({}) diverged on {:?}", order, plan
+            );
+            let got_opt = naive::normalize(col.execute(&optimized).to_rows());
+            prop_assert_eq!(
+                &got_opt, &want,
+                "column engine ({}) diverged on optimized {:?}", order, optimized
+            );
+        }
+
+        // Row engine under both paper index configurations.
+        for config in [TripleIndexConfig::spo(), TripleIndexConfig::pso()] {
+            let m = StorageManager::new(MachineProfile::B);
+            let mut row = RowEngine::new();
+            row.load_triple_store(&m, &triples, &config);
+            row.load_vertical(&m, &triples);
+            let got = naive::normalize(row.execute(&plan));
+            prop_assert_eq!(
+                &got, &want,
+                "row engine ({}) diverged on {:?}", config.cluster, plan
+            );
+        }
+    }
+}
