@@ -24,9 +24,7 @@ fn eprint_progress(msg: &str) {
 pub fn table1(cfg: &HarnessConfig, ds: &Dataset) -> String {
     let st = DatasetStats::compute(ds);
     let sc = cfg.scale;
-    let paper_scaled = |full: u64| -> String {
-        format!("{:.0}", full as f64 * sc)
-    };
+    let paper_scaled = |full: u64| -> String { format!("{:.0}", full as f64 * sc) };
     let rows = vec![
         vec![
             "total triples".to_string(),
@@ -99,7 +97,9 @@ pub fn table1(cfg: &HarnessConfig, ds: &Dataset) -> String {
 /// Figure 1: cumulative frequency distributions.
 pub fn fig1(ds: &Dataset) -> String {
     let series = cfd(ds);
-    let marks = [0.5, 1.0, 2.0, 5.0, 10.0, 13.0, 20.0, 40.0, 60.0, 80.0, 100.0];
+    let marks = [
+        0.5, 1.0, 2.0, 5.0, 10.0, 13.0, 20.0, 40.0, 60.0, 80.0, 100.0,
+    ];
     let rows: Vec<Vec<String>> = marks
         .iter()
         .map(|&m| {
@@ -461,23 +461,13 @@ fn render_matrix(
     table.push(vec!["—".into(); headers.len()]);
     for p in paper_rows {
         let mut r = vec![format!("paper {} [real]", p.label)];
-        r.extend(
-            p.real
-                .iter()
-                .map(|c| c.map_or("–".to_string(), secs)),
-        );
+        r.extend(p.real.iter().map(|c| c.map_or("–".to_string(), secs)));
         r.push(secs(p.g));
         r.push(p.g_star.map_or("–".to_string(), secs));
-        r.push(
-            p.g_star
-                .map_or("–".to_string(), |gs| ratio(gs / p.g)),
-        );
+        r.push(p.g_star.map_or("–".to_string(), |gs| ratio(gs / p.g)));
         table.push(r);
     }
-    format!(
-        "## {title}\n\n```\n{}```\n",
-        render_table(&headers, &table)
-    )
+    format!("## {title}\n\n```\n{}```\n", render_table(&headers, &table))
 }
 
 // ----------------------------------------------------------------------

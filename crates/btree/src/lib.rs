@@ -346,7 +346,10 @@ mod tests {
             BTreeOptions::default(),
         );
         let rows: Vec<&[u64]> = t.scan(t.full_range()).collect();
-        assert_eq!(rows, vec![&[1, 1, 9][..], &[1, 2, 3], &[2, 5, 5], &[3, 0, 0]]);
+        assert_eq!(
+            rows,
+            vec![&[1, 1, 9][..], &[1, 2, 3], &[2, 5, 5], &[3, 0, 0]]
+        );
     }
 
     #[test]
@@ -470,7 +473,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

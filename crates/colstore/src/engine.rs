@@ -5,6 +5,7 @@ use swans_rdf::{Id, SortOrder, Triple};
 use swans_storage::StorageManager;
 
 use swans_plan::algebra::{CmpOp, Plan};
+use swans_plan::exec::EngineError;
 
 use crate::chunk::{Chunk, ColData};
 use crate::column::Column;
@@ -33,6 +34,10 @@ struct PropTable {
 pub struct ColumnEngine {
     triple: Option<TripleTable>,
     props: FxHashMap<Id, PropTable>,
+    /// Whether [`ColumnEngine::load_vertical`] ran — distinguishes "no
+    /// vertically-partitioned layout at all" (an execution error) from "a
+    /// property with no triples" (an empty scan).
+    vertical_loaded: bool,
 }
 
 impl ColumnEngine {
@@ -95,6 +100,7 @@ impl ColumnEngine {
             let ot = Column::new(storage, &format!("vp/{p}/o"), o, false, false);
             self.props.insert(p, PropTable { s: st, o: ot });
         }
+        self.vertical_loaded = true;
     }
 
     /// Whether a triple-store layout is loaded.
@@ -108,30 +114,31 @@ impl ColumnEngine {
     }
 
     /// Executes a logical plan, returning the materialized result.
-    pub fn execute(&self, plan: &Plan) -> Chunk {
+    ///
+    /// The plan is validated first; structural problems, scans against a
+    /// layout this engine never loaded, and unsupported constructs all
+    /// surface as [`EngineError`] — plan execution never panics.
+    pub fn execute(&self, plan: &Plan) -> Result<Chunk, EngineError> {
+        plan.validate().map_err(EngineError::InvalidPlan)?;
         self.exec(plan, full_mask(plan.arity()))
     }
 
-    fn exec(&self, plan: &Plan, needed: u64) -> Chunk {
-        match plan {
-            Plan::ScanTriples { s, p, o } => self.scan_triples(*s, *p, *o, needed),
+    fn exec(&self, plan: &Plan, needed: u64) -> Result<Chunk, EngineError> {
+        Ok(match plan {
+            Plan::ScanTriples { s, p, o } => self.scan_triples(*s, *p, *o, needed)?,
             Plan::ScanProperty {
                 property,
                 s,
                 o,
                 emit_property,
-            } => self.scan_property(*property, *s, *o, *emit_property, needed),
+            } => self.scan_property(*property, *s, *o, *emit_property, needed)?,
             Plan::Select { input, pred } => {
-                let child = self.exec(input, needed | bit(pred.col));
-                let sel = ops::select_cmp(
-                    child.col(pred.col),
-                    pred.value,
-                    pred.op == CmpOp::Ne,
-                );
+                let child = self.exec(input, needed | bit(pred.col))?;
+                let sel = ops::select_cmp(child.col(pred.col), pred.value, pred.op == CmpOp::Ne);
                 child.gather(&sel)
             }
             Plan::FilterIn { input, col, values } => {
-                let child = self.exec(input, needed | bit(*col));
+                let child = self.exec(input, needed | bit(*col))?;
                 let sel = ops::select_in(child.col(*col), values);
                 child.gather(&sel)
             }
@@ -144,8 +151,8 @@ impl ColumnEngine {
                 let la = left.arity();
                 let left_needed = low_bits(needed, la) | bit(*left_col);
                 let right_needed = (needed >> la) | bit(*right_col);
-                let l = self.exec(left, left_needed);
-                let r = self.exec(right, right_needed);
+                let l = self.exec(left, left_needed)?;
+                let r = self.exec(right, right_needed)?;
                 let (lsel, rsel) = ops::hash_join(l.col(*left_col), r.col(*right_col));
                 let lg = l.gather(&lsel);
                 let rg = r.gather(&rsel);
@@ -162,7 +169,7 @@ impl ColumnEngine {
                         uses[in_c] += 1;
                     }
                 }
-                let child = self.exec(input, child_needed);
+                let child = self.exec(input, child_needed)?;
                 let len = child.len();
                 let mut child_cols = child.into_cols();
                 let out: Vec<Option<ColData>> = cols
@@ -187,7 +194,7 @@ impl ColumnEngine {
                 for &k in keys {
                     child_needed |= bit(k);
                 }
-                let child = self.exec(input, child_needed);
+                let child = self.exec(input, child_needed)?;
                 match keys.len() {
                     1 => {
                         let (k, c) = ops::group_count_1(child.col(keys[0]));
@@ -202,8 +209,7 @@ impl ColumnEngine {
                         // Generic fallback for non-benchmark plans.
                         let mut map: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
                         for r in 0..child.len() {
-                            let key: Vec<u64> =
-                                keys.iter().map(|&k| child.col(k)[r]).collect();
+                            let key: Vec<u64> = keys.iter().map(|&k| child.col(k)[r]).collect();
                             *map.entry(key).or_insert(0) += 1;
                         }
                         let mut rows: Vec<(Vec<u64>, u64)> = map.into_iter().collect();
@@ -221,7 +227,7 @@ impl ColumnEngine {
             }
             Plan::HavingCountGt { input, min } => {
                 let count_col = input.arity() - 1;
-                let child = self.exec(input, needed | bit(count_col));
+                let child = self.exec(input, needed | bit(count_col))?;
                 let data = child.col(count_col);
                 let sel: Vec<u32> = (0..child.len() as u32)
                     .filter(|&i| data[i as usize] > *min)
@@ -244,7 +250,7 @@ impl ColumnEngine {
                     .collect();
                 let mut len = 0usize;
                 for inp in inputs {
-                    let c = self.exec(inp, needed);
+                    let c = self.exec(inp, needed)?;
                     len += c.len();
                     let cols = c.into_cols();
                     for (i, acc_col) in acc.iter_mut().enumerate() {
@@ -262,23 +268,28 @@ impl ColumnEngine {
             }
             Plan::Distinct { input } => {
                 // Row-level distinct requires every column.
-                let child = self.exec(input, full_mask(input.arity()));
-                let cols: Vec<&[u64]> =
-                    (0..child.arity()).map(|i| child.col(i)).collect();
+                let child = self.exec(input, full_mask(input.arity()))?;
+                let cols: Vec<&[u64]> = (0..child.arity()).map(|i| child.col(i)).collect();
                 let mut sel = ops::distinct_rows(&cols, child.len());
                 sel.sort_unstable();
                 child.gather(&sel)
             }
-        }
+        })
     }
 
     /// Scans the triples table: binary-search the bound sort-order prefix,
     /// filter remaining bounds, materialize needed logical columns.
-    fn scan_triples(&self, s: Option<Id>, p: Option<Id>, o: Option<Id>, needed: u64) -> Chunk {
+    fn scan_triples(
+        &self,
+        s: Option<Id>,
+        p: Option<Id>,
+        o: Option<Id>,
+        needed: u64,
+    ) -> Result<Chunk, EngineError> {
         let t = self
             .triple
             .as_ref()
-            .expect("no triple-store layout loaded in this column engine");
+            .ok_or(EngineError::MissingTripleStore)?;
         let bounds = [s, p, o];
         let perm = t.order.permutation();
 
@@ -338,7 +349,7 @@ impl ColumnEngine {
                 }))
             })
             .collect();
-        Chunk::from_optional(out_len, cols)
+        Ok(Chunk::from_optional(out_len, cols))
     }
 
     /// Scans one property table (sorted by subject, then object).
@@ -349,14 +360,17 @@ impl ColumnEngine {
         o: Option<Id>,
         emit_property: bool,
         needed: u64,
-    ) -> Chunk {
+    ) -> Result<Chunk, EngineError> {
+        if !self.vertical_loaded {
+            return Err(EngineError::MissingVerticalLayout);
+        }
         let arity = if emit_property { 3 } else { 2 };
         let Some(t) = self.props.get(&property) else {
             // A property with no triples (possible after splitting): empty.
             let cols = (0..arity)
                 .map(|i| (needed & bit(i) != 0).then(|| ColData::Owned(Vec::new())))
                 .collect();
-            return Chunk::from_optional(0, cols);
+            return Ok(Chunk::from_optional(0, cols));
         };
         let o_pos = arity - 1;
 
@@ -411,7 +425,7 @@ impl ColumnEngine {
         if needed & bit(o_pos) != 0 {
             cols[o_pos] = Some(materialize(&t.o));
         }
-        Chunk::from_optional(out_len, cols)
+        Ok(Chunk::from_optional(out_len, cols))
     }
 }
 
@@ -462,7 +476,7 @@ mod tests {
     }
 
     fn check(plan: &Plan, e: &ColumnEngine) {
-        let got = naive::normalize(e.execute(plan).to_rows());
+        let got = naive::normalize(e.execute(plan).expect("plan executes").to_rows());
         let want = naive::normalize(naive::execute(plan, &triples()));
         assert_eq!(got, want, "plan {plan:?}");
     }
@@ -539,7 +553,55 @@ mod tests {
             o: None,
             emit_property: true,
         };
-        assert!(e.execute(&p).is_empty());
+        assert!(e.execute(&p).expect("empty scan executes").is_empty());
+    }
+
+    /// Scans against a layout the engine never loaded return a typed error
+    /// instead of aborting the process.
+    #[test]
+    fn missing_layout_is_an_error_not_a_panic() {
+        let m = StorageManager::new(MachineProfile::B);
+        let mut triple_only = ColumnEngine::new();
+        triple_only.load_triple_store(&m, &triples(), SortOrder::Pso, false);
+        let vp_scan = Plan::ScanProperty {
+            property: 0,
+            s: None,
+            o: None,
+            emit_property: false,
+        };
+        assert_eq!(
+            triple_only.execute(&vp_scan).unwrap_err(),
+            EngineError::MissingVerticalLayout
+        );
+
+        let mut vertical_only = ColumnEngine::new();
+        vertical_only.load_vertical(&m, &triples(), false);
+        assert_eq!(
+            vertical_only.execute(&scan_all()).unwrap_err(),
+            EngineError::MissingTripleStore
+        );
+        // The error surfaces even when the bad scan is buried in a tree.
+        let nested = group_count(project(join(vp_scan, scan_all(), 0, 0), vec![0]), vec![0]);
+        assert_eq!(
+            vertical_only.execute(&nested).unwrap_err(),
+            EngineError::MissingTripleStore
+        );
+    }
+
+    /// A structurally malformed plan (out-of-range column reference) is
+    /// rejected up front with `InvalidPlan`.
+    #[test]
+    fn malformed_plan_returns_err() {
+        let (_, e) = engine(SortOrder::Pso);
+        let bad = project(scan_all(), vec![7]);
+        assert!(matches!(e.execute(&bad), Err(EngineError::InvalidPlan(_))));
+        let bad_union = Plan::UnionAll {
+            inputs: vec![scan_all(), project(scan_all(), vec![0])],
+        };
+        assert!(matches!(
+            e.execute(&bad_union),
+            Err(EngineError::InvalidPlan(_))
+        ));
     }
 
     #[test]
@@ -591,7 +653,7 @@ mod tests {
         m.reset_stats();
         // q1 shape: select on p, group on o; s never used.
         let p = group_count(project(scan_p(7), vec![2]), vec![0]);
-        let _ = e.execute(&p);
+        let _ = e.execute(&p).expect("plan executes");
         let bytes = m.stats().bytes_read;
         // p + o columns = 2 * 100k * 8B (within page rounding); s pruned.
         let col_bytes = 100_000u64 * 8;
@@ -604,7 +666,7 @@ mod tests {
         m.clear_pool();
         m.reset_stats();
         let p_all = project(scan_p(7), vec![0, 1, 2]);
-        let _ = e.execute(&p_all);
+        let _ = e.execute(&p_all).expect("plan executes");
         assert!(m.stats().bytes_read > bytes);
     }
 
@@ -616,7 +678,11 @@ mod tests {
         let mut ds = swans_rdf::Dataset::new();
         let subj = |i: usize| format!("<s{i}>");
         for i in 0..60 {
-            ds.add(&subj(i), vocab::TYPE, if i % 3 == 0 { vocab::TEXT } else { vocab::DATE });
+            ds.add(
+                &subj(i),
+                vocab::TYPE,
+                if i % 3 == 0 { vocab::TEXT } else { vocab::DATE },
+            );
             if i % 2 == 0 {
                 ds.add(&subj(i), vocab::LANGUAGE, vocab::FRENCH);
             }
@@ -644,7 +710,7 @@ mod tests {
         for q in QueryId::ALL {
             for scheme in [Scheme::TripleStore, Scheme::VerticallyPartitioned] {
                 let plan = build_plan(q, scheme, &ctx);
-                let got = naive::normalize(e.execute(&plan).to_rows());
+                let got = naive::normalize(e.execute(&plan).expect("plan executes").to_rows());
                 let want = naive::normalize(naive::execute(&plan, &ds.triples));
                 assert_eq!(got, want, "query {q} / {}", scheme.name());
             }

@@ -176,9 +176,7 @@ pub fn distinct_rows(cols: &[&[u64]], len: usize) -> Vec<u32> {
     let mut out = Vec::new();
     let mut prev: Option<u32> = None;
     for &i in &idx {
-        let dup = prev.is_some_and(|p| {
-            cols.iter().all(|c| c[p as usize] == c[i as usize])
-        });
+        let dup = prev.is_some_and(|p| cols.iter().all(|c| c[p as usize] == c[i as usize]));
         if !dup {
             out.push(i);
         }
@@ -259,7 +257,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

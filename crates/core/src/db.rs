@@ -1,0 +1,302 @@
+//! [`Database`]: the front door of the system.
+//!
+//! One type owns the whole pipeline the paper could not get out of
+//! C-Store: a data set plus its dictionary, a physical configuration, and
+//! a SPARQL entry point that parses, plans, optimizes, lowers and executes
+//! an *arbitrary* query on whatever engine × layout was opened — returning
+//! decoded term strings, not raw dictionary codes.
+
+use std::sync::Arc;
+
+use swans_plan::algebra::Plan;
+use swans_plan::queries::{QueryContext, QueryId};
+use swans_plan::sparql::compile_sparql;
+use swans_rdf::Dataset;
+
+use crate::error::Error;
+use crate::result::ResultSet;
+use crate::store::{QueryRun, RdfStore, StoreConfig};
+use crate::Engine;
+
+/// A data set opened in one physical configuration, queryable with SPARQL.
+///
+/// ```no_run
+/// use swans_core::{Database, Layout, StoreConfig};
+/// use swans_datagen::{generate, BartonConfig};
+///
+/// let dataset = generate(&BartonConfig::with_triples(100_000));
+/// let db = Database::open(dataset, StoreConfig::column(Layout::VerticallyPartitioned))?;
+/// let results = db.query(
+///     "SELECT ?s ?org WHERE {
+///          ?s <type> <Text> .
+///          ?s <language> <language/iso639-2b/fre> .
+///          ?s <origin> ?org
+///      }",
+/// )?;
+/// println!("{:?}", results.columns());
+/// for row in &results {
+///     println!("{}", row.join("  "));
+/// }
+/// # Ok::<(), swans_core::Error>(())
+/// ```
+pub struct Database {
+    dataset: Arc<Dataset>,
+    store: RdfStore,
+}
+
+impl Database {
+    /// Opens `dataset` under `config` with the built-in engine the
+    /// configuration names.
+    pub fn open(dataset: impl Into<Arc<Dataset>>, config: StoreConfig) -> Result<Self, Error> {
+        let dataset = dataset.into();
+        let store = RdfStore::try_load(&dataset, config)?;
+        Ok(Self { dataset, store })
+    }
+
+    /// Opens `dataset` on a caller-provided [`Engine`] implementation —
+    /// the third-party plug-in point.
+    pub fn open_with_engine(
+        dataset: impl Into<Arc<Dataset>>,
+        config: StoreConfig,
+        engine: Box<dyn Engine>,
+    ) -> Result<Self, Error> {
+        let dataset = dataset.into();
+        let store = RdfStore::with_engine(&dataset, config, engine)?;
+        Ok(Self { dataset, store })
+    }
+
+    /// The data set this database serves.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The underlying store (configuration, storage manager, engine).
+    pub fn store(&self) -> &RdfStore {
+        &self.store
+    }
+
+    /// The loaded configuration.
+    pub fn config(&self) -> &StoreConfig {
+        self.store.config()
+    }
+
+    /// Compiles `sparql` for this database's layout: parse → plan →
+    /// optimize → (lower onto property tables when vertically partitioned).
+    fn compile(&self, sparql: &str) -> Result<swans_plan::CompiledQuery, Error> {
+        Ok(compile_sparql(
+            sparql,
+            &self.dataset,
+            self.store.config().layout.scheme(),
+        )?)
+    }
+
+    /// Parses, plans and executes a SPARQL query, returning decoded,
+    /// lazily iterable results. Works identically on every engine × layout
+    /// configuration.
+    pub fn query(&self, sparql: &str) -> Result<ResultSet, Error> {
+        let compiled = self.compile(sparql)?;
+        let results = self.store.execute_plan(&compiled.plan)?;
+        Ok(results
+            .with_columns(compiled.columns)
+            .with_dataset(self.dataset.clone()))
+    }
+
+    /// Like [`Database::query`], but also reports the timing and I/O of
+    /// the execution under the benchmark measurement protocol.
+    ///
+    /// The returned [`QueryRun`]'s `rows` field is empty: the rows are
+    /// moved into the [`ResultSet`] (reachable encoded via
+    /// [`ResultSet::ids`]) rather than materialized twice.
+    pub fn query_timed(&self, sparql: &str) -> Result<(ResultSet, QueryRun), Error> {
+        let compiled = self.compile(sparql)?;
+        let mut run = self.store.run_plan(&compiled.plan)?;
+        let rows = std::mem::take(&mut run.rows);
+        let results = ResultSet::new(rows, compiled.plan.output_kinds())
+            .with_columns(compiled.columns)
+            .with_dataset(self.dataset.clone());
+        Ok((results, run))
+    }
+
+    /// Returns the optimized plan tree `sparql` would execute — already
+    /// lowered for this database's layout. Render it with
+    /// [`Plan::explain`].
+    pub fn explain(&self, sparql: &str) -> Result<Plan, Error> {
+        Ok(self.compile(sparql)?.plan)
+    }
+
+    /// Executes a raw logical plan (the algebra-level escape hatch),
+    /// decoding results through this database's dictionary.
+    pub fn execute_plan(&self, plan: &Plan) -> Result<ResultSet, Error> {
+        let results = self.store.execute_plan(plan)?;
+        Ok(results.with_dataset(self.dataset.clone()))
+    }
+
+    /// Runs benchmark query `q` through the paper's measurement protocol
+    /// (the thin wrapper over the pre-`Database` benchmark path).
+    pub fn run_benchmark(&self, q: QueryId, ctx: &QueryContext) -> QueryRun {
+        self.store.run_query(q, ctx)
+    }
+
+    /// A [`QueryContext`] resolving the benchmark constants against this
+    /// data set.
+    pub fn benchmark_context(&self, n_interesting: usize) -> QueryContext {
+        QueryContext::from_dataset(&self.dataset, n_interesting)
+    }
+
+    /// Empties the buffer pool so the next query runs cold.
+    pub fn make_cold(&self) {
+        self.store.make_cold();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Layout;
+    use swans_rdf::SortOrder;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        ds.add("<s1>", "<type>", "<Text>");
+        ds.add("<s2>", "<type>", "<Text>");
+        ds.add("<s3>", "<type>", "<Date>");
+        ds.add("<s1>", "<lang>", "\"fre\"");
+        ds.add("<s2>", "<lang>", "\"eng\"");
+        ds.add("<s3>", "<lang>", "\"fre\"");
+        ds
+    }
+
+    fn all_configs() -> Vec<StoreConfig> {
+        vec![
+            StoreConfig::row(Layout::TripleStore(SortOrder::Spo)),
+            StoreConfig::row(Layout::TripleStore(SortOrder::Pso)),
+            StoreConfig::row(Layout::VerticallyPartitioned),
+            StoreConfig::column(Layout::TripleStore(SortOrder::Spo)),
+            StoreConfig::column(Layout::TripleStore(SortOrder::Pso)),
+            StoreConfig::column(Layout::VerticallyPartitioned),
+        ]
+    }
+
+    /// The acceptance criterion of the API redesign: a hand-written SPARQL
+    /// string executes on all six engine × layout configurations and
+    /// returns *decoded*, identical term strings.
+    #[test]
+    fn query_decodes_identically_on_all_six_configurations() {
+        let ds = dataset();
+        let q = "SELECT ?s ?l WHERE { ?s <type> <Text> . ?s <lang> ?l }";
+        let mut reference: Option<Vec<Vec<String>>> = None;
+        for config in all_configs() {
+            let label = config.label();
+            let db = Database::open(ds.clone(), config).expect("opens");
+            let results = db.query(q).unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(results.columns(), ["s", "l"]);
+            let mut rows = results.decoded();
+            rows.sort();
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => assert_eq!(r, &rows, "{label} disagrees"),
+            }
+        }
+        let rows = reference.unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec!["<s1>".to_string(), "\"fre\"".to_string()],
+                vec!["<s2>".to_string(), "\"eng\"".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregation_decodes_counts_as_numbers() {
+        let ds = dataset();
+        let db =
+            Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned)).expect("opens");
+        let results = db
+            .query("SELECT ?t (COUNT(*) AS ?n) WHERE { ?s <type> ?t } GROUP BY ?t")
+            .expect("aggregates");
+        assert_eq!(results.columns(), ["t", "n"]);
+        let mut rows = results.decoded();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec!["<Date>".to_string(), "1".to_string()],
+                vec!["<Text>".to_string(), "2".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_are_typed_per_stage() {
+        let db = Database::open(
+            dataset(),
+            StoreConfig::row(Layout::TripleStore(SortOrder::Pso)),
+        )
+        .expect("opens");
+        assert!(matches!(db.query("FROB"), Err(Error::Parse(_))));
+        assert!(matches!(
+            db.query("SELECT ?s WHERE { ?s <missing> ?o }"),
+            Err(Error::Plan(_))
+        ));
+        assert!(matches!(
+            db.query("SELECT ?a ?b WHERE { ?a <type> <Text> . ?b <lang> \"fre\" }"),
+            Err(Error::Plan(_))
+        ));
+        let bad_config = StoreConfig::row(Layout::TripleStore(SortOrder::Pso)).with_pool_pages(0);
+        assert!(matches!(
+            Database::open(dataset(), bad_config),
+            Err(Error::Config(_))
+        ));
+    }
+
+    #[test]
+    fn explain_returns_the_lowered_optimized_plan() {
+        let ds = dataset();
+        let tri = Database::open(
+            ds.clone(),
+            StoreConfig::column(Layout::TripleStore(SortOrder::Pso)),
+        )
+        .expect("opens");
+        let vp =
+            Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned)).expect("opens");
+        let q = "SELECT ?s WHERE { ?s <type> <Text> }";
+        let tri_plan = tri.explain(q).expect("explains").explain();
+        let vp_plan = vp.explain(q).expect("explains").explain();
+        // The optimizer fused the bound positions into the scans.
+        assert!(tri_plan.contains("ScanTriples"), "{tri_plan}");
+        assert!(vp_plan.contains("ScanProperty"), "{vp_plan}");
+    }
+
+    #[test]
+    fn query_timed_reports_io_for_cold_runs() {
+        let db = Database::open(
+            dataset(),
+            StoreConfig::column(Layout::VerticallyPartitioned),
+        )
+        .expect("opens");
+        db.make_cold();
+        let (results, run) = db
+            .query_timed("SELECT ?s WHERE { ?s <type> <Text> }")
+            .expect("runs");
+        assert_eq!(results.len(), 2);
+        assert!(run.rows.is_empty(), "rows move into the ResultSet");
+        assert!(run.io.bytes_read > 0, "cold run must read");
+        assert!(run.real_seconds >= run.user_seconds);
+    }
+
+    #[test]
+    fn benchmark_wrapper_still_runs() {
+        use swans_datagen::{generate, BartonConfig};
+        let ds = generate(&BartonConfig {
+            scale: 0.0004,
+            seed: 11,
+            n_properties: 40,
+        });
+        let db =
+            Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned)).expect("opens");
+        let ctx = db.benchmark_context(20);
+        let run = db.run_benchmark(QueryId::Q1, &ctx);
+        assert!(!run.rows.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! The typed error of the query-facing API.
+//!
+//! Every stage of the pipeline — parsing, planning, engine execution,
+//! configuration — reports through one [`Error`], so callers of
+//! [`Database`](crate::Database) handle a single type instead of a panic
+//! per layer.
+
+use swans_plan::exec::EngineError;
+use swans_plan::sparql::SparqlError;
+
+/// Anything that can go wrong between a query string and its results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The SPARQL text did not parse.
+    Parse(String),
+    /// The query parsed but could not be planned: an unsupported construct,
+    /// a constant missing from the data set, or an unbound variable.
+    Plan(String),
+    /// The engine rejected the plan at execution time.
+    Engine(EngineError),
+    /// The store configuration is invalid.
+    Config(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Plan(m) => write!(f, "planning error: {m}"),
+            Error::Engine(e) => write!(f, "engine error: {e}"),
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparqlError> for Error {
+    fn from(e: SparqlError) -> Self {
+        match e {
+            SparqlError::Parse(m) => Error::Parse(m),
+            other => Error::Plan(other.to_string()),
+        }
+    }
+}
+
+impl From<EngineError> for Error {
+    fn from(e: EngineError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparql_errors_split_into_parse_and_plan() {
+        assert_eq!(
+            Error::from(SparqlError::Parse("boom".into())),
+            Error::Parse("boom".into())
+        );
+        assert!(matches!(
+            Error::from(SparqlError::UnknownTerm("<x>".into())),
+            Error::Plan(_)
+        ));
+        assert!(matches!(
+            Error::from(SparqlError::UnboundVariable("v".into())),
+            Error::Plan(_)
+        ));
+        assert!(matches!(
+            Error::from(SparqlError::Unsupported("u".into())),
+            Error::Plan(_)
+        ));
+    }
+
+    #[test]
+    fn engine_errors_keep_their_source() {
+        use std::error::Error as _;
+        let e = Error::from(EngineError::MissingTripleStore);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("triple-store"));
+    }
+}

@@ -1,43 +1,68 @@
 //! # swans-core
 //!
-//! The public API of the `swans` reproduction of *"Column-Store Support for
-//! RDF Data Management: not all swans are white"* (Sidirourgos, Goncalves,
-//! Kersten, Nes, Manegold — VLDB 2008).
+//! The public API of the `swans` RDF system — a reproduction of
+//! *"Column-Store Support for RDF Data Management: not all swans are
+//! white"* (Sidirourgos, Goncalves, Kersten, Nes, Manegold — VLDB 2008)
+//! grown into a layered query system.
+//!
+//! **Start with [`Database`]** — the front door. It owns a data set (and
+//! its term dictionary), materializes it under one physical configuration,
+//! and runs the whole pipeline behind one call: SPARQL text → parse → plan
+//! → optimize → lower to the layout → execute on the engine → decoded
+//! results.
+//!
+//! ```no_run
+//! use swans_core::{Database, Layout, StoreConfig};
+//! use swans_datagen::{generate, BartonConfig};
+//!
+//! let dataset = generate(&BartonConfig::with_triples(100_000));
+//! let db = Database::open(dataset, StoreConfig::column(Layout::VerticallyPartitioned))?;
+//! let results = db.query(
+//!     "SELECT ?t (COUNT(*) AS ?n) WHERE { ?s <type> ?t } GROUP BY ?t",
+//! )?;
+//! for row in &results {
+//!     println!("{}", row.join("  ")); // decoded terms, not dictionary ids
+//! }
+//! # Ok::<(), swans_core::Error>(())
+//! ```
+//!
+//! The layers underneath are public too:
+//!
+//! * [`engine::Engine`] — the trait any execution engine implements
+//!   (load / execute / footprint); the paper's two engines
+//!   ([`swans_rowstore::RowEngine`], [`swans_colstore::ColumnEngine`]) are
+//!   the built-in implementations, and third-party engines plug in via
+//!   [`Database::open_with_engine`];
+//! * [`RdfStore`] — one loaded (engine × layout × machine) configuration,
+//!   executing plans through a `Box<dyn Engine>` under the paper's
+//!   cold/hot measurement protocol;
+//! * [`ResultSet`] — decoded, lazily iterable results;
+//! * [`Error`] — the typed error of the whole path (parse / plan /
+//!   engine / config);
+//! * [`runner`] — the experiment matrices behind Tables 4, 6 and 7,
+//!   including the geometric means G, G\* and the G\*/G ratio;
+//! * [`sweep`] — the Figure 6 property sweep and the Figure 7
+//!   property-splitting scalability experiment.
 //!
 //! The paper evaluates two RDF storage schemes — the **triple-store** (one
 //! 3-column table, clustered SPO or PSO) and **vertical partitioning** (one
 //! 2-column table per property) — on two engine architectures: a commercial
-//! **row store** ("DBX") and the **MonetDB/SQL column store**. This crate
-//! glues the reproduction together:
-//!
-//! * [`RdfStore`] loads a [`swans_rdf::Dataset`] into any (engine, layout)
-//!   combination and executes benchmark queries under the paper's cold/hot
-//!   protocol, reporting *real* time (compute + simulated I/O wait) and
-//!   *user* time (compute);
-//! * [`runner`] drives the full experiment matrices behind Tables 4, 6
-//!   and 7, including the geometric means G, G\* and the G\*/G ratio;
-//! * [`sweep`] runs the Figure 6 property sweep and the Figure 7
-//!   property-splitting scalability experiment.
-//!
-//! ```no_run
-//! use swans_core::{EngineKind, Layout, RdfStore, StoreConfig};
-//! use swans_datagen::{generate, BartonConfig};
-//! use swans_plan::{QueryContext, QueryId};
-//!
-//! let dataset = generate(&BartonConfig::with_triples(100_000));
-//! let ctx = QueryContext::from_dataset(&dataset, 28);
-//! let store = RdfStore::load(
-//!     &dataset,
-//!     StoreConfig::column(Layout::VerticallyPartitioned),
-//! );
-//! let run = store.run_query(QueryId::Q1, &ctx);
-//! println!("q1: {} rows in {:.3}s real", run.rows.len(), run.real_seconds);
-//! ```
+//! **row store** ("DBX") and the **MonetDB/SQL column store**. All six
+//! engine × layout combinations answer every query identically; only their
+//! cost profiles differ.
 
+pub mod db;
+pub mod engine;
+pub mod error;
+pub mod result;
 pub mod runner;
 pub mod store;
 pub mod sweep;
 
+pub use db::Database;
+pub use engine::{Engine, EngineError, Footprint};
+pub use error::Error;
+pub use result::ResultSet;
 pub use runner::{geometric_mean, measure_cold, measure_hot, Measurement};
 pub use store::{EngineKind, Layout, QueryRun, RdfStore, StoreConfig};
 
@@ -125,7 +150,10 @@ mod tests {
     fn cstore_profile_caps_bandwidth_machine_independently() {
         let a = cstore_profile(MachineProfile::A);
         let b = cstore_profile(MachineProfile::B);
-        assert_eq!(a.io_read_mb_s, b.io_read_mb_s, "the engine is the bottleneck");
+        assert_eq!(
+            a.io_read_mb_s, b.io_read_mb_s,
+            "the engine is the bottleneck"
+        );
         assert!(a.io_read_mb_s < 15.0);
         assert_eq!(a.seek_ms, MachineProfile::A.seek_ms);
     }

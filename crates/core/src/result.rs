@@ -1,0 +1,213 @@
+//! [`ResultSet`]: decoded, lazily iterable query results.
+//!
+//! Engines compute in dictionary-encoded `u64` space; a result set carries
+//! those raw ids together with the output schema (column names and
+//! [`ColumnKind`]s) and — once the [`Database`](crate::Database) attaches
+//! its data set — decodes ids back to term strings *per row, on demand*
+//! during iteration, instead of leaking `Vec<Vec<u64>>` to the caller.
+
+use std::sync::Arc;
+
+use swans_plan::algebra::ColumnKind;
+use swans_rdf::Dataset;
+
+/// The result of one query execution: raw encoded rows plus the schema
+/// needed to decode them.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    columns: Vec<String>,
+    kinds: Vec<ColumnKind>,
+    rows: Vec<Vec<u64>>,
+    dataset: Option<Arc<Dataset>>,
+}
+
+impl ResultSet {
+    /// Wraps raw engine output. Columns are named `c0..cN`; use
+    /// [`ResultSet::with_columns`] to attach the real names and
+    /// [`ResultSet::with_dataset`] to enable term decoding.
+    pub fn new(rows: Vec<Vec<u64>>, kinds: Vec<ColumnKind>) -> Self {
+        let columns = (0..kinds.len()).map(|i| format!("c{i}")).collect();
+        Self {
+            columns,
+            kinds,
+            rows,
+            dataset: None,
+        }
+    }
+
+    /// Renames the output columns (e.g. to the query's variable names).
+    ///
+    /// # Panics
+    /// Panics if the name count does not match the column count.
+    pub fn with_columns(mut self, columns: Vec<String>) -> Self {
+        assert_eq!(
+            columns.len(),
+            self.kinds.len(),
+            "column name count must match the schema arity"
+        );
+        self.columns = columns;
+        self
+    }
+
+    /// Attaches the data set whose dictionary decodes the term columns.
+    pub fn with_dataset(mut self, dataset: Arc<Dataset>) -> Self {
+        self.dataset = Some(dataset);
+        self
+    }
+
+    /// Output column names, in schema order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Output column kinds, in schema order.
+    pub fn kinds(&self) -> &[ColumnKind] {
+        &self.kinds
+    }
+
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the query matched nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The raw dictionary-encoded rows (the benchmark harness compares
+    /// these directly).
+    pub fn ids(&self) -> &[Vec<u64>] {
+        &self.rows
+    }
+
+    /// Consumes the result set into its raw encoded rows.
+    pub fn into_ids(self) -> Vec<Vec<u64>> {
+        self.rows
+    }
+
+    /// Decodes one value of column `col`: term ids resolve through the
+    /// dictionary, counts (and ids with no attached data set) render as
+    /// numbers.
+    pub fn decode(&self, col: usize, value: u64) -> String {
+        if self.kinds.get(col) == Some(&ColumnKind::Term) {
+            if let Some(ds) = &self.dataset {
+                if let Some(term) = ds.dict.get_term(value) {
+                    return term.to_string();
+                }
+            }
+        }
+        value.to_string()
+    }
+
+    /// Iterates the rows, decoding each lazily as it is yielded.
+    pub fn iter(&self) -> Rows<'_> {
+        Rows { set: self, next: 0 }
+    }
+
+    /// Decodes every row eagerly (convenience for tests and small results).
+    pub fn decoded(&self) -> Vec<Vec<String>> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a ResultSet {
+    type Item = Vec<String>;
+    type IntoIter = Rows<'a>;
+
+    fn into_iter(self) -> Rows<'a> {
+        self.iter()
+    }
+}
+
+/// Lazily decoding row iterator over a [`ResultSet`].
+#[derive(Debug, Clone)]
+pub struct Rows<'a> {
+    set: &'a ResultSet,
+    next: usize,
+}
+
+impl Iterator for Rows<'_> {
+    type Item = Vec<String>;
+
+    fn next(&mut self) -> Option<Vec<String>> {
+        let row = self.set.rows.get(self.next)?;
+        self.next += 1;
+        Some(
+            row.iter()
+                .enumerate()
+                .map(|(c, &v)| self.set.decode(c, v))
+                .collect(),
+        )
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.set.rows.len() - self.next;
+        (rest, Some(rest))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Arc<Dataset> {
+        let mut ds = Dataset::new();
+        ds.add("<s1>", "<type>", "<Text>");
+        Arc::new(ds)
+    }
+
+    #[test]
+    fn default_columns_are_positional() {
+        let rs = ResultSet::new(vec![vec![1, 2]], vec![ColumnKind::Term, ColumnKind::Count]);
+        assert_eq!(rs.columns(), ["c0", "c1"]);
+        assert_eq!(rs.len(), 1);
+        assert!(!rs.is_empty());
+    }
+
+    #[test]
+    fn decoding_uses_dictionary_for_terms_and_numbers_for_counts() {
+        let ds = dataset();
+        let type_id = ds.expect_id("<type>");
+        let rs = ResultSet::new(
+            vec![vec![type_id, 42]],
+            vec![ColumnKind::Term, ColumnKind::Count],
+        )
+        .with_columns(vec!["p".into(), "n".into()])
+        .with_dataset(ds);
+        assert_eq!(
+            rs.decoded(),
+            vec![vec!["<type>".to_string(), "42".to_string()]]
+        );
+        assert_eq!(rs.columns(), ["p", "n"]);
+    }
+
+    #[test]
+    fn iteration_is_lazy_and_sized() {
+        let ds = dataset();
+        let id = ds.expect_id("<s1>");
+        let rs = ResultSet::new(vec![vec![id], vec![id]], vec![ColumnKind::Term]).with_dataset(ds);
+        let mut it = rs.iter();
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.next(), Some(vec!["<s1>".to_string()]));
+        assert_eq!(it.len(), 1);
+        // &ResultSet is IntoIterator, so `for row in &rs` works.
+        assert_eq!((&rs).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn missing_dataset_or_foreign_id_falls_back_to_numbers() {
+        let rs = ResultSet::new(vec![vec![7]], vec![ColumnKind::Term]);
+        assert_eq!(rs.decoded(), vec![vec!["7".to_string()]]);
+        let rs = ResultSet::new(vec![vec![999]], vec![ColumnKind::Term]).with_dataset(dataset());
+        assert_eq!(rs.decoded(), vec![vec!["999".to_string()]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column name count")]
+    fn with_columns_checks_arity() {
+        let _ = ResultSet::new(vec![], vec![ColumnKind::Term]).with_columns(vec![]);
+    }
+}

@@ -1,13 +1,11 @@
 //! The measurement protocol of §2.3 and the Table 4/6/7 experiment driver.
 
-use serde::Serialize;
-
 use swans_plan::queries::{QueryContext, QueryId};
 
 use crate::store::RdfStore;
 
 /// Averaged timings for one (configuration, query, temperature) cell.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Measurement {
     /// Average wall+I/O seconds (the paper's *real time*).
     pub real_seconds: f64,
@@ -91,7 +89,7 @@ pub fn geometric_mean(xs: &[f64]) -> f64 {
 
 /// One configuration row of Tables 6/7: all 12 queries plus the G, G\*,
 /// G\*/G summary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ConfigRow {
     /// Configuration label, e.g. `"MonetDB-sim (column) vert/SO"`.
     pub label: String,

@@ -1,14 +1,23 @@
 //! [`RdfStore`]: one loaded (engine × layout × machine) configuration.
+//!
+//! The store owns a [`StorageManager`] and a `Box<dyn Engine>` — dispatch
+//! goes through the [`Engine`] trait, so the two built-in engines and any
+//! third-party implementation are handled identically, and executing a
+//! plan the engine cannot run returns a typed error instead of panicking.
 
 use std::time::Instant;
 
 use swans_colstore::ColumnEngine;
 use swans_plan::algebra::Plan;
+use swans_plan::exec::EngineError;
 use swans_plan::queries::{build_plan, QueryContext, QueryId, Scheme};
 use swans_rdf::{Dataset, SortOrder};
-use swans_rowstore::engine::TripleIndexConfig;
 use swans_rowstore::RowEngine;
 use swans_storage::{IoStats, MachineProfile, StorageManager};
+
+use crate::engine::Engine;
+use crate::error::Error;
+use crate::result::ResultSet;
 
 /// Which engine architecture executes the queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,6 +36,14 @@ impl EngineKind {
         match self {
             EngineKind::Row => "DBX-sim (row)",
             EngineKind::Column => "MonetDB-sim (column)",
+        }
+    }
+
+    /// Instantiates an empty engine of this kind.
+    pub fn create(self) -> Box<dyn Engine> {
+        match self {
+            EngineKind::Row => Box::new(RowEngine::new()),
+            EngineKind::Column => Box::new(ColumnEngine::new()),
         }
     }
 }
@@ -118,6 +135,27 @@ impl StoreConfig {
     pub fn label(&self) -> String {
         format!("{} {}", self.engine.name(), self.layout.name())
     }
+
+    /// Checks the configuration for contradictions, describing the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pool_pages == Some(0) {
+            return Err("buffer pool of 0 pages cannot hold any data".into());
+        }
+        let bw = self.machine.io_read_mb_s;
+        if bw.is_nan() || bw <= 0.0 {
+            return Err(format!(
+                "machine profile needs positive read bandwidth (got {bw})"
+            ));
+        }
+        let seek = self.machine.seek_ms;
+        if seek.is_nan() || seek < 0.0 {
+            return Err(format!(
+                "machine profile needs a non-negative seek penalty (got {seek})"
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// The result and cost of one query execution.
@@ -133,79 +171,68 @@ pub struct QueryRun {
     pub io: IoStats,
 }
 
-/// A loaded store: a data set materialized in one physical configuration.
+/// A loaded store: a data set materialized in one physical configuration,
+/// executing plans through an [`Engine`] trait object.
 pub struct RdfStore {
     config: StoreConfig,
     storage: StorageManager,
-    row: Option<RowEngine>,
-    col: Option<ColumnEngine>,
+    engine: Box<dyn Engine>,
 }
 
 impl RdfStore {
-    /// Loads `dataset` under `config`. Loading (sorting, index builds,
-    /// segment registration) happens outside the measured window, matching
-    /// the benchmark convention of §2.3.
-    pub fn load(dataset: &Dataset, config: StoreConfig) -> Self {
+    /// Loads `dataset` under `config` with the built-in engine the
+    /// configuration names. Loading (sorting, index builds, segment
+    /// registration) happens outside the measured window, matching the
+    /// benchmark convention of §2.3.
+    pub fn try_load(dataset: &Dataset, config: StoreConfig) -> Result<Self, Error> {
+        let engine = config.engine.create();
+        Self::with_engine(dataset, config, engine)
+    }
+
+    /// Loads `dataset` into a caller-provided engine — the plug-in point
+    /// for third-party [`Engine`] implementations. `config.engine` is kept
+    /// only as a label; dispatch goes through the trait object.
+    pub fn with_engine(
+        dataset: &Dataset,
+        config: StoreConfig,
+        mut engine: Box<dyn Engine>,
+    ) -> Result<Self, Error> {
+        config.validate().map_err(Error::Config)?;
         let storage = match config.pool_pages {
             Some(pages) => StorageManager::with_pool(config.machine, pages),
             None => StorageManager::new(config.machine),
         };
-        let mut row = None;
-        let mut col = None;
-        match config.engine {
-            EngineKind::Row => {
-                let mut e = RowEngine::new();
-                match config.layout {
-                    Layout::TripleStore(order) => {
-                        let idx = match order {
-                            SortOrder::Spo => TripleIndexConfig::spo(),
-                            SortOrder::Pso => TripleIndexConfig::pso(),
-                            other => TripleIndexConfig {
-                                cluster: other,
-                                secondaries: vec![],
-                            },
-                        };
-                        e.load_triple_store(&storage, &dataset.triples, &idx);
-                    }
-                    Layout::VerticallyPartitioned => {
-                        e.load_vertical(&storage, &dataset.triples);
-                    }
-                }
-                row = Some(e);
-            }
-            EngineKind::Column => {
-                let mut e = ColumnEngine::new();
-                match config.layout {
-                    Layout::TripleStore(order) => {
-                        e.load_triple_store(
-                            &storage,
-                            &dataset.triples,
-                            order,
-                            config.compression,
-                        );
-                    }
-                    Layout::VerticallyPartitioned => {
-                        e.load_vertical(&storage, &dataset.triples, config.compression);
-                    }
-                }
-                col = Some(e);
-            }
-        }
+        engine.load(&storage, dataset, config.layout, config.compression)?;
         // Loading touched nothing through the pool, but be explicit: the
         // first run must observe a cold system with zeroed counters.
         storage.clear_pool();
         storage.reset_stats();
-        Self {
+        Ok(Self {
             config,
             storage,
-            row,
-            col,
-        }
+            engine,
+        })
+    }
+
+    /// [`RdfStore::try_load`] for benchmark call sites that treat a broken
+    /// configuration as fatal.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or the engine rejects the
+    /// load — use [`RdfStore::try_load`] to handle these as values.
+    pub fn load(dataset: &Dataset, config: StoreConfig) -> Self {
+        let label = config.label();
+        Self::try_load(dataset, config).unwrap_or_else(|e| panic!("failed to load {label}: {e}"))
     }
 
     /// The loaded configuration.
     pub fn config(&self) -> &StoreConfig {
         &self.config
+    }
+
+    /// The engine executing this store's plans.
+    pub fn engine(&self) -> &dyn Engine {
+        self.engine.as_ref()
     }
 
     /// The storage manager (I/O statistics, traces, pool control).
@@ -223,40 +250,41 @@ impl RdfStore {
         self.storage.clear_pool();
     }
 
-    /// Executes a raw logical plan (no timing), returning result rows.
-    pub fn execute_plan(&self, plan: &Plan) -> Vec<Vec<u64>> {
-        match self.config.engine {
-            EngineKind::Row => self.row.as_ref().expect("row engine loaded").execute(plan),
-            EngineKind::Column => self
-                .col
-                .as_ref()
-                .expect("column engine loaded")
-                .execute(plan)
-                .to_rows(),
-        }
+    /// Executes a raw logical plan (no timing), returning the encoded
+    /// result set.
+    pub fn execute_plan(&self, plan: &Plan) -> Result<ResultSet, EngineError> {
+        self.engine.execute(plan)
+    }
+
+    /// Executes an arbitrary plan under the measurement protocol.
+    pub fn run_plan(&self, plan: &Plan) -> Result<QueryRun, EngineError> {
+        let io_before = self.storage.stats();
+        let start = Instant::now();
+        let rows = self.engine.execute(plan)?.into_ids();
+        let user_seconds = start.elapsed().as_secs_f64();
+        let io = self.storage.stats().since(&io_before);
+        Ok(QueryRun {
+            rows,
+            user_seconds,
+            real_seconds: user_seconds + io.io_seconds,
+            io,
+        })
     }
 
     /// Builds and executes benchmark query `q`, measuring user/real time
     /// and I/O. Whether the run is cold or hot depends on the pool state —
     /// use [`RdfStore::make_cold`] or prior executions to set it up.
+    ///
+    /// This is the thin wrapper the experiment drivers (Tables 4/6/7, the
+    /// figure sweeps) run on. The generator always produces a valid plan
+    /// for this store's own layout, so engine errors cannot occur here;
+    /// should an engine misbehave anyway, the benchmark treats that as
+    /// fatal.
     pub fn run_query(&self, q: QueryId, ctx: &QueryContext) -> QueryRun {
         let plan = build_plan(q, self.config.layout.scheme(), ctx);
-        self.run_plan(&plan)
-    }
-
-    /// Executes an arbitrary plan under the measurement protocol.
-    pub fn run_plan(&self, plan: &Plan) -> QueryRun {
-        let io_before = self.storage.stats();
-        let start = Instant::now();
-        let rows = self.execute_plan(plan);
-        let user_seconds = start.elapsed().as_secs_f64();
-        let io = self.storage.stats().since(&io_before);
-        QueryRun {
-            rows,
-            user_seconds,
-            real_seconds: user_seconds + io.io_seconds,
-            io,
-        }
+        self.run_plan(&plan).unwrap_or_else(|e| {
+            panic!("benchmark query {q} failed on {}: {e}", self.config.label())
+        })
     }
 }
 
@@ -289,15 +317,14 @@ mod tests {
             StoreConfig::column(Layout::TripleStore(SortOrder::Pso)),
             StoreConfig::column(Layout::VerticallyPartitioned),
         ];
-        let stores: Vec<RdfStore> =
-            configs.iter().map(|c| RdfStore::load(&ds, c.clone())).collect();
+        let stores: Vec<RdfStore> = configs
+            .iter()
+            .map(|c| RdfStore::load(&ds, c.clone()))
+            .collect();
         for q in QueryId::ALL {
             let reference = crate::normalize_result(
                 q,
-                naive::execute(
-                    &build_plan(q, Scheme::TripleStore, &ctx),
-                    &ds.triples,
-                ),
+                naive::execute(&build_plan(q, Scheme::TripleStore, &ctx), &ds.triples),
             );
             for store in &stores {
                 let got = crate::normalize_result(q, store.run_query(q, &ctx).rows);
@@ -357,5 +384,99 @@ mod tests {
         let store = RdfStore::load(&ds, StoreConfig::row(Layout::TripleStore(SortOrder::Pso)));
         // triples + 5 secondaries: at least arity*8*n bytes.
         assert!(store.disk_bytes() > ds.len() as u64 * 24);
+    }
+
+    /// Dispatch goes through the trait object: a plan for the layout this
+    /// store did NOT load yields a typed error, never a panic.
+    #[test]
+    fn mismatched_plan_is_a_typed_error() {
+        let ds = dataset();
+        let ctx = QueryContext::from_dataset(&ds, 8);
+        let triple_store = RdfStore::load(
+            &ds,
+            StoreConfig::column(Layout::TripleStore(SortOrder::Pso)),
+        );
+        let vp_plan = build_plan(QueryId::Q1, Scheme::VerticallyPartitioned, &ctx);
+        assert_eq!(
+            triple_store.run_plan(&vp_plan).unwrap_err(),
+            EngineError::MissingVerticalLayout
+        );
+        let vp_store = RdfStore::load(&ds, StoreConfig::row(Layout::VerticallyPartitioned));
+        let tri_plan = build_plan(QueryId::Q1, Scheme::TripleStore, &ctx);
+        assert_eq!(
+            vp_store.run_plan(&tri_plan).unwrap_err(),
+            EngineError::MissingTripleStore
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let ds = dataset();
+        let bad = StoreConfig::column(Layout::VerticallyPartitioned).with_pool_pages(0);
+        assert!(matches!(
+            RdfStore::try_load(&ds, bad),
+            Err(Error::Config(_))
+        ));
+        let mut negative = StoreConfig::row(Layout::TripleStore(SortOrder::Pso));
+        negative.machine.io_read_mb_s = 0.0;
+        assert!(matches!(
+            RdfStore::try_load(&ds, negative),
+            Err(Error::Config(_))
+        ));
+    }
+
+    /// Third-party engines plug in through `with_engine`.
+    #[test]
+    fn custom_engine_plugs_in() {
+        use crate::engine::{Engine, Footprint};
+        use crate::result::ResultSet;
+
+        /// A trivial engine that keeps the triples in a Vec and answers
+        /// through the naive executor.
+        struct NaiveEngine {
+            triples: Vec<swans_rdf::Triple>,
+        }
+        impl Engine for NaiveEngine {
+            fn name(&self) -> &'static str {
+                "naive-sim"
+            }
+            fn load(
+                &mut self,
+                _storage: &StorageManager,
+                dataset: &Dataset,
+                _layout: Layout,
+                _compression: bool,
+            ) -> Result<(), EngineError> {
+                self.triples = dataset.triples.clone();
+                Ok(())
+            }
+            fn execute(&self, plan: &Plan) -> Result<ResultSet, EngineError> {
+                plan.validate().map_err(EngineError::InvalidPlan)?;
+                Ok(ResultSet::new(
+                    naive::execute(plan, &self.triples),
+                    plan.output_kinds(),
+                ))
+            }
+            fn footprint(&self) -> Footprint {
+                Footprint {
+                    has_triple_store: true,
+                    property_tables: 0,
+                }
+            }
+        }
+
+        let ds = dataset();
+        let ctx = QueryContext::from_dataset(&ds, 28);
+        let store = RdfStore::with_engine(
+            &ds,
+            StoreConfig::row(Layout::TripleStore(SortOrder::Pso)),
+            Box::new(NaiveEngine { triples: vec![] }),
+        )
+        .expect("naive engine loads");
+        assert_eq!(store.engine().name(), "naive-sim");
+        let q1 = build_plan(QueryId::Q1, Scheme::TripleStore, &ctx);
+        let got = crate::normalize_result(QueryId::Q1, store.run_plan(&q1).unwrap().rows);
+        let want = crate::normalize_result(QueryId::Q1, naive::execute(&q1, &ds.triples));
+        assert_eq!(got, want);
     }
 }

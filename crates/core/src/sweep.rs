@@ -1,7 +1,5 @@
 //! The Figure 6 property sweep and the Figure 7 splitting experiment.
 
-use serde::Serialize;
-
 use swans_datagen::split_properties;
 use swans_plan::queries::{QueryContext, QueryId};
 use swans_rdf::{Dataset, SortOrder};
@@ -10,7 +8,7 @@ use crate::runner::{measure_cold, Measurement};
 use crate::store::{Layout, RdfStore, StoreConfig};
 
 /// One measured point of a sweep series.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SweepPoint {
     /// X coordinate: the number of properties considered / present.
     pub n_properties: usize,
@@ -21,7 +19,7 @@ pub struct SweepPoint {
 }
 
 /// A per-query sweep series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepSeries {
     /// The swept query.
     pub query: String,
@@ -166,7 +164,13 @@ mod tests {
     #[test]
     fn property_sweep_produces_points() {
         let ds = small();
-        let series = property_sweep(&ds, &[QueryId::Q2, QueryId::Q3], &[10, 30, 60], 1, swans_storage::MachineProfile::B);
+        let series = property_sweep(
+            &ds,
+            &[QueryId::Q2, QueryId::Q3],
+            &[10, 30, 60],
+            1,
+            swans_storage::MachineProfile::B,
+        );
         assert_eq!(series.len(), 2);
         for s in &series {
             assert_eq!(s.points.len(), 3);
@@ -184,13 +188,26 @@ mod tests {
     #[should_panic(expected = "Figure 6 sweeps")]
     fn property_sweep_rejects_star_queries() {
         let ds = small();
-        let _ = property_sweep(&ds, &[QueryId::Q2Star], &[10], 1, swans_storage::MachineProfile::B);
+        let _ = property_sweep(
+            &ds,
+            &[QueryId::Q2Star],
+            &[10],
+            1,
+            swans_storage::MachineProfile::B,
+        );
     }
 
     #[test]
     fn splitting_sweep_preserves_answers() {
         let ds = small();
-        let series = splitting_sweep(&ds, &[QueryId::Q2Star], &[60, 120], 1, 7, swans_storage::MachineProfile::B);
+        let series = splitting_sweep(
+            &ds,
+            &[QueryId::Q2Star],
+            &[60, 120],
+            1,
+            7,
+            swans_storage::MachineProfile::B,
+        );
         assert_eq!(series.len(), 1);
         let pts = &series[0].points;
         assert_eq!(pts.len(), 2);
@@ -206,6 +223,13 @@ mod tests {
     #[should_panic(expected = "Figure 7 sweeps")]
     fn splitting_sweep_rejects_base_queries() {
         let ds = small();
-        let _ = splitting_sweep(&ds, &[QueryId::Q2], &[100], 1, 7, swans_storage::MachineProfile::B);
+        let _ = splitting_sweep(
+            &ds,
+            &[QueryId::Q2],
+            &[100],
+            1,
+            7,
+            swans_storage::MachineProfile::B,
+        );
     }
 }

@@ -1,7 +1,6 @@
 //! The calibrated Barton-like generator.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::StdRng;
 
 use swans_plan::queries::vocab;
 use swans_rdf::{Dataset, Id, Triple};
@@ -100,7 +99,9 @@ const NAMED_PROPS: [(usize, &str); 10] = [
 fn property_weights(n_props: usize) -> Vec<f64> {
     assert!(n_props >= 12, "need at least the named properties");
     let zipf = |s: f64, lo: usize, hi: usize| -> Vec<f64> {
-        (lo..hi).map(|r| 1.0 / ((r - lo + 1) as f64).powf(s)).collect()
+        (lo..hi)
+            .map(|r| 1.0 / ((r - lo + 1) as f64).powf(s))
+            .collect()
     };
     let head_hi = 28.min(n_props);
     let mid_hi = 56.min(n_props);
@@ -197,7 +198,13 @@ pub fn generate(cfg: &BartonConfig) -> Dataset {
         let ger = ds.dict.intern("<language/iso639-2b/ger>");
         let spa = ds.dict.intern("<language/iso639-2b/spa>");
         let rus = ds.dict.intern("<language/iso639-2b/rus>");
-        vec![(eng, 0.55), (fre, 0.15), (ger, 0.12), (spa, 0.10), (rus, 0.08)]
+        vec![
+            (eng, 0.55),
+            (fre, 0.15),
+            (ger, 0.12),
+            (spa, 0.10),
+            (rus, 0.08),
+        ]
     };
     let origin_pool: Vec<(Id, f64)> = {
         let dlc = ds.dict.intern(vocab::DLC);
@@ -224,7 +231,7 @@ pub fn generate(cfg: &BartonConfig) -> Dataset {
         .map(|w| ((w * remaining as f64).round() as usize).max(1))
         .collect();
     counts[0] = 0; // type handled below
-    // Trim/pad rounding drift on the largest property.
+                   // Trim/pad rounding drift on the largest property.
     let drift = counts.iter().sum::<usize>() as i64 - remaining as i64;
     let big = 1; // records, the largest non-type property
     counts[big] = (counts[big] as i64 - drift).max(1) as usize;

@@ -36,6 +36,7 @@
 //! harness records achieved-vs-paper statistics in EXPERIMENTS.md.
 
 pub mod barton;
+pub mod rng;
 pub mod split;
 
 pub use barton::{generate, BartonConfig, BARTON_TRIPLES};

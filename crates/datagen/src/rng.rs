@@ -1,0 +1,149 @@
+//! A small deterministic PRNG for the data generator.
+//!
+//! The generator only needs uniform `f64`s and bounded `usize`s from a
+//! seedable, reproducible source — not cryptographic quality. Bundling a
+//! xoshiro256**-based generator keeps the workspace free of external
+//! dependencies (the build must work fully offline) while preserving the
+//! generator's contract: the same seed always produces the same data set.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable deterministic random number generator (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: [u64; 4],
+}
+
+impl StdRng {
+    /// Creates a generator from a 64-bit seed. The full 256-bit state is
+    /// expanded with splitmix64, as the xoshiro authors recommend.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn random(&mut self) -> f64 {
+        // 53 uniform mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `usize` in the given (half-open or inclusive) range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn random_range<R: UsizeRange>(&mut self, range: R) -> usize {
+        let (lo, hi) = range.bounds();
+        assert!(lo < hi, "random_range over an empty range");
+        let span = (hi - lo) as u64;
+        // Multiply-shift bounded sampling (Lemire); the slight modulo bias
+        // of the plain approach is irrelevant here, but this is just as
+        // cheap and exact for spans that are powers of two.
+        let hi128 = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        lo + hi128 as usize
+    }
+}
+
+/// Ranges accepted by [`StdRng::random_range`], normalized to
+/// `[lo, hi)` bounds.
+pub trait UsizeRange {
+    /// `(inclusive lower, exclusive upper)` bounds.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl UsizeRange for Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl UsizeRange for RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        let (lo, hi) = self.into_inner();
+        (lo, hi + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn random_is_unit_interval_and_covers_it() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let u = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            lo_seen |= u < 0.1;
+            hi_seen |= u > 0.9;
+        }
+        assert!(lo_seen && hi_seen, "samples must cover the interval");
+    }
+
+    #[test]
+    fn range_bounds_are_respected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut hit_lo = false;
+        let mut hit_hi = false;
+        for _ in 0..2_000 {
+            let v = rng.random_range(3..7);
+            assert!((3..7).contains(&v));
+            hit_lo |= v == 3;
+            hit_hi |= v == 6;
+            let w = rng.random_range(2..=4);
+            assert!((2..=4).contains(&w));
+        }
+        assert!(hit_lo && hit_hi, "both range ends must be reachable");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(5..5);
+    }
+}

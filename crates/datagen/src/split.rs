@@ -7,8 +7,7 @@
 //! n = 1…9. The triples defined over the split properties are re-defined
 //! on one of the sub-properties following a uniform distribution."
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::StdRng;
 
 use swans_plan::queries::vocab;
 use swans_rdf::hash::FxHashMap;

@@ -128,6 +128,17 @@ pub enum Plan {
     },
 }
 
+/// What one output column of a [`Plan`] holds — the information a result
+/// decoder needs to know whether a `u64` is a dictionary id or a plain
+/// number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// A dictionary-encoded term id (decode through the dictionary).
+    Term,
+    /// An aggregate count (render as a number).
+    Count,
+}
+
 impl Plan {
     /// Number of output columns.
     pub fn arity(&self) -> usize {
@@ -148,6 +159,38 @@ impl Plan {
             Plan::Project { cols, .. } => cols.len(),
             Plan::GroupCount { keys, .. } => keys.len() + 1,
             Plan::UnionAll { inputs } => inputs.first().map_or(0, Plan::arity),
+        }
+    }
+
+    /// The kind of every output column, in schema order. This is what lets
+    /// a result decoder resolve term ids through the dictionary while
+    /// rendering aggregate counts as numbers — for *any* plan, not just the
+    /// benchmark queries whose count columns are known by convention.
+    pub fn output_kinds(&self) -> Vec<ColumnKind> {
+        match self {
+            Plan::ScanTriples { .. } | Plan::ScanProperty { .. } => {
+                vec![ColumnKind::Term; self.arity()]
+            }
+            Plan::Select { input, .. }
+            | Plan::FilterIn { input, .. }
+            | Plan::HavingCountGt { input, .. }
+            | Plan::Distinct { input } => input.output_kinds(),
+            Plan::Join { left, right, .. } => {
+                let mut kinds = left.output_kinds();
+                kinds.extend(right.output_kinds());
+                kinds
+            }
+            Plan::Project { input, cols } => {
+                let kinds = input.output_kinds();
+                cols.iter().map(|&c| kinds[c]).collect()
+            }
+            Plan::GroupCount { input, keys } => {
+                let kinds = input.output_kinds();
+                let mut out: Vec<ColumnKind> = keys.iter().map(|&k| kinds[k]).collect();
+                out.push(ColumnKind::Count);
+                out
+            }
+            Plan::UnionAll { inputs } => inputs.first().map(Plan::output_kinds).unwrap_or_default(),
         }
     }
 
@@ -239,12 +282,22 @@ impl Plan {
                     return Err("UnionAll with no inputs".into());
                 }
                 let a = inputs[0].arity();
+                let kinds = inputs[0].output_kinds();
                 for (i, p) in inputs.iter().enumerate() {
                     p.validate()?;
                     if p.arity() != a {
                         return Err(format!(
                             "UnionAll input {i} has arity {} but input 0 has {a}",
                             p.arity()
+                        ));
+                    }
+                    // Kinds must agree too: `output_kinds` reports only the
+                    // first input, so a branch mixing counts into a term
+                    // column (or vice versa) would decode wrongly.
+                    if p.output_kinds() != kinds {
+                        return Err(format!(
+                            "UnionAll input {i} has column kinds {:?} but input 0 has {kinds:?}",
+                            p.output_kinds()
                         ));
                     }
                 }
@@ -269,13 +322,7 @@ impl Plan {
         match self {
             Plan::ScanTriples { s, p, o } => {
                 let b = |x: &Option<Id>| x.map_or("?".to_string(), |v| v.to_string());
-                let _ = writeln!(
-                    out,
-                    "{pad}ScanTriples(s={}, p={}, o={})",
-                    b(s),
-                    b(p),
-                    b(o)
-                );
+                let _ = writeln!(out, "{pad}ScanTriples(s={}, p={}, o={})", b(s), b(p), b(o));
             }
             Plan::ScanProperty {
                 property,
@@ -474,6 +521,24 @@ mod tests {
         assert!(Plan::UnionAll { inputs: vec![] }.validate().is_err());
     }
 
+    /// Same arity but different column kinds (term vs count) must not
+    /// union: `output_kinds` reports the first input, so the other branch
+    /// would decode wrongly.
+    #[test]
+    fn validate_rejects_kind_mismatched_union() {
+        let terms = project(scan_all(), vec![0, 1]); // Term, Term
+        let counted = group_count(scan_all(), vec![0]); // Term, Count
+        let bad = Plan::UnionAll {
+            inputs: vec![terms.clone(), counted.clone()],
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("column kinds"), "{err}");
+        let ok = Plan::UnionAll {
+            inputs: vec![counted.clone(), counted],
+        };
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
     #[test]
     fn node_count_counts_all_operators() {
         let p = join(scan_all(), scan_all(), 0, 0);
@@ -514,6 +579,34 @@ mod tests {
         assert!(text.contains("UnionAll(222 inputs)"));
         assert!(text.contains("221 more property-table scans"));
         assert!(text.lines().count() < 10, "wide unions must be summarized");
+    }
+
+    #[test]
+    fn output_kinds_track_counts_through_operators() {
+        // (keys..., count) out of a GroupCount.
+        let g = group_count(scan_all(), vec![1]);
+        assert_eq!(g.output_kinds(), vec![ColumnKind::Term, ColumnKind::Count]);
+        // Project can reorder the count before a key.
+        let p = project(g.clone(), vec![1, 0]);
+        assert_eq!(p.output_kinds(), vec![ColumnKind::Count, ColumnKind::Term]);
+        // Joining a group result against a scan keeps both sides' kinds.
+        let j = join(g, scan_all(), 0, 0);
+        assert_eq!(
+            j.output_kinds(),
+            vec![
+                ColumnKind::Term,
+                ColumnKind::Count,
+                ColumnKind::Term,
+                ColumnKind::Term,
+                ColumnKind::Term
+            ]
+        );
+        // Grouping by a count column keeps its Count kind.
+        let gg = group_count(group_count(scan_all(), vec![0]), vec![1]);
+        assert_eq!(
+            gg.output_kinds(),
+            vec![ColumnKind::Count, ColumnKind::Count]
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ fn walk(plan: &Plan, cov: &mut Coverage) -> Prov {
             vec![Some(Role::S), Some(Role::P), Some(Role::O)]
         }
         Plan::ScanProperty {
-            s, o, emit_property, ..
+            s,
+            o,
+            emit_property,
+            ..
         } => {
             // A property table access is a triple access with p bound.
             cov.simple.insert(SimplePattern::classify(*s, Some(0), *o));
@@ -201,7 +204,11 @@ mod tests {
     /// analysis still terminates and finds the same join patterns.
     #[test]
     fn vp_plans_analyzable() {
-        let c = analyze(&build_plan(QueryId::Q8, Scheme::VerticallyPartitioned, &ctx()));
+        let c = analyze(&build_plan(
+            QueryId::Q8,
+            Scheme::VerticallyPartitioned,
+            &ctx(),
+        ));
         assert!(c.joins.contains(&J::B));
     }
 }

@@ -1,0 +1,64 @@
+//! Execution errors shared by every plan executor.
+//!
+//! Both storage engines (and the naive reference executor's callers)
+//! report failures through [`EngineError`] instead of panicking — the
+//! paper's core criticism of C-Store is that a query outside the
+//! hard-wired set aborts the system; a production front door must instead
+//! return a typed error the caller can handle. The type lives in
+//! `swans_plan` because it is the lowest layer both engines depend on;
+//! `swans_core::engine` re-exports it next to the `Engine` trait.
+
+/// Why a plan could not be executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The plan scans the `triples(s, p, o)` relation but the engine has no
+    /// triple-store layout loaded.
+    MissingTripleStore,
+    /// The plan scans a property table but the engine has no
+    /// vertically-partitioned layout loaded.
+    MissingVerticalLayout,
+    /// The plan is structurally invalid (bad column references, arity
+    /// mismatches, empty unions, ...). Carries [`crate::Plan::validate`]'s
+    /// description of the first problem.
+    InvalidPlan(String),
+    /// The plan is valid but uses a construct this engine cannot run.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::MissingTripleStore => {
+                write!(f, "no triple-store layout loaded in this engine")
+            }
+            EngineError::MissingVerticalLayout => {
+                write!(f, "no vertically-partitioned layout loaded in this engine")
+            }
+            EngineError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(EngineError::MissingTripleStore
+            .to_string()
+            .contains("triple-store"));
+        assert!(EngineError::MissingVerticalLayout
+            .to_string()
+            .contains("vertically-partitioned"));
+        assert!(EngineError::InvalidPlan("col 7".into())
+            .to_string()
+            .contains("col 7"));
+        assert!(EngineError::Unsupported("frob".into())
+            .to_string()
+            .contains("frob"));
+    }
+}

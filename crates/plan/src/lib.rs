@@ -28,6 +28,7 @@
 
 pub mod algebra;
 pub mod coverage;
+pub mod exec;
 pub mod lower;
 pub mod naive;
 pub mod optimize;
@@ -35,9 +36,11 @@ pub mod pattern;
 pub mod queries;
 pub mod sparql;
 
-pub use algebra::{CmpOp, Plan, Predicate};
+pub use algebra::{CmpOp, ColumnKind, Plan, Predicate};
 pub use coverage::{analyze, Coverage};
+pub use exec::EngineError;
 pub use lower::lower_to_vertical;
 pub use optimize::optimize;
 pub use pattern::{JoinPattern, SimplePattern};
 pub use queries::{build_plan, QueryContext, QueryId, Scheme};
+pub use sparql::{compile_sparql, CompiledQuery, SparqlError};

@@ -194,7 +194,11 @@ mod tests {
         use crate::queries::vocab;
         let subj = |i: usize| format!("<s{i}>");
         for i in 0..40 {
-            ds.add(&subj(i), vocab::TYPE, if i % 3 == 0 { vocab::TEXT } else { vocab::DATE });
+            ds.add(
+                &subj(i),
+                vocab::TYPE,
+                if i % 3 == 0 { vocab::TEXT } else { vocab::DATE },
+            );
             if i % 2 == 0 {
                 ds.add(&subj(i), vocab::LANGUAGE, vocab::FRENCH);
             }

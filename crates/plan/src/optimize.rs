@@ -132,10 +132,7 @@ fn push_select(input: Plan, pred: Predicate) -> Plan {
         }
         // --- through a union ----------------------------------------------
         Plan::UnionAll { inputs } => Plan::UnionAll {
-            inputs: inputs
-                .into_iter()
-                .map(|i| push_select(i, pred))
-                .collect(),
+            inputs: inputs.into_iter().map(|i| push_select(i, pred)).collect(),
         },
         // --- through a join ------------------------------------------------
         Plan::Join {
@@ -173,10 +170,7 @@ fn push_select(input: Plan, pred: Predicate) -> Plan {
             }
         }
         // --- through another select (reorder so ours can keep sinking) -----
-        Plan::Select {
-            input,
-            pred: inner,
-        } => Plan::Select {
+        Plan::Select { input, pred: inner } => Plan::Select {
             input: Box::new(push_select(*input, pred)),
             pred: inner,
         },
@@ -256,10 +250,7 @@ mod tests {
         };
         for i in inputs {
             assert!(
-                matches!(
-                    i,
-                    Plan::ScanProperty { s: Some(5), .. }
-                ),
+                matches!(i, Plan::ScanProperty { s: Some(5), .. }),
                 "subject bound in every branch: {i:?}"
             );
         }

@@ -409,15 +409,23 @@ fn build_vertical(query: QueryId, ctx: &QueryContext) -> Plan {
         ),
 
         QueryId::Q2 | QueryId::Q2Star => {
-            let props = if query == QueryId::Q2 { interesting } else { all };
+            let props = if query == QueryId::Q2 {
+                interesting
+            } else {
+                all
+            };
             let a = vp_scan(ctx.type_p, None, Some(ctx.text_o), false); // (s,o)
             let b = vp_scan_union(props, None, None, true); // (s,p,o)
-            // (A.s, A.o, B.s, B.p, B.o)
+                                                            // (A.s, A.o, B.s, B.p, B.o)
             group_count(project(join(a, b, 0, 0), vec![3]), vec![0])
         }
 
         QueryId::Q3 | QueryId::Q3Star => {
-            let props = if query == QueryId::Q3 { interesting } else { all };
+            let props = if query == QueryId::Q3 {
+                interesting
+            } else {
+                all
+            };
             let a = vp_scan(ctx.type_p, None, Some(ctx.text_o), false);
             let b = vp_scan_union(props, None, None, true);
             having_gt(
@@ -427,7 +435,11 @@ fn build_vertical(query: QueryId, ctx: &QueryContext) -> Plan {
         }
 
         QueryId::Q4 | QueryId::Q4Star => {
-            let props = if query == QueryId::Q4 { interesting } else { all };
+            let props = if query == QueryId::Q4 {
+                interesting
+            } else {
+                all
+            };
             let a = vp_scan(ctx.type_p, None, Some(ctx.text_o), false);
             let b = vp_scan_union(props, None, None, true);
             let c = vp_scan(ctx.language_p, None, Some(ctx.fre_o), false);
@@ -446,7 +458,11 @@ fn build_vertical(query: QueryId, ctx: &QueryContext) -> Plan {
         }
 
         QueryId::Q6 | QueryId::Q6Star => {
-            let props = if query == QueryId::Q6 { interesting } else { all };
+            let props = if query == QueryId::Q6 {
+                interesting
+            } else {
+                all
+            };
             let b = vp_scan(ctx.type_p, None, Some(ctx.text_o), false);
             let c = vp_scan(ctx.records_p, None, None, false);
             let d = vp_scan(ctx.type_p, None, Some(ctx.text_o), false);
@@ -474,11 +490,7 @@ fn build_vertical(query: QueryId, ctx: &QueryContext) -> Plan {
                 vp_scan_union(all, Some(ctx.conferences_s), None, false),
                 vec![1],
             ));
-            let b = select_ne(
-                vp_scan_union(all, None, None, false),
-                0,
-                ctx.conferences_s,
-            );
+            let b = select_ne(vp_scan_union(all, None, None, false), 0, ctx.conferences_s);
             // (t.o, B.s, B.o), join t.o = B.o
             project(join(t, b, 0, 1), vec![1]) // B.subj
         }
@@ -522,18 +534,18 @@ mod tests {
     fn result_arities_match_the_sql() {
         let ctx = ctx();
         let arities = [
-            (QueryId::Q1, 2),     // obj, count
-            (QueryId::Q2, 2),     // prop, count
+            (QueryId::Q1, 2), // obj, count
+            (QueryId::Q2, 2), // prop, count
             (QueryId::Q2Star, 2),
-            (QueryId::Q3, 3),     // prop, obj, count
+            (QueryId::Q3, 3), // prop, obj, count
             (QueryId::Q3Star, 3),
             (QueryId::Q4, 3),
             (QueryId::Q4Star, 3),
-            (QueryId::Q5, 2),     // B.subj, C.obj
-            (QueryId::Q6, 2),     // prop, count
+            (QueryId::Q5, 2), // B.subj, C.obj
+            (QueryId::Q6, 2), // prop, count
             (QueryId::Q6Star, 2),
-            (QueryId::Q7, 3),     // subj, B.obj, C.obj
-            (QueryId::Q8, 1),     // B.subj
+            (QueryId::Q7, 3), // subj, B.obj, C.obj
+            (QueryId::Q8, 1), // B.subj
         ];
         for (q, want) in arities {
             for scheme in [Scheme::TripleStore, Scheme::VerticallyPartitioned] {
@@ -590,7 +602,9 @@ mod tests {
     #[test]
     fn base7_is_the_c_store_subset() {
         assert_eq!(QueryId::BASE7.len(), 7);
-        assert!(QueryId::BASE7.iter().all(|q| !q.is_star() && *q != QueryId::Q8));
+        assert!(QueryId::BASE7
+            .iter()
+            .all(|q| !q.is_star() && *q != QueryId::Q8));
     }
 
     #[test]
@@ -599,7 +613,14 @@ mod tests {
         // Make the frequency ranking exclude the bound properties.
         c.all_properties = (50..272).collect();
         c.set_interesting(10);
-        for p in [c.type_p, c.records_p, c.origin_p, c.language_p, c.point_p, c.encoding_p] {
+        for p in [
+            c.type_p,
+            c.records_p,
+            c.origin_p,
+            c.language_p,
+            c.point_p,
+            c.encoding_p,
+        ] {
             assert!(c.interesting.contains(&p));
         }
         assert_eq!(c.interesting.len(), 10);

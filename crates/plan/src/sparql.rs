@@ -3,27 +3,35 @@
 //! The paper frames its query-space analysis in terms of SPARQL-style
 //! triple patterns (§2.2, citing the W3C recommendation \[7\]); C-Store's
 //! inability to accept *any* new query is one of its criticisms. This
-//! module closes that loop: a small but real subset of SPARQL —
-//! `SELECT [DISTINCT] ?vars WHERE { basic graph pattern }` — parses and
+//! module closes that loop: a small but real subset of SPARQL parses and
 //! compiles to the same logical [`Plan`]s the benchmark queries use, so a
 //! hand-written query runs on every engine/layout combination.
 //!
 //! Supported:
 //!
 //! * terms: `?variable`, `<uri>`, `"literal"`;
-//! * a basic graph pattern of `.`-separated triple patterns;
-//! * `SELECT *`, explicit projections, and `DISTINCT`.
+//! * a basic graph pattern of `.`-separated triple patterns (keywords are
+//!   case-insensitive, the trailing `.` is optional);
+//! * `SELECT *`, explicit projections, and `DISTINCT`;
+//! * `FILTER(?v = <t>)`, `FILTER(?v != <t>)` and
+//!   `FILTER(?v IN (<a>, <b>, ...))` — the restriction joins of the
+//!   benchmark (q5's `!= '<Text>'`, the 28-interesting-properties list);
+//! * `(COUNT(*) AS ?c)` with `GROUP BY` — the aggregation shape of q1–q4
+//!   and q6.
 //!
 //! Each additional pattern must share at least one variable with the
 //! patterns before it (a connected BGP); patterns sharing several
-//! variables apply the extra equalities as residual filters via
-//! [`Plan::Select`]-on-join-output... which the algebra expresses as a
-//! post-join [`crate::algebra::Predicate`]-style equality — see
-//! [`SparqlError::Unsupported`] for the constructs we reject outright.
+//! variables are currently rejected — see [`SparqlError::Unsupported`] for
+//! the constructs we reject outright.
+//!
+//! [`compile_sparql`] is the one-stop entry point: parse → compile →
+//! optimize → (lower to the vertically-partitioned scheme if requested),
+//! returning the executable plan plus its output column names.
 
 use swans_rdf::{Dataset, Id};
 
-use crate::algebra::Plan;
+use crate::algebra::{CmpOp, Plan, Predicate};
+use crate::queries::Scheme;
 
 /// A parsed SPARQL term.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,15 +54,42 @@ pub struct TriplePattern {
     pub o: Term,
 }
 
+/// One `FILTER` constraint of the graph pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Filter {
+    /// The constrained variable.
+    pub var: String,
+    /// The constraint.
+    pub op: FilterOp,
+}
+
+/// The constraint forms `FILTER` supports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterOp {
+    /// `FILTER(?v = <term>)`
+    Eq(String),
+    /// `FILTER(?v != <term>)`
+    Ne(String),
+    /// `FILTER(?v IN (<a>, <b>, ...))`
+    In(Vec<String>),
+}
+
 /// A parsed query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SparqlQuery {
-    /// Projected variables (empty means `SELECT *`).
+    /// Projected variables (empty means `SELECT *` unless [`Self::count`]
+    /// is set).
     pub select: Vec<String>,
+    /// `(COUNT(*) AS ?alias)` — always the last output column.
+    pub count: Option<String>,
     /// `SELECT DISTINCT`.
     pub distinct: bool,
     /// The basic graph pattern.
     pub patterns: Vec<TriplePattern>,
+    /// `FILTER` constraints, applied over the joined pattern.
+    pub filters: Vec<Filter>,
+    /// `GROUP BY` variables.
+    pub group_by: Vec<String>,
 }
 
 /// Errors from parsing or compiling.
@@ -66,7 +101,8 @@ pub enum SparqlError {
     Unsupported(String),
     /// A constant term does not occur in the data set.
     UnknownTerm(String),
-    /// A projected variable is not bound by the graph pattern.
+    /// A projected, grouped or filtered variable is not bound by the graph
+    /// pattern.
     UnboundVariable(String),
 }
 
@@ -95,9 +131,18 @@ fn tokenize(input: &str) -> Result<Vec<String>, SparqlError> {
             c if c.is_whitespace() => {
                 chars.next();
             }
-            '{' | '}' | '.' => {
+            '{' | '}' | '.' | '(' | ')' | ',' | '=' => {
                 tokens.push(c.to_string());
                 chars.next();
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push("!=".to_string());
+                } else {
+                    return Err(SparqlError::Parse("expected '=' after '!'".into()));
+                }
             }
             '<' => {
                 let mut t = String::new();
@@ -134,7 +179,9 @@ fn tokenize(input: &str) -> Result<Vec<String>, SparqlError> {
             _ => {
                 let mut t = String::new();
                 while let Some(&c) = chars.peek() {
-                    if c.is_whitespace() || matches!(c, '{' | '}' | '.') {
+                    if c.is_whitespace()
+                        || matches!(c, '{' | '}' | '.' | '(' | ')' | ',' | '=' | '!')
+                    {
                         break;
                     }
                     t.push(c);
@@ -162,91 +209,228 @@ fn parse_term(tok: &str) -> Result<Term, SparqlError> {
     }
 }
 
+/// Token cursor with keyword-aware helpers.
+struct Cursor<'a> {
+    tokens: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.eq_ignore_ascii_case(kw))
+    }
+
+    fn bump(&mut self) -> Option<&'a str> {
+        let t = self.peek();
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), SparqlError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(SparqlError::Parse(format!(
+                "expected {tok:?}, found {:?}",
+                self.peek().unwrap_or("end of input")
+            )))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SparqlError> {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(SparqlError::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek().unwrap_or("end of input")
+            )))
+        }
+    }
+
+    fn expect_var(&mut self) -> Result<String, SparqlError> {
+        let tok = self
+            .bump()
+            .ok_or_else(|| SparqlError::Parse("expected ?variable, found end of input".into()))?;
+        match parse_term(tok)? {
+            Term::Var(v) => Ok(v),
+            Term::Const(c) => Err(SparqlError::Parse(format!("expected ?variable, found {c}"))),
+        }
+    }
+
+    fn expect_const(&mut self) -> Result<String, SparqlError> {
+        let tok = self
+            .bump()
+            .ok_or_else(|| SparqlError::Parse("expected a term, found end of input".into()))?;
+        match parse_term(tok)? {
+            Term::Const(c) => Ok(c),
+            Term::Var(v) => Err(SparqlError::Parse(format!(
+                "expected <uri> or \"literal\", found ?{v}"
+            ))),
+        }
+    }
+}
+
+/// `( COUNT ( * ) AS ?alias )` — the opening `(` is already consumed.
+fn parse_count(cur: &mut Cursor) -> Result<String, SparqlError> {
+    cur.expect_keyword("count")?;
+    cur.expect("(")?;
+    cur.expect("*")?;
+    cur.expect(")")?;
+    cur.expect_keyword("as")?;
+    let alias = cur.expect_var()?;
+    cur.expect(")")?;
+    Ok(alias)
+}
+
+/// `FILTER ( ?v = t | ?v != t | ?v IN (t, ...) )` — the `FILTER` keyword is
+/// already consumed.
+fn parse_filter(cur: &mut Cursor) -> Result<Filter, SparqlError> {
+    cur.expect("(")?;
+    let var = cur.expect_var()?;
+    let op = match cur.bump() {
+        Some("=") => FilterOp::Eq(cur.expect_const()?),
+        Some("!=") => FilterOp::Ne(cur.expect_const()?),
+        Some(t) if t.eq_ignore_ascii_case("in") => {
+            cur.expect("(")?;
+            let mut terms = vec![cur.expect_const()?];
+            while cur.peek() == Some(",") {
+                cur.pos += 1;
+                terms.push(cur.expect_const()?);
+            }
+            cur.expect(")")?;
+            FilterOp::In(terms)
+        }
+        other => {
+            return Err(SparqlError::Parse(format!(
+                "expected =, != or IN in FILTER, found {:?}",
+                other.unwrap_or("end of input")
+            )))
+        }
+    };
+    cur.expect(")")?;
+    Ok(Filter { var, op })
+}
+
 /// Parses the supported SPARQL subset.
 pub fn parse(input: &str) -> Result<SparqlQuery, SparqlError> {
     let tokens = tokenize(input)?;
-    let mut pos = 0usize;
-    let peek = |pos: usize| tokens.get(pos).map(String::as_str);
+    let mut cur = Cursor {
+        tokens: &tokens,
+        pos: 0,
+    };
 
-    if !peek(pos).is_some_and(|t| t.eq_ignore_ascii_case("select")) {
-        return Err(SparqlError::Parse("query must start with SELECT".into()));
-    }
-    pos += 1;
+    cur.expect_keyword("select")
+        .map_err(|_| SparqlError::Parse("query must start with SELECT".into()))?;
 
-    let distinct = peek(pos).is_some_and(|t| t.eq_ignore_ascii_case("distinct"));
+    let distinct = cur.at_keyword("distinct");
     if distinct {
-        pos += 1;
+        cur.pos += 1;
     }
 
     let mut select = Vec::new();
+    let mut count: Option<String> = None;
     let mut star = false;
-    while let Some(t) = peek(pos) {
-        if t.eq_ignore_ascii_case("where") {
-            break;
-        }
-        if t == "*" {
-            star = true;
-            pos += 1;
-            continue;
-        }
-        match parse_term(t)? {
-            Term::Var(v) => select.push(v),
-            Term::Const(c) => {
-                return Err(SparqlError::Parse(format!(
-                    "cannot project constant {c}"
-                )))
+    loop {
+        match cur.peek() {
+            Some(t) if t.eq_ignore_ascii_case("where") => break,
+            Some("*") => {
+                star = true;
+                cur.pos += 1;
             }
+            Some("(") => {
+                cur.pos += 1;
+                if count.is_some() {
+                    return Err(SparqlError::Parse("at most one COUNT(*) per query".into()));
+                }
+                count = Some(parse_count(&mut cur)?);
+            }
+            Some(t) => {
+                if count.is_some() {
+                    return Err(SparqlError::Parse(
+                        "COUNT(*) must be the last select item".into(),
+                    ));
+                }
+                match parse_term(t)? {
+                    Term::Var(v) => select.push(v),
+                    Term::Const(c) => {
+                        return Err(SparqlError::Parse(format!("cannot project constant {c}")))
+                    }
+                }
+                cur.pos += 1;
+            }
+            None => return Err(SparqlError::Parse("expected WHERE".into())),
         }
-        pos += 1;
     }
-    if !star && select.is_empty() {
+    if !star && select.is_empty() && count.is_none() {
         return Err(SparqlError::Parse(
-            "SELECT needs variables or *".into(),
+            "SELECT needs variables, COUNT(*) or *".into(),
         ));
     }
-    if star && !select.is_empty() {
+    if star && (!select.is_empty() || count.is_some()) {
         return Err(SparqlError::Parse(
-            "SELECT cannot mix * with variables".into(),
+            "SELECT cannot mix * with variables or COUNT(*)".into(),
         ));
     }
 
-    if !peek(pos).is_some_and(|t| t.eq_ignore_ascii_case("where")) {
-        return Err(SparqlError::Parse("expected WHERE".into()));
-    }
-    pos += 1;
-    if peek(pos) != Some("{") {
-        return Err(SparqlError::Parse("expected '{' after WHERE".into()));
-    }
-    pos += 1;
+    cur.expect_keyword("where")?;
+    cur.expect("{")
+        .map_err(|_| SparqlError::Parse("expected '{' after WHERE".into()))?;
 
     let mut patterns = Vec::new();
+    let mut filters = Vec::new();
     loop {
-        match peek(pos) {
+        match cur.peek() {
             Some("}") => {
-                pos += 1;
+                cur.pos += 1;
                 break;
             }
+            Some(t) if t.eq_ignore_ascii_case("filter") => {
+                cur.pos += 1;
+                filters.push(parse_filter(&mut cur)?);
+                if cur.peek() == Some(".") {
+                    cur.pos += 1;
+                }
+            }
             Some(_) => {
-                let s = parse_term(peek(pos).expect("checked"))?;
-                let p = peek(pos + 1)
+                let s = parse_term(cur.bump().expect("peeked"))?;
+                let p = cur
+                    .bump()
                     .ok_or_else(|| SparqlError::Parse("pattern cut short".into()))
                     .and_then(parse_term)?;
-                let o = peek(pos + 2)
+                let o = cur
+                    .bump()
                     .ok_or_else(|| SparqlError::Parse("pattern cut short".into()))
                     .and_then(parse_term)?;
-                pos += 3;
                 patterns.push(TriplePattern { s, p, o });
-                if peek(pos) == Some(".") {
-                    pos += 1;
+                if cur.peek() == Some(".") {
+                    cur.pos += 1;
                 }
             }
             None => return Err(SparqlError::Parse("missing '}'".into())),
         }
     }
-    if pos != tokens.len() {
+
+    let mut group_by = Vec::new();
+    if cur.at_keyword("group") {
+        cur.pos += 1;
+        cur.expect_keyword("by")?;
+        group_by.push(cur.expect_var()?);
+        while cur.peek().is_some_and(|t| t.starts_with('?')) {
+            group_by.push(cur.expect_var()?);
+        }
+    }
+
+    if cur.pos != tokens.len() {
         return Err(SparqlError::Parse(format!(
-            "trailing tokens after '}}': {:?}",
-            &tokens[pos..]
+            "trailing tokens: {:?}",
+            &tokens[cur.pos..]
         )));
     }
     if patterns.is_empty() {
@@ -254,14 +438,27 @@ pub fn parse(input: &str) -> Result<SparqlQuery, SparqlError> {
     }
     Ok(SparqlQuery {
         select,
+        count,
         distinct,
         patterns,
+        filters,
+        group_by,
     })
 }
 
 // ---------------------------------------------------------------------
 // Compiler
 // ---------------------------------------------------------------------
+
+/// A compiled query: the executable plan plus its output schema.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// The logical plan (triple-store space unless lowered).
+    pub plan: Plan,
+    /// One name per output column: the projected variables, with the
+    /// `COUNT(*)` alias last when aggregating.
+    pub columns: Vec<String>,
+}
 
 /// Variable → output-column bindings of a partially built plan.
 #[derive(Debug, Default, Clone)]
@@ -281,21 +478,30 @@ impl Bindings {
 fn resolve(ds: &Dataset, term: &Term) -> Result<Option<Id>, SparqlError> {
     match term {
         Term::Var(_) => Ok(None),
-        Term::Const(c) => ds
-            .dict
-            .id_of(c)
-            .map(Some)
-            .ok_or_else(|| SparqlError::UnknownTerm(c.clone())),
+        Term::Const(c) => resolve_const(ds, c).map(Some),
     }
 }
 
-/// Compiles a parsed query to a triple-store logical plan over `ds`.
+fn resolve_const(ds: &Dataset, c: &str) -> Result<Id, SparqlError> {
+    ds.dict
+        .id_of(c)
+        .ok_or_else(|| SparqlError::UnknownTerm(c.to_string()))
+}
+
+/// Compiles a parsed query to a triple-store logical plan over `ds`,
+/// discarding the output schema. See [`compile_query`] for the full form.
+pub fn compile(query: &SparqlQuery, ds: &Dataset) -> Result<Plan, SparqlError> {
+    compile_query(query, ds).map(|c| c.plan)
+}
+
+/// Compiles a parsed query to a triple-store logical plan over `ds`,
+/// returning the plan together with its output column names.
 ///
 /// The BGP must be *connected*: each pattern after the first shares at
 /// least one variable with the preceding ones; one shared variable becomes
 /// the join condition, additional shared variables are currently rejected
 /// (see [`SparqlError::Unsupported`]).
-pub fn compile(query: &SparqlQuery, ds: &Dataset) -> Result<Plan, SparqlError> {
+pub fn compile_query(query: &SparqlQuery, ds: &Dataset) -> Result<CompiledQuery, SparqlError> {
     let mut plan: Option<Plan> = None;
     let mut bindings = Bindings::default();
 
@@ -366,39 +572,178 @@ pub fn compile(query: &SparqlQuery, ds: &Dataset) -> Result<Plan, SparqlError> {
             }
         }
     }
-    let plan = plan.expect("patterns checked non-empty");
+    let mut plan = plan.expect("patterns checked non-empty");
 
-    // Projection.
-    let cols: Vec<usize> = if query.select.is_empty() {
-        // SELECT *: every bound variable, in first-mention order.
-        bindings.0.iter().map(|&(_, c)| c).collect()
+    // FILTER constraints over the joined pattern.
+    for f in &query.filters {
+        let col = bindings
+            .col(&f.var)
+            .ok_or_else(|| SparqlError::UnboundVariable(f.var.clone()))?;
+        plan = match &f.op {
+            FilterOp::Eq(t) => Plan::Select {
+                input: Box::new(plan),
+                pred: Predicate {
+                    col,
+                    op: CmpOp::Eq,
+                    value: resolve_const(ds, t)?,
+                },
+            },
+            FilterOp::Ne(t) => Plan::Select {
+                input: Box::new(plan),
+                pred: Predicate {
+                    col,
+                    op: CmpOp::Ne,
+                    value: resolve_const(ds, t)?,
+                },
+            },
+            FilterOp::In(terms) => Plan::FilterIn {
+                input: Box::new(plan),
+                col,
+                values: terms
+                    .iter()
+                    .map(|t| resolve_const(ds, t))
+                    .collect::<Result<_, _>>()?,
+            },
+        };
+    }
+
+    // Aggregation or plain projection.
+    let (mut out, columns) = if query.count.is_some() || !query.group_by.is_empty() {
+        compile_aggregate(query, plan, &bindings)?
     } else {
-        query
-            .select
-            .iter()
-            .map(|v| {
-                bindings
-                    .col(v)
-                    .ok_or_else(|| SparqlError::UnboundVariable(v.clone()))
-            })
-            .collect::<Result<_, _>>()?
+        let (cols, names): (Vec<usize>, Vec<String>) = if query.select.is_empty() {
+            // SELECT *: every bound variable, in first-mention order.
+            bindings.0.iter().map(|(v, c)| (*c, v.clone())).unzip()
+        } else {
+            query
+                .select
+                .iter()
+                .map(|v| {
+                    bindings
+                        .col(v)
+                        .map(|c| (c, v.clone()))
+                        .ok_or_else(|| SparqlError::UnboundVariable(v.clone()))
+                })
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .unzip()
+        };
+        (
+            Plan::Project {
+                input: Box::new(plan),
+                cols,
+            },
+            names,
+        )
     };
-    let mut out = Plan::Project {
-        input: Box::new(plan),
-        cols,
-    };
+
     if query.distinct {
         out = Plan::Distinct {
             input: Box::new(out),
         };
     }
     debug_assert_eq!(out.validate(), Ok(()));
-    Ok(out)
+    Ok(CompiledQuery { plan: out, columns })
 }
 
-/// Parse + compile in one step.
+/// The `GROUP BY` / `COUNT(*)` tail: group the pattern output by the
+/// grouping variables and append the count, then project the selected
+/// subset.
+fn compile_aggregate(
+    query: &SparqlQuery,
+    plan: Plan,
+    bindings: &Bindings,
+) -> Result<(Plan, Vec<String>), SparqlError> {
+    let Some(count_alias) = &query.count else {
+        return Err(SparqlError::Unsupported(
+            "GROUP BY without COUNT(*) — use SELECT DISTINCT".into(),
+        ));
+    };
+    if query.group_by.is_empty() {
+        return Err(SparqlError::Unsupported(
+            "COUNT(*) requires GROUP BY".into(),
+        ));
+    }
+    // Group keys in GROUP BY order.
+    let key_cols: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(|v| {
+            bindings
+                .col(v)
+                .ok_or_else(|| SparqlError::UnboundVariable(v.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    let n = key_cols.len();
+    let grouped = Plan::GroupCount {
+        input: Box::new(Plan::Project {
+            input: Box::new(plan),
+            cols: key_cols,
+        }),
+        keys: (0..n).collect(),
+    };
+    // Schema is now: group_by vars ++ count. Project the SELECT subset
+    // (every selected variable must be grouped).
+    let mut out_cols: Vec<usize> = query
+        .select
+        .iter()
+        .map(|v| {
+            query.group_by.iter().position(|g| g == v).ok_or_else(|| {
+                SparqlError::Unsupported(format!("?{v} is selected but not in GROUP BY"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    out_cols.push(n); // the count
+    let mut columns: Vec<String> = query.select.clone();
+    columns.push(count_alias.clone());
+
+    let identity = out_cols.len() == n + 1 && out_cols.iter().enumerate().all(|(i, &c)| i == c);
+    let plan = if identity {
+        grouped
+    } else {
+        Plan::Project {
+            input: Box::new(grouped),
+            cols: out_cols,
+        }
+    };
+    Ok((plan, columns))
+}
+
+/// Parse + compile in one step (triple-store plan, no optimization).
 pub fn plan_for(input: &str, ds: &Dataset) -> Result<Plan, SparqlError> {
     compile(&parse(input)?, ds)
+}
+
+/// The public compile entry point: parse, compile, optimize and — for the
+/// vertically-partitioned scheme — lower the plan onto per-property tables
+/// (expanding property-unbound scans over every property of `ds`).
+///
+/// The returned plan executes on any engine loaded with the corresponding
+/// layout and carries its output column names for result decoding.
+pub fn compile_sparql(
+    input: &str,
+    ds: &Dataset,
+    scheme: Scheme,
+) -> Result<CompiledQuery, SparqlError> {
+    let compiled = compile_query(&parse(input)?, ds)?;
+    let plan = crate::optimize::optimize(compiled.plan);
+    let plan = match scheme {
+        Scheme::TripleStore => plan,
+        Scheme::VerticallyPartitioned => {
+            let props: Vec<Id> = ds
+                .properties_by_frequency()
+                .into_iter()
+                .map(|(p, _)| p)
+                .collect();
+            // Re-optimize after lowering so bound positions fuse into the
+            // per-property scans too.
+            crate::optimize::optimize(crate::lower::lower_to_vertical(&plan, &props))
+        }
+    };
+    Ok(CompiledQuery {
+        plan,
+        columns: compiled.columns,
+    })
 }
 
 #[cfg(test)]
@@ -428,13 +773,45 @@ mod tests {
 
     #[test]
     fn parses_distinct_star_and_multiple_patterns() {
-        let q = parse(
-            "select distinct * where { ?s <type> <Text> . ?s <lang> ?l . }",
-        )
-        .unwrap();
+        let q = parse("select distinct * where { ?s <type> <Text> . ?s <lang> ?l . }").unwrap();
         assert!(q.distinct);
         assert!(q.select.is_empty());
         assert_eq!(q.patterns.len(), 2);
+    }
+
+    /// Keywords are case-insensitive in every position.
+    #[test]
+    fn keywords_are_case_insensitive() {
+        for q in [
+            "select ?s where { ?s <type> <Text> }",
+            "SELECT ?s WHERE { ?s <type> <Text> }",
+            "SeLeCt ?s wHeRe { ?s <type> <Text> }",
+            "select DISTINCT ?s where { ?s <type> <Text> }",
+            "select distinct ?s WhErE { ?s <type> <Text> }",
+        ] {
+            let parsed = parse(q).unwrap_or_else(|e| panic!("{q:?}: {e}"));
+            assert_eq!(parsed.select, vec!["s"], "{q:?}");
+        }
+        let agg = parse("select ?t (count(*) as ?c) where { ?s <type> ?t } group by ?t").unwrap();
+        assert_eq!(agg.count.as_deref(), Some("c"));
+        assert_eq!(agg.group_by, vec!["t"]);
+        let filt =
+            parse("select ?s where { ?s <type> ?t . filter(?t in (<Text>, <Date>)) }").unwrap();
+        assert_eq!(filt.filters.len(), 1);
+    }
+
+    /// The `.` after the last triple pattern is optional — both spellings
+    /// parse to the same query.
+    #[test]
+    fn trailing_dot_is_optional() {
+        let without = parse("SELECT ?s ?l WHERE { ?s <type> <Text> . ?s <lang> ?l }").unwrap();
+        let with = parse("SELECT ?s ?l WHERE { ?s <type> <Text> . ?s <lang> ?l . }").unwrap();
+        assert_eq!(without, with);
+        // Single pattern, with and without the dot.
+        assert_eq!(
+            parse("SELECT ?s WHERE { ?s <type> <Text> . }").unwrap(),
+            parse("SELECT ?s WHERE { ?s <type> <Text> }").unwrap(),
+        );
     }
 
     #[test]
@@ -453,6 +830,16 @@ mod tests {
         ));
         assert!(matches!(
             parse("SELECT ?x WHERE { ?x <p <q> ?y }"),
+            Err(SparqlError::Parse(_))
+        ));
+        // COUNT(*) must come last in the select list.
+        assert!(matches!(
+            parse("SELECT (COUNT(*) AS ?c) ?x WHERE { ?x <p> ?y } GROUP BY ?x"),
+            Err(SparqlError::Parse(_))
+        ));
+        // FILTER needs a recognized operator.
+        assert!(matches!(
+            parse("SELECT ?x WHERE { ?x <p> ?y . FILTER(?y < <z>) }"),
             Err(SparqlError::Parse(_))
         ));
     }
@@ -484,8 +871,9 @@ mod tests {
     #[test]
     fn select_star_projects_all_variables() {
         let ds = dataset();
-        let plan = plan_for("SELECT * WHERE { ?s <lang> ?l }", &ds).unwrap();
-        assert_eq!(plan.arity(), 2);
+        let q = compile_query(&parse("SELECT * WHERE { ?s <lang> ?l }").unwrap(), &ds).unwrap();
+        assert_eq!(q.plan.arity(), 2);
+        assert_eq!(q.columns, vec!["s", "l"]);
     }
 
     #[test]
@@ -497,10 +885,118 @@ mod tests {
     }
 
     #[test]
+    fn filter_ne_restricts() {
+        let ds = dataset();
+        let plan = plan_for(
+            "SELECT ?s ?t WHERE { ?s <type> ?t . FILTER(?t != <Text>) }",
+            &ds,
+        )
+        .unwrap();
+        let rows = naive::execute(&plan, &ds.triples);
+        let date = ds.expect_id("<Date>");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], date);
+    }
+
+    #[test]
+    fn filter_eq_and_in_restrict() {
+        let ds = dataset();
+        let eq = plan_for(
+            "SELECT ?s WHERE { ?s <lang> ?l . FILTER(?l = \"fre\") }",
+            &ds,
+        )
+        .unwrap();
+        assert_eq!(naive::execute(&eq, &ds.triples).len(), 2);
+        let inq = plan_for(
+            "SELECT ?s WHERE { ?s <lang> ?l . FILTER(?l IN (\"fre\", \"eng\")) }",
+            &ds,
+        )
+        .unwrap();
+        assert_eq!(naive::execute(&inq, &ds.triples).len(), 3);
+    }
+
+    #[test]
+    fn count_group_by_aggregates() {
+        let ds = dataset();
+        let q = compile_query(
+            &parse("SELECT ?t (COUNT(*) AS ?n) WHERE { ?s <type> ?t } GROUP BY ?t").unwrap(),
+            &ds,
+        )
+        .unwrap();
+        assert_eq!(q.columns, vec!["t", "n"]);
+        use crate::algebra::ColumnKind;
+        assert_eq!(
+            q.plan.output_kinds(),
+            vec![ColumnKind::Term, ColumnKind::Count]
+        );
+        let mut rows = naive::execute(&q.plan, &ds.triples);
+        rows.sort_unstable();
+        let text = ds.expect_id("<Text>");
+        let date = ds.expect_id("<Date>");
+        let mut want = vec![vec![text, 2], vec![date, 1]];
+        want.sort_unstable();
+        assert_eq!(rows, want);
+    }
+
+    #[test]
+    fn count_only_projection_drops_keys() {
+        let ds = dataset();
+        let q = compile_query(
+            &parse("SELECT (COUNT(*) AS ?n) WHERE { ?s <type> ?t } GROUP BY ?t").unwrap(),
+            &ds,
+        )
+        .unwrap();
+        assert_eq!(q.columns, vec!["n"]);
+        assert_eq!(q.plan.arity(), 1);
+        let mut counts: Vec<u64> = naive::execute(&q.plan, &ds.triples)
+            .into_iter()
+            .map(|r| r[0])
+            .collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 2]);
+    }
+
+    #[test]
+    fn aggregate_misuse_is_rejected() {
+        let ds = dataset();
+        // COUNT without GROUP BY.
+        assert!(matches!(
+            compile(
+                &parse("SELECT (COUNT(*) AS ?n) WHERE { ?s <type> ?t }").unwrap(),
+                &ds
+            ),
+            Err(SparqlError::Unsupported(_))
+        ));
+        // GROUP BY without COUNT.
+        assert!(matches!(
+            compile(
+                &parse("SELECT ?t WHERE { ?s <type> ?t } GROUP BY ?t").unwrap(),
+                &ds
+            ),
+            Err(SparqlError::Unsupported(_))
+        ));
+        // Selected variable not grouped.
+        assert!(matches!(
+            compile(
+                &parse("SELECT ?s (COUNT(*) AS ?n) WHERE { ?s <type> ?t } GROUP BY ?t").unwrap(),
+                &ds
+            ),
+            Err(SparqlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
     fn unknown_constant_is_reported() {
         let ds = dataset();
         assert_eq!(
             plan_for("SELECT ?s WHERE { ?s <nope> ?o }", &ds),
+            Err(SparqlError::UnknownTerm("<nope>".into()))
+        );
+        assert_eq!(
+            plan_for(
+                "SELECT ?s WHERE { ?s <type> ?t . FILTER(?t != <nope>) }",
+                &ds
+            ),
             Err(SparqlError::UnknownTerm("<nope>".into()))
         );
     }
@@ -510,6 +1006,13 @@ mod tests {
         let ds = dataset();
         assert_eq!(
             plan_for("SELECT ?zzz WHERE { ?s <type> ?t }", &ds),
+            Err(SparqlError::UnboundVariable("zzz".into()))
+        );
+        assert_eq!(
+            plan_for(
+                "SELECT ?s WHERE { ?s <type> ?t . FILTER(?zzz != <Text>) }",
+                &ds
+            ),
             Err(SparqlError::UnboundVariable("zzz".into()))
         );
     }
@@ -530,12 +1033,43 @@ mod tests {
     fn multi_shared_variable_rejected() {
         let ds = dataset();
         assert!(matches!(
-            plan_for(
-                "SELECT ?s WHERE { ?s <type> ?t . ?s <lang> ?t }",
-                &ds
-            ),
+            plan_for("SELECT ?s WHERE { ?s <type> ?t . ?s <lang> ?t }", &ds),
             Err(SparqlError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn compile_sparql_lowers_for_the_vertical_scheme() {
+        let ds = dataset();
+        let q = "SELECT ?s ?p WHERE { ?s ?p \"fre\" }";
+        let tri = compile_sparql(q, &ds, Scheme::TripleStore).unwrap();
+        let vp = compile_sparql(q, &ds, Scheme::VerticallyPartitioned).unwrap();
+        assert_eq!(tri.columns, vec!["s", "p"]);
+        assert_eq!(vp.columns, vec!["s", "p"]);
+        // Lowering expands the property-unbound scan into per-table scans.
+        fn has_property_scan(p: &Plan) -> bool {
+            match p {
+                Plan::ScanProperty { .. } => true,
+                Plan::ScanTriples { .. } => false,
+                Plan::Select { input, .. }
+                | Plan::FilterIn { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::GroupCount { input, .. }
+                | Plan::HavingCountGt { input, .. }
+                | Plan::Distinct { input } => has_property_scan(input),
+                Plan::Join { left, right, .. } => {
+                    has_property_scan(left) || has_property_scan(right)
+                }
+                Plan::UnionAll { inputs } => inputs.iter().any(has_property_scan),
+            }
+        }
+        assert!(!has_property_scan(&tri.plan));
+        assert!(has_property_scan(&vp.plan));
+        // Both answer identically.
+        assert_eq!(
+            naive::normalize(naive::execute(&tri.plan, &ds.triples)),
+            naive::normalize(naive::execute(&vp.plan, &ds.triples)),
+        );
     }
 
     /// The q1-analogue written in SPARQL matches pattern p7 coverage.

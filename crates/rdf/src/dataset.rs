@@ -32,7 +32,11 @@ impl Dataset {
 
     /// Interns the three terms and appends the triple.
     pub fn add(&mut self, s: &str, p: &str, o: &str) -> Triple {
-        let t = Triple::new(self.dict.intern(s), self.dict.intern(p), self.dict.intern(o));
+        let t = Triple::new(
+            self.dict.intern(s),
+            self.dict.intern(p),
+            self.dict.intern(o),
+        );
         self.triples.push(t);
         t
     }

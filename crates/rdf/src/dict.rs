@@ -137,7 +137,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

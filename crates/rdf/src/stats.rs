@@ -60,10 +60,7 @@ impl DatasetStats {
         }
 
         let subjects: FxHashSet<Id> = subj_freq.keys().copied().collect();
-        let overlap = obj_freq
-            .keys()
-            .filter(|o| subjects.contains(o))
-            .count() as u64;
+        let overlap = obj_freq.keys().filter(|o| subjects.contains(o)).count() as u64;
         let mut terms: FxHashSet<Id> = subjects;
         terms.extend(prop_freq.keys());
         terms.extend(obj_freq.keys());

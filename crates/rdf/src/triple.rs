@@ -141,8 +141,7 @@ mod tests {
 
     #[test]
     fn all_orders_are_distinct_permutations() {
-        let mut perms: Vec<[usize; 3]> =
-            SortOrder::ALL.iter().map(|o| o.permutation()).collect();
+        let mut perms: Vec<[usize; 3]> = SortOrder::ALL.iter().map(|o| o.permutation()).collect();
         perms.sort();
         perms.dedup();
         assert_eq!(perms.len(), 6);

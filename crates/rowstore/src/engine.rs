@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 
 use swans_plan::algebra::{CmpOp, Plan};
+use swans_plan::exec::EngineError;
 use swans_rdf::hash::{FxHashMap, FxHashSet, FxHasher};
 use swans_rdf::{Id, SortOrder, Triple};
 use swans_storage::StorageManager;
@@ -54,6 +55,10 @@ impl TripleIndexConfig {
 pub struct RowEngine {
     triple: Option<RowTable>,
     props: FxHashMap<Id, RowTable>,
+    /// Whether [`RowEngine::load_vertical`] ran — distinguishes "no
+    /// vertically-partitioned layout at all" (an execution error) from "a
+    /// property with no triples" (an empty scan).
+    vertical_loaded: bool,
 }
 
 impl RowEngine {
@@ -94,7 +99,7 @@ impl RowEngine {
         let mut props: Vec<Id> = by_prop.keys().copied().collect();
         props.sort_unstable();
         let opts = TableOptions {
-            cluster_perm: vec![0, 1],      // SO
+            cluster_perm: vec![0, 1],          // SO
             secondary_perms: vec![vec![1, 0]], // OS
             prefix_compressed: true,
         };
@@ -103,6 +108,7 @@ impl RowEngine {
             let table = RowTable::load(storage, &format!("vp/{p}"), 2, &rows, &opts);
             self.props.insert(p, table);
         }
+        self.vertical_loaded = true;
     }
 
     /// Whether a triple-store layout is loaded.
@@ -116,18 +122,23 @@ impl RowEngine {
     }
 
     /// Executes a plan to a materialized row bag.
-    pub fn execute(&self, plan: &Plan) -> Vec<Vec<u64>> {
-        self.iter(plan).map(|r| r.to_vec()).collect()
+    ///
+    /// The plan is validated first; structural problems, scans against a
+    /// layout this engine never loaded, and unsupported constructs all
+    /// surface as [`EngineError`] — plan execution never panics.
+    pub fn execute(&self, plan: &Plan) -> Result<Vec<Vec<u64>>, EngineError> {
+        plan.validate().map_err(EngineError::InvalidPlan)?;
+        Ok(self.iter(plan)?.map(|r| r.to_vec()).collect())
     }
 
-    /// Builds the Volcano iterator tree for `plan`.
-    fn iter<'a>(&'a self, plan: &'a Plan) -> RowsIter<'a> {
-        match plan {
+    /// Builds the Volcano iterator tree for `plan` (already validated).
+    fn iter<'a>(&'a self, plan: &'a Plan) -> Result<RowsIter<'a>, EngineError> {
+        Ok(match plan {
             Plan::ScanTriples { s, p, o } => {
                 let t = self
                     .triple
                     .as_ref()
-                    .expect("no triple-store layout loaded in this row engine");
+                    .ok_or(EngineError::MissingTripleStore)?;
                 t.scan(&[*s, *p, *o])
             }
             Plan::ScanProperty {
@@ -136,15 +147,18 @@ impl RowEngine {
                 o,
                 emit_property,
             } => {
+                if !self.vertical_loaded {
+                    return Err(EngineError::MissingVerticalLayout);
+                }
                 let Some(t) = self.props.get(property) else {
-                    return Box::new(std::iter::empty());
+                    // A property with no triples (possible after
+                    // splitting): empty.
+                    return Ok(Box::new(std::iter::empty()));
                 };
                 let base = t.scan(&[*s, *o]);
                 if *emit_property {
                     let p = *property;
-                    Box::new(base.map(move |r| {
-                        Row::from_slice(&[r.get(0), p, r.get(1)])
-                    }))
+                    Box::new(base.map(move |r| Row::from_slice(&[r.get(0), p, r.get(1)])))
                 } else {
                     base
                 }
@@ -154,14 +168,14 @@ impl RowEngine {
                 let value = pred.value;
                 let ne = pred.op == CmpOp::Ne;
                 Box::new(
-                    self.iter(input)
+                    self.iter(input)?
                         .filter(move |r| (r.get(col) == value) != ne),
                 )
             }
             Plan::FilterIn { input, col, values } => {
                 let set: FxHashSet<u64> = values.iter().copied().collect();
                 let col = *col;
-                Box::new(self.iter(input).filter(move |r| set.contains(&r.get(col))))
+                Box::new(self.iter(input)?.filter(move |r| set.contains(&r.get(col))))
             }
             Plan::Join {
                 left,
@@ -171,7 +185,7 @@ impl RowEngine {
             } => {
                 // Hash join: build on the left input, probe with the right,
                 // streaming. Duplicate chains are kept allocation-free.
-                let build: Vec<Row> = self.iter(left).collect();
+                let build: Vec<Row> = self.iter(left)?.collect();
                 let mut heads: HashMap<u64, u32, BuildHasherDefault<FxHasher>> =
                     HashMap::with_capacity_and_hasher(build.len(), Default::default());
                 let mut next = vec![u32::MAX; build.len()];
@@ -180,7 +194,7 @@ impl RowEngine {
                     next[i] = *e;
                     *e = i as u32;
                 }
-                let right_iter = self.iter(right);
+                let right_iter = self.iter(right)?;
                 let rc = *right_col;
                 Box::new(HashJoinIter {
                     build,
@@ -193,11 +207,11 @@ impl RowEngine {
             }
             Plan::Project { input, cols } => {
                 let cols = cols.clone();
-                Box::new(self.iter(input).map(move |r| r.project(&cols)))
+                Box::new(self.iter(input)?.map(move |r| r.project(&cols)))
             }
             Plan::GroupCount { input, keys } => {
                 let mut groups: FxHashMap<Row, u64> = FxHashMap::default();
-                for r in self.iter(input) {
+                for r in self.iter(input)? {
                     *groups.entry(r.project(keys)).or_insert(0) += 1;
                 }
                 Box::new(groups.into_iter().map(|(mut k, c)| {
@@ -208,16 +222,20 @@ impl RowEngine {
             Plan::HavingCountGt { input, min } => {
                 let min = *min;
                 let last = input.arity() - 1;
-                Box::new(self.iter(input).filter(move |r| r.get(last) > min))
+                Box::new(self.iter(input)?.filter(move |r| r.get(last) > min))
             }
             Plan::UnionAll { inputs } => {
-                Box::new(inputs.iter().flat_map(move |p| self.iter(p)))
+                let iters: Vec<RowsIter<'a>> = inputs
+                    .iter()
+                    .map(|p| self.iter(p))
+                    .collect::<Result<_, _>>()?;
+                Box::new(iters.into_iter().flatten())
             }
             Plan::Distinct { input } => {
                 let mut seen: FxHashSet<Row> = FxHashSet::default();
-                Box::new(self.iter(input).filter(move |r| seen.insert(*r)))
+                Box::new(self.iter(input)?.filter(move |r| seen.insert(*r)))
             }
-        }
+        })
     }
 }
 
@@ -280,7 +298,7 @@ mod tests {
     }
 
     fn check(plan: &Plan, e: &RowEngine) {
-        let got = naive::normalize(e.execute(plan));
+        let got = naive::normalize(e.execute(plan).expect("plan executes"));
         let want = naive::normalize(naive::execute(plan, &triples()));
         assert_eq!(got, want, "plan {plan:?}");
     }
@@ -340,7 +358,53 @@ mod tests {
             o: None,
             emit_property: false,
         };
-        assert!(e.execute(&p).is_empty());
+        assert!(e.execute(&p).expect("empty scan executes").is_empty());
+    }
+
+    /// Scans against a layout the engine never loaded return a typed error
+    /// instead of aborting the process.
+    #[test]
+    fn missing_layout_is_an_error_not_a_panic() {
+        let m = StorageManager::new(MachineProfile::B);
+        let mut triple_only = RowEngine::new();
+        triple_only.load_triple_store(&m, &triples(), &TripleIndexConfig::pso());
+        let vp_scan = Plan::ScanProperty {
+            property: 0,
+            s: None,
+            o: None,
+            emit_property: false,
+        };
+        assert_eq!(
+            triple_only.execute(&vp_scan),
+            Err(EngineError::MissingVerticalLayout)
+        );
+
+        let mut vertical_only = RowEngine::new();
+        vertical_only.load_vertical(&m, &triples());
+        assert_eq!(
+            vertical_only.execute(&scan_all()),
+            Err(EngineError::MissingTripleStore)
+        );
+        // The error surfaces even when the bad scan is buried in a tree.
+        let nested = project(join(vp_scan, scan_all(), 0, 0), vec![0]);
+        assert_eq!(
+            vertical_only.execute(&nested),
+            Err(EngineError::MissingTripleStore)
+        );
+    }
+
+    /// A structurally malformed plan (out-of-range column reference) is
+    /// rejected up front with `InvalidPlan`.
+    #[test]
+    fn malformed_plan_returns_err() {
+        let e = engine(&TripleIndexConfig::pso());
+        let bad = project(scan_all(), vec![7]);
+        assert!(matches!(e.execute(&bad), Err(EngineError::InvalidPlan(_))));
+        let bad_union = Plan::UnionAll { inputs: vec![] };
+        assert!(matches!(
+            e.execute(&bad_union),
+            Err(EngineError::InvalidPlan(_))
+        ));
     }
 
     #[test]
@@ -375,7 +439,11 @@ mod tests {
         let mut ds = swans_rdf::Dataset::new();
         let subj = |i: usize| format!("<s{i}>");
         for i in 0..60 {
-            ds.add(&subj(i), vocab::TYPE, if i % 3 == 0 { vocab::TEXT } else { vocab::DATE });
+            ds.add(
+                &subj(i),
+                vocab::TYPE,
+                if i % 3 == 0 { vocab::TEXT } else { vocab::DATE },
+            );
             if i % 2 == 0 {
                 ds.add(&subj(i), vocab::LANGUAGE, vocab::FRENCH);
             }
@@ -403,7 +471,7 @@ mod tests {
             for q in QueryId::ALL {
                 for scheme in [Scheme::TripleStore, Scheme::VerticallyPartitioned] {
                     let plan = build_plan(q, scheme, &ctx);
-                    let got = naive::normalize(e.execute(&plan));
+                    let got = naive::normalize(e.execute(&plan).expect("plan executes"));
                     let want = naive::normalize(naive::execute(&plan, &ds.triples));
                     assert_eq!(
                         got,

@@ -92,7 +92,7 @@ impl RowTable {
             let mut sec_rows = Vec::with_capacity(n * (arity + 1));
             for rowid in 0..clustered.len() {
                 let crow = clustered.row(rowid); // in cluster-key order
-                // Recover the logical row, then permute for the secondary.
+                                                 // Recover the logical row, then permute for the secondary.
                 for &c in perm {
                     let pos = opts
                         .cluster_perm
@@ -172,7 +172,10 @@ impl RowTable {
                 .collect();
             let matches = self.secondaries[index].tree.probe(&prefix).len();
             if matches < self.clustered.leaf_pages() as usize {
-                return AccessPath::Secondary { index, prefix_len: plen };
+                return AccessPath::Secondary {
+                    index,
+                    prefix_len: plen,
+                };
             }
         }
         AccessPath::FullScan
@@ -240,9 +243,7 @@ impl RowTable {
 
 /// Length of the bound prefix of `perm` under `bounds`.
 fn prefix_len(perm: &[usize], bounds: &[Option<u64>]) -> usize {
-    perm.iter()
-        .take_while(|&&c| bounds[c].is_some())
-        .count()
+    perm.iter().take_while(|&&c| bounds[c].is_some()).count()
 }
 
 /// Rebuilds the logical row from a cluster-key-ordered row.
@@ -285,7 +286,7 @@ mod tests {
             3,
             &rows(),
             &TableOptions {
-                cluster_perm: vec![1, 0, 2], // PSO
+                cluster_perm: vec![1, 0, 2],                         // PSO
                 secondary_perms: vec![vec![0, 1, 2], vec![2, 0, 1]], // SPO, OSP
                 prefix_compressed: true,
             },

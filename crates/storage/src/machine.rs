@@ -82,8 +82,7 @@ impl MachineProfile {
     };
 
     /// All Table 3 machines.
-    pub const ALL: [MachineProfile; 3] =
-        [MachineProfile::A, MachineProfile::B, MachineProfile::C];
+    pub const ALL: [MachineProfile; 3] = [MachineProfile::A, MachineProfile::B, MachineProfile::C];
 
     /// Simulated seconds to sequentially transfer `bytes` bytes.
     #[inline]
@@ -105,7 +104,10 @@ mod tests {
     #[test]
     fn machine_b_reads_roughly_4x_faster_than_a() {
         let ratio = MachineProfile::B.io_read_mb_s / MachineProfile::A.io_read_mb_s;
-        assert!((3.5..4.2).contains(&ratio), "paper: B handles I/O ~4x faster");
+        assert!(
+            (3.5..4.2).contains(&ratio),
+            "paper: B handles I/O ~4x faster"
+        );
     }
 
     #[test]

@@ -5,9 +5,7 @@
 //! disk only for non-resident pages, batching consecutive misses into
 //! sequential runs.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::disk::SimDisk;
 use crate::io::{IoStats, IoTracePoint};
@@ -42,6 +40,13 @@ pub struct StorageManager {
 }
 
 impl StorageManager {
+    /// Locks the shared state. Poisoning is recovered: the inner state is
+    /// plain accounting data that stays consistent even if a panic unwound
+    /// through a lock holder.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Creates a manager with the given machine profile and an unbounded
     /// buffer pool.
     pub fn new(profile: MachineProfile) -> Self {
@@ -61,12 +66,12 @@ impl StorageManager {
 
     /// The machine profile in effect.
     pub fn profile(&self) -> MachineProfile {
-        self.inner.lock().disk.profile()
+        self.lock().disk.profile()
     }
 
     /// Registers a segment big enough for `bytes` bytes and returns its id.
     pub fn create_segment(&self, name: impl Into<String>, bytes: u64) -> SegmentId {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let id = SegmentId(inner.segments.len() as u32);
         inner.segments.push(SegmentMeta {
             name: name.into(),
@@ -77,22 +82,17 @@ impl StorageManager {
 
     /// Number of pages in `seg`.
     pub fn segment_pages(&self, seg: SegmentId) -> u32 {
-        self.inner.lock().segments[seg.0 as usize].pages
+        self.lock().segments[seg.0 as usize].pages
     }
 
     /// Name of `seg` (for diagnostics).
     pub fn segment_name(&self, seg: SegmentId) -> String {
-        self.inner.lock().segments[seg.0 as usize].name.clone()
+        self.lock().segments[seg.0 as usize].name.clone()
     }
 
     /// Total registered pages across all segments.
     pub fn total_pages(&self) -> u64 {
-        self.inner
-            .lock()
-            .segments
-            .iter()
-            .map(|s| s.pages as u64)
-            .sum()
+        self.lock().segments.iter().map(|s| s.pages as u64).sum()
     }
 
     /// Total registered bytes across all segments (on-disk footprint).
@@ -103,7 +103,7 @@ impl StorageManager {
     /// Touches a single page (a point access, e.g. a secondary-index probe
     /// or a B+tree node visit).
     pub fn touch_page(&self, seg: SegmentId, page: u32) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         debug_assert!(page < inner.segments[seg.0 as usize].pages);
         if !inner.pool.access(seg, page) {
             inner.disk.read_run(seg, page, 1);
@@ -114,7 +114,7 @@ impl StorageManager {
     /// non-resident pages are fetched in sequential runs; resident pages
     /// are skipped (and refreshed in the pool).
     pub fn touch_range(&self, seg: SegmentId, first: u32, count: u32) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         debug_assert!(
             first + count <= inner.segments[seg.0 as usize].pages,
             "range beyond segment {:?}: {first}+{count} > {}",
@@ -147,32 +147,32 @@ impl StorageManager {
 
     /// Empties the buffer pool: the next touches will be cold.
     pub fn clear_pool(&self) {
-        self.inner.lock().pool.clear();
+        self.lock().pool.clear();
     }
 
     /// Current cumulative I/O statistics.
     pub fn stats(&self) -> IoStats {
-        self.inner.lock().disk.stats()
+        self.lock().disk.stats()
     }
 
     /// Zeroes the I/O statistics.
     pub fn reset_stats(&self) {
-        self.inner.lock().disk.reset_stats();
+        self.lock().disk.reset_stats();
     }
 
     /// Number of pages currently resident in the pool.
     pub fn resident_pages(&self) -> usize {
-        self.inner.lock().pool.resident_pages()
+        self.lock().pool.resident_pages()
     }
 
     /// Starts recording the I/O read history (Figure 5).
     pub fn begin_trace(&self) {
-        self.inner.lock().disk.begin_trace();
+        self.lock().disk.begin_trace();
     }
 
     /// Stops recording and returns the history.
     pub fn take_trace(&self) -> Vec<IoTracePoint> {
-        self.inner.lock().disk.take_trace()
+        self.lock().disk.take_trace()
     }
 }
 
@@ -193,10 +193,7 @@ mod tests {
         assert_eq!(cold.bytes_read, 10 * PAGE_SIZE as u64);
         m.touch_range(seg, 0, 10);
         let hot = m.stats();
-        assert_eq!(
-            hot.bytes_read, cold.bytes_read,
-            "warm pages cost nothing"
-        );
+        assert_eq!(hot.bytes_read, cold.bytes_read, "warm pages cost nothing");
     }
 
     #[test]

@@ -24,14 +24,23 @@ fn main() {
         &dataset,
         StoreConfig::column(Layout::TripleStore(SortOrder::Pso)).on_machine(machine),
     );
-    let vertical = RdfStore::load(&dataset, StoreConfig::column(Layout::VerticallyPartitioned).on_machine(machine));
+    let vertical = RdfStore::load(
+        &dataset,
+        StoreConfig::column(Layout::VerticallyPartitioned).on_machine(machine),
+    );
 
     println!("column engine, cold runs (real time = compute + simulated I/O):\n");
     println!(
         "{:<6} {:>14} {:>14}   verdict",
         "query", "triple/PSO", "vert/SO"
     );
-    for q in [QueryId::Q2, QueryId::Q2Star, QueryId::Q6, QueryId::Q6Star, QueryId::Q8] {
+    for q in [
+        QueryId::Q2,
+        QueryId::Q2Star,
+        QueryId::Q6,
+        QueryId::Q6Star,
+        QueryId::Q8,
+    ] {
         triple.make_cold();
         let t = triple.run_query(q, &ctx);
         vertical.make_cold();
@@ -60,7 +69,6 @@ fn main() {
             &ctx
         )
         .node_count(),
-        swans_plan::build_plan(QueryId::Q2Star, swans_plan::Scheme::TripleStore, &ctx)
-            .node_count(),
+        swans_plan::build_plan(QueryId::Q2Star, swans_plan::Scheme::TripleStore, &ctx).node_count(),
     );
 }

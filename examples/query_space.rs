@@ -69,9 +69,12 @@ fn main() {
         &dataset,
         StoreConfig::column(Layout::TripleStore(SortOrder::Pso)).on_machine(machine),
     );
-    let row = RdfStore::load(&dataset, StoreConfig::row(Layout::TripleStore(SortOrder::Pso)).on_machine(machine));
-    let a = triple.run_plan(&custom);
-    let b = row.run_plan(&custom);
+    let row = RdfStore::load(
+        &dataset,
+        StoreConfig::row(Layout::TripleStore(SortOrder::Pso)).on_machine(machine),
+    );
+    let a = triple.run_plan(&custom).expect("custom plan executes");
+    let b = row.run_plan(&custom).expect("custom plan executes");
     assert_eq!(
         {
             let mut x = a.rows.clone();
@@ -100,7 +103,7 @@ fn main() {
         p: Some(some.p),
         o: Some(some.o),
     };
-    let hit = row.run_plan(&p1);
+    let hit = row.run_plan(&p1).expect("point lookup executes");
     println!(
         "p1 point lookup: {} hit(s) in {:.3} ms via the clustered B+tree",
         hit.rows.len(),

@@ -1,16 +1,17 @@
-//! Quickstart: generate a Barton-like data set, load it into a
-//! vertically-partitioned column store, and run benchmark query q1
-//! ("how many resources of each type?") cold and hot.
+//! Quickstart: generate a Barton-like data set, open it as a [`Database`]
+//! on a vertically-partitioned column store, and query it — first with an
+//! ad-hoc SPARQL aggregation ("how many resources of each type?"), then
+//! through the paper's benchmark path, cold and hot.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use swans_core::{Layout, RdfStore, StoreConfig};
+use swans_core::{Database, Layout, StoreConfig};
 use swans_datagen::{generate, BartonConfig};
-use swans_plan::{QueryContext, QueryId};
+use swans_plan::QueryId;
 
-fn main() {
+fn main() -> Result<(), swans_core::Error> {
     // ~100k triples, 222 properties, calibrated to the paper's Table 1.
     let dataset = generate(&BartonConfig::with_triples(100_000));
     println!(
@@ -19,29 +20,39 @@ fn main() {
         dataset.distinct_properties().len(),
         dataset.dict.len()
     );
-
-    // The query context resolves the benchmark constants (<type>, <Text>,
-    // ...) and selects the 28 "interesting" properties.
-    let ctx = QueryContext::from_dataset(&dataset, 28);
     let machine = swans_core::profile_for(&dataset, swans_storage::MachineProfile::B);
 
-    // Load the vertically-partitioned layout on the column engine — the
+    // Open the vertically-partitioned layout on the column engine — the
     // configuration Abadi et al. advocated and the paper re-examines.
-    let store = RdfStore::load(&dataset, StoreConfig::column(Layout::VerticallyPartitioned).on_machine(machine));
+    let db = Database::open(
+        dataset,
+        StoreConfig::column(Layout::VerticallyPartitioned).on_machine(machine),
+    )?;
     println!(
-        "loaded {} ({} bytes on simulated disk)",
-        store.config().label(),
-        store.disk_bytes()
+        "opened {} ({} bytes on simulated disk)",
+        db.config().label(),
+        db.store().disk_bytes()
     );
 
-    // Cold run: nothing cached, every touched column is read from "disk".
-    store.make_cold();
-    let cold = store.run_query(QueryId::Q1, &ctx);
-    // Hot run: the buffer pool is warm, no I/O at all.
-    let hot = store.run_query(QueryId::Q1, &ctx);
+    // One SPARQL string runs the whole pipeline: parse → plan → optimize →
+    // lower to property tables → execute → decode through the dictionary.
+    let results =
+        db.query("SELECT ?class (COUNT(*) AS ?n) WHERE { ?s <type> ?class } GROUP BY ?class")?;
+    let mut rows = results.decoded();
+    rows.sort_by_key(|r| std::cmp::Reverse(r[1].parse::<u64>().unwrap_or(0)));
+    println!("\ntop classes by instance count ({:?}):", results.columns());
+    for row in rows.iter().take(5) {
+        println!("  {:>8}  {}", row[1], row[0]);
+    }
 
+    // The same question through the benchmark path (q1), measured under
+    // the paper's cold/hot protocol.
+    let ctx = db.benchmark_context(28);
+    db.make_cold();
+    let cold = db.run_benchmark(QueryId::Q1, &ctx);
+    let hot = db.run_benchmark(QueryId::Q1, &ctx);
     println!(
-        "q1 cold: {:>8.3} ms real ({:>7.3} ms user, {:.2} MB read)",
+        "\nq1 cold: {:>8.3} ms real ({:>7.3} ms user, {:.2} MB read)",
         cold.real_seconds * 1e3,
         cold.user_seconds * 1e3,
         cold.io.megabytes_read()
@@ -52,12 +63,5 @@ fn main() {
         hot.user_seconds * 1e3,
         hot.io.megabytes_read()
     );
-
-    // Decode the top classes through the dictionary.
-    let mut rows = hot.rows;
-    rows.sort_unstable_by_key(|r| std::cmp::Reverse(r[1]));
-    println!("\ntop classes by instance count:");
-    for row in rows.iter().take(5) {
-        println!("  {:>8}  {}", row[1], dataset.dict.term(row[0]));
-    }
+    Ok(())
 }

@@ -1,21 +1,23 @@
-//! Ad-hoc querying with the mini SPARQL front-end.
+//! Ad-hoc querying through the [`Database`] front door.
 //!
 //! The paper could not add a single query to C-Store ("the query plans in
 //! C-Store are hard-wired in C++ code"). Here a new query is one string:
-//! it parses to a logical plan, passes the rule-based optimizer (watch the
-//! selection bound fuse into the scan), and runs on every engine/layout.
+//! `Database::query` parses it, plans it, optimizes it, lowers it to the
+//! opened layout, executes it on the opened engine, and decodes the
+//! answers back to term strings — identically on every engine/layout.
 //!
 //! ```sh
 //! cargo run --release --example sparql
 //! ```
 
-use swans_core::{Layout, RdfStore, StoreConfig};
+use swans_core::{Database, Layout, StoreConfig};
 use swans_datagen::{generate, BartonConfig};
-use swans_plan::sparql;
 use swans_rdf::SortOrder;
 
-fn main() {
-    let dataset = generate(&BartonConfig::with_triples(100_000));
+fn main() -> Result<(), swans_core::Error> {
+    // One Arc shares the data set (and its dictionary) across all three
+    // databases — cloning the Arc is a refcount bump, not a data copy.
+    let dataset = std::sync::Arc::new(generate(&BartonConfig::with_triples(100_000)));
     let machine = swans_core::profile_for(&dataset, swans_storage::MachineProfile::B);
 
     // French-language Text resources and their origin — a three-pattern
@@ -29,46 +31,40 @@ fn main() {
     "#;
     println!("SPARQL:\n{query}");
 
-    let plan = sparql::plan_for(query, &dataset).expect("valid query");
-    println!("raw plan:\n{}", plan.explain());
-
-    let optimized = swans_plan::optimize(plan.clone());
-    println!("optimized plan:\n{}", optimized.explain());
-
-    // For the vertically-partitioned store, lower the triple-store plan
-    // into per-property-table scans (the generalized "Perl script").
-    let all_props: Vec<_> = dataset
-        .properties_by_frequency()
-        .into_iter()
-        .map(|(p, _)| p)
-        .collect();
-    let vp_plan = swans_plan::lower_to_vertical(&optimized, &all_props);
-
-    let stores = [
-        RdfStore::load(
-            &dataset,
+    let databases = [
+        Database::open(
+            dataset.clone(),
             StoreConfig::column(Layout::TripleStore(SortOrder::Pso)).on_machine(machine),
-        ),
-        RdfStore::load(
-            &dataset,
+        )?,
+        Database::open(
+            dataset.clone(),
             StoreConfig::column(Layout::VerticallyPartitioned).on_machine(machine),
-        ),
-        RdfStore::load(
-            &dataset,
+        )?,
+        Database::open(
+            dataset.clone(),
             StoreConfig::row(Layout::TripleStore(SortOrder::Pso)).on_machine(machine),
-        ),
+        )?,
     ];
 
-    let mut reference: Option<Vec<Vec<u64>>> = None;
-    for store in &stores {
-        store.make_cold();
-        let plan = match store.config().layout {
-            Layout::VerticallyPartitioned => &vp_plan,
-            Layout::TripleStore(_) => &optimized,
-        };
-        let run = store.run_plan(plan);
-        let mut rows = run.rows.clone();
-        rows.sort_unstable();
+    // The same string compiles to a layout-appropriate plan in each
+    // database: watch the triple scans turn into property-table scans.
+    println!(
+        "plan on {}:\n{}",
+        databases[0].config().label(),
+        databases[0].explain(query)?.explain()
+    );
+    println!(
+        "plan on {}:\n{}",
+        databases[1].config().label(),
+        databases[1].explain(query)?.explain()
+    );
+
+    let mut reference: Option<Vec<Vec<String>>> = None;
+    for db in &databases {
+        db.make_cold();
+        let (results, run) = db.query_timed(query)?;
+        let mut rows = results.decoded();
+        rows.sort();
         if let Some(r) = &reference {
             assert_eq!(r, &rows, "engines disagree!");
         } else {
@@ -76,21 +72,18 @@ fn main() {
         }
         println!(
             "{:<40} {:>4} rows  {:>8.3} ms real  {:>7.2} MB read",
-            store.config().label(),
-            run.rows.len(),
+            db.config().label(),
+            results.len(),
             run.real_seconds * 1e3,
             run.io.megabytes_read()
         );
     }
 
-    // Decode a few answers.
-    let some = reference.expect("at least one store ran");
+    // The answers are already decoded — no dictionary plumbing needed.
+    let some = reference.expect("at least one database ran");
     println!("\nsample answers:");
     for row in some.iter().take(5) {
-        println!(
-            "  {}  {}",
-            dataset.dict.term(row[0]),
-            dataset.dict.term(row[1])
-        );
+        println!("  {}", row.join("  "));
     }
+    Ok(())
 }

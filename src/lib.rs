@@ -1,0 +1,49 @@
+//! # swans
+//!
+//! Umbrella crate of the *swans* RDF system — a reproduction of
+//! *"Column-Store Support for RDF Data Management: not all swans are
+//! white"* (Sidirourgos, Goncalves, Kersten, Nes, Manegold — VLDB 2008)
+//! grown into a layered query system.
+//!
+//! The usual entry point is [`swans_core::Database`]:
+//!
+//! ```no_run
+//! use swans_core::{Database, Layout, StoreConfig};
+//! use swans_datagen::{generate, BartonConfig};
+//!
+//! let dataset = generate(&BartonConfig::with_triples(100_000));
+//! let db = Database::open(dataset, StoreConfig::column(Layout::VerticallyPartitioned))
+//!     .expect("valid configuration");
+//! let results = db
+//!     .query("SELECT ?s WHERE { ?s <type> <Text> . ?s <language> <language/iso639-2b/fre> }")
+//!     .expect("valid query");
+//! for row in results.iter() {
+//!     println!("{}", row.join(" "));
+//! }
+//! ```
+//!
+//! Each layer lives in its own crate and is re-exported here:
+//!
+//! * [`core`](swans_core) — [`Database`](swans_core::Database), the
+//!   [`Engine`](swans_core::Engine) trait, [`RdfStore`](swans_core::RdfStore)
+//!   and the paper's experiment runners;
+//! * [`plan`](swans_plan) — logical algebra, SPARQL front-end, optimizer,
+//!   scheme lowering, benchmark query generator;
+//! * [`rowstore`](swans_rowstore) / [`colstore`](swans_colstore) — the two
+//!   engine architectures;
+//! * [`storage`](swans_storage) — the simulated disk, buffer pool and I/O
+//!   accounting;
+//! * [`rdf`](swans_rdf) — dictionary-encoded triples and N-Triples I/O;
+//! * [`datagen`](swans_datagen) — the Barton-calibrated data generator.
+
+pub use swans_colstore as colstore;
+pub use swans_core as core;
+pub use swans_datagen as datagen;
+pub use swans_plan as plan;
+pub use swans_rdf as rdf;
+pub use swans_rowstore as rowstore;
+pub use swans_storage as storage;
+
+pub use swans_core::{
+    Database, Engine, EngineKind, Error, Layout, RdfStore, ResultSet, StoreConfig,
+};

@@ -75,7 +75,10 @@ fn answers_are_temperature_independent() {
 fn cold_real_time_exceeds_user_time() {
     let ds = dataset();
     let ctx = QueryContext::from_dataset(&ds, 28);
-    let store = RdfStore::load(&ds, StoreConfig::column(Layout::TripleStore(SortOrder::Pso)));
+    let store = RdfStore::load(
+        &ds,
+        StoreConfig::column(Layout::TripleStore(SortOrder::Pso)),
+    );
     let cold = measure_cold(&store, QueryId::Q2, &ctx, 2);
     assert!(cold.real_seconds > cold.user_seconds);
 }

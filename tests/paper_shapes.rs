@@ -126,7 +126,12 @@ fn column_store_black_swans_favor_triple_store() {
         &ds,
         StoreConfig::column(Layout::VerticallyPartitioned).on_machine(machine()),
     );
-    for q in [QueryId::Q2Star, QueryId::Q3Star, QueryId::Q6Star, QueryId::Q8] {
+    for q in [
+        QueryId::Q2Star,
+        QueryId::Q3Star,
+        QueryId::Q6Star,
+        QueryId::Q8,
+    ] {
         let t = measure_cold(&pso, q, &ctx, 1);
         let v = measure_cold(&vp, q, &ctx, 1);
         assert!(
@@ -176,7 +181,10 @@ fn column_engine_uses_less_cpu_than_row_engine() {
 fn g_ratio_penalizes_vertical_partitioning() {
     let ds = dataset();
     let ctx = QueryContext::from_dataset(&ds, 28);
-    for make in [StoreConfig::row as fn(Layout) -> StoreConfig, StoreConfig::column] {
+    for make in [
+        StoreConfig::row as fn(Layout) -> StoreConfig,
+        StoreConfig::column,
+    ] {
         let pso = RdfStore::load(
             &ds,
             make(Layout::TripleStore(SortOrder::Pso)).on_machine(machine()),
@@ -236,17 +244,14 @@ fn splitting_degrades_vp_not_triple_store() {
 #[cfg_attr(debug_assertions, ignore = "timing-shape test: run with --release")]
 fn property_sweep_erodes_vp_advantage() {
     let ds = dataset();
-    let series = swans_core::sweep::property_sweep(
-        &ds,
-        &[QueryId::Q2],
-        &[28, 222],
-        1,
-        machine(),
-    );
+    let series = swans_core::sweep::property_sweep(&ds, &[QueryId::Q2], &[28, 222], 1, machine());
     let pts = &series[0].points;
     let ratio_28 = pts[0].vertical.real_seconds / pts[0].triple.real_seconds;
     let ratio_222 = pts[1].vertical.real_seconds / pts[1].triple.real_seconds;
-    assert!(ratio_28 < 1.0, "VP must win q2 at 28 properties ({ratio_28:.2})");
+    assert!(
+        ratio_28 < 1.0,
+        "VP must win q2 at 28 properties ({ratio_28:.2})"
+    );
     assert!(
         ratio_222 > ratio_28,
         "VP's relative cost must grow with the property count"
