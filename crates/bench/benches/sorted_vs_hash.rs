@@ -1,0 +1,83 @@
+//! Micro-benchmark of the order-exploiting kernels against their hash /
+//! sort counterparts, using a plain `std::time` harness so it builds in
+//! the fully-offline workspace (`harness = false`; the criterion benches
+//! in this directory stay disabled until crates.io is reachable —
+//! see `autobenches` in Cargo.toml).
+//!
+//! Run with `cargo bench -p swans-bench --bench sorted_vs_hash`;
+//! `cargo bench --no-run` (CI) only compiles it.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use swans_colstore::ops;
+use swans_datagen::rng::StdRng;
+
+const N: usize = 400_000;
+const ROUNDS: u32 = 5;
+
+fn timed<F: FnMut() -> u64>(label: &str, mut f: F) -> f64 {
+    // One warm-up, then best-of-ROUNDS.
+    black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    println!("{label:<44} {:>10.3} ms", best * 1e3);
+    best
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    // Two subject-sorted columns with duplicates — the VP join shape.
+    let mut left: Vec<u64> = (0..N).map(|_| rng.next_u64() % (N as u64 / 4)).collect();
+    let mut right: Vec<u64> = (0..N).map(|_| rng.next_u64() % (N as u64 / 4)).collect();
+    left.sort_unstable();
+    right.sort_unstable();
+
+    println!("kernel                                        best-of-{ROUNDS}");
+    println!("{}", "-".repeat(60));
+
+    let merge = timed("merge_join (sorted inputs)", || {
+        ops::merge_join(&left, &right).0.len() as u64
+    });
+    let hash = timed("hash_join (same inputs)", || {
+        ops::hash_join(&left, &right).0.len() as u64
+    });
+    println!("  -> merge join speedup: {:.2}x", hash / merge.max(1e-12));
+
+    let sorted_group = timed("group_count_sorted_1 (sorted keys)", || {
+        ops::group_count_sorted_1(&left).0.len() as u64
+    });
+    let hash_group = timed("group_count_1 (same keys)", || {
+        ops::group_count_1(&left).0.len() as u64
+    });
+    println!(
+        "  -> run aggregation speedup: {:.2}x",
+        hash_group / sorted_group.max(1e-12)
+    );
+
+    let pair: Vec<u64> = left.iter().map(|&v| v % 16).collect();
+    let sorted_d = timed("distinct_sorted (sorted rows)", || {
+        ops::distinct_sorted(&[&left, &pair], N).len() as u64
+    });
+    let sort_d = timed("distinct_rows (same rows)", || {
+        ops::distinct_rows(&[&left, &pair], N).len() as u64
+    });
+    println!(
+        "  -> linear distinct speedup: {:.2}x",
+        sort_d / sorted_d.max(1e-12)
+    );
+
+    let probe: Vec<u64> = (0..N).map(|_| rng.next_u64() % 64).collect();
+    let small = [3u64, 9, 12, 40];
+    timed("select_in (4-value list, linear path)", || {
+        ops::select_in(&probe, &small).len() as u64
+    });
+    let big: Vec<u64> = (0..64).collect();
+    timed("select_in (64-value list, hash path)", || {
+        ops::select_in(&probe, &big).len() as u64
+    });
+}

@@ -1,0 +1,63 @@
+//! Regenerates `BENCH_PR2.json`: the sorted-vs-hash execution experiment
+//! over all six engine × layout configurations (per-query wall time and
+//! bytes read), the column engine measured both with and without its
+//! sortedness-aware dispatch layer, plus a kernel-dispatch census.
+//!
+//! Usage: `cargo run -p swans-bench --release --bin bench_pr2 [-- --quick]`
+//! `--quick` shrinks the data set and repeat count for CI smoke runs.
+//! Env knobs: `SWANS_SCALE`, `SWANS_REPEATS`, `SWANS_SEED` (see the crate
+//! docs).
+
+use swans_bench::{sorted, HarnessConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = HarnessConfig::from_env();
+    if quick {
+        cfg.scale = cfg.scale.min(0.002);
+        cfg.repeats = cfg.repeats.min(2);
+    } else if std::env::var("SWANS_SCALE").is_err() {
+        // The trajectory default: large enough that kernel choice shows,
+        // small enough to regenerate in minutes.
+        cfg.scale = 0.01;
+    }
+    if std::env::var("SWANS_REPEATS").is_err() && !quick {
+        cfg.repeats = 9; // best-of-9 interleaved hot runs
+    }
+    eprintln!(
+        "[bench_pr2] scale={} repeats={} seed={} quick={quick}",
+        cfg.scale, cfg.repeats, cfg.seed
+    );
+    let ds = cfg.dataset();
+    eprintln!("[bench_pr2] dataset: {} triples", ds.len());
+    let series = sorted::run_matrix(&cfg, &ds);
+    let census = sorted::dispatch_census(&cfg, &ds);
+    let json = sorted::to_json(&cfg, quick, &series, &census);
+    std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
+    eprintln!("[bench_pr2] wrote BENCH_PR2.json");
+
+    // Console summary: the A/B verdict per column layout.
+    for layout in sorted::layouts() {
+        let find = |mode: &str| {
+            series
+                .iter()
+                .find(|r| r.engine == "column" && r.layout == layout.name() && r.mode == mode)
+        };
+        let (Some(s), Some(h)) = (find("sorted"), find("hash")) else {
+            continue;
+        };
+        eprintln!(
+            "[bench_pr2] column {}: hot user, sorted vs hash",
+            layout.name()
+        );
+        for (a, b) in s.cells.iter().zip(&h.cells) {
+            eprintln!(
+                "  {:4}  {:>10.6}s vs {:>10.6}s  ({:.2}x)",
+                a.query,
+                a.hot_user_s,
+                b.hot_user_s,
+                b.hot_user_s / a.hot_user_s.max(1e-12)
+            );
+        }
+    }
+}

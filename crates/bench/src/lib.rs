@@ -25,6 +25,7 @@
 
 pub mod experiments;
 pub mod paper;
+pub mod sorted;
 
 use swans_datagen::{generate, BartonConfig};
 use swans_rdf::Dataset;

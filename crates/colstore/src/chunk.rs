@@ -149,6 +149,29 @@ impl Chunk {
         }
     }
 
+    /// Gathers a contiguous row range into a new chunk — the cheap form of
+    /// [`Chunk::gather`] for selections resolved by binary search on a
+    /// sorted column. The full range is zero-copy for shared columns.
+    pub fn gather_range(&self, range: std::ops::Range<usize>) -> Chunk {
+        debug_assert!(range.end <= self.len);
+        let len = range.len();
+        let full = range == (0..self.len);
+        let cols = self
+            .cols
+            .iter()
+            .map(|c| {
+                c.as_ref().map(|data| {
+                    if full {
+                        data.clone()
+                    } else {
+                        ColData::Owned(data.as_slice()[range.clone()].to_vec())
+                    }
+                })
+            })
+            .collect();
+        Chunk { len, cols }
+    }
+
     /// Converts to row-major form (absent columns as 0) — result delivery.
     pub fn to_rows(&self) -> Vec<Vec<u64>> {
         (0..self.len)
@@ -190,6 +213,26 @@ mod tests {
         assert!(g.has_col(0));
         assert!(!g.has_col(1));
         assert_eq!(g.col(0), &[8]);
+    }
+
+    #[test]
+    fn gather_range_slices_rows() {
+        let c = Chunk::from_optional(4, vec![Some(ColData::Owned(vec![10, 20, 30, 40])), None]);
+        let g = c.gather_range(1..3);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.col(0), &[20, 30]);
+        assert!(!g.has_col(1));
+        assert!(c.gather_range(2..2).is_empty());
+    }
+
+    #[test]
+    fn gather_range_full_keeps_shared_columns() {
+        let base = Arc::new(vec![1u64, 2, 3]);
+        let c = Chunk::from_optional(3, vec![Some(ColData::Shared(base.clone()))]);
+        let g = c.gather_range(0..3);
+        assert_eq!(g.col(0), &[1, 2, 3]);
+        // Full-range gather shares rather than copies.
+        assert_eq!(Arc::strong_count(&base), 3);
     }
 
     #[test]

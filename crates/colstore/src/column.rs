@@ -15,6 +15,10 @@ use swans_storage::{SegmentId, StorageManager};
 #[derive(Debug, Clone)]
 pub struct Column {
     data: Arc<Vec<u64>>,
+    /// RLE run headers `(value, start_row)` for a compressed sorted
+    /// column — equality predicates resolve against these directly
+    /// instead of scanning the decompressed values.
+    runs: Option<Arc<Vec<(u64, u32)>>>,
     segment: SegmentId,
     sorted: bool,
     storage: StorageManager,
@@ -35,18 +39,41 @@ impl Column {
         rle_compressed: bool,
     ) -> Self {
         let plain_bytes = data.len() as u64 * 8;
-        let bytes = if rle_compressed {
+        let run_count = if rle_compressed {
             debug_assert!(sorted, "RLE layout requires a sorted column");
+            count_runs(&data)
+        } else {
+            0
+        };
+        let bytes = if rle_compressed {
             // (value, run_length) pairs — but a storage engine falls back
             // to the plain layout when RLE would not pay off (a sorted but
             // near-distinct column).
-            (count_runs(&data) * 16).min(plain_bytes)
+            (run_count * 16).min(plain_bytes)
         } else {
             plain_bytes
         };
+        // Materialize the run headers so equality predicates can be
+        // answered from them — but only when the RLE layout is actually
+        // the stored one (a near-distinct column would pay up to 2x heap
+        // for headers that search no faster than the values), and only
+        // while u32 row offsets suffice (they cover the full Barton
+        // scale).
+        let runs =
+            (rle_compressed && run_count * 16 <= plain_bytes && data.len() <= u32::MAX as usize)
+                .then(|| {
+                    let mut runs: Vec<(u64, u32)> = Vec::with_capacity(run_count as usize);
+                    for (i, &v) in data.iter().enumerate() {
+                        if runs.last().is_none_or(|&(last, _)| last != v) {
+                            runs.push((v, i as u32));
+                        }
+                    }
+                    Arc::new(runs)
+                });
         let segment = storage.create_segment(name, bytes.max(1));
         Self {
             data: Arc::new(data),
+            runs,
             segment,
             sorted,
             storage: storage.clone(),
@@ -92,13 +119,35 @@ impl Column {
         &self.data
     }
 
-    /// Positions holding `value` in a sorted column (binary search; charges
-    /// the column read).
+    /// Whether the column carries RLE run headers (compressed layout).
+    pub fn has_runs(&self) -> bool {
+        self.runs.is_some()
+    }
+
+    /// Positions holding `value` in a sorted column (charges the column
+    /// read). On an RLE-compressed column the answer comes straight from
+    /// the run headers — a binary search over the (much shorter) run list
+    /// instead of the decompressed values; plain sorted columns binary
+    /// search the values.
     ///
     /// # Panics
     /// Panics if the column is not sorted.
     pub fn eq_range(&self, value: u64) -> Range<usize> {
         assert!(self.sorted, "eq_range requires a sorted column");
+        if let Some(runs) = &self.runs {
+            self.storage.touch_segment(self.segment);
+            let i = runs.partition_point(|&(v, _)| v < value);
+            if i < runs.len() && runs[i].0 == value {
+                let start = runs[i].1 as usize;
+                let end = runs
+                    .get(i + 1)
+                    .map_or(self.data.len(), |&(_, s)| s as usize);
+                return start..end;
+            }
+            // Not present: an empty range at the insertion point.
+            let pos = runs.get(i).map_or(self.data.len(), |&(_, s)| s as usize);
+            return pos..pos;
+        }
         let data = self.read();
         let lo = data.partition_point(|&x| x < value);
         let hi = data.partition_point(|&x| x <= value);
@@ -171,6 +220,9 @@ mod tests {
         let plain = Column::new(&m, "p", data.clone(), true, false);
         let rle = Column::new(&m, "r", data, true, true);
         assert_eq!(rle.disk_bytes(), plain.disk_bytes());
+        // RLE does not pay here, so no run headers are materialized either
+        // (they would double the heap for no search advantage).
+        assert!(!rle.has_runs());
     }
 
     #[test]
@@ -185,6 +237,39 @@ mod tests {
         let rle = Column::new(&m, "r", data, true, true);
         assert_eq!(rle.disk_bytes(), PAGE_SIZE as u64, "4 runs fit one page");
         assert!(plain.disk_bytes() > 90 * PAGE_SIZE as u64);
+    }
+
+    /// An RLE column answers equality ranges from its run headers,
+    /// identically to the plain binary search.
+    #[test]
+    fn rle_eq_range_matches_plain_eq_range() {
+        let m = mgr();
+        let data = vec![1, 1, 2, 2, 2, 5, 7, 7];
+        let plain = Column::new(&m, "p", data.clone(), true, false);
+        let rle = Column::new(&m, "r", data, true, true);
+        assert!(rle.has_runs());
+        assert!(!plain.has_runs());
+        for v in 0..9 {
+            assert_eq!(rle.eq_range(v), plain.eq_range(v), "value {v}");
+        }
+        // Empty column.
+        let empty = Column::new(&m, "e", vec![], true, true);
+        assert_eq!(empty.eq_range(3), 0..0);
+    }
+
+    #[test]
+    fn rle_eq_range_charges_the_compressed_segment() {
+        let m = mgr();
+        // 100k rows, 4 runs: the RLE segment is one page.
+        let mut data = vec![0u64; 25_000];
+        data.extend(vec![1u64; 25_000]);
+        data.extend(vec![2u64; 25_000]);
+        data.extend(vec![3u64; 25_000]);
+        let rle = Column::new(&m, "r", data, true, true);
+        m.clear_pool();
+        m.reset_stats();
+        assert_eq!(rle.eq_range(2), 50_000..75_000);
+        assert_eq!(m.stats().bytes_read, PAGE_SIZE as u64);
     }
 
     #[test]

@@ -1,4 +1,17 @@
 //! The column engine: storage layouts and the plan executor.
+//!
+//! Execution is *sortedness-aware*: before dispatching a join, group, or
+//! distinct, the engine derives the input's physical properties
+//! ([`swans_plan::props`]) against its own layout (the triples clustering
+//! order; property tables are always `(s, o)`-sorted) and picks the
+//! order-exploiting kernel when the derivation allows — merge joins,
+//! run-based aggregation, linear distinct, binary-search selection, and
+//! run-header resolution on RLE-compressed lead columns. Every dispatch
+//! decision is counted in [`ExecStats`]; [`ColumnEngine::set_sorted_paths`]
+//! turns the whole layer off for A/B comparison (the hash baseline the
+//! benchmark trajectory records).
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use swans_rdf::hash::FxHashMap;
 use swans_rdf::{Id, SortOrder, Triple};
@@ -6,10 +19,86 @@ use swans_storage::StorageManager;
 
 use swans_plan::algebra::{CmpOp, Plan};
 use swans_plan::exec::EngineError;
+use swans_plan::optimize::reorder_joins;
+use swans_plan::props::{derive as derive_props, PhysProps, PropsContext};
 
 use crate::chunk::{Chunk, ColData};
 use crate::column::Column;
 use crate::ops;
+
+/// Kernel-dispatch counters (cumulative since load or the last
+/// [`ColumnEngine::reset_exec_stats`]).
+#[derive(Debug, Default)]
+struct ExecStats {
+    merge_joins: AtomicU64,
+    hash_joins: AtomicU64,
+    sorted_group_counts: AtomicU64,
+    hash_group_counts: AtomicU64,
+    sorted_distincts: AtomicU64,
+    sort_distincts: AtomicU64,
+    distinct_passthroughs: AtomicU64,
+    sorted_selects: AtomicU64,
+    rle_selects: AtomicU64,
+}
+
+impl ExecStats {
+    fn snapshot(&self) -> ExecStatsSnapshot {
+        ExecStatsSnapshot {
+            merge_joins: self.merge_joins.load(Ordering::Relaxed),
+            hash_joins: self.hash_joins.load(Ordering::Relaxed),
+            sorted_group_counts: self.sorted_group_counts.load(Ordering::Relaxed),
+            hash_group_counts: self.hash_group_counts.load(Ordering::Relaxed),
+            sorted_distincts: self.sorted_distincts.load(Ordering::Relaxed),
+            sort_distincts: self.sort_distincts.load(Ordering::Relaxed),
+            distinct_passthroughs: self.distinct_passthroughs.load(Ordering::Relaxed),
+            sorted_selects: self.sorted_selects.load(Ordering::Relaxed),
+            rle_selects: self.rle_selects.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.merge_joins.store(0, Ordering::Relaxed);
+        self.hash_joins.store(0, Ordering::Relaxed);
+        self.sorted_group_counts.store(0, Ordering::Relaxed);
+        self.hash_group_counts.store(0, Ordering::Relaxed);
+        self.sorted_distincts.store(0, Ordering::Relaxed);
+        self.sort_distincts.store(0, Ordering::Relaxed);
+        self.distinct_passthroughs.store(0, Ordering::Relaxed);
+        self.sorted_selects.store(0, Ordering::Relaxed);
+        self.rle_selects.store(0, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time copy of the dispatch counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStatsSnapshot {
+    /// Joins executed by [`ops::merge_join`] (both inputs derived-sorted).
+    pub merge_joins: u64,
+    /// Joins executed by [`ops::hash_join`].
+    pub hash_joins: u64,
+    /// Group-counts executed by the run-based sorted kernels.
+    pub sorted_group_counts: u64,
+    /// Group-counts executed by the hash kernels (incl. the generic
+    /// fallback).
+    pub hash_group_counts: u64,
+    /// Distincts executed by the linear [`ops::distinct_sorted`] kernel.
+    pub sorted_distincts: u64,
+    /// Distincts executed by the sort-based [`ops::distinct_rows`] kernel.
+    pub sort_distincts: u64,
+    /// Distincts skipped because the input was derived-distinct.
+    pub distinct_passthroughs: u64,
+    /// Equality selections answered by binary search on a derived-sorted
+    /// column.
+    pub sorted_selects: u64,
+    /// Scan bounds resolved from RLE run headers instead of decompressed
+    /// values.
+    pub rle_selects: u64,
+}
 
 /// The 3-column triples table, sorted by one clustering order.
 #[derive(Debug)]
@@ -30,7 +119,7 @@ struct PropTable {
 /// The column-store engine instance: either a triple-store layout, a
 /// vertically-partitioned layout, or both (they share the storage manager
 /// and thus the I/O accounting).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ColumnEngine {
     triple: Option<TripleTable>,
     props: FxHashMap<Id, PropTable>,
@@ -38,12 +127,70 @@ pub struct ColumnEngine {
     /// vertically-partitioned layout at all" (an execution error) from "a
     /// property with no triples" (an empty scan).
     vertical_loaded: bool,
+    /// Whether the sortedness-aware dispatch layer is active (default).
+    /// Off, every join hashes and every aggregation/distinct uses the
+    /// order-oblivious kernel — the A/B baseline.
+    sorted_paths: bool,
+    /// Kernel-dispatch counters.
+    stats: ExecStats,
+}
+
+impl Default for ColumnEngine {
+    fn default() -> Self {
+        Self {
+            triple: None,
+            props: FxHashMap::default(),
+            vertical_loaded: false,
+            sorted_paths: true,
+            stats: ExecStats::default(),
+        }
+    }
 }
 
 impl ColumnEngine {
     /// An engine with no tables loaded.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables or disables the sortedness-aware execution layer (merge
+    /// joins, run-based aggregation, linear distinct, binary-search
+    /// selection). On by default; turning it off forces the hash baseline
+    /// the benchmark trajectory compares against.
+    pub fn set_sorted_paths(&mut self, enabled: bool) {
+        self.sorted_paths = enabled;
+    }
+
+    /// Whether the sortedness-aware execution layer is active.
+    pub fn sorted_paths(&self) -> bool {
+        self.sorted_paths
+    }
+
+    /// A snapshot of the kernel-dispatch counters.
+    pub fn exec_stats(&self) -> ExecStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Zeroes the kernel-dispatch counters.
+    pub fn reset_exec_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// The physical-layout context plans are derived against.
+    fn props_ctx(&self) -> PropsContext {
+        PropsContext {
+            triple_order: self.triple.as_ref().map(|t| t.order),
+        }
+    }
+
+    /// Physical properties of `plan` under this engine's layout, or
+    /// nothing when the sorted layer is disabled.
+    fn plan_props(&self, plan: &Plan) -> PhysProps {
+        if self.sorted_paths {
+            derive_props(plan, &self.props_ctx())
+        } else {
+            PhysProps::unordered()
+        }
     }
 
     /// Loads the triples table sorted by `order`. With `compress`, the
@@ -118,9 +265,18 @@ impl ColumnEngine {
     /// The plan is validated first; structural problems, scans against a
     /// layout this engine never loaded, and unsupported constructs all
     /// surface as [`EngineError`] — plan execution never panics.
+    ///
+    /// With the sorted layer active, join chains are first reordered to
+    /// pair sorted inputs ([`reorder_joins`]) — a physical rewrite that
+    /// never changes answers, only which kernel runs.
     pub fn execute(&self, plan: &Plan) -> Result<Chunk, EngineError> {
         plan.validate().map_err(EngineError::InvalidPlan)?;
-        self.exec(plan, full_mask(plan.arity()))
+        if self.sorted_paths && swans_plan::optimize::has_join(plan) {
+            let reordered = reorder_joins(plan.clone(), &self.props_ctx());
+            self.exec(&reordered, full_mask(plan.arity()))
+        } else {
+            self.exec(plan, full_mask(plan.arity()))
+        }
     }
 
     fn exec(&self, plan: &Plan, needed: u64) -> Result<Chunk, EngineError> {
@@ -134,8 +290,19 @@ impl ColumnEngine {
             } => self.scan_property(*property, *s, *o, *emit_property, needed)?,
             Plan::Select { input, pred } => {
                 let child = self.exec(input, needed | bit(pred.col))?;
-                let sel = ops::select_cmp(child.col(pred.col), pred.value, pred.op == CmpOp::Ne);
-                child.gather(&sel)
+                // An equality predicate on the child's leading sort column
+                // resolves by binary search instead of a full scan.
+                if pred.op == CmpOp::Eq && self.plan_props(input).sorted_on(pred.col) {
+                    bump(&self.stats.sorted_selects);
+                    let data = child.col(pred.col);
+                    let lo = data.partition_point(|&x| x < pred.value);
+                    let hi = data.partition_point(|&x| x <= pred.value);
+                    child.gather_range(lo..hi)
+                } else {
+                    let sel =
+                        ops::select_cmp(child.col(pred.col), pred.value, pred.op == CmpOp::Ne);
+                    child.gather(&sel)
+                }
             }
             Plan::FilterIn { input, col, values } => {
                 let child = self.exec(input, needed | bit(*col))?;
@@ -153,7 +320,17 @@ impl ColumnEngine {
                 let right_needed = (needed >> la) | bit(*right_col);
                 let l = self.exec(left, left_needed)?;
                 let r = self.exec(right, right_needed)?;
-                let (lsel, rsel) = ops::hash_join(l.col(*left_col), r.col(*right_col));
+                // Both join columns derived-sorted: the linear merge join
+                // the sorted layouts were built for. Otherwise hash.
+                let use_merge = self.plan_props(left).sorted_on(*left_col)
+                    && self.plan_props(right).sorted_on(*right_col);
+                let (lsel, rsel) = if use_merge {
+                    bump(&self.stats.merge_joins);
+                    ops::merge_join(l.col(*left_col), r.col(*right_col))
+                } else {
+                    bump(&self.stats.hash_joins);
+                    ops::hash_join(l.col(*left_col), r.col(*right_col))
+                };
                 let lg = l.gather(&lsel);
                 let rg = r.gather(&rsel);
                 let mut cols = lg.into_cols();
@@ -195,33 +372,35 @@ impl ColumnEngine {
                     child_needed |= bit(k);
                 }
                 let child = self.exec(input, child_needed)?;
-                match keys.len() {
-                    1 => {
+                // Input sorted by exactly the grouping keys: groups are
+                // contiguous runs — aggregate linearly, no hash table.
+                let runs = self.plan_props(input).sorted_by_prefix(keys);
+                match (keys.len(), runs) {
+                    (1, true) => {
+                        bump(&self.stats.sorted_group_counts);
+                        let (k, c) = ops::group_count_sorted_1(child.col(keys[0]));
+                        Chunk::from_cols(vec![k, c])
+                    }
+                    (1, false) => {
+                        bump(&self.stats.hash_group_counts);
                         let (k, c) = ops::group_count_1(child.col(keys[0]));
                         Chunk::from_cols(vec![k, c])
                     }
-                    2 => {
+                    (2, true) => {
+                        bump(&self.stats.sorted_group_counts);
+                        let (k0, k1, c) =
+                            ops::group_count_sorted_2(child.col(keys[0]), child.col(keys[1]));
+                        Chunk::from_cols(vec![k0, k1, c])
+                    }
+                    (2, false) => {
+                        bump(&self.stats.hash_group_counts);
                         let (k0, k1, c) =
                             ops::group_count_2(child.col(keys[0]), child.col(keys[1]));
                         Chunk::from_cols(vec![k0, k1, c])
                     }
                     _ => {
-                        // Generic fallback for non-benchmark plans.
-                        let mut map: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
-                        for r in 0..child.len() {
-                            let key: Vec<u64> = keys.iter().map(|&k| child.col(k)[r]).collect();
-                            *map.entry(key).or_insert(0) += 1;
-                        }
-                        let mut rows: Vec<(Vec<u64>, u64)> = map.into_iter().collect();
-                        rows.sort_unstable();
-                        let mut out: Vec<Vec<u64>> = vec![Vec::new(); keys.len() + 1];
-                        for (key, c) in rows {
-                            for (i, v) in key.into_iter().enumerate() {
-                                out[i].push(v);
-                            }
-                            out[keys.len()].push(c);
-                        }
-                        Chunk::from_cols(out)
+                        bump(&self.stats.hash_group_counts);
+                        group_count_generic(&child, keys)
                     }
                 }
             }
@@ -267,12 +446,27 @@ impl ColumnEngine {
                 )
             }
             Plan::Distinct { input } => {
+                let props = self.plan_props(input);
+                // Derived-distinct input: nothing to eliminate — pass the
+                // child through (only the columns the parent needs).
+                if props.distinct {
+                    bump(&self.stats.distinct_passthroughs);
+                    return self.exec(input, needed);
+                }
                 // Row-level distinct requires every column.
                 let child = self.exec(input, full_mask(input.arity()))?;
                 let cols: Vec<&[u64]> = (0..child.arity()).map(|i| child.col(i)).collect();
-                let mut sel = ops::distinct_rows(&cols, child.len());
-                sel.sort_unstable();
-                child.gather(&sel)
+                if props.covers_all_columns(input.arity()) {
+                    // Fully sorted input: duplicates are adjacent.
+                    bump(&self.stats.sorted_distincts);
+                    let sel = ops::distinct_sorted(&cols, child.len());
+                    child.gather(&sel)
+                } else {
+                    bump(&self.stats.sort_distincts);
+                    let mut sel = ops::distinct_rows(&cols, child.len());
+                    sel.sort_unstable();
+                    child.gather(&sel)
+                }
             }
         })
     }
@@ -301,12 +495,27 @@ impl ColumnEngine {
         for &key_col in &perm {
             match (in_prefix, bounds[key_col]) {
                 (true, Some(v)) => {
-                    // Within the current range, this sort column is sorted.
-                    let data = t.cols[key_col].read();
-                    let slice = &data[range.clone()];
-                    let lo = range.start + slice.partition_point(|&x| x < v);
-                    let hi = range.start + slice.partition_point(|&x| x <= v);
-                    range = lo..hi;
+                    let col = &t.cols[key_col];
+                    // Leading clustered column with RLE run headers:
+                    // resolve the bound from the headers directly. Gated
+                    // on the sorted layer so the hash baseline measures
+                    // the plain decompressed binary search.
+                    if self.sorted_paths
+                        && range == (0..col.len())
+                        && col.is_sorted()
+                        && col.has_runs()
+                    {
+                        bump(&self.stats.rle_selects);
+                        range = col.eq_range(v);
+                    } else {
+                        // Within the current range, this sort column is
+                        // sorted.
+                        let data = col.read();
+                        let slice = &data[range.clone()];
+                        let lo = range.start + slice.partition_point(|&x| x < v);
+                        let hi = range.start + slice.partition_point(|&x| x <= v);
+                        range = lo..hi;
+                    }
                 }
                 (true, None) => in_prefix = false,
                 (false, Some(v)) => residual.push((key_col, v)),
@@ -376,10 +585,18 @@ impl ColumnEngine {
 
         let mut range = 0..t.s.len();
         if let Some(v) = s {
-            let data = t.s.read();
-            let lo = data.partition_point(|&x| x < v);
-            let hi = data.partition_point(|&x| x <= v);
-            range = lo..hi;
+            // Subject bound: RLE run headers when compressed (gated on
+            // the sorted layer — the hash baseline binary-searches the
+            // decompressed values).
+            if self.sorted_paths && t.s.has_runs() {
+                bump(&self.stats.rle_selects);
+                range = t.s.eq_range(v);
+            } else {
+                let data = t.s.read();
+                let lo = data.partition_point(|&x| x < v);
+                let hi = data.partition_point(|&x| x <= v);
+                range = lo..hi;
+            }
             if let Some(ov) = o {
                 // Within one subject, objects are sorted.
                 let od = t.o.read();
@@ -446,6 +663,42 @@ fn full_mask(arity: usize) -> u64 {
 #[inline]
 fn low_bits(mask: u64, n: usize) -> u64 {
     mask & full_mask(n)
+}
+
+/// Generic hash group-count for ≥3 keys. Small key counts (the realistic
+/// case reaching this fallback) pack into a fixed-size array so the hash
+/// map never allocates a `Vec` per input row.
+fn group_count_generic(child: &Chunk, keys: &[usize]) -> Chunk {
+    let cols: Vec<&[u64]> = keys.iter().map(|&k| child.col(k)).collect();
+    let mut rows: Vec<(Vec<u64>, u64)> = if keys.len() <= 4 {
+        let mut map: FxHashMap<[u64; 4], u64> = FxHashMap::default();
+        for r in 0..child.len() {
+            let mut key = [0u64; 4];
+            for (i, c) in cols.iter().enumerate() {
+                key[i] = c[r];
+            }
+            *map.entry(key).or_insert(0) += 1;
+        }
+        map.into_iter()
+            .map(|(k, c)| (k[..keys.len()].to_vec(), c))
+            .collect()
+    } else {
+        let mut map: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
+        for r in 0..child.len() {
+            let key: Vec<u64> = cols.iter().map(|c| c[r]).collect();
+            *map.entry(key).or_insert(0) += 1;
+        }
+        map.into_iter().collect()
+    };
+    rows.sort_unstable();
+    let mut out: Vec<Vec<u64>> = vec![Vec::with_capacity(rows.len()); keys.len() + 1];
+    for (key, c) in rows {
+        for (i, v) in key.into_iter().enumerate() {
+            out[i].push(v);
+        }
+        out[keys.len()].push(c);
+    }
+    Chunk::from_cols(out)
 }
 
 #[cfg(test)]
@@ -706,6 +959,11 @@ mod tests {
         let mut e = ColumnEngine::new();
         e.load_triple_store(&m, &ds.triples, SortOrder::Pso, false);
         e.load_vertical(&m, &ds.triples, false);
+        // The hash baseline: same layouts, sorted dispatch layer off.
+        let mut hash = ColumnEngine::new();
+        hash.set_sorted_paths(false);
+        hash.load_triple_store(&m, &ds.triples, SortOrder::Pso, false);
+        hash.load_vertical(&m, &ds.triples, false);
 
         for q in QueryId::ALL {
             for scheme in [Scheme::TripleStore, Scheme::VerticallyPartitioned] {
@@ -713,7 +971,22 @@ mod tests {
                 let got = naive::normalize(e.execute(&plan).expect("plan executes").to_rows());
                 let want = naive::normalize(naive::execute(&plan, &ds.triples));
                 assert_eq!(got, want, "query {q} / {}", scheme.name());
+                // Sorted paths (merge joins, run aggregation, ...) answer
+                // exactly like the hash-only baseline.
+                let base = naive::normalize(hash.execute(&plan).expect("hash executes").to_rows());
+                assert_eq!(got, base, "sorted vs hash on {q} / {}", scheme.name());
             }
         }
+        // The sorted layer did real work on this workload...
+        let stats = e.exec_stats();
+        assert!(
+            stats.merge_joins > 0,
+            "no merge joins dispatched: {stats:?}"
+        );
+        // ...and the baseline never touched a sorted kernel.
+        let base_stats = hash.exec_stats();
+        assert_eq!(base_stats.merge_joins, 0);
+        assert_eq!(base_stats.sorted_group_counts, 0);
+        assert_eq!(base_stats.sorted_distincts, 0);
     }
 }

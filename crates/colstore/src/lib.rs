@@ -23,6 +23,12 @@
 //!   without storing the property column.
 //! * **Projection pushdown.** Only the columns a query actually consumes
 //!   are read and materialized (late materialization).
+//! * **Sortedness-aware dispatch.** Physical properties derived from the
+//!   layout ([`swans_plan::props`]) pick merge joins, run-based
+//!   aggregation and linear distinct over their hash/sort counterparts
+//!   whenever the input order allows; every decision is observable through
+//!   [`ExecStatsSnapshot`] and the whole layer can be switched off
+//!   ([`ColumnEngine::set_sorted_paths`]) for A/B comparison.
 
 pub mod chunk;
 pub mod column;
@@ -31,4 +37,4 @@ pub mod ops;
 
 pub use chunk::Chunk;
 pub use column::Column;
-pub use engine::ColumnEngine;
+pub use engine::{ColumnEngine, ExecStatsSnapshot};

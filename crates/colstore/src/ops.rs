@@ -30,14 +30,26 @@ pub fn select_cmp(col: &[u64], value: u64, negate: bool) -> Vec<u32> {
     out
 }
 
+/// Below this many `IN`-list values a linear membership scan beats
+/// building a hash set (the common `FILTER IN` case has a handful).
+const SELECT_IN_LINEAR_MAX: usize = 8;
+
 /// Positions where `col[i]` is in `values`.
 pub fn select_in(col: &[u64], values: &[u64]) -> Vec<u32> {
-    let set: std::collections::HashSet<u64, BuildHasherDefault<FxHasher>> =
-        values.iter().copied().collect();
     let mut out = Vec::new();
-    for (i, &v) in col.iter().enumerate() {
-        if set.contains(&v) {
-            out.push(i as u32);
+    if values.len() <= SELECT_IN_LINEAR_MAX {
+        for (i, &v) in col.iter().enumerate() {
+            if values.contains(&v) {
+                out.push(i as u32);
+            }
+        }
+    } else {
+        let set: std::collections::HashSet<u64, BuildHasherDefault<FxHasher>> =
+            values.iter().copied().collect();
+        for (i, &v) in col.iter().enumerate() {
+            if set.contains(&v) {
+                out.push(i as u32);
+            }
         }
     }
     out
@@ -68,8 +80,10 @@ impl JoinHash {
     /// Probes with `probe`, emitting matching `(build_pos, probe_pos)`
     /// pairs.
     pub fn probe(&self, probe: &[u64]) -> (Vec<u32>, Vec<u32>) {
-        let mut build_sel = Vec::new();
-        let mut probe_sel = Vec::new();
+        // At least one output pair per matching probe row; reserving the
+        // probe length up front skips the early doubling re-allocations.
+        let mut build_sel = Vec::with_capacity(probe.len());
+        let mut probe_sel = Vec::with_capacity(probe.len());
         for (j, key) in probe.iter().enumerate() {
             if let Some(&head) = self.heads.get(key) {
                 let mut i = head;
@@ -103,16 +117,27 @@ pub fn merge_join(left: &[u64], right: &[u64]) -> (Vec<u32>, Vec<u32>) {
     debug_assert!(right.windows(2).all(|w| w[0] <= w[1]));
     let mut l = 0usize;
     let mut r = 0usize;
-    let mut left_sel = Vec::new();
-    let mut right_sel = Vec::new();
+    // Every match emits at least one pair per overlapping key; the smaller
+    // side is a cheap lower bound that skips early re-allocations.
+    let mut left_sel = Vec::with_capacity(left.len().min(right.len()));
+    let mut right_sel = Vec::with_capacity(left.len().min(right.len()));
     while l < left.len() && r < right.len() {
         match left[l].cmp(&right[r]) {
             std::cmp::Ordering::Less => l += 1,
             std::cmp::Ordering::Greater => r += 1,
             std::cmp::Ordering::Equal => {
                 let v = left[l];
-                let l_end = l + left[l..].partition_point(|&x| x == v);
-                let r_end = r + right[r..].partition_point(|&x| x == v);
+                // Runs of one key are typically short: advance linearly
+                // (a binary search over the remainder costs log(n) per
+                // run and dominates on near-distinct columns).
+                let mut l_end = l + 1;
+                while l_end < left.len() && left[l_end] == v {
+                    l_end += 1;
+                }
+                let mut r_end = r + 1;
+                while r_end < right.len() && right[r_end] == v {
+                    r_end += 1;
+                }
                 for li in l..l_end {
                     for ri in r..r_end {
                         left_sel.push(li as u32);
@@ -156,6 +181,62 @@ pub fn group_count_2(k0: &[u64], k1: &[u64]) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
         oc.push(c);
     }
     (o0, o1, oc)
+}
+
+/// Run-based group-count over one *sorted* key column; returns
+/// `(keys, counts)`. Equal keys are adjacent, so each group is one run —
+/// no hash table, no output sort.
+pub fn group_count_sorted_1(keys: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    let mut ks = Vec::new();
+    let mut cs = Vec::new();
+    let mut i = 0usize;
+    while i < keys.len() {
+        let v = keys[i];
+        let mut j = i + 1;
+        while j < keys.len() && keys[j] == v {
+            j += 1;
+        }
+        ks.push(v);
+        cs.push((j - i) as u64);
+        i = j;
+    }
+    (ks, cs)
+}
+
+/// Run-based group-count over two key columns sorted lexicographically by
+/// `(k0, k1)`; returns `(keys0, keys1, counts)`.
+pub fn group_count_sorted_2(k0: &[u64], k1: &[u64]) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    debug_assert_eq!(k0.len(), k1.len());
+    debug_assert!((1..k0.len()).all(|i| (k0[i - 1], k1[i - 1]) <= (k0[i], k1[i])));
+    let mut o0 = Vec::new();
+    let mut o1 = Vec::new();
+    let mut oc = Vec::new();
+    let mut i = 0usize;
+    while i < k0.len() {
+        let (a, b) = (k0[i], k1[i]);
+        let mut j = i + 1;
+        while j < k0.len() && k0[j] == a && k1[j] == b {
+            j += 1;
+        }
+        o0.push(a);
+        o1.push(b);
+        oc.push((j - i) as u64);
+        i = j;
+    }
+    (o0, o1, oc)
+}
+
+/// Positions of the first row of each run in input already sorted so that
+/// equal rows are adjacent — the linear form of [`distinct_rows`].
+pub fn distinct_sorted(cols: &[&[u64]], len: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    for i in 0..len {
+        if i == 0 || cols.iter().any(|c| c[i] != c[i - 1]) {
+            out.push(i as u32);
+        }
+    }
+    out
 }
 
 /// Positions of the first occurrence of each distinct row (sort-based).
@@ -203,6 +284,23 @@ mod tests {
         assert_eq!(select_in(&col, &[]), Vec::<u32>::new());
     }
 
+    /// The linear small-list path and the hash-set path agree at and
+    /// around the crossover size.
+    #[test]
+    fn select_in_linear_and_hashed_paths_agree() {
+        let col: Vec<u64> = (0..200).map(|i| i % 23).collect();
+        for n in [1, 7, 8, 9, 16] {
+            let values: Vec<u64> = (0..n as u64).map(|v| v * 3).collect();
+            let want: Vec<u32> = col
+                .iter()
+                .enumerate()
+                .filter(|&(_, v)| values.contains(v))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(select_in(&col, &values), want, "{n} values");
+        }
+    }
+
     #[test]
     fn hash_join_finds_all_pairs() {
         let l = [1, 2, 2, 3];
@@ -240,6 +338,44 @@ mod tests {
         assert_eq!(a, vec![1, 1, 2]);
         assert_eq!(b, vec![5, 7, 6]);
         assert_eq!(c, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn group_count_sorted_1_matches_hash_path() {
+        let keys = [1, 1, 1, 3, 5, 5];
+        assert_eq!(group_count_sorted_1(&keys), group_count_1(&keys));
+        assert_eq!(group_count_sorted_1(&[]), (vec![], vec![]));
+        let uniform = [7u64; 10];
+        assert_eq!(group_count_sorted_1(&uniform), (vec![7], vec![10]));
+    }
+
+    #[test]
+    fn group_count_sorted_2_matches_hash_path() {
+        let k0 = [1, 1, 1, 2, 2, 4];
+        let k1 = [5, 5, 7, 0, 0, 9];
+        assert_eq!(group_count_sorted_2(&k0, &k1), group_count_2(&k0, &k1));
+        assert_eq!(group_count_sorted_2(&[], &[]), (vec![], vec![], vec![]));
+    }
+
+    #[test]
+    fn distinct_sorted_matches_sort_based_distinct() {
+        let c0 = [1, 1, 2, 2, 2, 3];
+        let c1 = [4, 4, 4, 5, 5, 5];
+        let fast = distinct_sorted(&[&c0, &c1], 6);
+        assert_eq!(fast, vec![0, 2, 3, 5]);
+        // Same distinct row *values* as the sort-based kernel (duplicate
+        // positions are interchangeable there).
+        let slow = distinct_rows(&[&c0, &c1], 6);
+        let values = |sel: &[u32]| -> Vec<(u64, u64)> {
+            let mut v: Vec<(u64, u64)> = sel
+                .iter()
+                .map(|&i| (c0[i as usize], c1[i as usize]))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(values(&fast), values(&slow));
+        assert!(distinct_sorted(&[], 0).is_empty());
     }
 
     #[test]
@@ -306,6 +442,28 @@ mod proptests {
                 rows.iter().copied().collect();
             prop_assert_eq!(&got, &want);
             prop_assert_eq!(sel.len(), want.len());
+        }
+
+        /// Run-based kernels match their hash counterparts on sorted input.
+        #[test]
+        fn sorted_kernels_match_hash(
+            rows in proptest::collection::vec((0u64..8, 0u64..8), 0..200),
+        ) {
+            let mut rows = rows;
+            rows.sort_unstable();
+            let k0: Vec<u64> = rows.iter().map(|r| r.0).collect();
+            let k1: Vec<u64> = rows.iter().map(|r| r.1).collect();
+            prop_assert_eq!(group_count_sorted_1(&k0), group_count_1(&k0));
+            prop_assert_eq!(group_count_sorted_2(&k0, &k1), group_count_2(&k0, &k1));
+            // Positions of duplicate rows are interchangeable; compare the
+            // selected row values instead.
+            let values = |sel: &[u32]| -> Vec<(u64, u64)> {
+                sel.iter().map(|&i| rows[i as usize]).collect()
+            };
+            let fast = values(&distinct_sorted(&[&k0, &k1], rows.len()));
+            let mut slow = values(&distinct_rows(&[&k0, &k1], rows.len()));
+            slow.sort_unstable();
+            prop_assert_eq!(fast, slow);
         }
 
         /// group_count_1 totals match input length.

@@ -18,8 +18,12 @@
 //!   patterns each query plan exercises,
 //! * [`naive`] — a deliberately simple reference executor defining the
 //!   semantics both engines must match (used heavily by the test suites),
+//! * [`props`] — physical-property derivation: which output columns every
+//!   plan node keeps sorted (and whether rows are distinct), threaded from
+//!   the storage layout so executors can dispatch merge joins and
+//!   run-based aggregation,
 //! * [`optimize`] — a rule-based rewriter (selection pushdown into scans,
-//!   through unions, joins and projections),
+//!   through unions, joins and projections; order-aware join reordering),
 //! * [`lower`] — scheme lowering: any triple-store plan rewritten for the
 //!   vertically-partitioned layout (the generalized "Perl script"),
 //! * [`sparql`] — a miniature SPARQL front-end compiling
@@ -33,6 +37,7 @@ pub mod lower;
 pub mod naive;
 pub mod optimize;
 pub mod pattern;
+pub mod props;
 pub mod queries;
 pub mod sparql;
 
@@ -40,7 +45,8 @@ pub use algebra::{CmpOp, ColumnKind, Plan, Predicate};
 pub use coverage::{analyze, Coverage};
 pub use exec::EngineError;
 pub use lower::lower_to_vertical;
-pub use optimize::optimize;
+pub use optimize::{optimize, optimize_for, reorder_joins};
 pub use pattern::{JoinPattern, SimplePattern};
+pub use props::{derive as derive_props, PhysProps, PropsContext};
 pub use queries::{build_plan, QueryContext, QueryId, Scheme};
 pub use sparql::{compile_sparql, CompiledQuery, SparqlError};

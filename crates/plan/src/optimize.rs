@@ -14,19 +14,178 @@
 //!    is applied to every input (so per-property-table scans can bind it).
 //! 3. **Selection pushdown through joins** — a filter lands on whichever
 //!    join side owns the column.
+//! 4. **Order-aware join reordering** ([`reorder_joins`], applied by
+//!    [`optimize_for`] and by the column engine at execution time — *not*
+//!    by the engine-agnostic [`optimize`]) — a left-deep join chain that
+//!    joins the same column of its base relation twice is rotated so that
+//!    the *sorted–sorted* pair joins first, turning a hash join into the
+//!    linear merge join the sorted layouts were built for (see
+//!    [`crate::props`]).
 //!
 //! All rewrites are proven answer-preserving by the cross-engine fuzzer in
 //! `tests/random_plans.rs` (which round-trips every random plan through
-//! [`optimize`]).
+//! [`optimize`]) and the randomized suites in `tests/physprops.rs`.
 
 use crate::algebra::{CmpOp, Plan, Predicate};
+use crate::props::{derive, PropsContext};
 
-/// Applies the rewrite rules bottom-up until a fixpoint (bounded by plan
-/// depth). Returns an equivalent plan.
+/// Applies the logical rewrite rules (selection pushdown) bottom-up until
+/// a fixpoint (bounded by plan depth). Returns an equivalent plan.
+///
+/// Purely logical and engine-agnostic — the physical order-aware join
+/// reordering is *not* applied here (a rotation only pays on an executor
+/// with merge joins; the column engine runs it itself at execution time).
+/// Use [`optimize_for`] to also reorder when the target layout is known.
 pub fn optimize(plan: Plan) -> Plan {
     let rewritten = rewrite(plan);
     debug_assert_eq!(rewritten.validate(), Ok(()));
     rewritten
+}
+
+/// [`optimize`] plus the physical [`reorder_joins`] pass for a known
+/// layout — for callers planning specifically for an order-exploiting
+/// executor.
+pub fn optimize_for(plan: Plan, ctx: &PropsContext) -> Plan {
+    let rewritten = reorder_joins(rewrite(plan), ctx);
+    debug_assert_eq!(rewritten.validate(), Ok(()));
+    rewritten
+}
+
+/// Rotates left-deep join chains to prefer sorted–sorted join pairs.
+///
+/// The pattern: `(A ⋈_{A.x=B.y} B) ⋈_{A.x=C.z} C` where `A` is sorted on
+/// `x`, `C` is sorted on `z`, but `B` is *not* sorted on `y` (the typical
+/// vertically-partitioned shape — `B` is a union over property tables).
+/// Executed as written, both joins hash; rotated to
+/// `((A ⋈_{A.x=C.z} C) ⋈_{A.x=B.y} B)` the inner pair merge-joins and its
+/// order-preserving output keeps `A.x` sorted for downstream operators.
+/// A projection restores the original `A ++ B ++ C` column order, so the
+/// rewrite is invisible to the rest of the plan.
+pub fn reorder_joins(plan: Plan, ctx: &PropsContext) -> Plan {
+    if !has_join(&plan) {
+        // Join-free plans can't rotate; skip the rebuild.
+        return plan;
+    }
+    match plan {
+        Plan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+        } => {
+            let left = reorder_joins(*left, ctx);
+            let right = reorder_joins(*right, ctx);
+            try_rotate(left, right, left_col, right_col, ctx)
+        }
+        Plan::Select { input, pred } => Plan::Select {
+            input: Box::new(reorder_joins(*input, ctx)),
+            pred,
+        },
+        Plan::FilterIn { input, col, values } => Plan::FilterIn {
+            input: Box::new(reorder_joins(*input, ctx)),
+            col,
+            values,
+        },
+        Plan::Project { input, cols } => Plan::Project {
+            input: Box::new(reorder_joins(*input, ctx)),
+            cols,
+        },
+        Plan::GroupCount { input, keys } => Plan::GroupCount {
+            input: Box::new(reorder_joins(*input, ctx)),
+            keys,
+        },
+        Plan::HavingCountGt { input, min } => Plan::HavingCountGt {
+            input: Box::new(reorder_joins(*input, ctx)),
+            min,
+        },
+        Plan::UnionAll { inputs } => Plan::UnionAll {
+            inputs: inputs.into_iter().map(|i| reorder_joins(i, ctx)).collect(),
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(reorder_joins(*input, ctx)),
+        },
+        leaf => leaf,
+    }
+}
+
+/// Whether the plan contains any join — executors use this to skip the
+/// [`reorder_joins`] plan clone entirely for join-free plans.
+pub fn has_join(plan: &Plan) -> bool {
+    match plan {
+        Plan::Join { .. } => true,
+        Plan::ScanTriples { .. } | Plan::ScanProperty { .. } => false,
+        Plan::Select { input, .. }
+        | Plan::FilterIn { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::GroupCount { input, .. }
+        | Plan::HavingCountGt { input, .. }
+        | Plan::Distinct { input } => has_join(input),
+        Plan::UnionAll { inputs } => inputs.iter().any(has_join),
+    }
+}
+
+/// Applies one rotation at this join if it converts a hash join into a
+/// merge join; otherwise rebuilds the join unchanged.
+fn try_rotate(
+    left: Plan,
+    right: Plan,
+    left_col: usize,
+    right_col: usize,
+    ctx: &PropsContext,
+) -> Plan {
+    let rotate = match &left {
+        Plan::Join {
+            left: a,
+            right: b,
+            left_col: x,
+            right_col: y,
+        } if left_col < a.arity() && left_col == *x => {
+            // The outer join keys on the same A column as the inner one.
+            derive(a, ctx).sorted_on(*x)
+                && derive(&right, ctx).sorted_on(right_col)
+                && !derive(b, ctx).sorted_on(*y)
+        }
+        _ => false,
+    };
+    if !rotate {
+        return Plan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_col,
+            right_col,
+        };
+    }
+    let Plan::Join {
+        left: a,
+        right: b,
+        left_col: x,
+        right_col: y,
+    } = left
+    else {
+        unreachable!("rotate is only set for join patterns");
+    };
+    let (a_ar, b_ar, c_ar) = (a.arity(), b.arity(), right.arity());
+    let inner = Plan::Join {
+        left: a,
+        right: Box::new(right),
+        left_col: x,
+        right_col,
+    };
+    let outer = Plan::Join {
+        left: Box::new(inner),
+        right: b,
+        left_col: x,
+        right_col: y,
+    };
+    // Restore the original A ++ B ++ C column order.
+    let cols: Vec<usize> = (0..a_ar)
+        .chain(a_ar + c_ar..a_ar + c_ar + b_ar)
+        .chain(a_ar..a_ar + c_ar)
+        .collect();
+    Plan::Project {
+        input: Box::new(outer),
+        cols,
+    }
 }
 
 fn rewrite(plan: Plan) -> Plan {
@@ -303,6 +462,87 @@ mod tests {
             },
         };
         assert!(matches!(optimize(p), Plan::Select { .. }));
+    }
+
+    fn vp_scan(property: u64) -> Plan {
+        Plan::ScanProperty {
+            property,
+            s: None,
+            o: None,
+            emit_property: false,
+        }
+    }
+
+    /// The q4-VP shape: (A ⋈s B-union) ⋈s C with A, C subject-sorted and
+    /// B a multi-input union. The rotation must pair A with C first and
+    /// restore the original column order with a projection.
+    #[test]
+    fn join_chain_rotates_to_pair_sorted_inputs() {
+        let a = vp_scan(1);
+        let b = Plan::UnionAll {
+            inputs: vec![vp_scan(2), vp_scan(3)],
+        };
+        let c = vp_scan(4);
+        let plan = join(join(a.clone(), b.clone(), 0, 0), c.clone(), 0, 0);
+        let got = reorder_joins(plan, &PropsContext::default());
+        // A and C have 2 columns each, the B union has 2: the wrapper maps
+        // (A, C, B) output positions back to the original A ++ B ++ C.
+        let want = project(join(join(a, c, 0, 0), b, 0, 0), vec![0, 1, 4, 5, 2, 3]);
+        assert_eq!(got, want);
+        assert_eq!(got.validate(), Ok(()));
+        // The rotated inner pair is now sorted-sorted on the join column.
+        let Plan::Project { input, .. } = &got else {
+            panic!("projection wrapper expected");
+        };
+        let Plan::Join { left, .. } = input.as_ref() else {
+            panic!("outer join expected");
+        };
+        assert!(derive(left, &PropsContext::default()).sorted_on(0));
+    }
+
+    /// No rotation when the inner pair already merges, when the outer join
+    /// keys on a different column, or when nothing is sorted.
+    #[test]
+    fn join_chain_rotation_is_gated() {
+        // Inner pair already sorted-sorted: untouched.
+        let merged = join(join(vp_scan(1), vp_scan(2), 0, 0), vp_scan(3), 0, 0);
+        assert_eq!(
+            reorder_joins(merged.clone(), &PropsContext::default()),
+            merged
+        );
+        // Outer join keys on B's side (col 2 ∉ A): untouched.
+        let union = Plan::UnionAll {
+            inputs: vec![vp_scan(2), vp_scan(3)],
+        };
+        let keyed_on_b = join(join(vp_scan(1), union.clone(), 0, 0), vp_scan(3), 2, 0);
+        assert_eq!(
+            reorder_joins(keyed_on_b.clone(), &PropsContext::default()),
+            keyed_on_b
+        );
+        // C unsorted on its join column: untouched.
+        let c_unsorted = join(join(vp_scan(1), union.clone(), 0, 0), vp_scan(3), 0, 1);
+        assert_eq!(
+            reorder_joins(c_unsorted.clone(), &PropsContext::default()),
+            c_unsorted
+        );
+    }
+
+    /// Rotation preserves answers (naive-executor check on a join chain
+    /// with duplicates on the join column).
+    #[test]
+    fn rotation_preserves_answers() {
+        let union = Plan::UnionAll {
+            inputs: vec![vp_scan(2), vp_scan(3)],
+        };
+        let plan = join(join(vp_scan(1), union, 0, 0), vp_scan(4), 0, 0);
+        let rotated = reorder_joins(plan.clone(), &PropsContext::default());
+        assert_ne!(rotated, plan, "rotation should fire on this shape");
+        let triples: Vec<Triple> = (0..40)
+            .map(|i| Triple::new(i % 5, 1 + i % 4, i % 3))
+            .collect();
+        let a = naive::normalize(naive::execute(&plan, &triples));
+        let b = naive::normalize(naive::execute(&rotated, &triples));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! Physical properties: the ordering knowledge a plan's output carries.
+//!
+//! The paper's performance argument for vertically-partitioned column
+//! layouts rests on per-property `(s, o)` tables being *sorted by
+//! subject*, enabling "fast (linear) merge joins" — but an executor can
+//! only exploit that if sortedness is threaded from the storage layout
+//! through every operator of the plan. [`derive`] does exactly that: given
+//! a plan and a [`PropsContext`] describing the physical layout (the
+//! triples table's clustering order), it computes for every node whether
+//! the output rows are sorted, and by which columns.
+//!
+//! The column engine consults this derivation at dispatch time: a
+//! [`Plan::Join`] whose inputs are both sorted on their join columns runs
+//! as a merge join, a [`Plan::GroupCount`] over key-sorted input
+//! aggregates runs instead of hashing, and a [`Plan::Distinct`] over fully
+//! sorted (or already-distinct) input degenerates to a linear scan (or a
+//! no-op). Because both the dispatch decision and the claimed output
+//! order come from this one function, the derivation stays consistent
+//! with what the executor actually produces — a property pinned by the
+//! randomized sortedness tests in `tests/physprops.rs`.
+
+use swans_rdf::SortOrder;
+
+use crate::algebra::Plan;
+
+/// The physical layout context a derivation runs against.
+///
+/// `Default` (no triples clustering order known) is the conservative
+/// setting: triples scans claim no order, property-table scans — whose
+/// `(subject, object)` sort is inherent to the vertically-partitioned
+/// layout — still do.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PropsContext {
+    /// Clustering order of the `triples(s, p, o)` table, when one is
+    /// loaded.
+    pub triple_order: Option<SortOrder>,
+}
+
+impl PropsContext {
+    /// A context for a triples table clustered by `order`.
+    pub fn with_order(order: SortOrder) -> Self {
+        Self {
+            triple_order: Some(order),
+        }
+    }
+}
+
+/// Physical properties of one plan node's output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhysProps {
+    /// When `Some(key)`, the output rows are non-decreasing under
+    /// lexicographic comparison of the listed output columns (leading
+    /// column first). `None` claims nothing.
+    pub sorted_by: Option<Vec<usize>>,
+    /// Whether no two output rows are equal on *all* columns.
+    pub distinct: bool,
+}
+
+impl PhysProps {
+    /// Properties claiming nothing (the safe bottom element).
+    pub fn unordered() -> Self {
+        Self::default()
+    }
+
+    /// Whether `col` is globally non-decreasing, i.e. the leading column
+    /// of the derived sort key — the requirement for a merge join on
+    /// `col`.
+    pub fn sorted_on(&self, col: usize) -> bool {
+        self.sorted_by
+            .as_ref()
+            .is_some_and(|k| k.first() == Some(&col))
+    }
+
+    /// Whether the sort key starts with exactly `keys` (in order) — the
+    /// requirement for run-based aggregation grouped by `keys`.
+    pub fn sorted_by_prefix(&self, keys: &[usize]) -> bool {
+        self.sorted_by
+            .as_ref()
+            .is_some_and(|k| k.len() >= keys.len() && k[..keys.len()] == *keys)
+    }
+
+    /// Whether the sort key covers every column of an `arity`-wide
+    /// relation — the requirement for run-based duplicate elimination
+    /// (equal rows are then adjacent).
+    pub fn covers_all_columns(&self, arity: usize) -> bool {
+        self.sorted_by
+            .as_ref()
+            .is_some_and(|k| (0..arity).all(|c| k.contains(&c)))
+    }
+}
+
+/// Derives the physical properties of `plan`'s output under `ctx`.
+///
+/// The rules mirror the column engine's operators exactly:
+///
+/// * scans emit rows in clustering order (bound columns are constant and
+///   may appear anywhere in the key, so they are listed last),
+/// * selections and filters preserve order (ascending selection vectors),
+/// * projection keeps the longest key prefix that survives the column
+///   list,
+/// * a join is order-preserving on the left key only when the executor
+///   will merge-join it (both sides sorted on their join columns) —
+///   hash joins destroy order,
+/// * group-count emits key-sorted, key-distinct rows on every path,
+/// * multi-input unions destroy order (concatenation),
+/// * distinct preserves order and guarantees distinctness.
+pub fn derive(plan: &Plan, ctx: &PropsContext) -> PhysProps {
+    match plan {
+        Plan::ScanTriples { s, p, o } => {
+            let Some(order) = ctx.triple_order else {
+                return PhysProps::unordered();
+            };
+            let bound = [s.is_some(), p.is_some(), o.is_some()];
+            // Rows come out in clustering order. A bound column is
+            // constant, so it can be dropped from its key position and
+            // appended at the end without breaking lexicographic order.
+            let mut key: Vec<usize> = order
+                .permutation()
+                .iter()
+                .copied()
+                .filter(|&c| !bound[c])
+                .collect();
+            key.extend((0..3).filter(|&c| bound[c]));
+            PhysProps {
+                sorted_by: Some(key),
+                distinct: false,
+            }
+        }
+        Plan::ScanProperty {
+            s,
+            o,
+            emit_property,
+            ..
+        } => {
+            // Property tables are sorted by (subject, object); the
+            // re-materialized property column (if any) is constant.
+            let o_pos = if *emit_property { 2 } else { 1 };
+            let mut key = Vec::new();
+            if s.is_none() {
+                key.push(0);
+            }
+            if o.is_none() {
+                key.push(o_pos);
+            }
+            if *emit_property {
+                key.push(1);
+            }
+            if s.is_some() {
+                key.push(0);
+            }
+            if o.is_some() {
+                key.push(o_pos);
+            }
+            PhysProps {
+                sorted_by: Some(key),
+                distinct: false,
+            }
+        }
+        Plan::Select { input, .. }
+        | Plan::FilterIn { input, .. }
+        | Plan::HavingCountGt { input, .. } => derive(input, ctx),
+        Plan::Distinct { input } => PhysProps {
+            sorted_by: derive(input, ctx).sorted_by,
+            distinct: true,
+        },
+        Plan::Project { input, cols } => {
+            let ip = derive(input, ctx);
+            let sorted_by = ip.sorted_by.and_then(|key| {
+                // The output stays sorted by the longest key prefix whose
+                // columns all survive the projection.
+                let mut out = Vec::new();
+                for k in key {
+                    match cols.iter().position(|&c| c == k) {
+                        Some(pos) => out.push(pos),
+                        None => break,
+                    }
+                }
+                (!out.is_empty()).then_some(out)
+            });
+            // Dropping columns can merge previously distinct rows.
+            let distinct = ip.distinct && (0..input.arity()).all(|c| cols.contains(&c));
+            PhysProps {
+                sorted_by,
+                distinct,
+            }
+        }
+        Plan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+        } => {
+            let lp = derive(left, ctx);
+            let rp = derive(right, ctx);
+            // Distinct inputs produce distinct (left row ++ right row)
+            // concatenations: equal outputs would need equal rows on both
+            // sides, which distinctness rules out.
+            let distinct = lp.distinct && rp.distinct;
+            if lp.sorted_on(*left_col) && rp.sorted_on(*right_col) {
+                // Merge join: the left selection vector is non-decreasing,
+                // so every left-side ordering survives.
+                PhysProps {
+                    sorted_by: lp.sorted_by,
+                    distinct,
+                }
+            } else {
+                PhysProps {
+                    sorted_by: None,
+                    distinct,
+                }
+            }
+        }
+        Plan::GroupCount { keys, .. } => {
+            // Every group-count path (hash + sort, and the run-based
+            // sorted kernels) emits key-sorted rows with distinct keys;
+            // the trailing count column never breaks ties because there
+            // are none.
+            PhysProps {
+                sorted_by: Some((0..=keys.len()).collect()),
+                distinct: true,
+            }
+        }
+        Plan::UnionAll { inputs } => {
+            if inputs.len() == 1 {
+                derive(&inputs[0], ctx)
+            } else {
+                // Concatenation destroys order and can duplicate rows.
+                PhysProps::unordered()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{group_count, join, project, scan_all, scan_p, scan_po};
+
+    fn pso() -> PropsContext {
+        PropsContext::with_order(SortOrder::Pso)
+    }
+
+    #[test]
+    fn scan_orders_follow_clustering() {
+        let p = derive(&scan_all(), &pso());
+        assert_eq!(p.sorted_by, Some(vec![1, 0, 2]));
+        assert!(!p.distinct);
+        let spo = derive(&scan_all(), &PropsContext::with_order(SortOrder::Spo));
+        assert_eq!(spo.sorted_by, Some(vec![0, 1, 2]));
+        // No order known without a clustering context.
+        assert_eq!(
+            derive(&scan_all(), &PropsContext::default()).sorted_by,
+            None
+        );
+    }
+
+    #[test]
+    fn bound_scan_columns_move_to_the_key_tail() {
+        // p bound under PSO: rows sorted by (s, o), p constant.
+        let p = derive(&scan_p(7), &pso());
+        assert_eq!(p.sorted_by, Some(vec![0, 2, 1]));
+        assert!(p.sorted_on(0));
+        // p and o bound: only s varies.
+        let po = derive(&scan_po(7, 9), &pso());
+        assert_eq!(po.sorted_by, Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn property_scans_are_subject_sorted() {
+        let scan = Plan::ScanProperty {
+            property: 3,
+            s: None,
+            o: None,
+            emit_property: false,
+        };
+        assert_eq!(derive(&scan, &pso()).sorted_by, Some(vec![0, 1]));
+        let emit = Plan::ScanProperty {
+            property: 3,
+            s: None,
+            o: None,
+            emit_property: true,
+        };
+        assert_eq!(derive(&emit, &pso()).sorted_by, Some(vec![0, 2, 1]));
+        let bound_o = Plan::ScanProperty {
+            property: 3,
+            s: None,
+            o: Some(5),
+            emit_property: false,
+        };
+        assert_eq!(derive(&bound_o, &pso()).sorted_by, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn projection_keeps_surviving_key_prefix() {
+        // scan_p under PSO: sorted (s, o, p).
+        let keep_s = project(scan_p(7), vec![0]);
+        assert_eq!(derive(&keep_s, &pso()).sorted_by, Some(vec![0]));
+        // Dropping the leading key column loses the order entirely.
+        let keep_o = project(scan_p(7), vec![2]);
+        assert_eq!(derive(&keep_o, &pso()).sorted_by, None);
+        // Reordering maps key positions through the column list.
+        let swap = project(scan_p(7), vec![2, 0]);
+        assert_eq!(derive(&swap, &pso()).sorted_by, Some(vec![1, 0]));
+    }
+
+    #[test]
+    fn merge_joins_preserve_left_order_hash_joins_do_not() {
+        let sorted = Plan::ScanProperty {
+            property: 1,
+            s: None,
+            o: None,
+            emit_property: false,
+        };
+        let merged = join(sorted.clone(), sorted.clone(), 0, 0);
+        let p = derive(&merged, &pso());
+        assert_eq!(p.sorted_by, Some(vec![0, 1]));
+        // Joining on the object column (not leading) falls back to hash.
+        let hashed = join(sorted.clone(), sorted, 1, 1);
+        assert_eq!(derive(&hashed, &pso()).sorted_by, None);
+    }
+
+    #[test]
+    fn group_count_is_key_sorted_and_distinct() {
+        let g = group_count(scan_all(), vec![2, 1]);
+        let p = derive(&g, &pso());
+        assert_eq!(p.sorted_by, Some(vec![0, 1, 2]));
+        assert!(p.distinct);
+        assert!(p.sorted_by_prefix(&[0]));
+        assert!(p.sorted_by_prefix(&[0, 1]));
+        assert!(p.covers_all_columns(3));
+    }
+
+    #[test]
+    fn unions_destroy_order_unless_singleton() {
+        let scan = Plan::ScanProperty {
+            property: 1,
+            s: None,
+            o: None,
+            emit_property: false,
+        };
+        let single = Plan::UnionAll {
+            inputs: vec![scan.clone()],
+        };
+        assert_eq!(derive(&single, &pso()).sorted_by, Some(vec![0, 1]));
+        let multi = Plan::UnionAll {
+            inputs: vec![scan.clone(), scan],
+        };
+        assert_eq!(derive(&multi, &pso()), PhysProps::unordered());
+    }
+
+    #[test]
+    fn distinct_sets_the_flag_and_keeps_order() {
+        let d = Plan::Distinct {
+            input: Box::new(scan_p(7)),
+        };
+        let p = derive(&d, &pso());
+        assert_eq!(p.sorted_by, Some(vec![0, 2, 1]));
+        assert!(p.distinct);
+        // Projecting away a column forfeits distinctness...
+        let narrowed = project(d.clone(), vec![0]);
+        assert!(!derive(&narrowed, &pso()).distinct);
+        // ...but a permutation keeps it.
+        let permuted = project(d, vec![2, 0, 1]);
+        assert!(derive(&permuted, &pso()).distinct);
+    }
+
+    #[test]
+    fn helper_predicates() {
+        let p = PhysProps {
+            sorted_by: Some(vec![1, 0]),
+            distinct: false,
+        };
+        assert!(p.sorted_on(1));
+        assert!(!p.sorted_on(0));
+        assert!(p.sorted_by_prefix(&[1]));
+        assert!(p.sorted_by_prefix(&[1, 0]));
+        assert!(!p.sorted_by_prefix(&[0]));
+        assert!(p.covers_all_columns(2));
+        assert!(!p.covers_all_columns(3));
+        assert!(!PhysProps::unordered().sorted_on(0));
+    }
+}

@@ -86,3 +86,38 @@ fn equivalence_when_everything_is_interesting() {
     // Restriction list == all properties: q2 ≈ q2* etc.
     check_all(&ds, 30);
 }
+
+/// The sortedness-aware column-engine paths (merge joins, run-based
+/// aggregation, linear distinct, binary-search selection) answer exactly
+/// like the hash-only baseline, for all twelve benchmark queries on every
+/// column layout — the A/B pair behind `BENCH_PR2.json`.
+#[test]
+fn sorted_paths_match_hash_paths_on_all_column_layouts() {
+    use swans_colstore::ColumnEngine;
+
+    let ds = generate(&BartonConfig {
+        scale: 0.0006, // ~30k triples
+        seed: 55,
+        n_properties: 80,
+    });
+    let ctx = QueryContext::from_dataset(&ds, 28);
+    for layout in [
+        Layout::TripleStore(SortOrder::Spo),
+        Layout::TripleStore(SortOrder::Pso),
+        Layout::VerticallyPartitioned,
+    ] {
+        let config = StoreConfig::column(layout);
+        let sorted = RdfStore::load(&ds, config.clone());
+        let mut baseline_engine = ColumnEngine::new();
+        baseline_engine.set_sorted_paths(false);
+        let hash = RdfStore::with_engine(&ds, config, Box::new(baseline_engine))
+            .expect("hash baseline loads");
+        for q in QueryId::ALL {
+            let scheme = layout.scheme();
+            let plan = build_plan(q, scheme, &ctx);
+            let a = normalize_result(q, sorted.run_plan(&plan).expect("sorted run").rows);
+            let b = normalize_result(q, hash.run_plan(&plan).expect("hash run").rows);
+            assert_eq!(a, b, "sorted vs hash differ on {q} / {}", layout.name());
+        }
+    }
+}
