@@ -1,0 +1,37 @@
+//! Update-cost experiment: `cargo run -p swans-bench --release --bin
+//! bench_updates [-- --quick]`.
+//!
+//! Applies an insert/delete workload to every engine × layout
+//! configuration and reports where each architecture pays: the row engine
+//! at apply time (in-place B+tree maintenance across all its indexes), the
+//! column engine at merge time (write-store merge rebuilding the affected
+//! sorted tables). `SWANS_SCALE` / `SWANS_SEED` tune the data set as for
+//! the other experiment binaries; `--quick` shrinks both the data set and
+//! the workload for smoke runs.
+
+use swans_bench::{updates, HarnessConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = HarnessConfig::from_env();
+    let mut ops = 2_000;
+    if quick {
+        cfg.scale = cfg.scale.min(0.0005);
+        ops = 200;
+    } else if std::env::var("SWANS_SCALE").is_err() {
+        // The in-place row path is O(table size) per operation; default to
+        // a smaller data set than the read-only experiments use.
+        cfg.scale = 0.004;
+    }
+    println!(
+        "update-cost experiment: scale={} seed={} ops={ops}\n",
+        cfg.scale, cfg.seed
+    );
+    let rows = updates::run(&cfg, ops);
+    println!("{}", updates::render(&rows));
+    println!(
+        "MBw = decimal megabytes written through the storage layer.\n\
+         The row engine pays per-operation index maintenance at apply time;\n\
+         the column engine logs applies and pays sorted-table rebuilds at merge."
+    );
+}

@@ -18,6 +18,8 @@
 //! | `fig6`   | Figure 6 — execution time vs number of properties |
 //! | `fig7`   | Figure 7 — splitting scalability experiment |
 //! | `all_experiments` | everything above, writing EXPERIMENTS.md |
+//! | `bench_pr2` | sorted-vs-hash A/B trajectory (`BENCH_PR2.json`) |
+//! | `bench_updates` | update cost per engine × layout (write path) |
 //!
 //! Environment knobs: `SWANS_SCALE` (fraction of the 50.3M-triple Barton
 //! data set to synthesize, default 0.02), `SWANS_REPEATS` (averaging, the
@@ -26,6 +28,7 @@
 pub mod experiments;
 pub mod paper;
 pub mod sorted;
+pub mod updates;
 
 use swans_datagen::{generate, BartonConfig};
 use swans_rdf::Dataset;

@@ -1,0 +1,206 @@
+//! The update-cost experiment: what one insert/delete workload costs on
+//! every engine × layout configuration, and where each architecture pays.
+//!
+//! The paper benchmarks a read-only workload; its "black swan" argument
+//! against vertically-partitioned column stores extends to updates, where
+//! the C-Store-style design must either maintain many sorted per-property
+//! tables in place (the row engine's B+tree path — cost paid at *apply*
+//! time, once per index) or buffer mutations in a write store and
+//! periodically merge (the column engine's path — applies are cheap
+//! appends, cost paid at *merge* time as whole-table rewrites). This
+//! experiment makes that trade visible: per configuration it reports apply
+//! time and bytes written, query time while the delta is pending, and
+//! merge time and bytes written.
+
+use std::time::Instant;
+
+use swans_core::{Database, Layout, StoreConfig};
+use swans_plan::queries::{QueryContext, QueryId};
+use swans_rdf::SortOrder;
+
+use crate::{render_table, HarnessConfig};
+
+/// Update-cost measurements for one engine × layout configuration.
+#[derive(Debug, Clone)]
+pub struct UpdateMeasure {
+    /// Configuration label (engine + layout).
+    pub config: String,
+    /// Operations applied (inserts + deletes).
+    pub ops: usize,
+    /// Wall seconds to apply the whole workload.
+    pub apply_s: f64,
+    /// Bytes the storage layer wrote during the applies (row engine:
+    /// B+tree leaf maintenance; column engine: write-ahead log).
+    pub apply_mb_written: f64,
+    /// Hot q5 compute seconds while the delta is still buffered.
+    pub q5_pending_s: f64,
+    /// Wall seconds for the explicit merge (zero-cost on engines that
+    /// apply in place).
+    pub merge_s: f64,
+    /// Bytes written by the merge (the column engine's sorted-table
+    /// rebuilds).
+    pub merge_mb_written: f64,
+    /// Hot q5 compute seconds after the merge.
+    pub q5_merged_s: f64,
+}
+
+/// The six configuration cells of the experiment.
+pub fn configs() -> Vec<StoreConfig> {
+    vec![
+        StoreConfig::row(Layout::TripleStore(SortOrder::Spo)),
+        StoreConfig::row(Layout::TripleStore(SortOrder::Pso)),
+        StoreConfig::row(Layout::VerticallyPartitioned),
+        StoreConfig::column(Layout::TripleStore(SortOrder::Spo)),
+        StoreConfig::column(Layout::TripleStore(SortOrder::Pso)),
+        StoreConfig::column(Layout::VerticallyPartitioned),
+    ]
+}
+
+/// Runs the experiment: `ops/2` deletes of existing triples and `ops/2`
+/// inserts of new subjects carrying the q5 join properties, applied in
+/// batches, against every configuration of the matrix.
+pub fn run(cfg: &HarnessConfig, ops: usize) -> Vec<UpdateMeasure> {
+    let ds = cfg.dataset();
+    let half = (ops / 2).max(1);
+    let deletes: Vec<(String, String, String)> = ds
+        .triples
+        .iter()
+        .step_by((ds.len() / half).max(1))
+        .take(half)
+        .map(|t| {
+            (
+                ds.dict.term(t.s).to_string(),
+                ds.dict.term(t.p).to_string(),
+                ds.dict.term(t.o).to_string(),
+            )
+        })
+        .collect();
+    use swans_plan::queries::vocab;
+    let inserts: Vec<(String, String, String)> = (0..half)
+        .map(|i| {
+            let s = format!("<upd-s{i}>");
+            match i % 3 {
+                0 => (s, vocab::TYPE.to_string(), vocab::TEXT.to_string()),
+                1 => (s, vocab::ORIGIN.to_string(), vocab::DLC.to_string()),
+                _ => (s, "<updated-by>".to_string(), "\"writer\"".to_string()),
+            }
+        })
+        .collect();
+
+    configs()
+        .into_iter()
+        .map(|config| {
+            let label = config.label();
+            let mut db = Database::open(ds.clone(), config.on_machine(cfg.machine_b()))
+                .expect("store loads");
+            let before = db.store().storage().stats();
+            let start = Instant::now();
+            db.delete(
+                deletes
+                    .iter()
+                    .map(|(s, p, o)| (s.as_str(), p.as_str(), o.as_str())),
+            )
+            .expect("deletes apply");
+            db.insert(
+                inserts
+                    .iter()
+                    .map(|(s, p, o)| (s.as_str(), p.as_str(), o.as_str())),
+            )
+            .expect("inserts apply");
+            let apply_s = start.elapsed().as_secs_f64();
+            let apply_io = db.store().storage().stats().since(&before);
+
+            let ctx = QueryContext::from_dataset(db.dataset(), 28);
+            let q5_pending_s = hot_q5(&db, &ctx);
+
+            let before = db.store().storage().stats();
+            let start = Instant::now();
+            db.merge().expect("merge succeeds");
+            let merge_s = start.elapsed().as_secs_f64();
+            let merge_io = db.store().storage().stats().since(&before);
+            let q5_merged_s = hot_q5(&db, &ctx);
+
+            UpdateMeasure {
+                config: label,
+                ops: deletes.len() + inserts.len(),
+                apply_s,
+                apply_mb_written: apply_io.bytes_written as f64 / 1e6,
+                q5_pending_s,
+                merge_s,
+                merge_mb_written: merge_io.bytes_written as f64 / 1e6,
+                q5_merged_s,
+            }
+        })
+        .collect()
+}
+
+/// Best-of-2 hot q5 compute time.
+fn hot_q5(db: &Database, ctx: &QueryContext) -> f64 {
+    let _ = db.run_benchmark(QueryId::Q5, ctx); // warm
+    (0..2)
+        .map(|_| db.run_benchmark(QueryId::Q5, ctx).user_seconds)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Renders the measurement matrix as an aligned text table.
+pub fn render(rows: &[UpdateMeasure]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                r.ops.to_string(),
+                format!("{:.3}", r.apply_s),
+                format!("{:.2}", r.apply_mb_written),
+                format!("{:.4}", r.q5_pending_s),
+                format!("{:.3}", r.merge_s),
+                format!("{:.2}", r.merge_mb_written),
+                format!("{:.4}", r.q5_merged_s),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "configuration",
+            "ops",
+            "apply s",
+            "apply MBw",
+            "q5 pending s",
+            "merge s",
+            "merge MBw",
+            "q5 merged s",
+        ],
+        &table,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The experiment runs end-to-end on a tiny data set, and the cost
+    /// split lands where the architectures put it: the row engine pays
+    /// writes at apply time and nothing at merge, the column engine pays
+    /// its table rebuilds at merge time.
+    #[test]
+    fn tiny_run_reports_the_cost_split() {
+        let cfg = HarnessConfig {
+            scale: 0.0001,
+            repeats: 1,
+            seed: 7,
+        };
+        let rows = run(&cfg, 50);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.ops > 0);
+            assert!(r.apply_mb_written > 0.0, "{}: applies must write", r.config);
+            if r.config.starts_with("DBX") {
+                assert_eq!(r.merge_mb_written, 0.0, "{}: in-place path", r.config);
+            } else {
+                assert!(r.merge_mb_written > 0.0, "{}: merge rebuilds", r.config);
+            }
+        }
+        let text = render(&rows);
+        assert!(text.contains("configuration"));
+    }
+}

@@ -6,9 +6,12 @@
 //! This is the index substrate of the row-store engine (the paper's "DBX"
 //! stand-in). The paper's benchmark keeps loading and index construction
 //! outside the measured window ("the database loading, clustering and index
-//! construction are all kept outside the scope of the benchmark", §2.3) and
-//! the workload is read-only, so the tree is *static*: it is bulk-loaded
-//! once and then only probed and scanned.
+//! construction are all kept outside the scope of the benchmark", §2.3), so
+//! the tree is *bulk-load-first*: built once, then probed and scanned — but
+//! since the write path opened the update workload it also supports in-place
+//! maintenance ([`BTree::insert_row`], [`BTree::remove_prefix`]), charging
+//! each mutation a descent plus a leaf write and resizing its segments as
+//! leaves split or empty.
 //!
 //! Design notes:
 //!
@@ -99,28 +102,13 @@ impl BTree {
         // pointer.
         let fanout = (PAGE_SIZE / (row_bytes + 8)).max(2);
 
-        let n_leaves = n_rows.div_ceil(entries_per_leaf).max(1) as u32;
+        let (n_leaves, levels, total_node_pages) = tree_shape(n_rows, entries_per_leaf, fanout);
         let leaf_segment =
             storage.create_segment(format!("{name}/leaf"), n_leaves as u64 * PAGE_SIZE as u64);
-
-        // Interior levels, bottom-up, then reversed to top-down.
-        let mut levels_bottom_up: Vec<u32> = Vec::new();
-        let mut count = n_leaves;
-        while count > 1 {
-            count = count.div_ceil(fanout as u32);
-            levels_bottom_up.push(count);
-        }
-        let total_node_pages: u32 = levels_bottom_up.iter().sum();
         let node_segment = storage.create_segment(
             format!("{name}/nodes"),
             total_node_pages.max(1) as u64 * PAGE_SIZE as u64,
         );
-        let mut levels = Vec::with_capacity(levels_bottom_up.len());
-        let mut offset = 0u32;
-        for &pages in levels_bottom_up.iter().rev() {
-            levels.push((offset, pages));
-            offset += pages;
-        }
 
         Self {
             arity,
@@ -253,6 +241,112 @@ impl BTree {
         let r = self.probe(prefix);
         self.scan(r)
     }
+
+    /// Inserts `row` at its sorted position (after any equal rows) and
+    /// returns that position.
+    ///
+    /// Charges one interior descent plus one leaf-page write; when the
+    /// insertion grows the leaf count, the segments are resized (a page
+    /// split). This is the write path the bulk-load-only seed lacked — the
+    /// per-index maintenance cost every mutation pays on a row store.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != arity`.
+    pub fn insert_row(&mut self, row: &[u64]) -> usize {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        let pos = self.upper_bound(row);
+        self.data
+            .splice(pos * self.arity..pos * self.arity, row.iter().copied());
+        self.n_rows += 1;
+        self.charge_descent(pos);
+        self.sync_footprint();
+        let leaf = ((pos / self.entries_per_leaf) as u32).min(self.leaf_pages() - 1);
+        self.storage.write_page(self.leaf_segment, leaf);
+        pos
+    }
+
+    /// Removes every row whose leading columns equal `prefix` (the whole
+    /// row for a full-arity prefix), returning the range of positions the
+    /// rows occupied before removal.
+    ///
+    /// Charges one interior descent plus one leaf-page write when rows
+    /// were removed; shrinking segments are resized.
+    pub fn remove_prefix(&mut self, prefix: &[u64]) -> Range<usize> {
+        let range = self.probe(prefix);
+        if range.is_empty() {
+            return range;
+        }
+        self.data
+            .drain(range.start * self.arity..range.end * self.arity);
+        self.n_rows -= range.len();
+        self.sync_footprint();
+        if self.leaf_pages() > 0 {
+            let leaf = ((range.start / self.entries_per_leaf) as u32).min(self.leaf_pages() - 1);
+            self.storage.write_page(self.leaf_segment, leaf);
+        }
+        range
+    }
+
+    /// Adjusts every value of column `col` that is `>= from` by `delta` —
+    /// the TID fixup a secondary index needs after the clustered tree
+    /// shifted row positions underneath its locators. Pure in-memory
+    /// bookkeeping; the touched leaves are charged by the caller's
+    /// insert/remove, not here.
+    pub fn shift_column_tail(&mut self, col: usize, from: u64, delta: i64) {
+        debug_assert!(col < self.arity);
+        for r in 0..self.n_rows {
+            let v = &mut self.data[r * self.arity + col];
+            if *v >= from {
+                *v = v.wrapping_add_signed(delta);
+            }
+        }
+    }
+
+    /// Re-derives leaf and interior page counts from the current row count
+    /// after an insert or remove, resizing the backing segments when the
+    /// shape changed.
+    fn sync_footprint(&mut self) {
+        let (n_leaves, levels, total_node_pages) =
+            tree_shape(self.n_rows, self.entries_per_leaf, self.fanout);
+        if n_leaves != self.storage.segment_pages(self.leaf_segment) {
+            self.storage
+                .resize_segment(self.leaf_segment, n_leaves as u64 * PAGE_SIZE as u64);
+        }
+        if total_node_pages.max(1) != self.storage.segment_pages(self.node_segment) {
+            self.storage.resize_segment(
+                self.node_segment,
+                total_node_pages.max(1) as u64 * PAGE_SIZE as u64,
+            );
+        }
+        self.levels = levels;
+    }
+}
+
+/// The page shape of a tree holding `n_rows` rows: leaf-page count,
+/// interior levels top-down as `(first page offset, page count)`, and the
+/// total interior page count. Shared by [`BTree::bulk_load`] and the
+/// insert/remove resize path so probes always charge the same tree shape
+/// the segments hold.
+fn tree_shape(
+    n_rows: usize,
+    entries_per_leaf: usize,
+    fanout: usize,
+) -> (u32, Vec<(u32, u32)>, u32) {
+    let n_leaves = n_rows.div_ceil(entries_per_leaf).max(1) as u32;
+    let mut levels_bottom_up: Vec<u32> = Vec::new();
+    let mut count = n_leaves;
+    while count > 1 {
+        count = count.div_ceil(fanout as u32);
+        levels_bottom_up.push(count);
+    }
+    let total_node_pages: u32 = levels_bottom_up.iter().sum();
+    let mut levels = Vec::with_capacity(levels_bottom_up.len());
+    let mut offset = 0u32;
+    for &pages in levels_bottom_up.iter().rev() {
+        levels.push((offset, pages));
+        offset += pages;
+    }
+    (n_leaves, levels, total_node_pages)
 }
 
 /// Streaming row iterator over a [`BTree`] range.
@@ -456,6 +550,76 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.probe(&[1]), 0..0);
         assert_eq!(t.scan(t.full_range()).count(), 0);
+    }
+
+    #[test]
+    fn insert_keeps_sort_order_and_grows_segments() {
+        let m = mgr();
+        let rows: Vec<u64> = (0..1000u64).flat_map(|i| [i * 2, i, i]).collect();
+        let mut t = BTree::bulk_load(&m, "t", 3, rows, BTreeOptions::default());
+        let pages_before = t.leaf_pages();
+        m.reset_stats();
+        let pos = t.insert_row(&[5, 9, 9]);
+        assert_eq!(pos, 3, "5 lands after 0,2,4");
+        assert_eq!(t.len(), 1001);
+        let got: Vec<Vec<u64>> = t.scan(t.full_range()).map(|r| r.to_vec()).collect();
+        assert!(got.windows(2).all(|w| w[0] <= w[1]), "still sorted");
+        assert!(
+            m.stats().bytes_written >= PAGE_SIZE as u64,
+            "leaf write charged"
+        );
+        // Enough inserts force a leaf split (segment growth).
+        for i in 0..400u64 {
+            t.insert_row(&[i, 0, 0]);
+        }
+        assert!(t.leaf_pages() > pages_before);
+    }
+
+    #[test]
+    fn remove_prefix_removes_all_matches() {
+        let m = mgr();
+        let mut t = BTree::bulk_load(
+            &m,
+            "d",
+            2,
+            vec![7, 1, 7, 2, 7, 2, 8, 1],
+            BTreeOptions::default(),
+        );
+        // Full-row prefix removes every copy of exactly that row.
+        let r = t.remove_prefix(&[7, 2]);
+        assert_eq!(r, 1..3);
+        assert_eq!(t.len(), 2);
+        // Missing row: empty range, nothing changes.
+        assert!(t.remove_prefix(&[9, 9]).is_empty());
+        let got: Vec<Vec<u64>> = t.scan(t.full_range()).map(|r| r.to_vec()).collect();
+        assert_eq!(got, vec![vec![7, 1], vec![8, 1]]);
+    }
+
+    #[test]
+    fn shift_column_tail_adjusts_locators() {
+        let m = mgr();
+        let mut t = BTree::bulk_load(
+            &m,
+            "s",
+            2,
+            vec![10, 0, 20, 1, 30, 2],
+            BTreeOptions::default(),
+        );
+        t.shift_column_tail(1, 1, 5);
+        let got: Vec<Vec<u64>> = t.scan(t.full_range()).map(|r| r.to_vec()).collect();
+        assert_eq!(got, vec![vec![10, 0], vec![20, 6], vec![30, 7]]);
+        t.shift_column_tail(1, 6, -1);
+        let got: Vec<Vec<u64>> = t.scan(t.full_range()).map(|r| r.to_vec()).collect();
+        assert_eq!(got, vec![vec![10, 0], vec![20, 5], vec![30, 6]]);
+    }
+
+    #[test]
+    fn insert_into_empty_tree() {
+        let m = mgr();
+        let mut t = BTree::bulk_load(&m, "e", 2, vec![], BTreeOptions::default());
+        assert_eq!(t.insert_row(&[4, 2]), 0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.probe(&[4]), 0..1);
     }
 
     #[test]

@@ -38,38 +38,7 @@ impl Column {
         sorted: bool,
         rle_compressed: bool,
     ) -> Self {
-        let plain_bytes = data.len() as u64 * 8;
-        let run_count = if rle_compressed {
-            debug_assert!(sorted, "RLE layout requires a sorted column");
-            count_runs(&data)
-        } else {
-            0
-        };
-        let bytes = if rle_compressed {
-            // (value, run_length) pairs — but a storage engine falls back
-            // to the plain layout when RLE would not pay off (a sorted but
-            // near-distinct column).
-            (run_count * 16).min(plain_bytes)
-        } else {
-            plain_bytes
-        };
-        // Materialize the run headers so equality predicates can be
-        // answered from them — but only when the RLE layout is actually
-        // the stored one (a near-distinct column would pay up to 2x heap
-        // for headers that search no faster than the values), and only
-        // while u32 row offsets suffice (they cover the full Barton
-        // scale).
-        let runs =
-            (rle_compressed && run_count * 16 <= plain_bytes && data.len() <= u32::MAX as usize)
-                .then(|| {
-                    let mut runs: Vec<(u64, u32)> = Vec::with_capacity(run_count as usize);
-                    for (i, &v) in data.iter().enumerate() {
-                        if runs.last().is_none_or(|&(last, _)| last != v) {
-                            runs.push((v, i as u32));
-                        }
-                    }
-                    Arc::new(runs)
-                });
+        let (bytes, runs) = plan_layout(&data, sorted, rle_compressed);
         let segment = storage.create_segment(name, bytes.max(1));
         Self {
             data: Arc::new(data),
@@ -78,6 +47,21 @@ impl Column {
             sorted,
             storage: storage.clone(),
         }
+    }
+
+    /// Replaces the column's contents in place — the merge path.
+    ///
+    /// The same layout decisions as [`Column::new`] are re-taken for the
+    /// new data (RLE pay-off, run headers), the backing segment is resized
+    /// to the new footprint (evicting any stale cached pages), and the
+    /// whole rewritten segment is charged as written I/O.
+    pub fn rewrite(&mut self, data: Vec<u64>, sorted: bool, rle_compressed: bool) {
+        let (bytes, runs) = plan_layout(&data, sorted, rle_compressed);
+        self.storage.resize_segment(self.segment, bytes.max(1));
+        self.storage.write_segment(self.segment);
+        self.data = Arc::new(data);
+        self.runs = runs;
+        self.sorted = sorted;
     }
 
     /// Number of values.
@@ -153,6 +137,46 @@ impl Column {
         let hi = data.partition_point(|&x| x <= value);
         lo..hi
     }
+}
+
+/// The storage layout decisions for a column's data: on-disk bytes and,
+/// when the RLE layout is the stored one, the materialized run headers.
+///
+/// RLE stores `(value, run_length)` pairs, but falls back to the plain
+/// layout when that would not pay off (a sorted but near-distinct column).
+/// Run headers are materialized only when the RLE layout is actually
+/// stored (a near-distinct column would pay up to 2x heap for headers that
+/// search no faster than the values), and only while u32 row offsets
+/// suffice (they cover the full Barton scale).
+#[allow(clippy::type_complexity)]
+fn plan_layout(
+    data: &[u64],
+    sorted: bool,
+    rle_compressed: bool,
+) -> (u64, Option<Arc<Vec<(u64, u32)>>>) {
+    let plain_bytes = data.len() as u64 * 8;
+    let run_count = if rle_compressed {
+        debug_assert!(sorted, "RLE layout requires a sorted column");
+        count_runs(data)
+    } else {
+        0
+    };
+    let bytes = if rle_compressed {
+        (run_count * 16).min(plain_bytes)
+    } else {
+        plain_bytes
+    };
+    let runs = (rle_compressed && run_count * 16 <= plain_bytes && data.len() <= u32::MAX as usize)
+        .then(|| {
+            let mut runs: Vec<(u64, u32)> = Vec::with_capacity(run_count as usize);
+            for (i, &v) in data.iter().enumerate() {
+                if runs.last().is_none_or(|&(last, _)| last != v) {
+                    runs.push((v, i as u32));
+                }
+            }
+            Arc::new(runs)
+        });
+    (bytes, runs)
 }
 
 /// Number of equal-value runs in a slice.
@@ -270,6 +294,27 @@ mod tests {
         m.reset_stats();
         assert_eq!(rle.eq_range(2), 50_000..75_000);
         assert_eq!(m.stats().bytes_read, PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn rewrite_resizes_accounts_and_retakes_layout_decisions() {
+        let m = mgr();
+        let mut c = Column::new(&m, "c", (0..10_000).collect(), true, false);
+        let old_bytes = c.disk_bytes();
+        m.reset_stats();
+        // Rewrite with low-cardinality sorted data under RLE: shrinks.
+        let mut data = vec![1u64; 5_000];
+        data.extend(vec![2u64; 5_000]);
+        c.rewrite(data, true, true);
+        assert!(c.has_runs());
+        assert!(c.disk_bytes() < old_bytes);
+        let s = m.stats();
+        assert_eq!(s.bytes_written, c.disk_bytes(), "whole segment rewritten");
+        assert_eq!(c.eq_range(2), 5_000..10_000);
+        // The rewritten pages are resident: reading is free.
+        let before = m.stats().bytes_read;
+        let _ = c.read();
+        assert_eq!(m.stats().bytes_read, before);
     }
 
     #[test]

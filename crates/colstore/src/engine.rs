@@ -7,15 +7,15 @@
 //! order-exploiting kernel when the derivation allows — merge joins,
 //! run-based aggregation, linear distinct, binary-search selection, and
 //! run-header resolution on RLE-compressed lead columns. Every dispatch
-//! decision is counted in [`ExecStats`]; [`ColumnEngine::set_sorted_paths`]
+//! decision is counted in [`ExecStatsSnapshot`]; [`ColumnEngine::set_sorted_paths`]
 //! turns the whole layer off for A/B comparison (the hash baseline the
 //! benchmark trajectory records).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use swans_rdf::hash::FxHashMap;
-use swans_rdf::{Id, SortOrder, Triple};
-use swans_storage::StorageManager;
+use swans_rdf::hash::{FxHashMap, FxHashSet};
+use swans_rdf::{Delta, Id, SortOrder, Triple};
+use swans_storage::{SegmentId, StorageManager};
 
 use swans_plan::algebra::{CmpOp, Plan};
 use swans_plan::exec::EngineError;
@@ -39,6 +39,8 @@ struct ExecStats {
     distinct_passthroughs: AtomicU64,
     sorted_selects: AtomicU64,
     rle_selects: AtomicU64,
+    delta_union_scans: AtomicU64,
+    merges: AtomicU64,
 }
 
 impl ExecStats {
@@ -53,6 +55,8 @@ impl ExecStats {
             distinct_passthroughs: self.distinct_passthroughs.load(Ordering::Relaxed),
             sorted_selects: self.sorted_selects.load(Ordering::Relaxed),
             rle_selects: self.rle_selects.load(Ordering::Relaxed),
+            delta_union_scans: self.delta_union_scans.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
         }
     }
 
@@ -66,6 +70,8 @@ impl ExecStats {
         self.distinct_passthroughs.store(0, Ordering::Relaxed);
         self.sorted_selects.store(0, Ordering::Relaxed);
         self.rle_selects.store(0, Ordering::Relaxed);
+        self.delta_union_scans.store(0, Ordering::Relaxed);
+        self.merges.store(0, Ordering::Relaxed);
     }
 }
 
@@ -98,6 +104,13 @@ pub struct ExecStatsSnapshot {
     /// Scan bounds resolved from RLE run headers instead of decompressed
     /// values.
     pub rle_selects: u64,
+    /// Base scans that ran the write-store union path (a live tombstone
+    /// set, or pending inserts matching the scan bounds); scans the
+    /// write store cannot affect keep the plain read-store path.
+    pub delta_union_scans: u64,
+    /// Write-store merges into the sorted read-store (explicit or
+    /// threshold-triggered).
+    pub merges: u64,
 }
 
 /// The 3-column triples table, sorted by one clustering order.
@@ -116,6 +129,44 @@ struct PropTable {
     o: Column,
 }
 
+/// The C-Store-style *write store*: the unsorted, in-memory side of the
+/// engine that absorbs mutations so the sorted read-store tables stay
+/// immutable between merges.
+///
+/// Inserts are kept twice — once in arrival order (the triple-store view)
+/// and once bucketed per property (the vertically-partitioned view) — so
+/// either layout's scans can union their pending tail in O(matching rows).
+/// Deletes are tombstones checked against every read-store row a scan
+/// produces.
+#[derive(Debug, Default)]
+struct WriteStore {
+    /// Pending inserts, in arrival order.
+    inserts: Vec<Triple>,
+    /// The same pending inserts bucketed by property (`(s, o)` pairs).
+    by_prop: FxHashMap<Id, Vec<(u64, u64)>>,
+    /// Tombstones: read-store rows to hide until the next merge removes
+    /// them physically.
+    deletes: FxHashSet<Triple>,
+    /// Property ids with at least one tombstone — lets a scan bound to a
+    /// property the tombstones cannot match skip the union path entirely.
+    delete_props: FxHashSet<Id>,
+}
+
+impl WriteStore {
+    fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Number of pending operations (inserts + tombstones).
+    fn pending(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+}
+
+/// Default auto-merge threshold: pending operations beyond which
+/// [`ColumnEngine::apply`] triggers a merge on its own.
+pub const DEFAULT_MERGE_THRESHOLD: usize = 16_384;
+
 /// The column-store engine instance: either a triple-store layout, a
 /// vertically-partitioned layout, or both (they share the storage manager
 /// and thus the I/O accounting).
@@ -133,6 +184,21 @@ pub struct ColumnEngine {
     sorted_paths: bool,
     /// Kernel-dispatch counters.
     stats: ExecStats,
+    /// The delta side: pending inserts and tombstones.
+    write: WriteStore,
+    /// Compression flag [`ColumnEngine::load_triple_store`] ran with —
+    /// merges rebuild the lead column under the same layout policy.
+    triple_compression: bool,
+    /// Compression flag [`ColumnEngine::load_vertical`] ran with.
+    vp_compression: bool,
+    /// Pending operations beyond which [`ColumnEngine::apply`] merges
+    /// automatically.
+    merge_threshold: usize,
+    /// Write-ahead log segment for delta accounting (created lazily on the
+    /// first apply, truncated by merges).
+    wal: Option<SegmentId>,
+    /// Bytes currently in the write-ahead log.
+    wal_bytes: u64,
 }
 
 impl Default for ColumnEngine {
@@ -143,6 +209,12 @@ impl Default for ColumnEngine {
             vertical_loaded: false,
             sorted_paths: true,
             stats: ExecStats::default(),
+            write: WriteStore::default(),
+            triple_compression: false,
+            vp_compression: false,
+            merge_threshold: DEFAULT_MERGE_THRESHOLD,
+            wal: None,
+            wal_bytes: 0,
         }
     }
 }
@@ -177,9 +249,15 @@ impl ColumnEngine {
     }
 
     /// The physical-layout context plans are derived against.
-    fn props_ctx(&self) -> PropsContext {
+    ///
+    /// Pending write-store *inserts* downgrade every scan to unsorted (the
+    /// unioned tail is in arrival order); tombstones alone do not — hiding
+    /// rows from a sorted stream leaves it sorted.
+    pub fn props_ctx(&self) -> PropsContext {
         PropsContext {
             triple_order: self.triple.as_ref().map(|t| t.order),
+            pending_delta: !self.write.inserts.is_empty(),
+            pending_tombstones: !self.write.deletes.is_empty(),
         }
     }
 
@@ -225,6 +303,7 @@ impl ColumnEngine {
             Column::new(storage, names[i], data, i == lead, compress && i == lead)
         });
         self.triple = Some(TripleTable { order, cols });
+        self.triple_compression = compress;
     }
 
     /// Loads the vertically-partitioned layout: one `(s, o)` table per
@@ -248,6 +327,183 @@ impl ColumnEngine {
             self.props.insert(p, PropTable { s: st, o: ot });
         }
         self.vertical_loaded = true;
+        self.vp_compression = compress;
+    }
+
+    /// Absorbs a [`Delta`] into the write store: tombstones first (a
+    /// delete cancels matching *pending* inserts before it shadows
+    /// read-store rows), then inserts. A tombstone is *not* lifted by a
+    /// later insert of the same triple — it keeps hiding the read-store
+    /// copies that existed at delete time, while the pending insert
+    /// supplies the one new copy (scans never tombstone-check the pending
+    /// tail). The delta's payload is charged to the write-ahead log; when
+    /// the pending-operation count reaches the merge threshold the write
+    /// store is merged into the sorted read store automatically.
+    pub fn apply(&mut self, storage: &StorageManager, delta: &Delta) -> Result<(), EngineError> {
+        if self.triple.is_none() && !self.vertical_loaded {
+            return Err(EngineError::Unsupported(
+                "no layout loaded to apply a delta to".into(),
+            ));
+        }
+        if delta.is_empty() {
+            return Ok(());
+        }
+        if !delta.deletes.is_empty() {
+            // One set, one pass: all of a delta's deletes precede its
+            // inserts, so cancelling pending inserts in a single sweep is
+            // equivalent to per-delete removal and linear instead of
+            // O(deletes × pending).
+            let doomed: FxHashSet<Triple> = delta.deletes.iter().copied().collect();
+            if !self.write.inserts.is_empty() {
+                self.write.inserts.retain(|t| !doomed.contains(t));
+                for (&p, v) in self.write.by_prop.iter_mut() {
+                    v.retain(|&(s, o)| !doomed.contains(&Triple::new(s, p, o)));
+                }
+            }
+            self.write.delete_props.extend(doomed.iter().map(|t| t.p));
+            self.write.deletes.extend(doomed);
+        }
+        for t in &delta.inserts {
+            self.write.inserts.push(*t);
+            self.write.by_prop.entry(t.p).or_default().push((t.s, t.o));
+        }
+
+        // Charge the delta as a write-ahead-log append.
+        let wal = *self
+            .wal
+            .get_or_insert_with(|| storage.create_segment("writestore/log", 0));
+        let old_pages = storage.segment_pages(wal);
+        self.wal_bytes += delta.payload_bytes();
+        storage.resize_segment(wal, self.wal_bytes);
+        let new_pages = storage.segment_pages(wal);
+        // Append-only: rewrite the partially-filled last old page plus any
+        // fresh pages.
+        let first = old_pages.saturating_sub(1).min(new_pages.saturating_sub(1));
+        storage.write_range(wal, first, new_pages - first);
+
+        if self.write.pending() >= self.merge_threshold {
+            self.merge(storage)?;
+        }
+        Ok(())
+    }
+
+    /// Number of pending write-store operations (inserts + tombstones).
+    pub fn pending_delta(&self) -> usize {
+        self.write.pending()
+    }
+
+    /// Sets the pending-operation count at which [`ColumnEngine::apply`]
+    /// merges automatically ([`DEFAULT_MERGE_THRESHOLD`] unless changed;
+    /// `usize::MAX` disables the trigger).
+    pub fn set_merge_threshold(&mut self, ops: usize) {
+        self.merge_threshold = ops.max(1);
+    }
+
+    /// Merges the write store into the sorted read store: every affected
+    /// sorted table (the triples table, and each property table a pending
+    /// operation touches) is rebuilt — tombstoned rows dropped, pending
+    /// inserts sorted in — and rewritten through the storage layer under
+    /// the same compression policy it was loaded with. Afterwards the
+    /// write store is empty, so scans stop unioning and physical-property
+    /// derivation claims the storage orders again: sorted-path dispatch
+    /// (merge joins, run aggregation, RLE selects) is restored.
+    pub fn merge(&mut self, storage: &StorageManager) -> Result<(), EngineError> {
+        if self.write.is_empty() {
+            return Ok(());
+        }
+        bump(&self.stats.merges);
+        let write = std::mem::take(&mut self.write);
+
+        if let Some(t) = &mut self.triple {
+            let n = t.cols[0].len();
+            let mut merged: Vec<Triple> = Vec::with_capacity(n + write.inserts.len());
+            {
+                let sv = t.cols[0].peek();
+                let pv = t.cols[1].peek();
+                let ov = t.cols[2].peek();
+                for i in 0..n {
+                    let tr = Triple::new(sv[i], pv[i], ov[i]);
+                    if !write.deletes.contains(&tr) {
+                        merged.push(tr);
+                    }
+                }
+            }
+            // A tombstone that matched nothing (e.g. it only cancelled a
+            // pending insert) changes no stored row; skip the rewrite when
+            // nothing was filtered and nothing is inserted.
+            let changed = merged.len() != n || !write.inserts.is_empty();
+            if changed {
+                merged.extend_from_slice(&write.inserts);
+                t.order.sort(&mut merged);
+                let lead = t.order.permutation()[0];
+                for c in 0..3 {
+                    let data: Vec<u64> = merged.iter().map(|tr| tr.as_row()[c]).collect();
+                    t.cols[c].rewrite(data, c == lead, self.triple_compression && c == lead);
+                }
+            }
+        }
+
+        if self.vertical_loaded {
+            let mut affected: Vec<Id> = write
+                .deletes
+                .iter()
+                .map(|t| t.p)
+                .chain(write.by_prop.keys().copied())
+                .collect();
+            affected.sort_unstable();
+            affected.dedup();
+            for p in affected {
+                let pending = write.by_prop.get(&p);
+                let old_len = self.props.get(&p).map_or(0, |t| t.s.len());
+                let mut rows: Vec<(u64, u64)> = match self.props.get(&p) {
+                    Some(table) => {
+                        let sv = table.s.peek();
+                        let ov = table.o.peek();
+                        (0..sv.len())
+                            .filter(|&i| !write.deletes.contains(&Triple::new(sv[i], p, ov[i])))
+                            .map(|i| (sv[i], ov[i]))
+                            .collect()
+                    }
+                    None => Vec::new(),
+                };
+                // No tombstone hit this table and nothing is pending for
+                // it: a rewrite would be byte-identical — skip it.
+                if rows.len() == old_len && pending.is_none_or(Vec::is_empty) {
+                    continue;
+                }
+                if let Some(v) = pending {
+                    rows.extend_from_slice(v);
+                }
+                rows.sort_unstable();
+                let (s, o): (Vec<u64>, Vec<u64>) = rows.into_iter().unzip();
+                match self.props.get_mut(&p) {
+                    Some(table) => {
+                        table.s.rewrite(s, true, self.vp_compression);
+                        table.o.rewrite(o, false, false);
+                    }
+                    None => {
+                        if !s.is_empty() {
+                            let st = Column::new(
+                                storage,
+                                &format!("vp/{p}/s"),
+                                s,
+                                true,
+                                self.vp_compression,
+                            );
+                            let ot = Column::new(storage, &format!("vp/{p}/o"), o, false, false);
+                            self.props.insert(p, PropTable { s: st, o: ot });
+                        }
+                    }
+                }
+            }
+        }
+
+        // The write-ahead log is consumed.
+        if let Some(wal) = self.wal {
+            storage.resize_segment(wal, 0);
+        }
+        self.wal_bytes = 0;
+        Ok(())
     }
 
     /// Whether a triple-store layout is loaded.
@@ -539,6 +795,65 @@ impl ColumnEngine {
             }
         }
 
+        // Pending inserts inside this scan's bounds — the unsorted tail a
+        // write-store union appends.
+        let tail: Vec<Triple> = self
+            .write
+            .inserts
+            .iter()
+            .filter(|t| {
+                s.is_none_or(|v| t.s == v)
+                    && p.is_none_or(|v| t.p == v)
+                    && o.is_none_or(|v| t.o == v)
+            })
+            .copied()
+            .collect();
+
+        // Union path only when the write store can actually affect this
+        // scan (a tombstone that could fall in its bounds, or matching
+        // pending inserts): the read-store rows minus tombstones, then
+        // the tail (the props derivation has already downgraded this
+        // scan's claimed order). Only the tombstone check forces all
+        // three columns to be read — it needs the full (s, p, o) key;
+        // with pending inserts alone, projection pushdown and BAT sharing
+        // keep working below.
+        let tombstones_possible = match p {
+            Some(v) => self.write.delete_props.contains(&v),
+            None => !self.write.deletes.is_empty(),
+        };
+        if !tail.is_empty() || tombstones_possible {
+            bump(&self.stats.delta_union_scans);
+            let mut idx: Vec<u32> = match sel {
+                Some(s) => s,
+                None => (range.start as u32..range.end as u32).collect(),
+            };
+            if tombstones_possible {
+                let sv = t.cols[0].read();
+                let pv = t.cols[1].read();
+                let ov = t.cols[2].read();
+                idx.retain(|&i| {
+                    let i = i as usize;
+                    !self
+                        .write
+                        .deletes
+                        .contains(&Triple::new(sv[i], pv[i], ov[i]))
+                });
+            }
+            let out_len = idx.len() + tail.len();
+            let cols: Vec<Option<ColData>> = (0..3)
+                .map(|c| {
+                    if needed & bit(c) == 0 {
+                        return None;
+                    }
+                    let base = t.cols[c].read();
+                    let mut v: Vec<u64> = idx.iter().map(|&i| base[i as usize]).collect();
+                    v.extend(tail.iter().map(|t| t.as_row()[c]));
+                    Some(ColData::Owned(v))
+                })
+                .collect();
+            return Ok(Chunk::from_optional(out_len, cols));
+        }
+
         let out_len = sel.as_ref().map_or(range.len(), Vec::len);
         let full = range == (0..t.cols[0].len()) && sel.is_none();
         let cols: Vec<Option<ColData>> = (0..3)
@@ -574,12 +889,36 @@ impl ColumnEngine {
             return Err(EngineError::MissingVerticalLayout);
         }
         let arity = if emit_property { 3 } else { 2 };
+
+        // Pending inserts for this property that satisfy the scan bounds —
+        // the unsorted tail a non-empty write store unions in.
+        let tail: Vec<(u64, u64)> = match self.write.by_prop.get(&property) {
+            Some(rows) => rows
+                .iter()
+                .filter(|&&(rs, ro)| s.is_none_or(|v| rs == v) && o.is_none_or(|v| ro == v))
+                .copied()
+                .collect(),
+            None => Vec::new(),
+        };
+
         let Some(t) = self.props.get(&property) else {
-            // A property with no triples (possible after splitting): empty.
+            // A property with no sorted table (never loaded, or only just
+            // inserted into): the pending tail is the whole answer.
+            if !tail.is_empty() {
+                bump(&self.stats.delta_union_scans);
+            }
             let cols = (0..arity)
-                .map(|i| (needed & bit(i) != 0).then(|| ColData::Owned(Vec::new())))
+                .map(|i| {
+                    (needed & bit(i) != 0).then(|| {
+                        ColData::Owned(match (i, arity) {
+                            (0, _) => tail.iter().map(|&(rs, _)| rs).collect(),
+                            (1, 3) => vec![property; tail.len()],
+                            _ => tail.iter().map(|&(_, ro)| ro).collect(),
+                        })
+                    })
+                })
                 .collect();
-            return Ok(Chunk::from_optional(0, cols));
+            return Ok(Chunk::from_optional(tail.len(), cols));
         };
         let o_pos = arity - 1;
 
@@ -617,6 +956,49 @@ impl ColumnEngine {
                         .collect(),
                 );
             }
+        }
+
+        // Union path only when the write store can affect this scan (a
+        // tombstone on this property, or matching pending inserts): hide
+        // tombstoned read-store rows, append the pending tail. Only the
+        // tombstone check needs both columns read; with pending inserts
+        // alone, projection pushdown and BAT sharing keep working below.
+        let tombstones_possible = self.write.delete_props.contains(&property);
+        if !tail.is_empty() || tombstones_possible {
+            bump(&self.stats.delta_union_scans);
+            let mut idx: Vec<u32> = match sel {
+                Some(s) => s,
+                None => (range.start as u32..range.end as u32).collect(),
+            };
+            if tombstones_possible {
+                let sv = t.s.read();
+                let ov = t.o.read();
+                idx.retain(|&i| {
+                    let i = i as usize;
+                    !self
+                        .write
+                        .deletes
+                        .contains(&Triple::new(sv[i], property, ov[i]))
+                });
+            }
+            let out_len = idx.len() + tail.len();
+            let mut cols: Vec<Option<ColData>> = vec![None; arity];
+            if needed & bit(0) != 0 {
+                let sv = t.s.read();
+                let mut v: Vec<u64> = idx.iter().map(|&i| sv[i as usize]).collect();
+                v.extend(tail.iter().map(|&(rs, _)| rs));
+                cols[0] = Some(ColData::Owned(v));
+            }
+            if emit_property && needed & bit(1) != 0 {
+                cols[1] = Some(ColData::Owned(vec![property; out_len]));
+            }
+            if needed & bit(o_pos) != 0 {
+                let ov = t.o.read();
+                let mut v: Vec<u64> = idx.iter().map(|&i| ov[i as usize]).collect();
+                v.extend(tail.iter().map(|&(_, ro)| ro));
+                cols[o_pos] = Some(ColData::Owned(v));
+            }
+            return Ok(Chunk::from_optional(out_len, cols));
         }
 
         let out_len = sel.as_ref().map_or(range.len(), Vec::len);
@@ -921,6 +1303,258 @@ mod tests {
         let p_all = project(scan_p(7), vec![0, 1, 2]);
         let _ = e.execute(&p_all).expect("plan executes");
         assert!(m.stats().bytes_read > bytes);
+    }
+
+    /// The write path end-to-end on both layouts: scans union pending
+    /// inserts and hide tombstones; a merge folds everything into the
+    /// sorted tables without changing any answer.
+    #[test]
+    fn write_store_union_and_merge_preserve_answers() {
+        let (m, mut e) = engine(SortOrder::Pso);
+        let mut delta = Delta::new();
+        delta
+            .delete(Triple::new(11, 0, 1)) // drop one <type> row
+            .insert(Triple::new(14, 0, 1)) // new subject, existing property
+            .insert(Triple::new(14, 7, 9)); // brand-new property
+        e.apply(&m, &delta).expect("delta applies");
+        assert_eq!(e.pending_delta(), 3);
+
+        // The logical content both layouts must now serve.
+        let mut expect = triples();
+        expect.retain(|t| *t != Triple::new(11, 0, 1));
+        expect.push(Triple::new(14, 0, 1));
+        expect.push(Triple::new(14, 7, 9));
+
+        let check_against = |e: &ColumnEngine, plan: &Plan| {
+            let got = naive::normalize(e.execute(plan).expect("plan executes").to_rows());
+            let want = naive::normalize(naive::execute(plan, &expect));
+            assert_eq!(got, want, "plan {plan:?}");
+        };
+        let plans = [
+            scan_all(),
+            scan_p(0),
+            scan_po(0, 1),
+            Plan::ScanProperty {
+                property: 0,
+                s: None,
+                o: None,
+                emit_property: true,
+            },
+            Plan::ScanProperty {
+                property: 7, // only exists in the write store
+                s: None,
+                o: None,
+                emit_property: false,
+            },
+            Plan::ScanProperty {
+                property: 0,
+                s: Some(14),
+                o: None,
+                emit_property: false,
+            },
+            group_count(
+                project(join(scan_po(0, 1), scan_all(), 0, 0), vec![4]),
+                vec![0],
+            ),
+        ];
+        for plan in &plans {
+            check_against(&e, plan);
+        }
+        assert!(e.exec_stats().delta_union_scans > 0);
+        // Pending inserts downgrade scan order claims.
+        assert!(e.props_ctx().pending_delta);
+        assert_eq!(
+            derive_props(&scan_all(), &e.props_ctx()),
+            PhysProps::unordered()
+        );
+
+        // Merge: same answers, sorted dispatch restored, write store empty.
+        e.merge(&m).expect("merge succeeds");
+        assert_eq!(e.pending_delta(), 0);
+        assert!(!e.props_ctx().pending_delta);
+        assert_eq!(e.exec_stats().merges, 1);
+        for plan in &plans {
+            check_against(&e, plan);
+        }
+        // Property 7 got a real sorted table out of the merge.
+        assert_eq!(e.property_table_count(), 3);
+        e.reset_exec_stats();
+        let j = join(
+            Plan::ScanProperty {
+                property: 0,
+                s: None,
+                o: None,
+                emit_property: false,
+            },
+            Plan::ScanProperty {
+                property: 2,
+                s: None,
+                o: None,
+                emit_property: false,
+            },
+            0,
+            0,
+        );
+        let _ = e.execute(&j).expect("join executes");
+        let stats = e.exec_stats();
+        assert_eq!(stats.merge_joins, 1, "sorted dispatch restored: {stats:?}");
+        assert_eq!(stats.delta_union_scans, 0);
+    }
+
+    /// Delete semantics: every stored copy goes; a delete cancels matching
+    /// pending inserts; a later insert of the same triple does NOT lift
+    /// the tombstone — the old read-store copies stay hidden while the
+    /// pending insert supplies exactly one new copy.
+    #[test]
+    fn delete_semantics_across_write_store_and_read_store() {
+        let m = StorageManager::new(MachineProfile::B);
+        let mut e = ColumnEngine::new();
+        // Two identical copies in the read store.
+        let mut data = triples();
+        data.push(Triple::new(10, 0, 1));
+        e.load_triple_store(&m, &data, SortOrder::Pso, false);
+
+        // Delete removes both copies.
+        e.apply(&m, &Delta::of_deletes(vec![Triple::new(10, 0, 1)]))
+            .expect("applies");
+        let got = e.execute(&scan_p(0)).expect("scan").to_rows();
+        assert!(
+            !got.iter().any(|r| r[0] == 10),
+            "all copies hidden: {got:?}"
+        );
+
+        // Insert the same triple again: tombstone lifted, one copy visible.
+        e.apply(&m, &Delta::of_inserts(vec![Triple::new(10, 0, 1)]))
+            .expect("applies");
+        let got = e.execute(&scan_p(0)).expect("scan").to_rows();
+        assert_eq!(got.iter().filter(|r| r[0] == 10).count(), 1);
+
+        // A delete in the same batch as an earlier queued insert wins.
+        let mut both = Delta::new();
+        both.delete(Triple::new(10, 0, 1));
+        e.apply(&m, &both).expect("applies");
+        e.merge(&m).expect("merges");
+        let got = e.execute(&scan_p(0)).expect("scan").to_rows();
+        assert!(!got.iter().any(|r| r[0] == 10));
+        // Deleting something that never existed is a harmless no-op.
+        e.apply(&m, &Delta::of_deletes(vec![Triple::new(99, 99, 99)]))
+            .expect("applies");
+        e.merge(&m).expect("merges");
+    }
+
+    /// Reaching the configured threshold merges without an explicit call.
+    #[test]
+    fn threshold_triggers_automatic_merge() {
+        let (m, mut e) = engine(SortOrder::Pso);
+        e.set_merge_threshold(3);
+        e.apply(
+            &m,
+            &Delta::of_inserts(vec![Triple::new(20, 0, 1), Triple::new(21, 0, 1)]),
+        )
+        .expect("applies");
+        assert_eq!(e.pending_delta(), 2, "below threshold: no merge yet");
+        e.apply(&m, &Delta::of_inserts(vec![Triple::new(22, 0, 1)]))
+            .expect("applies");
+        assert_eq!(e.pending_delta(), 0, "threshold reached: auto-merged");
+        assert_eq!(e.exec_stats().merges, 1);
+        let got = e.execute(&scan_po(0, 1)).expect("scan").to_rows();
+        assert_eq!(got.len(), 5);
+    }
+
+    /// A scan the write store cannot affect (no tombstones, no pending
+    /// inserts in its bounds) keeps the plain read-store path.
+    #[test]
+    fn unaffected_scans_skip_the_union_path() {
+        let (m, mut e) = engine(SortOrder::Pso);
+        e.apply(&m, &Delta::of_inserts(vec![Triple::new(30, 0, 1)]))
+            .expect("applies");
+        e.reset_exec_stats();
+        // Property 2 has no pending rows; neither scan flavor unions.
+        let vp = Plan::ScanProperty {
+            property: 2,
+            s: None,
+            o: None,
+            emit_property: false,
+        };
+        assert_eq!(e.execute(&vp).expect("scans").len(), 3);
+        assert_eq!(e.execute(&scan_p(2)).expect("scans").len(), 3);
+        assert_eq!(e.exec_stats().delta_union_scans, 0);
+        // The property the insert targets does union.
+        assert_eq!(e.execute(&scan_p(0)).expect("scans").len(), 4);
+        assert_eq!(e.exec_stats().delta_union_scans, 1);
+    }
+
+    /// A merge only rewrites tables the delta actually changed: a
+    /// tombstone that merely cancelled a pending insert leaves every
+    /// stored byte alone, and an insert into one property leaves the
+    /// other property tables (and nothing else) untouched.
+    #[test]
+    fn merge_skips_unchanged_tables() {
+        let (m, mut e) = engine(SortOrder::Pso);
+        // Insert then delete the same triple: the write store ends up
+        // holding only a tombstone that matches no stored row.
+        e.apply(&m, &Delta::of_inserts(vec![Triple::new(50, 0, 1)]))
+            .expect("applies");
+        e.apply(&m, &Delta::of_deletes(vec![Triple::new(50, 0, 1)]))
+            .expect("applies");
+        assert_eq!(e.pending_delta(), 1, "the tombstone is pending");
+        let before = m.stats();
+        e.merge(&m).expect("merges");
+        let io = m.stats().since(&before);
+        assert_eq!(io.bytes_written, 0, "nothing changed, nothing rewritten");
+
+        // An insert touching only property 0 rewrites that table (and the
+        // triples table) but not property 2's columns.
+        let p2_bytes = {
+            let t = &e.props[&2];
+            t.s.disk_bytes() + t.o.disk_bytes()
+        };
+        e.apply(&m, &Delta::of_inserts(vec![Triple::new(51, 0, 1)]))
+            .expect("applies");
+        let before = m.stats();
+        e.merge(&m).expect("merges");
+        let io = m.stats().since(&before);
+        let triple_bytes: u64 = (0..3)
+            .map(|c| e.triple.as_ref().unwrap().cols[c].disk_bytes())
+            .sum();
+        let p0_bytes = {
+            let t = &e.props[&0];
+            t.s.disk_bytes() + t.o.disk_bytes()
+        };
+        assert_eq!(
+            io.bytes_written,
+            triple_bytes + p0_bytes,
+            "only the affected tables are rewritten (p2 holds {p2_bytes}B)"
+        );
+    }
+
+    /// The storage layer sees the write path: applies charge the log,
+    /// merges charge the rebuilt segments.
+    #[test]
+    fn write_path_is_accounted() {
+        let (m, mut e) = engine(SortOrder::Pso);
+        m.reset_stats();
+        e.apply(&m, &Delta::of_inserts(vec![Triple::new(20, 0, 1)]))
+            .expect("applies");
+        let after_apply = m.stats();
+        assert!(after_apply.bytes_written > 0, "apply charges the log");
+        e.merge(&m).expect("merges");
+        let after_merge = m.stats().since(&after_apply);
+        assert!(
+            after_merge.bytes_written > after_apply.bytes_written,
+            "a merge rewrites whole tables: {after_merge:?}"
+        );
+    }
+
+    /// A delta against an engine with no layout is a typed error.
+    #[test]
+    fn apply_without_layout_is_an_error() {
+        let m = StorageManager::new(MachineProfile::B);
+        let mut e = ColumnEngine::new();
+        assert!(matches!(
+            e.apply(&m, &Delta::of_inserts(vec![Triple::new(1, 2, 3)])),
+            Err(EngineError::Unsupported(_))
+        ));
     }
 
     /// All twelve benchmark queries on both layouts match the naive

@@ -29,6 +29,13 @@
 //!   whenever the input order allows; every decision is observable through
 //!   [`ExecStatsSnapshot`] and the whole layer can be switched off
 //!   ([`ColumnEngine::set_sorted_paths`]) for A/B comparison.
+//! * **Write-store / read-store split.** The sorted tables above are the
+//!   immutable *read store*; mutations land in an unsorted in-memory
+//!   *write store* (per-property insert vectors plus a tombstone set, the
+//!   C-Store design the paper benchmarks) that every scan unions behind
+//!   its sorted rows. [`ColumnEngine::merge`] — explicit, or triggered by
+//!   a pending-operation threshold — rebuilds the affected sorted tables
+//!   and restores sorted-path dispatch.
 
 pub mod chunk;
 pub mod column;
@@ -37,4 +44,4 @@ pub mod ops;
 
 pub use chunk::Chunk;
 pub use column::Column;
-pub use engine::{ColumnEngine, ExecStatsSnapshot};
+pub use engine::{ColumnEngine, ExecStatsSnapshot, DEFAULT_MERGE_THRESHOLD};

@@ -11,32 +11,29 @@ use std::sync::Arc;
 use swans_plan::algebra::Plan;
 use swans_plan::queries::{QueryContext, QueryId};
 use swans_plan::sparql::compile_sparql;
-use swans_rdf::Dataset;
+use swans_rdf::{Dataset, Delta};
 
 use crate::error::Error;
 use crate::result::ResultSet;
 use crate::store::{QueryRun, RdfStore, StoreConfig};
 use crate::Engine;
 
-/// A data set opened in one physical configuration, queryable with SPARQL.
+/// A data set opened in one physical configuration, queryable with SPARQL
+/// and mutable through [`Database::insert`] / [`Database::delete`].
 ///
-/// ```no_run
+/// ```
 /// use swans_core::{Database, Layout, StoreConfig};
-/// use swans_datagen::{generate, BartonConfig};
+/// use swans_rdf::Dataset;
 ///
-/// let dataset = generate(&BartonConfig::with_triples(100_000));
-/// let db = Database::open(dataset, StoreConfig::column(Layout::VerticallyPartitioned))?;
-/// let results = db.query(
-///     "SELECT ?s ?org WHERE {
-///          ?s <type> <Text> .
-///          ?s <language> <language/iso639-2b/fre> .
-///          ?s <origin> ?org
-///      }",
-/// )?;
-/// println!("{:?}", results.columns());
-/// for row in &results {
-///     println!("{}", row.join("  "));
-/// }
+/// let mut ds = Dataset::new();
+/// ds.add("<s1>", "<type>", "<Text>");
+/// ds.add("<s1>", "<language>", "<fre>");
+/// ds.add("<s2>", "<type>", "<Date>");
+/// let mut db = Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned))?;
+///
+/// let results = db.query("SELECT ?s WHERE { ?s <type> <Text> }")?;
+/// assert_eq!(results.columns(), ["s"]);
+/// assert_eq!(results.decoded(), vec![vec!["<s1>".to_string()]]);
 /// # Ok::<(), swans_core::Error>(())
 /// ```
 pub struct Database {
@@ -117,11 +114,148 @@ impl Database {
         Ok((results, run))
     }
 
+    /// Inserts triples given as `(subject, property, object)` term
+    /// strings, returning how many were inserted. New terms are interned
+    /// into the dictionary incrementally; the data set and the engine's
+    /// physical layout absorb the batch together, so a query issued right
+    /// after sees the new rows (via the engine's write path) and a fresh
+    /// bulk load of [`Database::dataset`] would answer identically.
+    ///
+    /// Inserts have bag semantics: inserting an already-present triple
+    /// stores another copy.
+    ///
+    /// The data set lives behind an `Arc` shared with every [`ResultSet`]
+    /// a query handed out: mutating while such a handle is alive
+    /// copy-on-writes the whole data set (triples + dictionary). Drop
+    /// result sets before large mutation batches — this applies to
+    /// [`Database::delete`] and [`Database::apply`] too.
+    ///
+    /// ```
+    /// use swans_core::{Database, Layout, StoreConfig};
+    /// use swans_rdf::Dataset;
+    ///
+    /// let mut ds = Dataset::new();
+    /// ds.add("<s1>", "<type>", "<Text>");
+    /// let mut db = Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned))?;
+    /// db.insert([("<s2>", "<type>", "<Text>"), ("<s2>", "<language>", "<fre>")])?;
+    /// let results = db.query("SELECT ?s WHERE { ?s <type> <Text> }")?;
+    /// assert_eq!(results.len(), 2);
+    /// # Ok::<(), swans_core::Error>(())
+    /// ```
+    pub fn insert<'a>(
+        &mut self,
+        triples: impl IntoIterator<Item = (&'a str, &'a str, &'a str)>,
+    ) -> Result<usize, Error> {
+        let mut delta = Delta::new();
+        {
+            let dataset = Arc::make_mut(&mut self.dataset);
+            for (s, p, o) in triples {
+                delta.insert(dataset.encode(s, p, o));
+            }
+        }
+        if delta.is_empty() {
+            return Ok(0);
+        }
+        // Engine first: if it declines the delta, the triple bag must not
+        // diverge from what the engine serves (interned terms are
+        // harmless — a dictionary entry with no triples).
+        self.store.apply(&delta)?;
+        Arc::make_mut(&mut self.dataset).apply(&delta);
+        Ok(delta.inserts.len())
+    }
+
+    /// Deletes triples given as `(subject, property, object)` term
+    /// strings, returning how many of them named triples whose terms are
+    /// all known to this database (the remainder cannot be stored here, so
+    /// there is nothing to delete and the dictionary is left untouched).
+    ///
+    /// Deletes have set semantics: every stored copy of a matching triple
+    /// is removed. Deleting an absent triple is a no-op.
+    ///
+    /// ```
+    /// use swans_core::{Database, Layout, StoreConfig};
+    /// use swans_rdf::Dataset;
+    ///
+    /// let mut ds = Dataset::new();
+    /// ds.add("<s1>", "<type>", "<Text>");
+    /// ds.add("<s2>", "<type>", "<Text>");
+    /// let mut db = Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned))?;
+    /// db.delete([("<s1>", "<type>", "<Text>")])?;
+    /// let results = db.query("SELECT ?s WHERE { ?s <type> <Text> }")?;
+    /// assert_eq!(results.decoded(), vec![vec!["<s2>".to_string()]]);
+    /// # Ok::<(), swans_core::Error>(())
+    /// ```
+    pub fn delete<'a>(
+        &mut self,
+        triples: impl IntoIterator<Item = (&'a str, &'a str, &'a str)>,
+    ) -> Result<usize, Error> {
+        let mut delta = Delta::new();
+        for (s, p, o) in triples {
+            if let Some(t) = self.dataset.try_encode(s, p, o) {
+                delta.delete(t);
+            }
+        }
+        if delta.is_empty() {
+            return Ok(0);
+        }
+        self.store.apply(&delta)?;
+        Arc::make_mut(&mut self.dataset).apply(&delta);
+        Ok(delta.deletes.len())
+    }
+
+    /// Applies an already-encoded [`Delta`] (the batch-level escape hatch
+    /// for callers that hold ids). The ids must come from this database's
+    /// dictionary.
+    pub fn apply(&mut self, delta: &Delta) -> Result<(), Error> {
+        if delta.is_empty() {
+            return Ok(());
+        }
+        self.store.apply(delta)?;
+        Arc::make_mut(&mut self.dataset).apply(delta);
+        Ok(())
+    }
+
+    /// Merges the engine's buffered mutations into its sorted primary
+    /// layout, restoring sorted-path dispatch (merge joins, run-based
+    /// aggregation) on the column engine. A no-op for engines that apply
+    /// mutations in place.
+    pub fn merge(&mut self) -> Result<(), Error> {
+        self.store.merge()
+    }
+
+    /// Number of applied-but-unmerged mutations buffered by the engine.
+    pub fn pending_delta(&self) -> usize {
+        self.store.pending_delta()
+    }
+
     /// Returns the optimized plan tree `sparql` would execute — already
     /// lowered for this database's layout. Render it with
-    /// [`Plan::explain`].
+    /// [`Plan::explain`], or use [`Database::explain_text`] for the
+    /// physical-property-annotated form.
+    ///
+    /// ```
+    /// use swans_core::{Database, Layout, StoreConfig};
+    /// use swans_rdf::Dataset;
+    ///
+    /// let mut ds = Dataset::new();
+    /// ds.add("<s1>", "<type>", "<Text>");
+    /// let db = Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned))?;
+    /// let plan = db.explain("SELECT ?s WHERE { ?s <type> <Text> }")?;
+    /// assert!(plan.explain().contains("ScanProperty"));
+    /// # Ok::<(), swans_core::Error>(())
+    /// ```
     pub fn explain(&self, sparql: &str) -> Result<Plan, Error> {
         Ok(self.compile(sparql)?.plan)
+    }
+
+    /// Renders the plan `sparql` would execute with per-node physical
+    /// properties (`sorted_by` / `distinct`) under the engine's *current*
+    /// state — including the write-store union branch while unmerged
+    /// mutations are pending. This is the auditable form of operator
+    /// selection: nodes annotated `[unsorted]` will not merge-join.
+    pub fn explain_text(&self, sparql: &str) -> Result<String, Error> {
+        let plan = self.compile(sparql)?.plan;
+        Ok(plan.explain_annotated(&self.store.explain_context()))
     }
 
     /// Executes a raw logical plan (the algebra-level escape hatch),
@@ -283,6 +417,187 @@ mod tests {
         assert!(run.rows.is_empty(), "rows move into the ResultSet");
         assert!(run.io.bytes_read > 0, "cold run must read");
         assert!(run.real_seconds >= run.user_seconds);
+    }
+
+    /// The write path through the front door: the same interleaving of
+    /// inserts and deletes yields identical decoded answers on all six
+    /// configurations, before and after merge.
+    #[test]
+    fn mutations_agree_on_all_six_configurations() {
+        let ds = dataset();
+        let q = "SELECT ?s ?l WHERE { ?s <type> <Text> . ?s <lang> ?l }";
+        let mut reference: Option<Vec<Vec<String>>> = None;
+        for config in all_configs() {
+            let label = config.label();
+            let mut db = Database::open(ds.clone(), config).expect("opens");
+            db.insert([("<s4>", "<type>", "<Text>"), ("<s4>", "<lang>", "\"deu\"")])
+                .expect("inserts");
+            db.delete([("<s2>", "<lang>", "\"eng\"")]).expect("deletes");
+            let mut rows = db
+                .query(q)
+                .unwrap_or_else(|e| panic!("{label}: {e}"))
+                .decoded();
+            rows.sort();
+            assert_eq!(
+                rows,
+                vec![
+                    vec!["<s1>".to_string(), "\"fre\"".to_string()],
+                    vec!["<s4>".to_string(), "\"deu\"".to_string()],
+                ],
+                "{label} pre-merge"
+            );
+            db.merge().expect("merges");
+            assert_eq!(db.pending_delta(), 0);
+            let mut merged = db.query(q).expect("queries").decoded();
+            merged.sort();
+            match &reference {
+                None => reference = Some(merged.clone()),
+                Some(r) => assert_eq!(r, &merged, "{label} post-merge disagrees"),
+            }
+            assert_eq!(rows, merged, "{label}: merge changed answers");
+
+            // The mutated data set is the logical truth: a fresh bulk load
+            // answers identically.
+            let fresh =
+                Database::open(db.dataset().clone(), db.config().clone()).expect("fresh load");
+            let mut fresh_rows = fresh.query(q).expect("queries").decoded();
+            fresh_rows.sort();
+            assert_eq!(fresh_rows, merged, "{label}: fresh load disagrees");
+        }
+    }
+
+    /// Inserted terms never seen before are interned incrementally and
+    /// decode back out; deletes of unknown terms are no-ops.
+    #[test]
+    fn new_terms_intern_incrementally() {
+        let mut db = Database::open(
+            dataset(),
+            StoreConfig::column(Layout::VerticallyPartitioned),
+        )
+        .expect("opens");
+        let dict_before = db.dataset().dict.len();
+        assert_eq!(
+            db.insert([("<fresh>", "<brand-new-prop>", "\"novel\"")])
+                .expect("inserts"),
+            1
+        );
+        assert_eq!(db.dataset().dict.len(), dict_before + 3);
+        assert_eq!(
+            db.delete([("<never>", "<seen>", "<terms>")]).expect("ok"),
+            0,
+            "unknown terms: nothing to delete"
+        );
+        assert_eq!(db.dataset().dict.len(), dict_before + 3, "no pollution");
+        let rows = db
+            .query("SELECT ?o WHERE { <fresh> <brand-new-prop> ?o }")
+            .expect("queries")
+            .decoded();
+        assert_eq!(rows, vec![vec!["\"novel\"".to_string()]]);
+    }
+
+    /// EXPLAIN renders per-node physical properties, and the write-store
+    /// union branch exactly while a delta is pending.
+    #[test]
+    fn explain_text_tracks_write_store_state() {
+        let mut db = Database::open(
+            dataset(),
+            StoreConfig::column(Layout::VerticallyPartitioned),
+        )
+        .expect("opens");
+        let q = "SELECT ?s ?l WHERE { ?s <type> <Text> . ?s <lang> ?l }";
+        let clean = db.explain_text(q).expect("explains");
+        assert!(clean.contains("sorted_by="), "{clean}");
+        assert!(!clean.contains("WriteStoreScan"), "{clean}");
+        db.insert([("<s9>", "<type>", "<Text>")]).expect("inserts");
+        let dirty = db.explain_text(q).expect("explains");
+        assert!(dirty.contains("WriteStoreScan"), "{dirty}");
+        assert!(dirty.contains("[unsorted]"), "{dirty}");
+        db.merge().expect("merges");
+        let merged = db.explain_text(q).expect("explains");
+        assert!(!merged.contains("WriteStoreScan"), "{merged}");
+        assert!(merged.contains("sorted_by="), "{merged}");
+        // A delete-only delta still shows the (order-preserving) filter
+        // branch: scans do run the union path, and EXPLAIN must say so.
+        db.delete([("<s3>", "<type>", "<Date>")]).expect("deletes");
+        let del_only = db.explain_text(q).expect("explains");
+        assert!(del_only.contains("tombstone filter"), "{del_only}");
+        assert!(del_only.contains("sorted_by="), "{del_only}");
+    }
+
+    /// An explicit merge threshold triggers automatic merging through the
+    /// configuration.
+    #[test]
+    fn merge_threshold_config_is_honored() {
+        let config = StoreConfig::column(Layout::VerticallyPartitioned).with_merge_threshold(2);
+        let mut db = Database::open(dataset(), config).expect("opens");
+        db.insert([("<a>", "<type>", "<Text>")]).expect("inserts");
+        assert_eq!(db.pending_delta(), 1);
+        db.insert([("<b>", "<type>", "<Text>")]).expect("inserts");
+        assert_eq!(db.pending_delta(), 0, "threshold reached: auto-merged");
+    }
+
+    /// A declined delta must leave the logical data set untouched: the
+    /// dataset and the engine may never diverge.
+    #[test]
+    fn rejected_delta_does_not_mutate_the_dataset() {
+        use crate::engine::{Engine, Footprint};
+        use swans_plan::naive;
+        use swans_storage::StorageManager;
+
+        /// Read-only engine: keeps the default (declining) write path.
+        struct ReadOnlyEngine {
+            triples: Vec<swans_rdf::Triple>,
+        }
+        impl Engine for ReadOnlyEngine {
+            fn name(&self) -> &'static str {
+                "read-only"
+            }
+            fn load(
+                &mut self,
+                _storage: &StorageManager,
+                dataset: &Dataset,
+                _layout: Layout,
+                _compression: bool,
+            ) -> Result<(), crate::EngineError> {
+                self.triples = dataset.triples.clone();
+                Ok(())
+            }
+            fn execute(&self, plan: &Plan) -> Result<ResultSet, crate::EngineError> {
+                Ok(ResultSet::new(
+                    naive::execute(plan, &self.triples),
+                    plan.output_kinds(),
+                ))
+            }
+            fn footprint(&self) -> Footprint {
+                Footprint {
+                    has_triple_store: true,
+                    property_tables: 0,
+                }
+            }
+        }
+
+        let ds = dataset();
+        let store = RdfStore::with_engine(
+            &ds,
+            StoreConfig::row(Layout::TripleStore(SortOrder::Pso)),
+            Box::new(ReadOnlyEngine { triples: vec![] }),
+        )
+        .expect("loads");
+        let mut db = Database {
+            dataset: Arc::new(ds.clone()),
+            store,
+        };
+        let before = db.dataset().len();
+        assert!(matches!(
+            db.insert([("<x>", "<type>", "<Text>")]),
+            Err(Error::Engine(_))
+        ));
+        assert_eq!(db.dataset().len(), before, "triple bag must not diverge");
+        assert!(matches!(
+            db.delete([("<s1>", "<type>", "<Text>")]),
+            Err(Error::Engine(_))
+        ));
+        assert_eq!(db.dataset().len(), before);
     }
 
     #[test]

@@ -12,7 +12,8 @@
 
 use swans_colstore::ColumnEngine;
 use swans_plan::algebra::Plan;
-use swans_rdf::{Dataset, SortOrder};
+use swans_plan::props::PropsContext;
+use swans_rdf::{Dataset, Delta, SortOrder};
 use swans_rowstore::engine::TripleIndexConfig;
 use swans_rowstore::RowEngine;
 use swans_storage::StorageManager;
@@ -57,6 +58,46 @@ pub trait Engine: Send + Sync {
 
     /// What this engine currently has loaded.
     fn footprint(&self) -> Footprint;
+
+    /// Applies a batch of mutations (deletes before inserts — see
+    /// [`Delta`]'s semantics). Engines choose their own physical strategy:
+    /// the column engine buffers into a write store, the row engine
+    /// maintains its B+trees in place. The default declines: a read-only
+    /// engine reports `Unsupported` instead of silently dropping writes.
+    fn apply(&mut self, storage: &StorageManager, delta: &Delta) -> Result<(), EngineError> {
+        let _ = (storage, delta);
+        Err(EngineError::Unsupported(
+            "this engine has no write path".into(),
+        ))
+    }
+
+    /// Folds any buffered mutations into the engine's primary layout
+    /// (the column engine's write-store merge). A no-op — the default —
+    /// for engines that apply mutations in place.
+    fn merge(&mut self, storage: &StorageManager) -> Result<(), EngineError> {
+        let _ = storage;
+        Ok(())
+    }
+
+    /// Number of buffered (applied but unmerged) mutations. Zero — the
+    /// default — for engines that apply in place.
+    fn pending_delta(&self) -> usize {
+        0
+    }
+
+    /// Sets the buffered-operation count at which [`Engine::apply`] should
+    /// merge automatically. Advisory; ignored by the default.
+    fn set_merge_threshold(&mut self, ops: usize) {
+        let _ = ops;
+    }
+
+    /// The physical-property context EXPLAIN should annotate plans with —
+    /// what this engine's dispatch actually exploits. The default claims
+    /// nothing, which is truthful for any engine that does not do
+    /// order-aware dispatch (including the built-in row engine).
+    fn explain_context(&self) -> PropsContext {
+        PropsContext::default()
+    }
 }
 
 impl Engine for RowEngine {
@@ -103,6 +144,10 @@ impl Engine for RowEngine {
             property_tables: self.property_table_count(),
         }
     }
+
+    fn apply(&mut self, storage: &StorageManager, delta: &Delta) -> Result<(), EngineError> {
+        RowEngine::apply(self, storage, delta)
+    }
 }
 
 impl Engine for ColumnEngine {
@@ -138,6 +183,26 @@ impl Engine for ColumnEngine {
             has_triple_store: self.has_triple_store(),
             property_tables: self.property_table_count(),
         }
+    }
+
+    fn apply(&mut self, storage: &StorageManager, delta: &Delta) -> Result<(), EngineError> {
+        ColumnEngine::apply(self, storage, delta)
+    }
+
+    fn merge(&mut self, storage: &StorageManager) -> Result<(), EngineError> {
+        ColumnEngine::merge(self, storage)
+    }
+
+    fn pending_delta(&self) -> usize {
+        ColumnEngine::pending_delta(self)
+    }
+
+    fn set_merge_threshold(&mut self, ops: usize) {
+        ColumnEngine::set_merge_threshold(self, ops);
+    }
+
+    fn explain_context(&self) -> PropsContext {
+        self.props_ctx()
     }
 }
 

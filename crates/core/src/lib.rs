@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # swans-core
 //!
 //! The public API of the `swans` RDF system — a reproduction of
@@ -9,20 +11,31 @@
 //! its term dictionary), materializes it under one physical configuration,
 //! and runs the whole pipeline behind one call: SPARQL text → parse → plan
 //! → optimize → lower to the layout → execute on the engine → decoded
-//! results.
+//! results. Mutations go through the same door:
+//! [`Database::insert`] / [`Database::delete`] feed the engine's write
+//! path, and [`Database::merge`] folds the buffered delta back into the
+//! sorted read store.
 //!
-//! ```no_run
+//! ```
 //! use swans_core::{Database, Layout, StoreConfig};
 //! use swans_datagen::{generate, BartonConfig};
 //!
-//! let dataset = generate(&BartonConfig::with_triples(100_000));
-//! let db = Database::open(dataset, StoreConfig::column(Layout::VerticallyPartitioned))?;
+//! let dataset = generate(&BartonConfig::with_triples(20_000));
+//! let mut db = Database::open(dataset, StoreConfig::column(Layout::VerticallyPartitioned))?;
 //! let results = db.query(
 //!     "SELECT ?t (COUNT(*) AS ?n) WHERE { ?s <type> ?t } GROUP BY ?t",
 //! )?;
+//! assert!(!results.is_empty());
 //! for row in &results {
 //!     println!("{}", row.join("  ")); // decoded terms, not dictionary ids
 //! }
+//!
+//! // The write path: insert, query, merge.
+//! db.insert([("<new-subject>", "<type>", "<Text>")])?;
+//! let after = db.query("SELECT ?s WHERE { ?s <type> <Text> }")?;
+//! assert!(after.decoded().iter().any(|r| r[0] == "<new-subject>"));
+//! db.merge()?; // restore sorted-path dispatch
+//! assert_eq!(db.pending_delta(), 0);
 //! # Ok::<(), swans_core::Error>(())
 //! ```
 //!

@@ -93,6 +93,9 @@ pub struct StoreConfig {
     pub pool_pages: Option<usize>,
     /// Column-store leading-column RLE compression.
     pub compression: bool,
+    /// Buffered-mutation count at which the engine should merge its write
+    /// store automatically (`None` = the engine's own default).
+    pub merge_threshold: Option<usize>,
 }
 
 impl StoreConfig {
@@ -104,6 +107,7 @@ impl StoreConfig {
             machine: MachineProfile::B,
             pool_pages: None,
             compression: false,
+            merge_threshold: None,
         }
     }
 
@@ -116,6 +120,7 @@ impl StoreConfig {
             machine: MachineProfile::B,
             pool_pages: None,
             compression: true,
+            merge_threshold: None,
         }
     }
 
@@ -128,6 +133,13 @@ impl StoreConfig {
     /// Restricts the buffer pool (the C-Store stand-in).
     pub fn with_pool_pages(mut self, pages: usize) -> Self {
         self.pool_pages = Some(pages);
+        self
+    }
+
+    /// Sets the buffered-mutation count at which the engine merges its
+    /// write store automatically.
+    pub fn with_merge_threshold(mut self, ops: usize) -> Self {
+        self.merge_threshold = Some(ops);
         self
     }
 
@@ -202,6 +214,9 @@ impl RdfStore {
             Some(pages) => StorageManager::with_pool(config.machine, pages),
             None => StorageManager::new(config.machine),
         };
+        if let Some(ops) = config.merge_threshold {
+            engine.set_merge_threshold(ops);
+        }
         engine.load(&storage, dataset, config.layout, config.compression)?;
         // Loading touched nothing through the pool, but be explicit: the
         // first run must observe a cold system with zeroed counters.
@@ -248,6 +263,31 @@ impl RdfStore {
     /// Empties the buffer pool so the next execution runs cold.
     pub fn make_cold(&self) {
         self.storage.clear_pool();
+    }
+
+    /// Applies a batch of mutations through the engine's write path,
+    /// charging the storage layer for the delta (and for any
+    /// threshold-triggered merge).
+    pub fn apply(&mut self, delta: &swans_rdf::Delta) -> Result<(), Error> {
+        self.engine.apply(&self.storage, delta)?;
+        Ok(())
+    }
+
+    /// Merges any buffered mutations into the primary sorted layout.
+    pub fn merge(&mut self) -> Result<(), Error> {
+        self.engine.merge(&self.storage)?;
+        Ok(())
+    }
+
+    /// Number of applied-but-unmerged mutations buffered by the engine.
+    pub fn pending_delta(&self) -> usize {
+        self.engine.pending_delta()
+    }
+
+    /// The physical-property context EXPLAIN annotations should use for
+    /// this store's engine state.
+    pub fn explain_context(&self) -> swans_plan::props::PropsContext {
+        self.engine.explain_context()
     }
 
     /// Executes a raw logical plan (no timing), returning the encoded

@@ -316,65 +316,66 @@ impl Plan {
         out
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
-        use std::fmt::Write;
-        let pad = "  ".repeat(depth);
+    /// The one-line operator label of this node (no children, no indent) —
+    /// shared by [`Plan::explain`] and the physical-property-annotated
+    /// rendering in [`crate::props`].
+    pub(crate) fn node_label(&self) -> String {
+        let b = |x: &Option<Id>| x.map_or("?".to_string(), |v| v.to_string());
         match self {
             Plan::ScanTriples { s, p, o } => {
-                let b = |x: &Option<Id>| x.map_or("?".to_string(), |v| v.to_string());
-                let _ = writeln!(out, "{pad}ScanTriples(s={}, p={}, o={})", b(s), b(p), b(o));
+                format!("ScanTriples(s={}, p={}, o={})", b(s), b(p), b(o))
             }
             Plan::ScanProperty {
                 property,
                 s,
                 o,
                 emit_property,
-            } => {
-                let b = |x: &Option<Id>| x.map_or("?".to_string(), |v| v.to_string());
-                let _ = writeln!(
-                    out,
-                    "{pad}ScanProperty(p{property}, s={}, o={}{})",
-                    b(s),
-                    b(o),
-                    if *emit_property { ", emit p" } else { "" }
-                );
-            }
-            Plan::Select { input, pred } => {
+            } => format!(
+                "ScanProperty(p{property}, s={}, o={}{})",
+                b(s),
+                b(o),
+                if *emit_property { ", emit p" } else { "" }
+            ),
+            Plan::Select { pred, .. } => {
                 let op = match pred.op {
                     CmpOp::Eq => "=",
                     CmpOp::Ne => "!=",
                 };
-                let _ = writeln!(out, "{pad}Select(col{} {op} {})", pred.col, pred.value);
-                input.explain_into(out, depth + 1);
+                format!("Select(col{} {op} {})", pred.col, pred.value)
             }
-            Plan::FilterIn { input, col, values } => {
-                let _ = writeln!(out, "{pad}FilterIn(col{col} in {} values)", values.len());
-                input.explain_into(out, depth + 1);
+            Plan::FilterIn { col, values, .. } => {
+                format!("FilterIn(col{col} in {} values)", values.len())
             }
             Plan::Join {
-                left,
-                right,
                 left_col,
                 right_col,
-            } => {
-                let _ = writeln!(out, "{pad}Join(left.col{left_col} = right.col{right_col})");
+                ..
+            } => format!("Join(left.col{left_col} = right.col{right_col})"),
+            Plan::Project { cols, .. } => format!("Project({cols:?})"),
+            Plan::GroupCount { keys, .. } => format!("GroupCount(keys={keys:?})"),
+            Plan::HavingCountGt { min, .. } => format!("HavingCountGt({min})"),
+            Plan::UnionAll { inputs } => format!("UnionAll({} inputs)", inputs.len()),
+            Plan::Distinct { .. } => "Distinct".to_string(),
+        }
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        let _ = writeln!(out, "{pad}{}", self.node_label());
+        match self {
+            Plan::ScanTriples { .. } | Plan::ScanProperty { .. } => {}
+            Plan::Select { input, .. }
+            | Plan::FilterIn { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::GroupCount { input, .. }
+            | Plan::HavingCountGt { input, .. }
+            | Plan::Distinct { input } => input.explain_into(out, depth + 1),
+            Plan::Join { left, right, .. } => {
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
-            Plan::Project { input, cols } => {
-                let _ = writeln!(out, "{pad}Project({cols:?})");
-                input.explain_into(out, depth + 1);
-            }
-            Plan::GroupCount { input, keys } => {
-                let _ = writeln!(out, "{pad}GroupCount(keys={keys:?})");
-                input.explain_into(out, depth + 1);
-            }
-            Plan::HavingCountGt { input, min } => {
-                let _ = writeln!(out, "{pad}HavingCountGt({min})");
-                input.explain_into(out, depth + 1);
-            }
             Plan::UnionAll { inputs } => {
-                let _ = writeln!(out, "{pad}UnionAll({} inputs)", inputs.len());
                 if inputs.len() <= 4 {
                     for i in inputs {
                         i.explain_into(out, depth + 1);
@@ -388,10 +389,6 @@ impl Plan {
                         inputs.len() - 1
                     );
                 }
-            }
-            Plan::Distinct { input } => {
-                let _ = writeln!(out, "{pad}Distinct");
-                input.explain_into(out, depth + 1);
             }
         }
     }

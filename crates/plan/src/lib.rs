@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # swans-plan
 //!
 //! The query layer shared by both engines:
@@ -22,13 +24,30 @@
 //!   plan node keeps sorted (and whether rows are distinct), threaded from
 //!   the storage layout so executors can dispatch merge joins and
 //!   run-based aggregation,
-//! * [`optimize`] — a rule-based rewriter (selection pushdown into scans,
+//! * [`mod@optimize`] — a rule-based rewriter (selection pushdown into scans,
 //!   through unions, joins and projections; order-aware join reordering),
 //! * [`lower`] — scheme lowering: any triple-store plan rewritten for the
 //!   vertically-partitioned layout (the generalized "Perl script"),
 //! * [`sparql`] — a miniature SPARQL front-end compiling
 //!   `SELECT ... WHERE { BGP }` to logical plans, so *new* queries (the
-//!   thing the paper could not do with C-Store) are one string away.
+//!   thing the paper could not do with C-Store) are one string away,
+//! * [`exec`] — the [`exec::EngineError`] type every executor reports
+//!   through instead of panicking.
+//!
+//! ## Module map
+//!
+//! ```text
+//!  sparql ──► algebra ◄── queries        (front-ends produce plans)
+//!                │
+//!     optimize / lower                   (plan → plan rewrites)
+//!                │
+//!      props ────┴──── coverage          (analyses over plans)
+//!                │
+//!        naive / exec                    (reference execution, errors)
+//! ```
+//!
+//! The storage engines consuming this crate live in `swans-colstore` and
+//! `swans-rowstore`; the user-facing entry point is `swans-core`.
 
 pub mod algebra;
 pub mod coverage;

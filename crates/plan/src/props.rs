@@ -4,7 +4,7 @@
 //! layouts rests on per-property `(s, o)` tables being *sorted by
 //! subject*, enabling "fast (linear) merge joins" — but an executor can
 //! only exploit that if sortedness is threaded from the storage layout
-//! through every operator of the plan. [`derive`] does exactly that: given
+//! through every operator of the plan. [`fn@derive`] does exactly that: given
 //! a plan and a [`PropsContext`] describing the physical layout (the
 //! triples table's clustering order), it computes for every node whether
 //! the output rows are sorted, and by which columns.
@@ -34,6 +34,18 @@ pub struct PropsContext {
     /// Clustering order of the `triples(s, p, o)` table, when one is
     /// loaded.
     pub triple_order: Option<SortOrder>,
+    /// Whether the engine holds pending (unmerged) inserts in its write
+    /// store. Every base scan then unions an *unsorted* tail of pending
+    /// rows behind the sorted read-store rows, so scans must not claim any
+    /// order until a merge rebuilds the sorted tables. Deletes alone do not
+    /// set this: tombstone filtering preserves order.
+    pub pending_delta: bool,
+    /// Whether the engine holds pending (unmerged) tombstones. Purely
+    /// informational for [`Plan::explain_annotated`] — scans still execute
+    /// the write-store union (filter) path, which EXPLAIN must show, but
+    /// hiding rows from a sorted stream preserves every order claim, so
+    /// [`fn@derive`] ignores this flag.
+    pub pending_tombstones: bool,
 }
 
 impl PropsContext {
@@ -41,7 +53,20 @@ impl PropsContext {
     pub fn with_order(order: SortOrder) -> Self {
         Self {
             triple_order: Some(order),
+            ..Self::default()
         }
+    }
+
+    /// Marks the context as having pending write-store inserts.
+    pub fn with_pending_delta(mut self) -> Self {
+        self.pending_delta = true;
+        self
+    }
+
+    /// Marks the context as having pending write-store tombstones.
+    pub fn with_pending_tombstones(mut self) -> Self {
+        self.pending_tombstones = true;
+        self
     }
 }
 
@@ -107,6 +132,12 @@ impl PhysProps {
 pub fn derive(plan: &Plan, ctx: &PropsContext) -> PhysProps {
     match plan {
         Plan::ScanTriples { s, p, o } => {
+            // Pending write-store inserts append an unsorted tail to every
+            // base scan: the derivation must stop claiming order or the
+            // executor would merge-join rows that are not merged-joinable.
+            if ctx.pending_delta {
+                return PhysProps::unordered();
+            }
             let Some(order) = ctx.triple_order else {
                 return PhysProps::unordered();
             };
@@ -132,6 +163,9 @@ pub fn derive(plan: &Plan, ctx: &PropsContext) -> PhysProps {
             emit_property,
             ..
         } => {
+            if ctx.pending_delta {
+                return PhysProps::unordered();
+            }
             // Property tables are sorted by (subject, object); the
             // re-materialized property column (if any) is constant.
             let o_pos = if *emit_property { 2 } else { 1 };
@@ -226,6 +260,74 @@ pub fn derive(plan: &Plan, ctx: &PropsContext) -> PhysProps {
             } else {
                 // Concatenation destroys order and can duplicate rows.
                 PhysProps::unordered()
+            }
+        }
+    }
+}
+
+impl Plan {
+    /// Renders the EXPLAIN tree with the [`PhysProps`] annotation
+    /// ([`fn@derive`]d under `ctx`) on every node — the auditable form of
+    /// operator selection: a join whose both inputs print `sorted_by=[0,
+    /// ...]` on the join columns will run as a merge join, a group-count
+    /// over input sorted by exactly its keys will aggregate runs, and so
+    /// on.
+    ///
+    /// While the write store is non-empty (`ctx.pending_delta` for
+    /// inserts, `ctx.pending_tombstones` for deletes), each base scan
+    /// additionally prints the write-store union branch it executes — the
+    /// unsorted tail of pending inserts and/or the tombstone filter. Only
+    /// pending *inserts* force the scans' own annotation down to
+    /// `[unsorted]` until a merge; a pure tombstone filter preserves
+    /// order, and the rendering reflects that.
+    pub fn explain_annotated(&self, ctx: &PropsContext) -> String {
+        let mut out = String::new();
+        annotate_into(self, ctx, &mut out, 0);
+        out
+    }
+}
+
+fn annotate_into(plan: &Plan, ctx: &PropsContext, out: &mut String, depth: usize) {
+    use std::fmt::Write;
+    let pad = "  ".repeat(depth);
+    let props = derive(plan, ctx);
+    let order = match &props.sorted_by {
+        Some(key) => format!("sorted_by={key:?}"),
+        None => "unsorted".to_string(),
+    };
+    let distinct = if props.distinct { ", distinct" } else { "" };
+    let _ = writeln!(out, "{pad}{} [{order}{distinct}]", plan.node_label());
+    match plan {
+        Plan::ScanTriples { .. } | Plan::ScanProperty { .. } => {
+            if ctx.pending_delta {
+                let _ = writeln!(out, "{pad}  ∪ WriteStoreScan(pending delta) [unsorted]");
+            } else if ctx.pending_tombstones {
+                let _ = writeln!(out, "{pad}  ∪ WriteStoreScan(tombstone filter) [{order}]");
+            }
+        }
+        Plan::Select { input, .. }
+        | Plan::FilterIn { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::GroupCount { input, .. }
+        | Plan::HavingCountGt { input, .. }
+        | Plan::Distinct { input } => annotate_into(input, ctx, out, depth + 1),
+        Plan::Join { left, right, .. } => {
+            annotate_into(left, ctx, out, depth + 1);
+            annotate_into(right, ctx, out, depth + 1);
+        }
+        Plan::UnionAll { inputs } => {
+            if inputs.len() <= 4 {
+                for i in inputs {
+                    annotate_into(i, ctx, out, depth + 1);
+                }
+            } else {
+                annotate_into(&inputs[0], ctx, out, depth + 1);
+                let _ = writeln!(
+                    out,
+                    "{}... {} more property-table scans ...",
+                    "  ".repeat(depth + 1),
+                    inputs.len() - 1
+                );
             }
         }
     }
@@ -362,6 +464,77 @@ mod tests {
         // ...but a permutation keeps it.
         let permuted = project(d, vec![2, 0, 1]);
         assert!(derive(&permuted, &pso()).distinct);
+    }
+
+    #[test]
+    fn pending_delta_downgrades_scans_to_unsorted() {
+        let ctx = pso().with_pending_delta();
+        assert_eq!(derive(&scan_all(), &ctx), PhysProps::unordered());
+        let vp = Plan::ScanProperty {
+            property: 3,
+            s: None,
+            o: None,
+            emit_property: false,
+        };
+        assert_eq!(derive(&vp, &ctx), PhysProps::unordered());
+        // Derived (not storage-inherited) orders survive: group-count
+        // output is key-sorted regardless of scan order.
+        let g = group_count(scan_all(), vec![1]);
+        assert_eq!(derive(&g, &ctx).sorted_by, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn explain_annotated_prints_props_per_node() {
+        let p = join(scan_p(7), scan_p(8), 0, 0);
+        let text = p.explain_annotated(&pso());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "Join(left.col0 = right.col0) [sorted_by=[0, 2, 1]]"
+        );
+        assert!(lines[1].contains("ScanTriples(s=?, p=7, o=?) [sorted_by=[0, 2, 1]]"));
+        assert!(!text.contains("WriteStoreScan"), "no delta, no union node");
+    }
+
+    #[test]
+    fn explain_annotated_renders_write_store_union() {
+        let p = join(scan_p(7), scan_p(8), 0, 0);
+        let text = p.explain_annotated(&pso().with_pending_delta());
+        assert!(text.contains("Join(left.col0 = right.col0) [unsorted]"));
+        assert!(text.contains("∪ WriteStoreScan(pending delta) [unsorted]"));
+        // One union branch under each of the two scans.
+        assert_eq!(text.matches("WriteStoreScan").count(), 2);
+    }
+
+    #[test]
+    fn explain_annotated_renders_tombstone_filter_without_downgrade() {
+        let p = join(scan_p(7), scan_p(8), 0, 0);
+        let text = p.explain_annotated(&pso().with_pending_tombstones());
+        // Tombstones alone preserve order: the join still merge-joins...
+        assert!(
+            text.contains("Join(left.col0 = right.col0) [sorted_by="),
+            "{text}"
+        );
+        // ...but EXPLAIN still shows that every scan runs the filter.
+        assert_eq!(text.matches("WriteStoreScan(tombstone filter)").count(), 2);
+    }
+
+    #[test]
+    fn explain_annotated_summarizes_wide_unions() {
+        let u = Plan::UnionAll {
+            inputs: (0..50)
+                .map(|p| Plan::ScanProperty {
+                    property: p,
+                    s: None,
+                    o: None,
+                    emit_property: true,
+                })
+                .collect(),
+        };
+        let text = u.explain_annotated(&pso());
+        assert!(text.contains("UnionAll(50 inputs) [unsorted]"));
+        assert!(text.contains("49 more property-table scans"));
+        assert!(text.lines().count() < 10);
     }
 
     #[test]

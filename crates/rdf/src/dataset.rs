@@ -1,7 +1,7 @@
 //! The in-memory data set: a triple bag plus its dictionary.
 
 use crate::hash::FxHashSet;
-use crate::{Dictionary, Id, Triple};
+use crate::{Delta, Dictionary, Id, Triple};
 
 /// A dictionary-encoded RDF data set.
 ///
@@ -45,6 +45,47 @@ impl Dataset {
     /// from this data set's dictionary.
     pub fn add_encoded(&mut self, t: Triple) {
         self.triples.push(t);
+    }
+
+    /// Interns the three terms *without* appending a triple — the
+    /// incremental-interning step of the write path: new terms arriving in
+    /// an insert batch get fresh dense ids, existing terms keep theirs, and
+    /// nothing else about the dictionary is rebuilt.
+    pub fn encode(&mut self, s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(
+            self.dict.intern(s),
+            self.dict.intern(p),
+            self.dict.intern(o),
+        )
+    }
+
+    /// Encodes a triple only if all three terms are already interned.
+    ///
+    /// This is the delete-path encoder: a triple naming an unknown term
+    /// cannot be stored here, so there is nothing to delete (and no reason
+    /// to pollute the dictionary with the attempt).
+    pub fn try_encode(&self, s: &str, p: &str, o: &str) -> Option<Triple> {
+        Some(Triple::new(
+            self.dict.id_of(s)?,
+            self.dict.id_of(p)?,
+            self.dict.id_of(o)?,
+        ))
+    }
+
+    /// Applies a [`Delta`] to the triple bag: removes every copy of each
+    /// deleted triple, then appends the inserts in order. The caller
+    /// guarantees the delta's ids came from this data set's dictionary.
+    ///
+    /// This keeps the data set the *logical* truth of the system while the
+    /// engines absorb the same delta physically — a fresh bulk load of the
+    /// post-`apply` data set must answer every query exactly like an engine
+    /// that took the delta through its write path.
+    pub fn apply(&mut self, delta: &Delta) {
+        if !delta.deletes.is_empty() {
+            let doomed: FxHashSet<Triple> = delta.deletes.iter().copied().collect();
+            self.triples.retain(|t| !doomed.contains(t));
+        }
+        self.triples.extend_from_slice(&delta.inserts);
     }
 
     /// Number of triples.
@@ -135,6 +176,37 @@ mod tests {
     #[should_panic(expected = "not in the data set dictionary")]
     fn expect_id_panics_on_missing_term() {
         tiny().expect_id("<nope>");
+    }
+
+    #[test]
+    fn apply_deletes_all_copies_then_inserts() {
+        let mut d = tiny();
+        d.add("s2", "type", "Text"); // second copy
+        let doomed = d.try_encode("s2", "type", "Text").unwrap();
+        let fresh = d.encode("s3", "type", "Image");
+        let mut delta = Delta::new();
+        delta.delete(doomed).insert(fresh);
+        let before = d.len();
+        d.apply(&delta);
+        assert_eq!(d.len(), before - 2 + 1, "both copies go, one insert lands");
+        assert!(!d.triples.contains(&doomed));
+        assert!(d.triples.contains(&fresh));
+    }
+
+    #[test]
+    fn try_encode_requires_known_terms() {
+        let d = tiny();
+        assert!(d.try_encode("s1", "type", "Text").is_some());
+        assert_eq!(d.try_encode("s1", "type", "<unseen>"), None);
+    }
+
+    #[test]
+    fn encode_interns_without_appending() {
+        let mut d = tiny();
+        let n = d.len();
+        let t = d.encode("brand", "new", "terms");
+        assert_eq!(d.len(), n, "encode must not append");
+        assert_eq!(d.dict.term(t.p), "new");
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! [`Delta`]: one batch of triple mutations.
+//!
+//! The write path of the system moves deltas, not triples: the front door
+//! ([`Database::insert`]/[`Database::delete`] in `swans-core`) encodes the
+//! caller's term strings through the dictionary and hands the engines an
+//! already-encoded [`Delta`]; each engine absorbs it into its write store
+//! (column engine) or applies it to its B+trees in place (row engine).
+//!
+//! Semantics, shared by every consumer:
+//!
+//! * Within one delta, **deletes apply before inserts** — deleting and
+//!   re-inserting the same triple in one batch leaves it present.
+//! * A delete removes **every copy** of the matching triple (RDF set
+//!   semantics over the stored bag); deleting an absent triple is a no-op.
+//! * An insert appends one copy (bag semantics) — callers wanting set
+//!   semantics delete first or deduplicate upstream.
+//!
+//! [`Database::insert`]: https://docs.rs/swans-core
+//! [`Database::delete`]: https://docs.rs/swans-core
+
+use crate::Triple;
+
+/// A batch of triple mutations in dictionary-encoded space.
+///
+/// Deletes apply before inserts (see the module docs for the full
+/// semantics).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Delta {
+    /// Triples to remove (every stored copy of each).
+    pub deletes: Vec<Triple>,
+    /// Triples to append, in arrival order.
+    pub inserts: Vec<Triple>,
+}
+
+impl Delta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A delta that only inserts.
+    pub fn of_inserts(inserts: Vec<Triple>) -> Self {
+        Self {
+            deletes: Vec::new(),
+            inserts,
+        }
+    }
+
+    /// A delta that only deletes.
+    pub fn of_deletes(deletes: Vec<Triple>) -> Self {
+        Self {
+            deletes,
+            inserts: Vec::new(),
+        }
+    }
+
+    /// Queues an insert.
+    pub fn insert(&mut self, t: Triple) -> &mut Self {
+        self.inserts.push(t);
+        self
+    }
+
+    /// Queues a delete.
+    pub fn delete(&mut self, t: Triple) -> &mut Self {
+        self.deletes.push(t);
+        self
+    }
+
+    /// Number of queued operations (inserts + deletes).
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// True when the delta mutates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// The delta's payload in bytes (3 × 8 bytes per operation) — what the
+    /// storage layer charges a write-ahead append of this batch.
+    pub fn payload_bytes(&self) -> u64 {
+        self.len() as u64 * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_both_kinds() {
+        let mut d = Delta::new();
+        d.insert(Triple::new(1, 2, 3)).delete(Triple::new(4, 5, 6));
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.payload_bytes(), 48);
+        assert!(Delta::new().is_empty());
+    }
+
+    #[test]
+    fn of_constructors_fill_one_side() {
+        let ins = Delta::of_inserts(vec![Triple::new(1, 2, 3)]);
+        assert_eq!(ins.len(), 1);
+        assert!(ins.deletes.is_empty());
+        let del = Delta::of_deletes(vec![Triple::new(1, 2, 3)]);
+        assert_eq!(del.len(), 1);
+        assert!(del.inserts.is_empty());
+    }
+}

@@ -16,12 +16,15 @@
 //! * [`Triple`] and the six [`SortOrder`] permutations used by the storage
 //!   schemes (SPO, PSO, ...),
 //! * [`Dataset`] — an in-memory triple bag plus its dictionary,
+//! * [`Delta`] — one batch of triple mutations (the currency of the write
+//!   path: deletes-before-inserts, set-semantics deletes),
 //! * [`stats`] — the data-set statistics of the paper's Table 1 and the
 //!   cumulative frequency distributions of Figure 1,
 //! * [`ntriples`] — a minimal line-oriented N-Triples-style reader/writer so
 //!   real data can be loaded and synthetic data exported.
 
 pub mod dataset;
+pub mod delta;
 pub mod dict;
 pub mod hash;
 pub mod ntriples;
@@ -29,6 +32,7 @@ pub mod stats;
 pub mod triple;
 
 pub use dataset::Dataset;
+pub use delta::Delta;
 pub use dict::Dictionary;
 pub use stats::{CfdSeries, DatasetStats};
 pub use triple::{SortOrder, Triple};

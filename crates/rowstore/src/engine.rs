@@ -6,7 +6,7 @@ use std::hash::BuildHasherDefault;
 use swans_plan::algebra::{CmpOp, Plan};
 use swans_plan::exec::EngineError;
 use swans_rdf::hash::{FxHashMap, FxHashSet, FxHasher};
-use swans_rdf::{Id, SortOrder, Triple};
+use swans_rdf::{Delta, Id, SortOrder, Triple};
 use swans_storage::StorageManager;
 
 use crate::row::Row;
@@ -98,17 +98,62 @@ impl RowEngine {
         }
         let mut props: Vec<Id> = by_prop.keys().copied().collect();
         props.sort_unstable();
-        let opts = TableOptions {
-            cluster_perm: vec![0, 1],          // SO
-            secondary_perms: vec![vec![1, 0]], // OS
-            prefix_compressed: true,
-        };
+        let opts = Self::vp_table_options();
         for p in props {
             let rows = by_prop.remove(&p).expect("key listed");
             let table = RowTable::load(storage, &format!("vp/{p}"), 2, &rows, &opts);
             self.props.insert(p, table);
         }
         self.vertical_loaded = true;
+    }
+
+    /// The vertically-partitioned per-property table policy (§4.2):
+    /// clustered SO, unclustered OS, prefix compression.
+    fn vp_table_options() -> TableOptions {
+        TableOptions {
+            cluster_perm: vec![0, 1],          // SO
+            secondary_perms: vec![vec![1, 0]], // OS
+            prefix_compressed: true,
+        }
+    }
+
+    /// Applies a [`Delta`] in place — the row store's simpler write path:
+    /// no write-store/merge split, just B+tree insert-delete against the
+    /// clustered tree and every secondary of each loaded layout, deletes
+    /// before inserts. Inserting into a property the vertically-partitioned
+    /// layout has never seen creates its table on the fly.
+    pub fn apply(&mut self, storage: &StorageManager, delta: &Delta) -> Result<(), EngineError> {
+        if self.triple.is_none() && !self.vertical_loaded {
+            return Err(EngineError::Unsupported(
+                "no layout loaded to apply a delta to".into(),
+            ));
+        }
+        for t in &delta.deletes {
+            if let Some(table) = &mut self.triple {
+                table.delete(&t.as_row());
+            }
+            if let Some(table) = self.props.get_mut(&t.p) {
+                table.delete(&[t.s, t.o]);
+            }
+        }
+        for t in &delta.inserts {
+            if let Some(table) = &mut self.triple {
+                table.insert(&t.as_row());
+            }
+            if self.vertical_loaded {
+                let table = self.props.entry(t.p).or_insert_with(|| {
+                    RowTable::load(
+                        storage,
+                        &format!("vp/{}", t.p),
+                        2,
+                        &[],
+                        &Self::vp_table_options(),
+                    )
+                });
+                table.insert(&[t.s, t.o]);
+            }
+        }
+        Ok(())
     }
 
     /// Whether a triple-store layout is loaded.
@@ -429,6 +474,54 @@ mod tests {
             }),
         };
         check(&p, &e);
+    }
+
+    /// The in-place write path: a delta lands in the clustered trees and
+    /// all secondaries of both layouts, deletes-before-inserts, matching
+    /// the naive executor over the mutated triple bag.
+    #[test]
+    fn apply_mutates_both_layouts_in_place() {
+        let e_ref = engine(&TripleIndexConfig::pso());
+        let mut e = e_ref;
+        let mut delta = Delta::new();
+        delta
+            .delete(Triple::new(11, 0, 1))
+            .insert(Triple::new(14, 0, 1))
+            .insert(Triple::new(14, 7, 9)); // brand-new property
+        let m = StorageManager::new(MachineProfile::B);
+        e.apply(&m, &delta).expect("delta applies");
+
+        let mut expect = triples();
+        expect.retain(|t| *t != Triple::new(11, 0, 1));
+        expect.push(Triple::new(14, 0, 1));
+        expect.push(Triple::new(14, 7, 9));
+
+        for plan in [
+            scan_all(),
+            scan_po(0, 1),
+            Plan::ScanProperty {
+                property: 7,
+                s: None,
+                o: None,
+                emit_property: true,
+            },
+            group_count(
+                project(join(scan_po(0, 1), scan_all(), 0, 0), vec![4]),
+                vec![0],
+            ),
+        ] {
+            let got = naive::normalize(e.execute(&plan).expect("plan executes"));
+            let want = naive::normalize(naive::execute(&plan, &expect));
+            assert_eq!(got, want, "plan {plan:?}");
+        }
+        assert_eq!(e.property_table_count(), 3, "property 7 table created");
+
+        // No layout loaded: typed error.
+        let mut empty = RowEngine::new();
+        assert!(matches!(
+            empty.apply(&m, &delta),
+            Err(EngineError::Unsupported(_))
+        ));
     }
 
     /// All twelve benchmark queries, both schemes, match the naive

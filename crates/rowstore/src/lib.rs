@@ -21,6 +21,11 @@
 //!   iterators with dynamic dispatch per row — the classical row-engine
 //!   processing model whose per-tuple overhead the paper contrasts with
 //!   column-at-a-time execution.
+//! * **In-place writes.** [`RowEngine::apply`](engine::RowEngine::apply)
+//!   takes each mutation straight into the clustered B+tree and every
+//!   secondary index (entry insert/delete plus TID-locator fixup) — the
+//!   classical row-store update profile: cost paid per operation, per
+//!   index, with no deferred merge step.
 
 pub mod engine;
 pub mod row;

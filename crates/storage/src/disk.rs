@@ -78,6 +78,28 @@ impl SimDisk {
         }
     }
 
+    /// Writes `count` pages starting at `first` to `seg`, charging
+    /// transfer time (at the profile's sequential bandwidth — the
+    /// simulation does not model a separate write channel) and, if the
+    /// access is not sequential, one seek. This is the cost of the write
+    /// path: delta applies, B+tree maintenance, and read-store merges.
+    pub fn write_run(&mut self, seg: SegmentId, first: u32, count: u32) {
+        if count == 0 {
+            return;
+        }
+        let bytes = count as u64 * PAGE_SIZE as u64;
+        let sequential = self.head == Some((seg, first));
+        let mut secs = self.profile.transfer_seconds(bytes);
+        if !sequential {
+            secs += self.profile.seek_seconds(1);
+            self.stats.seeks += 1;
+        }
+        self.stats.bytes_written += bytes;
+        self.stats.write_calls += 1;
+        self.stats.io_seconds += secs;
+        self.head = Some((seg, first + count));
+    }
+
     /// Current cumulative statistics.
     pub fn stats(&self) -> IoStats {
         self.stats
@@ -167,6 +189,23 @@ mod tests {
         assert_eq!(tr[1].cumulative_bytes, 5 * PAGE_SIZE as u64);
         assert!(tr[1].at_seconds >= tr[0].at_seconds);
         assert!(d.take_trace().is_empty(), "trace is consumed");
+    }
+
+    #[test]
+    fn writes_account_separately_from_reads() {
+        let mut d = disk();
+        d.write_run(SegmentId(0), 0, 4);
+        let s = d.stats();
+        assert_eq!(s.bytes_written, 4 * PAGE_SIZE as u64);
+        assert_eq!(s.write_calls, 1);
+        assert_eq!(s.bytes_read, 0);
+        assert_eq!(s.seeks, 1, "first write repositions");
+        // A read continuing where the write left off is sequential.
+        d.read_run(SegmentId(0), 4, 2);
+        assert_eq!(d.stats().seeks, 1);
+        let want = MachineProfile::A.transfer_seconds(6 * PAGE_SIZE as u64)
+            + MachineProfile::A.seek_seconds(1);
+        assert!((d.stats().io_seconds - want).abs() < 1e-12);
     }
 
     #[test]

@@ -13,7 +13,12 @@ pub struct IoStats {
     pub read_calls: u64,
     /// Read calls that required a random repositioning (non-sequential).
     pub seeks: u64,
-    /// Simulated seconds spent waiting on the disk.
+    /// Bytes transferred *to* the simulated disk (delta applies, merges,
+    /// index maintenance — the write path's analogue of `bytes_read`).
+    pub bytes_written: u64,
+    /// Number of distinct write calls issued to the disk.
+    pub write_calls: u64,
+    /// Simulated seconds spent waiting on the disk (reads and writes).
     pub io_seconds: f64,
 }
 
@@ -24,6 +29,8 @@ impl IoStats {
             bytes_read: self.bytes_read - earlier.bytes_read,
             read_calls: self.read_calls - earlier.read_calls,
             seeks: self.seeks - earlier.seeks,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            write_calls: self.write_calls - earlier.write_calls,
             io_seconds: self.io_seconds - earlier.io_seconds,
         }
     }
@@ -55,18 +62,24 @@ mod tests {
             bytes_read: 100,
             read_calls: 3,
             seeks: 2,
+            bytes_written: 50,
+            write_calls: 2,
             io_seconds: 1.5,
         };
         let b = IoStats {
             bytes_read: 40,
             read_calls: 1,
             seeks: 1,
+            bytes_written: 20,
+            write_calls: 1,
             io_seconds: 0.5,
         };
         let d = a.since(&b);
         assert_eq!(d.bytes_read, 60);
         assert_eq!(d.read_calls, 2);
         assert_eq!(d.seeks, 1);
+        assert_eq!(d.bytes_written, 30);
+        assert_eq!(d.write_calls, 1);
         assert!((d.io_seconds - 1.0).abs() < 1e-12);
     }
 

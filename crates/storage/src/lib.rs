@@ -26,6 +26,15 @@
 //! restrictive buffering (§3: *"C-Store only exploits a small fraction of
 //! the I/O bandwidth"* — data is read multiple times), which is how the
 //! harness reproduces the re-read behaviour of Figure 5.
+//!
+//! The **write path** is accounted symmetrically: engines charge delta
+//! applies, B+tree maintenance and merge rewrites through
+//! [`StorageManager::write_range`] /
+//! [`StorageManager::write_segment`], which land in
+//! [`IoStats::bytes_written`] and the shared `io_seconds`; a rewritten
+//! segment is resized ([`StorageManager::resize_segment`]), evicting its
+//! stale cached pages, and freshly written pages enter the pool as the
+//! newest copy.
 
 pub mod disk;
 pub mod io;

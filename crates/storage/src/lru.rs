@@ -150,6 +150,24 @@ impl<K: Eq + Hash + Copy> LruSet<K> {
         None
     }
 
+    /// Removes `key` if resident, returning whether it was.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let Some(idx) = self.index.remove(key) else {
+            return false;
+        };
+        self.unlink(idx);
+        self.free.push(idx);
+        true
+    }
+
+    /// Removes every key for which `pred` holds.
+    pub fn retain(&mut self, mut pred: impl FnMut(&K) -> bool) {
+        let doomed: Vec<K> = self.index.keys().copied().filter(|k| !pred(k)).collect();
+        for k in doomed {
+            self.remove(&k);
+        }
+    }
+
     /// Removes every key.
     pub fn clear(&mut self) {
         self.nodes.clear();

@@ -145,6 +145,43 @@ impl StorageManager {
         self.touch_range(seg, 0, pages);
     }
 
+    /// Writes `count` pages starting at `first` as one run, charging
+    /// write bytes and wait time. Written pages become pool-resident
+    /// (they are the freshest copy).
+    pub fn write_range(&self, seg: SegmentId, first: u32, count: u32) {
+        let mut inner = self.lock();
+        debug_assert!(
+            first + count <= inner.segments[seg.0 as usize].pages,
+            "write beyond segment {:?}: {first}+{count} > {}",
+            seg,
+            inner.segments[seg.0 as usize].pages
+        );
+        inner.disk.write_run(seg, first, count);
+        for page in first..first + count {
+            inner.pool.install(seg, page);
+        }
+    }
+
+    /// Writes a single page (a point write, e.g. one B+tree leaf update).
+    pub fn write_page(&self, seg: SegmentId, page: u32) {
+        self.write_range(seg, page, 1);
+    }
+
+    /// Rewrites the whole segment (a merge flushing a rebuilt table).
+    pub fn write_segment(&self, seg: SegmentId) {
+        let pages = self.segment_pages(seg);
+        self.write_range(seg, 0, pages);
+    }
+
+    /// Resizes `seg` to hold `bytes` bytes. Every cached page of the
+    /// segment is evicted: after a rewrite the old page images are stale
+    /// regardless of whether the segment grew or shrank.
+    pub fn resize_segment(&self, seg: SegmentId, bytes: u64) {
+        let mut inner = self.lock();
+        inner.segments[seg.0 as usize].pages = pages_for(bytes);
+        inner.pool.evict_segment(seg);
+    }
+
     /// Empties the buffer pool: the next touches will be cold.
     pub fn clear_pool(&self) {
         self.lock().pool.clear();
@@ -242,6 +279,32 @@ mod tests {
             16 * PAGE_SIZE as u64,
             "a 4-page pool cannot retain a 16-page scan"
         );
+    }
+
+    #[test]
+    fn writes_warm_the_pool_and_account_bytes() {
+        let m = mgr();
+        let seg = m.create_segment("col", 4 * PAGE_SIZE as u64);
+        m.write_segment(seg);
+        let s = m.stats();
+        assert_eq!(s.bytes_written, 4 * PAGE_SIZE as u64);
+        assert_eq!(s.bytes_read, 0);
+        // The written pages are the freshest copy: reading them is free.
+        m.touch_range(seg, 0, 4);
+        assert_eq!(m.stats().bytes_read, 0);
+    }
+
+    #[test]
+    fn resize_evicts_stale_pages() {
+        let m = mgr();
+        let seg = m.create_segment("col", 4 * PAGE_SIZE as u64);
+        m.touch_range(seg, 0, 4);
+        assert_eq!(m.resident_pages(), 4);
+        m.resize_segment(seg, 2 * PAGE_SIZE as u64);
+        assert_eq!(m.segment_pages(seg), 2);
+        assert_eq!(m.resident_pages(), 0, "stale images must leave the pool");
+        m.touch_range(seg, 0, 2);
+        assert_eq!(m.stats().bytes_read, 6 * PAGE_SIZE as u64);
     }
 
     #[test]

@@ -59,6 +59,18 @@ impl BufferPool {
         self.lru.clear();
     }
 
+    /// Drops every resident page of `seg` — used when a segment is
+    /// rewritten (a merge) and its cached pages go stale.
+    pub fn evict_segment(&mut self, seg: SegmentId) {
+        self.lru.retain(|&(s, _)| s != seg);
+    }
+
+    /// Marks a page resident without classifying the access as a hit or a
+    /// miss — the pool-warming effect of *writing* the page.
+    pub fn install(&mut self, seg: SegmentId, page: u32) {
+        self.lru.touch((seg, page));
+    }
+
     /// Number of resident pages.
     pub fn resident_pages(&self) -> usize {
         self.lru.len()

@@ -22,19 +22,22 @@
 //! }
 //! ```
 //!
-//! Each layer lives in its own crate and is re-exported here:
+//! Each layer lives in its own crate and is re-exported here (see the
+//! top-level `ARCHITECTURE.md` for the full layer diagram, read path and
+//! write path):
 //!
-//! * [`core`](swans_core) — [`Database`](swans_core::Database), the
-//!   [`Engine`](swans_core::Engine) trait, [`RdfStore`](swans_core::RdfStore)
-//!   and the paper's experiment runners;
-//! * [`plan`](swans_plan) — logical algebra, SPARQL front-end, optimizer,
-//!   scheme lowering, benchmark query generator;
-//! * [`rowstore`](swans_rowstore) / [`colstore`](swans_colstore) — the two
-//!   engine architectures;
-//! * [`storage`](swans_storage) — the simulated disk, buffer pool and I/O
-//!   accounting;
-//! * [`rdf`](swans_rdf) — dictionary-encoded triples and N-Triples I/O;
-//! * [`datagen`](swans_datagen) — the Barton-calibrated data generator.
+//! * [`core`] — [`Database`], the [`Engine`] trait, [`RdfStore`] and the
+//!   paper's experiment runners;
+//! * [`plan`] — logical algebra, SPARQL front-end, optimizer, scheme
+//!   lowering, physical-property derivation, benchmark query generator;
+//! * [`rowstore`] / [`colstore`] — the two engine architectures, each
+//!   with its own write path (in-place B+tree maintenance vs.
+//!   write-store + merge);
+//! * [`storage`] — the simulated disk, buffer pool and I/O accounting
+//!   (read *and* written bytes);
+//! * [`rdf`] — dictionary-encoded triples, mutation [`Delta`](rdf::Delta)
+//!   batches and N-Triples I/O;
+//! * [`datagen`] — the Barton-calibrated data generator.
 
 pub use swans_colstore as colstore;
 pub use swans_core as core;
