@@ -1,0 +1,58 @@
+//! Regenerates `BENCH_PR4.json`: the morsel-parallel scaling experiment —
+//! for every column layout and benchmark query, measured hot wall time at
+//! pool widths 1/2/4/8 plus the modeled makespan curve replayed from
+//! uncontended per-morsel task timings (see `swans_bench::parallel`).
+//!
+//! Usage: `cargo run -p swans-bench --release --bin bench_pr4 [-- --quick]`
+//! `--quick` shrinks the data set and repeat count for CI smoke runs.
+//! Env knobs: `SWANS_SCALE`, `SWANS_REPEATS`, `SWANS_SEED`.
+
+use swans_bench::{parallel, HarnessConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = HarnessConfig::from_env();
+    if quick {
+        cfg.scale = cfg.scale.min(0.002);
+        cfg.repeats = cfg.repeats.min(2);
+    } else if std::env::var("SWANS_SCALE").is_err() {
+        // Large enough that every hot query splits into many morsels,
+        // small enough to regenerate in minutes.
+        cfg.scale = 0.01;
+    }
+    if std::env::var("SWANS_REPEATS").is_err() && !quick {
+        cfg.repeats = 5; // best-of-5 hot runs per width
+    }
+    eprintln!(
+        "[bench_pr4] scale={} repeats={} seed={} quick={quick} host_cores={}",
+        cfg.scale,
+        cfg.repeats,
+        cfg.seed,
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+    let ds = cfg.dataset();
+    eprintln!("[bench_pr4] dataset: {} triples", ds.len());
+    let cells = parallel::run_matrix(&cfg, &ds);
+    let json = parallel::to_json(&cfg, quick, &cells);
+    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+    eprintln!("[bench_pr4] wrote BENCH_PR4.json");
+
+    // Console summary: modeled (and measured) speedup at 4 threads.
+    let idx4 = parallel::WIDTHS
+        .iter()
+        .position(|&w| w == 4)
+        .expect("4 is a width");
+    for c in &cells {
+        eprintln!(
+            "[bench_pr4] {:12} {:4}  1T {:>9.6}s  modeled@4 {:>5.2}x  measured@4 {:>5.2}x  \
+             ({} batches / {} morsels)",
+            c.layout,
+            c.query,
+            c.modeled_s[0],
+            c.modeled_speedup(idx4),
+            c.measured_speedup(idx4),
+            c.parallel_tasks,
+            c.morsels,
+        );
+    }
+}

@@ -20,6 +20,7 @@
 //! | `all_experiments` | everything above, writing EXPERIMENTS.md |
 //! | `bench_pr2` | sorted-vs-hash A/B trajectory (`BENCH_PR2.json`) |
 //! | `bench_updates` | update cost per engine × layout (write path) |
+//! | `bench_pr4` | morsel-parallel scaling curve (`BENCH_PR4.json`) |
 //!
 //! Environment knobs: `SWANS_SCALE` (fraction of the 50.3M-triple Barton
 //! data set to synthesize, default 0.02), `SWANS_REPEATS` (averaging, the
@@ -27,6 +28,7 @@
 
 pub mod experiments;
 pub mod paper;
+pub mod parallel;
 pub mod sorted;
 pub mod updates;
 

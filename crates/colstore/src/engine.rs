@@ -25,6 +25,7 @@ use swans_plan::props::{derive as derive_props, PhysProps, PropsContext};
 use crate::chunk::{Chunk, ColData};
 use crate::column::Column;
 use crate::ops;
+use crate::parallel::{morsel_range, partitions, WorkerPool};
 
 /// Kernel-dispatch counters (cumulative since load or the last
 /// [`ColumnEngine::reset_exec_stats`]).
@@ -41,6 +42,8 @@ struct ExecStats {
     rle_selects: AtomicU64,
     delta_union_scans: AtomicU64,
     merges: AtomicU64,
+    parallel_tasks: AtomicU64,
+    morsels: AtomicU64,
 }
 
 impl ExecStats {
@@ -57,6 +60,8 @@ impl ExecStats {
             rle_selects: self.rle_selects.load(Ordering::Relaxed),
             delta_union_scans: self.delta_union_scans.load(Ordering::Relaxed),
             merges: self.merges.load(Ordering::Relaxed),
+            parallel_tasks: self.parallel_tasks.load(Ordering::Relaxed),
+            morsels: self.morsels.load(Ordering::Relaxed),
         }
     }
 
@@ -72,6 +77,8 @@ impl ExecStats {
         self.rle_selects.store(0, Ordering::Relaxed);
         self.delta_union_scans.store(0, Ordering::Relaxed);
         self.merges.store(0, Ordering::Relaxed);
+        self.parallel_tasks.store(0, Ordering::Relaxed);
+        self.morsels.store(0, Ordering::Relaxed);
     }
 }
 
@@ -111,6 +118,15 @@ pub struct ExecStatsSnapshot {
     /// Write-store merges into the sorted read-store (explicit or
     /// threshold-triggered).
     pub merges: u64,
+    /// Operator executions that actually partitioned work across the
+    /// morsel pool (batches with more than one morsel). Scratch state
+    /// (hash maps, join tables, key buffers) is allocated per *worker per
+    /// batch* — at most `threads` scratches per batch, never one per
+    /// morsel — so scratch allocations are bounded by
+    /// `parallel_tasks × threads` while the work units number `morsels`.
+    pub parallel_tasks: u64,
+    /// Total morsels executed across all partitioned batches.
+    pub morsels: u64,
 }
 
 /// The 3-column triples table, sorted by one clustering order.
@@ -199,6 +215,9 @@ pub struct ColumnEngine {
     wal: Option<SegmentId>,
     /// Bytes currently in the write-ahead log.
     wal_bytes: u64,
+    /// The morsel-driven worker pool executing partitioned operators
+    /// (width 1 = inline, the default).
+    pool: WorkerPool,
 }
 
 impl Default for ColumnEngine {
@@ -215,6 +234,7 @@ impl Default for ColumnEngine {
             merge_threshold: DEFAULT_MERGE_THRESHOLD,
             wal: None,
             wal_bytes: 0,
+            pool: WorkerPool::new(1),
         }
     }
 }
@@ -238,6 +258,36 @@ impl ColumnEngine {
         self.sorted_paths
     }
 
+    /// Sets the morsel-pool width: partitioned operators execute on up to
+    /// `threads` scoped worker threads (1 — the default — runs every
+    /// morsel inline on the calling thread). Results are bit-identical at
+    /// every width; only wall-clock changes. An enabled task-timing flag
+    /// survives the resize; the recorded log is cleared (its batches
+    /// belong to the old width).
+    pub fn set_threads(&mut self, threads: usize) {
+        let timing = self.pool.timing();
+        self.pool = WorkerPool::new(threads);
+        self.pool.set_timing(timing);
+    }
+
+    /// The configured morsel-pool width.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Enables or disables per-morsel task timing in the worker pool (the
+    /// raw material of `bench_pr4`'s scaling model). Timings taken at
+    /// width 1 are uncontended.
+    pub fn set_task_timing(&self, on: bool) {
+        self.pool.set_timing(on);
+    }
+
+    /// Drains the recorded batches of per-morsel task durations
+    /// (seconds), one inner vector per pool barrier.
+    pub fn take_task_log(&self) -> Vec<Vec<f64>> {
+        self.pool.take_log()
+    }
+
     /// A snapshot of the kernel-dispatch counters.
     pub fn exec_stats(&self) -> ExecStatsSnapshot {
         self.stats.snapshot()
@@ -250,22 +300,31 @@ impl ColumnEngine {
 
     /// The physical-layout context plans are derived against.
     ///
-    /// Pending write-store *inserts* downgrade every scan to unsorted (the
-    /// unioned tail is in arrival order); tombstones alone do not — hiding
-    /// rows from a sorted stream leaves it sorted.
+    /// Pending write-store state is reported **per property**: only scans
+    /// a pending *insert* can reach lose their order claims (the unioned
+    /// tail is in arrival order) — scans over untouched properties keep
+    /// claiming the storage order, so merge joins and run aggregation on
+    /// them survive an unrelated pending delta. Tombstones never
+    /// downgrade: hiding rows from a sorted stream leaves it sorted.
     pub fn props_ctx(&self) -> PropsContext {
         PropsContext {
             triple_order: self.triple.as_ref().map(|t| t.order),
-            pending_delta: !self.write.inserts.is_empty(),
-            pending_tombstones: !self.write.deletes.is_empty(),
+            pending_insert_props: self
+                .write
+                .by_prop
+                .iter()
+                .filter(|(_, rows)| !rows.is_empty())
+                .map(|(&p, _)| p)
+                .collect(),
+            pending_tombstone_props: self.write.delete_props.iter().copied().collect(),
         }
     }
 
     /// Physical properties of `plan` under this engine's layout, or
     /// nothing when the sorted layer is disabled.
-    fn plan_props(&self, plan: &Plan) -> PhysProps {
+    fn plan_props(&self, plan: &Plan, ctx: &PropsContext) -> PhysProps {
         if self.sorted_paths {
-            derive_props(plan, &self.props_ctx())
+            derive_props(plan, ctx)
         } else {
             PhysProps::unordered()
         }
@@ -527,15 +586,18 @@ impl ColumnEngine {
     /// never changes answers, only which kernel runs.
     pub fn execute(&self, plan: &Plan) -> Result<Chunk, EngineError> {
         plan.validate().map_err(EngineError::InvalidPlan)?;
+        // One context per execution: the derivation (and the join
+        // reordering) must see a consistent write-store state throughout.
+        let ctx = self.props_ctx();
         if self.sorted_paths && swans_plan::optimize::has_join(plan) {
-            let reordered = reorder_joins(plan.clone(), &self.props_ctx());
-            self.exec(&reordered, full_mask(plan.arity()))
+            let reordered = reorder_joins(plan.clone(), &ctx);
+            self.exec(&reordered, full_mask(plan.arity()), &ctx)
         } else {
-            self.exec(plan, full_mask(plan.arity()))
+            self.exec(plan, full_mask(plan.arity()), &ctx)
         }
     }
 
-    fn exec(&self, plan: &Plan, needed: u64) -> Result<Chunk, EngineError> {
+    fn exec(&self, plan: &Plan, needed: u64, ctx: &PropsContext) -> Result<Chunk, EngineError> {
         Ok(match plan {
             Plan::ScanTriples { s, p, o } => self.scan_triples(*s, *p, *o, needed)?,
             Plan::ScanProperty {
@@ -545,10 +607,10 @@ impl ColumnEngine {
                 emit_property,
             } => self.scan_property(*property, *s, *o, *emit_property, needed)?,
             Plan::Select { input, pred } => {
-                let child = self.exec(input, needed | bit(pred.col))?;
+                let child = self.exec(input, needed | bit(pred.col), ctx)?;
                 // An equality predicate on the child's leading sort column
                 // resolves by binary search instead of a full scan.
-                if pred.op == CmpOp::Eq && self.plan_props(input).sorted_on(pred.col) {
+                if pred.op == CmpOp::Eq && self.plan_props(input, ctx).sorted_on(pred.col) {
                     bump(&self.stats.sorted_selects);
                     let data = child.col(pred.col);
                     let lo = data.partition_point(|&x| x < pred.value);
@@ -556,14 +618,14 @@ impl ColumnEngine {
                     child.gather_range(lo..hi)
                 } else {
                     let sel =
-                        ops::select_cmp(child.col(pred.col), pred.value, pred.op == CmpOp::Ne);
-                    child.gather(&sel)
+                        self.par_select_cmp(child.col(pred.col), pred.value, pred.op == CmpOp::Ne);
+                    self.par_gather(&child, &sel)
                 }
             }
             Plan::FilterIn { input, col, values } => {
-                let child = self.exec(input, needed | bit(*col))?;
-                let sel = ops::select_in(child.col(*col), values);
-                child.gather(&sel)
+                let child = self.exec(input, needed | bit(*col), ctx)?;
+                let sel = self.par_select_in(child.col(*col), values);
+                self.par_gather(&child, &sel)
             }
             Plan::Join {
                 left,
@@ -574,21 +636,21 @@ impl ColumnEngine {
                 let la = left.arity();
                 let left_needed = low_bits(needed, la) | bit(*left_col);
                 let right_needed = (needed >> la) | bit(*right_col);
-                let l = self.exec(left, left_needed)?;
-                let r = self.exec(right, right_needed)?;
+                let l = self.exec(left, left_needed, ctx)?;
+                let r = self.exec(right, right_needed, ctx)?;
                 // Both join columns derived-sorted: the linear merge join
                 // the sorted layouts were built for. Otherwise hash.
-                let use_merge = self.plan_props(left).sorted_on(*left_col)
-                    && self.plan_props(right).sorted_on(*right_col);
+                let use_merge = self.plan_props(left, ctx).sorted_on(*left_col)
+                    && self.plan_props(right, ctx).sorted_on(*right_col);
                 let (lsel, rsel) = if use_merge {
                     bump(&self.stats.merge_joins);
-                    ops::merge_join(l.col(*left_col), r.col(*right_col))
+                    self.par_merge_join(l.col(*left_col), r.col(*right_col))
                 } else {
                     bump(&self.stats.hash_joins);
-                    ops::hash_join(l.col(*left_col), r.col(*right_col))
+                    self.par_hash_join(l.col(*left_col), r.col(*right_col))
                 };
-                let lg = l.gather(&lsel);
-                let rg = r.gather(&rsel);
+                let lg = self.par_gather(&l, &lsel);
+                let rg = self.par_gather(&r, &rsel);
                 let mut cols = lg.into_cols();
                 cols.extend(rg.into_cols());
                 Chunk::from_optional(lsel.len(), cols)
@@ -602,7 +664,7 @@ impl ColumnEngine {
                         uses[in_c] += 1;
                     }
                 }
-                let child = self.exec(input, child_needed)?;
+                let child = self.exec(input, child_needed, ctx)?;
                 let len = child.len();
                 let mut child_cols = child.into_cols();
                 let out: Vec<Option<ColData>> = cols
@@ -627,42 +689,42 @@ impl ColumnEngine {
                 for &k in keys {
                     child_needed |= bit(k);
                 }
-                let child = self.exec(input, child_needed)?;
+                let child = self.exec(input, child_needed, ctx)?;
                 // Input sorted by exactly the grouping keys: groups are
                 // contiguous runs — aggregate linearly, no hash table.
-                let runs = self.plan_props(input).sorted_by_prefix(keys);
+                let runs = self.plan_props(input, ctx).sorted_by_prefix(keys);
                 match (keys.len(), runs) {
                     (1, true) => {
                         bump(&self.stats.sorted_group_counts);
-                        let (k, c) = ops::group_count_sorted_1(child.col(keys[0]));
+                        let (k, c) = self.par_group_count_sorted_1(child.col(keys[0]));
                         Chunk::from_cols(vec![k, c])
                     }
                     (1, false) => {
                         bump(&self.stats.hash_group_counts);
-                        let (k, c) = ops::group_count_1(child.col(keys[0]));
+                        let (k, c) = self.par_group_count_1(child.col(keys[0]));
                         Chunk::from_cols(vec![k, c])
                     }
                     (2, true) => {
                         bump(&self.stats.sorted_group_counts);
                         let (k0, k1, c) =
-                            ops::group_count_sorted_2(child.col(keys[0]), child.col(keys[1]));
+                            self.par_group_count_sorted_2(child.col(keys[0]), child.col(keys[1]));
                         Chunk::from_cols(vec![k0, k1, c])
                     }
                     (2, false) => {
                         bump(&self.stats.hash_group_counts);
                         let (k0, k1, c) =
-                            ops::group_count_2(child.col(keys[0]), child.col(keys[1]));
+                            self.par_group_count_2(child.col(keys[0]), child.col(keys[1]));
                         Chunk::from_cols(vec![k0, k1, c])
                     }
                     _ => {
                         bump(&self.stats.hash_group_counts);
-                        group_count_generic(&child, keys)
+                        self.group_count_generic(&child, keys)
                     }
                 }
             }
             Plan::HavingCountGt { input, min } => {
                 let count_col = input.arity() - 1;
-                let child = self.exec(input, needed | bit(count_col))?;
+                let child = self.exec(input, needed | bit(count_col), ctx)?;
                 let data = child.col(count_col);
                 let sel: Vec<u32> = (0..child.len() as u32)
                     .filter(|&i| data[i as usize] > *min)
@@ -685,7 +747,7 @@ impl ColumnEngine {
                     .collect();
                 let mut len = 0usize;
                 for inp in inputs {
-                    let c = self.exec(inp, needed)?;
+                    let c = self.exec(inp, needed, ctx)?;
                     len += c.len();
                     let cols = c.into_cols();
                     for (i, acc_col) in acc.iter_mut().enumerate() {
@@ -702,27 +764,26 @@ impl ColumnEngine {
                 )
             }
             Plan::Distinct { input } => {
-                let props = self.plan_props(input);
+                let props = self.plan_props(input, ctx);
                 // Derived-distinct input: nothing to eliminate — pass the
                 // child through (only the columns the parent needs).
                 if props.distinct {
                     bump(&self.stats.distinct_passthroughs);
-                    return self.exec(input, needed);
+                    return self.exec(input, needed, ctx);
                 }
                 // Row-level distinct requires every column.
-                let child = self.exec(input, full_mask(input.arity()))?;
+                let child = self.exec(input, full_mask(input.arity()), ctx)?;
                 let cols: Vec<&[u64]> = (0..child.arity()).map(|i| child.col(i)).collect();
-                if props.covers_all_columns(input.arity()) {
+                let sel = if props.covers_all_columns(input.arity()) {
                     // Fully sorted input: duplicates are adjacent.
                     bump(&self.stats.sorted_distincts);
-                    let sel = ops::distinct_sorted(&cols, child.len());
-                    child.gather(&sel)
+                    self.par_distinct_sorted(&cols, child.len())
                 } else {
                     bump(&self.stats.sort_distincts);
-                    let mut sel = ops::distinct_rows(&cols, child.len());
-                    sel.sort_unstable();
-                    child.gather(&sel)
-                }
+                    self.par_distinct_rows(&cols, child.len())
+                };
+                drop(cols);
+                self.par_gather(&child, &sel)
             }
         })
     }
@@ -779,21 +840,15 @@ impl ColumnEngine {
             }
         }
 
-        // Residual filters over the range.
-        let mut sel: Option<Vec<u32>> = None;
-        for (col, v) in residual {
-            let data = t.cols[col].read();
-            match &mut sel {
-                None => {
-                    sel = Some(
-                        (range.start as u32..range.end as u32)
-                            .filter(|&i| data[i as usize] == v)
-                            .collect(),
-                    );
-                }
-                Some(s) => s.retain(|&i| data[i as usize] == v),
-            }
-        }
+        // Residual filters over the range — one fused morsel-parallel
+        // pass over every residual column at once.
+        let sel: Option<Vec<u32>> = (!residual.is_empty()).then(|| {
+            let cols: Vec<&[u64]> = residual.iter().map(|&(c, _)| t.cols[c].read()).collect();
+            let vals: Vec<u64> = residual.iter().map(|&(_, v)| v).collect();
+            self.par_range_filter(range.clone(), move |i| {
+                cols.iter().zip(&vals).all(|(d, &v)| d[i] == v)
+            })
+        });
 
         // Pending inserts inside this scan's bounds — the unsorted tail a
         // write-store union appends.
@@ -846,7 +901,7 @@ impl ColumnEngine {
                         return None;
                     }
                     let base = t.cols[c].read();
-                    let mut v: Vec<u64> = idx.iter().map(|&i| base[i as usize]).collect();
+                    let mut v = self.par_gather_u64(base, &idx);
                     v.extend(tail.iter().map(|t| t.as_row()[c]));
                     Some(ColData::Owned(v))
                 })
@@ -869,7 +924,7 @@ impl ColumnEngine {
                 let data = t.cols[c].read();
                 Some(ColData::Owned(match &sel {
                     None => data[range.clone()].to_vec(),
-                    Some(s) => s.iter().map(|&i| data[i as usize]).collect(),
+                    Some(s) => self.par_gather_u64(data, s),
                 }))
             })
             .collect();
@@ -950,11 +1005,7 @@ impl ColumnEngine {
         if s.is_none() {
             if let Some(ov) = o {
                 let od = t.o.read();
-                sel = Some(
-                    (range.start as u32..range.end as u32)
-                        .filter(|&i| od[i as usize] == ov)
-                        .collect(),
-                );
+                sel = Some(self.par_range_filter(range.clone(), move |i| od[i] == ov));
             }
         }
 
@@ -985,7 +1036,7 @@ impl ColumnEngine {
             let mut cols: Vec<Option<ColData>> = vec![None; arity];
             if needed & bit(0) != 0 {
                 let sv = t.s.read();
-                let mut v: Vec<u64> = idx.iter().map(|&i| sv[i as usize]).collect();
+                let mut v = self.par_gather_u64(sv, &idx);
                 v.extend(tail.iter().map(|&(rs, _)| rs));
                 cols[0] = Some(ColData::Owned(v));
             }
@@ -994,7 +1045,7 @@ impl ColumnEngine {
             }
             if needed & bit(o_pos) != 0 {
                 let ov = t.o.read();
-                let mut v: Vec<u64> = idx.iter().map(|&i| ov[i as usize]).collect();
+                let mut v = self.par_gather_u64(ov, &idx);
                 v.extend(tail.iter().map(|&(_, ro)| ro));
                 cols[o_pos] = Some(ColData::Owned(v));
             }
@@ -1010,7 +1061,7 @@ impl ColumnEngine {
             let data = col.read();
             ColData::Owned(match &sel {
                 None => data[range.clone()].to_vec(),
-                Some(s) => s.iter().map(|&i| data[i as usize]).collect(),
+                Some(s) => self.par_gather_u64(data, s),
             })
         };
 
@@ -1026,6 +1077,596 @@ impl ColumnEngine {
         }
         Ok(Chunk::from_optional(out_len, cols))
     }
+}
+
+/// Morsel-parallel operator internals.
+///
+/// Every helper here obeys one contract: the output is **bit-identical to
+/// the sequential kernel** regardless of pool width, because morsel (or
+/// value-aligned segment) outputs are merged in morsel order at the
+/// barrier and order-insensitive merges (hash-aggregation maps) are
+/// sorted before emission. Partitioning therefore never invalidates a
+/// derived physical property.
+impl ColumnEngine {
+    /// Counts one partitioned batch of `parts` morsels in the stats.
+    fn note_batch(&self, parts: usize) {
+        if parts > 1 {
+            bump(&self.stats.parallel_tasks);
+            self.stats
+                .morsels
+                .fetch_add(parts as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Equality/inequality selection, morsel-parallel over the one
+    /// [`ops::select_cmp`] kernel (same shape as [`Self::par_select_in`]).
+    fn par_select_cmp(&self, data: &[u64], value: u64, negate: bool) -> Vec<u32> {
+        let parts = partitions(data.len());
+        if parts <= 1 {
+            return ops::select_cmp(data, value, negate);
+        }
+        self.note_batch(parts);
+        concat_u32(self.pool.run_with(
+            parts,
+            || (),
+            |_, m| {
+                let r = morsel_range(data.len(), parts, m);
+                let mut sel = ops::select_cmp(&data[r.clone()], value, negate);
+                for s in &mut sel {
+                    *s += r.start as u32;
+                }
+                sel
+            },
+        ))
+    }
+
+    /// Positions in `range` (global indices) passing `keep`,
+    /// morsel-parallel — the fused residual-filter pass of base scans.
+    fn par_range_filter(
+        &self,
+        range: std::ops::Range<usize>,
+        keep: impl Fn(usize) -> bool + Sync,
+    ) -> Vec<u32> {
+        let len = range.len();
+        let parts = partitions(len);
+        if parts <= 1 {
+            return (range.start as u32..range.end as u32)
+                .filter(|&i| keep(i as usize))
+                .collect();
+        }
+        self.note_batch(parts);
+        concat_u32(self.pool.run_with(
+            parts,
+            || (),
+            |_, m| {
+                let r = morsel_range(len, parts, m);
+                (range.start + r.start..range.start + r.end)
+                    .filter(|&i| keep(i))
+                    .map(|i| i as u32)
+                    .collect::<Vec<u32>>()
+            },
+        ))
+    }
+
+    /// `IN`-list selection, morsel-parallel over [`ops::select_in`].
+    fn par_select_in(&self, data: &[u64], values: &[u64]) -> Vec<u32> {
+        let parts = partitions(data.len());
+        if parts <= 1 {
+            return ops::select_in(data, values);
+        }
+        self.note_batch(parts);
+        concat_u32(self.pool.run_with(
+            parts,
+            || (),
+            |_, m| {
+                let r = morsel_range(data.len(), parts, m);
+                let mut sel = ops::select_in(&data[r.clone()], values);
+                for s in &mut sel {
+                    *s += r.start as u32;
+                }
+                sel
+            },
+        ))
+    }
+
+    /// Appends gather tasks for one output column to a shared batch:
+    /// workers write disjoint slices of the preallocated output in place
+    /// (no second copy at the barrier).
+    fn push_gather_tasks<'a>(
+        tasks: &mut Vec<Box<dyn FnOnce() + Send + 'a>>,
+        data: &'a [u64],
+        idx: &'a [u32],
+        out: &'a mut [u64],
+        parts: usize,
+    ) {
+        let mut rest = out;
+        for m in 0..parts {
+            let r = morsel_range(idx.len(), parts, m);
+            let (slot, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let ids = &idx[r];
+            tasks.push(Box::new(move || {
+                for (o, &i) in slot.iter_mut().zip(ids) {
+                    *o = data[i as usize];
+                }
+            }));
+        }
+    }
+
+    /// `idx.iter().map(|&i| data[i as usize]).collect()`, morsel-parallel.
+    fn par_gather_u64(&self, data: &[u64], idx: &[u32]) -> Vec<u64> {
+        let parts = partitions(idx.len());
+        if parts <= 1 {
+            return idx.iter().map(|&i| data[i as usize]).collect();
+        }
+        self.note_batch(parts);
+        let mut out = vec![0u64; idx.len()];
+        let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(parts);
+        Self::push_gather_tasks(&mut tasks, data, idx, &mut out, parts);
+        self.pool.run_once(tasks);
+        out
+    }
+
+    /// [`Chunk::gather`], morsel-parallel — every present column's morsel
+    /// tasks run in **one** pool batch (one spawn/join, arity-independent),
+    /// so a worker that finishes one column's morsels early pulls into the
+    /// next column's.
+    fn par_gather(&self, chunk: &Chunk, sel: &[u32]) -> Chunk {
+        let parts = partitions(sel.len());
+        if parts <= 1 {
+            return chunk.gather(sel);
+        }
+        let mut outs: Vec<Option<Vec<u64>>> = (0..chunk.arity())
+            .map(|i| chunk.has_col(i).then(|| vec![0u64; sel.len()]))
+            .collect();
+        let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        for (i, out) in outs.iter_mut().enumerate() {
+            if let Some(out) = out {
+                Self::push_gather_tasks(&mut tasks, chunk.col(i), sel, out, parts);
+            }
+        }
+        self.note_batch(tasks.len());
+        self.pool.run_once(tasks);
+        Chunk::from_optional(
+            sel.len(),
+            outs.into_iter().map(|o| o.map(ColData::Owned)).collect(),
+        )
+    }
+
+    /// Hash equi-join with a hash-partitioned build side and a
+    /// morsel-partitioned probe side. Pair stream identical to
+    /// [`ops::hash_join`]: per-key chains are built in the same order and
+    /// probe morsels concatenate in probe order.
+    fn par_hash_join(&self, left: &[u64], right: &[u64]) -> (Vec<u32>, Vec<u32>) {
+        let (build, probe, swapped) = if left.len() <= right.len() {
+            (left, right, false)
+        } else {
+            (right, left, true)
+        };
+        let probe_parts = partitions(probe.len());
+        if probe_parts <= 1 {
+            return ops::hash_join(left, right);
+        }
+        // Partition the build side only when it is big enough to amortize
+        // the scatter pass; the partition count is fixed (not
+        // thread-dependent), so the task set is identical at every width.
+        let parts_log2: u32 = if build.len() >= crate::parallel::MORSEL_ROWS {
+            3
+        } else {
+            0
+        };
+        let build_parts = 1usize << parts_log2;
+        let tables: Vec<ops::JoinHashPartition> = if build_parts == 1 {
+            vec![ops::JoinHashPartition::from_positions(
+                build,
+                0..build.len() as u32,
+            )]
+        } else {
+            // Phase A — one morselized scatter pass over the build column:
+            // each morsel buckets its positions per partition (ascending
+            // within the morsel).
+            let scatter_parts = partitions(build.len());
+            self.note_batch(scatter_parts);
+            let buckets: Vec<Vec<Vec<u32>>> = self.pool.run_with(
+                scatter_parts,
+                || (),
+                |_, m| {
+                    let mut local: Vec<Vec<u32>> = vec![Vec::new(); build_parts];
+                    for i in morsel_range(build.len(), scatter_parts, m) {
+                        local[ops::join_partition_of(build[i], parts_log2) as usize].push(i as u32);
+                    }
+                    local
+                },
+            );
+            // Phase B — per-partition chain builds, consuming the morsel
+            // buckets in morsel order so positions stay ascending and the
+            // chains match the sequential table exactly.
+            self.note_batch(build_parts);
+            self.pool.run_with(
+                build_parts,
+                || (),
+                |_, w| {
+                    ops::JoinHashPartition::from_positions(
+                        build,
+                        buckets.iter().flat_map(|b| b[w].iter().copied()),
+                    )
+                },
+            )
+        };
+        self.note_batch(probe_parts);
+        let pieces = self.pool.run_with(
+            probe_parts,
+            || (),
+            |_, m| {
+                let r = morsel_range(probe.len(), probe_parts, m);
+                // The pair buffers grow per morsel; the partition tables
+                // (the expensive scratch) are shared across all morsels.
+                let mut bs = Vec::with_capacity(r.len());
+                let mut ps = Vec::with_capacity(r.len());
+                for j in r {
+                    let key = probe[j];
+                    tables[ops::join_partition_of(key, parts_log2) as usize]
+                        .probe_into(key, j as u32, &mut bs, &mut ps);
+                }
+                (bs, ps)
+            },
+        );
+        let total: usize = pieces.iter().map(|(b, _)| b.len()).sum();
+        let mut build_sel = Vec::with_capacity(total);
+        let mut probe_sel = Vec::with_capacity(total);
+        for (b, p) in pieces {
+            build_sel.extend_from_slice(&b);
+            probe_sel.extend_from_slice(&p);
+        }
+        if swapped {
+            (probe_sel, build_sel)
+        } else {
+            (build_sel, probe_sel)
+        }
+    }
+
+    /// Merge equi-join partitioned into left-value-aligned segments; each
+    /// segment runs the *sequential* [`ops::merge_join`] kernel over its
+    /// slice pair, and segments concatenate in value order — exactly the
+    /// sequential pair stream, so the order-preservation claim the props
+    /// derivation makes for merge joins holds at every width.
+    fn par_merge_join(&self, l: &[u64], r: &[u64]) -> (Vec<u32>, Vec<u32>) {
+        let parts = partitions(l.len());
+        if parts <= 1 || r.is_empty() {
+            return ops::merge_join(l, r);
+        }
+        let bounds = aligned_bounds(l.len(), parts, |a, b| l[a] == l[b]);
+        let segs = bounds.len() - 1;
+        if segs <= 1 {
+            return ops::merge_join(l, r);
+        }
+        self.note_batch(segs);
+        let pieces = self.pool.run_with(
+            segs,
+            || (),
+            |_, k| {
+                let (lo, hi) = (bounds[k], bounds[k + 1]);
+                let r_lo = r.partition_point(|&x| x < l[lo]);
+                let r_hi = if hi < l.len() {
+                    r.partition_point(|&x| x < l[hi])
+                } else {
+                    r.len()
+                };
+                let (mut ls, mut rs) = ops::merge_join(&l[lo..hi], &r[r_lo..r_hi]);
+                for v in &mut ls {
+                    *v += lo as u32;
+                }
+                for v in &mut rs {
+                    *v += r_lo as u32;
+                }
+                (ls, rs)
+            },
+        );
+        let total: usize = pieces.iter().map(|(a, _)| a.len()).sum();
+        let mut lsel = Vec::with_capacity(total);
+        let mut rsel = Vec::with_capacity(total);
+        for (a, b) in pieces {
+            lsel.extend_from_slice(&a);
+            rsel.extend_from_slice(&b);
+        }
+        (lsel, rsel)
+    }
+
+    /// One-key hash group-count via per-worker partial maps (the map is
+    /// the worker's scratch, reused across every morsel it pulls) merged
+    /// and key-sorted at the barrier.
+    fn par_group_count_1(&self, keys: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        let parts = partitions(keys.len());
+        if parts <= 1 {
+            return ops::group_count_1(keys);
+        }
+        self.note_batch(parts);
+        let partials = self
+            .pool
+            .run_reduce(parts, FxHashMap::<u64, u64>::default, |map, m| {
+                for &k in &keys[morsel_range(keys.len(), parts, m)] {
+                    *map.entry(k).or_insert(0) += 1;
+                }
+            });
+        let acc = merge_partials(partials, |a, b| *a += b);
+        let mut pairs: Vec<(u64, u64)> = acc.into_iter().collect();
+        pairs.sort_unstable();
+        pairs.into_iter().unzip()
+    }
+
+    /// Two-key hash group-count, same shape as [`Self::par_group_count_1`].
+    fn par_group_count_2(&self, k0: &[u64], k1: &[u64]) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+        debug_assert_eq!(k0.len(), k1.len());
+        let parts = partitions(k0.len());
+        if parts <= 1 {
+            return ops::group_count_2(k0, k1);
+        }
+        self.note_batch(parts);
+        let partials =
+            self.pool
+                .run_reduce(parts, FxHashMap::<(u64, u64), u64>::default, |map, m| {
+                    for i in morsel_range(k0.len(), parts, m) {
+                        *map.entry((k0[i], k1[i])).or_insert(0) += 1;
+                    }
+                });
+        let acc = merge_partials(partials, |a, b| *a += b);
+        let mut trips: Vec<((u64, u64), u64)> = acc.into_iter().collect();
+        trips.sort_unstable();
+        let mut o0 = Vec::with_capacity(trips.len());
+        let mut o1 = Vec::with_capacity(trips.len());
+        let mut oc = Vec::with_capacity(trips.len());
+        for ((a, b), c) in trips {
+            o0.push(a);
+            o1.push(b);
+            oc.push(c);
+        }
+        (o0, o1, oc)
+    }
+
+    /// Run-based group-count over a sorted key column, partitioned at
+    /// value-run boundaries so no group straddles a segment; each segment
+    /// runs the sequential kernel and segments concatenate in key order.
+    fn par_group_count_sorted_1(&self, keys: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        let parts = partitions(keys.len());
+        if parts <= 1 {
+            return ops::group_count_sorted_1(keys);
+        }
+        let bounds = aligned_bounds(keys.len(), parts, |a, b| keys[a] == keys[b]);
+        let segs = bounds.len() - 1;
+        if segs <= 1 {
+            return ops::group_count_sorted_1(keys);
+        }
+        self.note_batch(segs);
+        let pieces = self.pool.run_with(
+            segs,
+            || (),
+            |_, k| ops::group_count_sorted_1(&keys[bounds[k]..bounds[k + 1]]),
+        );
+        let mut ks = Vec::new();
+        let mut cs = Vec::new();
+        for (k, c) in pieces {
+            ks.extend_from_slice(&k);
+            cs.extend_from_slice(&c);
+        }
+        (ks, cs)
+    }
+
+    /// Two-key run-based group-count, segments aligned on `(k0, k1)` run
+    /// boundaries.
+    fn par_group_count_sorted_2(&self, k0: &[u64], k1: &[u64]) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+        debug_assert_eq!(k0.len(), k1.len());
+        let parts = partitions(k0.len());
+        if parts <= 1 {
+            return ops::group_count_sorted_2(k0, k1);
+        }
+        let bounds = aligned_bounds(k0.len(), parts, |a, b| (k0[a], k1[a]) == (k0[b], k1[b]));
+        let segs = bounds.len() - 1;
+        if segs <= 1 {
+            return ops::group_count_sorted_2(k0, k1);
+        }
+        self.note_batch(segs);
+        let pieces = self.pool.run_with(
+            segs,
+            || (),
+            |_, k| {
+                let r = bounds[k]..bounds[k + 1];
+                ops::group_count_sorted_2(&k0[r.clone()], &k1[r])
+            },
+        );
+        let mut o0 = Vec::new();
+        let mut o1 = Vec::new();
+        let mut oc = Vec::new();
+        for (a, b, c) in pieces {
+            o0.extend_from_slice(&a);
+            o1.extend_from_slice(&b);
+            oc.extend_from_slice(&c);
+        }
+        (o0, o1, oc)
+    }
+
+    /// Linear distinct over fully sorted input, partitioned at row-run
+    /// boundaries (equal rows never straddle a segment).
+    fn par_distinct_sorted(&self, cols: &[&[u64]], len: usize) -> Vec<u32> {
+        let parts = partitions(len);
+        if parts <= 1 {
+            return ops::distinct_sorted(cols, len);
+        }
+        let bounds = aligned_bounds(len, parts, |a, b| cols.iter().all(|c| c[a] == c[b]));
+        let segs = bounds.len() - 1;
+        if segs <= 1 {
+            return ops::distinct_sorted(cols, len);
+        }
+        self.note_batch(segs);
+        concat_u32(self.pool.run_with(
+            segs,
+            || (),
+            |_, k| {
+                let (lo, hi) = (bounds[k], bounds[k + 1]);
+                let sliced: Vec<&[u64]> = cols.iter().map(|c| &c[lo..hi]).collect();
+                let mut sel = ops::distinct_sorted(&sliced, hi - lo);
+                for s in &mut sel {
+                    *s += lo as u32;
+                }
+                sel
+            },
+        ))
+    }
+
+    /// Row-level distinct over unsorted input: per-worker partial maps
+    /// (row → smallest position; the map and its key buffer are worker
+    /// scratch reused across morsels) merged with min-position at the
+    /// barrier. Returns ascending first-occurrence positions — a
+    /// canonical representative set, identical at every pool width.
+    fn par_distinct_rows(&self, cols: &[&[u64]], len: usize) -> Vec<u32> {
+        let parts = partitions(len);
+        if parts <= 1 {
+            let mut sel = ops::distinct_rows(cols, len);
+            sel.sort_unstable();
+            return sel;
+        }
+        self.note_batch(parts);
+        let partials = self.pool.run_reduce(
+            parts,
+            || (FxHashMap::<Box<[u64]>, u32>::default(), Vec::<u64>::new()),
+            |(map, keybuf), m| {
+                for i in morsel_range(len, parts, m) {
+                    keybuf.clear();
+                    keybuf.extend(cols.iter().map(|c| c[i]));
+                    match map.get_mut(keybuf.as_slice()) {
+                        Some(pos) => *pos = (*pos).min(i as u32),
+                        None => {
+                            map.insert(keybuf.clone().into_boxed_slice(), i as u32);
+                        }
+                    }
+                }
+            },
+        );
+        let acc = merge_partials(
+            partials.into_iter().map(|(map, _)| map).collect(),
+            |p, v| *p = (*p).min(v),
+        );
+        let mut sel: Vec<u32> = acc.into_values().collect();
+        sel.sort_unstable();
+        sel
+    }
+
+    /// Generic hash group-count for ≥3 keys. Up to four keys pack into a
+    /// fixed-size array (no per-row allocation) and aggregate in parallel
+    /// partial maps; wider key lists fall back to a sequential map keyed
+    /// by `Vec` (no benchmark query reaches that).
+    fn group_count_generic(&self, child: &Chunk, keys: &[usize]) -> Chunk {
+        let cols: Vec<&[u64]> = keys.iter().map(|&k| child.col(k)).collect();
+        let mut rows: Vec<(Vec<u64>, u64)> = if keys.len() <= 4 {
+            let n = child.len();
+            let parts = partitions(n);
+            let fold = |map: &mut FxHashMap<[u64; 4], u64>, r: std::ops::Range<usize>| {
+                for i in r {
+                    let mut key = [0u64; 4];
+                    for (slot, c) in key.iter_mut().zip(&cols) {
+                        *slot = c[i];
+                    }
+                    *map.entry(key).or_insert(0) += 1;
+                }
+            };
+            let mut acc = if parts <= 1 {
+                let mut map = FxHashMap::default();
+                fold(&mut map, 0..n);
+                map
+            } else {
+                self.note_batch(parts);
+                let partials =
+                    self.pool
+                        .run_reduce(parts, FxHashMap::<[u64; 4], u64>::default, |map, m| {
+                            fold(map, morsel_range(n, parts, m))
+                        });
+                merge_partials(partials, |a, b| *a += b)
+            };
+            acc.drain()
+                .map(|(k, c)| (k[..keys.len()].to_vec(), c))
+                .collect()
+        } else {
+            let mut map: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
+            for r in 0..child.len() {
+                let key: Vec<u64> = cols.iter().map(|c| c[r]).collect();
+                *map.entry(key).or_insert(0) += 1;
+            }
+            map.into_iter().collect()
+        };
+        rows.sort_unstable();
+        let mut out: Vec<Vec<u64>> = vec![Vec::with_capacity(rows.len()); keys.len() + 1];
+        for (key, c) in rows {
+            for (i, v) in key.into_iter().enumerate() {
+                out[i].push(v);
+            }
+            out[keys.len()].push(c);
+        }
+        Chunk::from_cols(out)
+    }
+}
+
+/// Segment boundaries for `parts` morsels over a `len`-row *sorted*
+/// input, each boundary advanced past the value run containing it so no
+/// run straddles a segment. `eq(a, b)` compares rows `a` and `b` for
+/// equality; because the input is sorted, the rows equal to the one just
+/// before a tentative boundary form a contiguous prefix of the tail, so
+/// the run end is found by binary search (O(parts · log len) total — a
+/// single giant run costs log time, not a linear walk per boundary).
+fn aligned_bounds(len: usize, parts: usize, eq: impl Fn(usize, usize) -> bool) -> Vec<usize> {
+    let mut bounds = vec![0usize];
+    for m in 1..parts {
+        let start = morsel_range(len, parts, m).start;
+        if start == 0 || start >= len {
+            continue;
+        }
+        let anchor = start - 1;
+        // First index in [start, len) whose row differs from `anchor`'s.
+        let (mut lo, mut hi) = (start, len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if eq(anchor, mid) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo > *bounds.last().expect("non-empty") && lo < len {
+            bounds.push(lo);
+        }
+    }
+    bounds.push(len);
+    bounds
+}
+
+/// Merges per-worker partial hash maps into one, combining the values of
+/// duplicate keys with `combine`. Worker arrival order is unspecified, so
+/// callers must use an order-insensitive combiner (sums, min) — every
+/// consumer also key-sorts the merged result before emitting it.
+fn merge_partials<K: std::hash::Hash + Eq, V>(
+    partials: Vec<FxHashMap<K, V>>,
+    combine: impl Fn(&mut V, V),
+) -> FxHashMap<K, V> {
+    let mut iter = partials.into_iter();
+    let mut acc = iter.next().unwrap_or_default();
+    for map in iter {
+        for (k, v) in map {
+            match acc.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => combine(e.get_mut(), v),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Order-preserving concatenation of per-morsel selection vectors.
+fn concat_u32(chunks: Vec<Vec<u32>>) -> Vec<u32> {
+    let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+    for c in chunks {
+        out.extend_from_slice(&c);
+    }
+    out
 }
 
 #[inline]
@@ -1045,42 +1686,6 @@ fn full_mask(arity: usize) -> u64 {
 #[inline]
 fn low_bits(mask: u64, n: usize) -> u64 {
     mask & full_mask(n)
-}
-
-/// Generic hash group-count for ≥3 keys. Small key counts (the realistic
-/// case reaching this fallback) pack into a fixed-size array so the hash
-/// map never allocates a `Vec` per input row.
-fn group_count_generic(child: &Chunk, keys: &[usize]) -> Chunk {
-    let cols: Vec<&[u64]> = keys.iter().map(|&k| child.col(k)).collect();
-    let mut rows: Vec<(Vec<u64>, u64)> = if keys.len() <= 4 {
-        let mut map: FxHashMap<[u64; 4], u64> = FxHashMap::default();
-        for r in 0..child.len() {
-            let mut key = [0u64; 4];
-            for (i, c) in cols.iter().enumerate() {
-                key[i] = c[r];
-            }
-            *map.entry(key).or_insert(0) += 1;
-        }
-        map.into_iter()
-            .map(|(k, c)| (k[..keys.len()].to_vec(), c))
-            .collect()
-    } else {
-        let mut map: FxHashMap<Vec<u64>, u64> = FxHashMap::default();
-        for r in 0..child.len() {
-            let key: Vec<u64> = cols.iter().map(|c| c[r]).collect();
-            *map.entry(key).or_insert(0) += 1;
-        }
-        map.into_iter().collect()
-    };
-    rows.sort_unstable();
-    let mut out: Vec<Vec<u64>> = vec![Vec::with_capacity(rows.len()); keys.len() + 1];
-    for (key, c) in rows {
-        for (i, v) in key.into_iter().enumerate() {
-            out[i].push(v);
-        }
-        out[keys.len()].push(c);
-    }
-    Chunk::from_cols(out)
 }
 
 #[cfg(test)]
@@ -1361,17 +1966,26 @@ mod tests {
             check_against(&e, plan);
         }
         assert!(e.exec_stats().delta_union_scans > 0);
-        // Pending inserts downgrade scan order claims.
-        assert!(e.props_ctx().pending_delta);
-        assert_eq!(
-            derive_props(&scan_all(), &e.props_ctx()),
-            PhysProps::unordered()
-        );
+        // Pending inserts downgrade the scans they can reach: property 0
+        // and 7 hold pending rows, property 2 is untouched and keeps its
+        // order claim.
+        let ctx = e.props_ctx();
+        assert!(ctx.any_pending_inserts());
+        assert_eq!(derive_props(&scan_all(), &ctx), PhysProps::unordered());
+        assert_eq!(derive_props(&scan_p(0), &ctx), PhysProps::unordered());
+        assert!(derive_props(&scan_p(2), &ctx).sorted_by.is_some());
+        let vp_scan2 = Plan::ScanProperty {
+            property: 2,
+            s: None,
+            o: None,
+            emit_property: false,
+        };
+        assert!(derive_props(&vp_scan2, &ctx).sorted_by.is_some());
 
         // Merge: same answers, sorted dispatch restored, write store empty.
         e.merge(&m).expect("merge succeeds");
         assert_eq!(e.pending_delta(), 0);
-        assert!(!e.props_ctx().pending_delta);
+        assert!(!e.props_ctx().any_pending_inserts());
         assert_eq!(e.exec_stats().merges, 1);
         for plan in &plans {
             check_against(&e, plan);
@@ -1555,6 +2169,211 @@ mod tests {
             e.apply(&m, &Delta::of_inserts(vec![Triple::new(1, 2, 3)])),
             Err(EngineError::Unsupported(_))
         ));
+    }
+
+    /// A data set large enough that every operator partitions (columns
+    /// far beyond one morsel).
+    fn big_triples() -> Vec<Triple> {
+        (0..60_000)
+            .map(|i| Triple::new(i % 9_000, i % 7, i % 800))
+            .collect()
+    }
+
+    /// Morsel-parallel execution is *bit-identical* to sequential: same
+    /// rows, same order, at every pool width — scans, selects, hash and
+    /// merge joins, group-counts and distinct included.
+    #[test]
+    fn parallel_execution_is_bit_identical_at_every_width() {
+        let data = big_triples();
+        let plans = [
+            // Residual-filtered scan (p is not the PSO prefix under SPO).
+            Plan::ScanTriples {
+                s: None,
+                p: Some(3),
+                o: None,
+            },
+            // Select fallback (inequality keeps the scan path).
+            Plan::Select {
+                input: Box::new(scan_all()),
+                pred: swans_plan::algebra::Predicate {
+                    col: 2,
+                    op: CmpOp::Ne,
+                    value: 5,
+                },
+            },
+            // Hash join (object-object: neither side object-sorted).
+            join(scan_p(1), scan_p(2), 2, 2),
+            // Merge join (subject-subject on VP tables).
+            join(
+                Plan::ScanProperty {
+                    property: 1,
+                    s: None,
+                    o: None,
+                    emit_property: false,
+                },
+                Plan::ScanProperty {
+                    property: 2,
+                    s: None,
+                    o: None,
+                    emit_property: false,
+                },
+                0,
+                0,
+            ),
+            // Hash group-count (keys not a sort prefix).
+            group_count(project(scan_all(), vec![2]), vec![0]),
+            // Run-based group-count (subject prefix of a VP table).
+            group_count(
+                Plan::ScanProperty {
+                    property: 0,
+                    s: None,
+                    o: None,
+                    emit_property: false,
+                },
+                vec![0],
+            ),
+            // Sort-based distinct (projection loses the sort prefix).
+            Plan::Distinct {
+                input: Box::new(project(scan_all(), vec![2, 0])),
+            },
+            Plan::FilterIn {
+                input: Box::new(scan_all()),
+                col: 2,
+                values: vec![1, 7, 13, 400],
+            },
+        ];
+
+        let mut reference: Vec<Vec<Vec<u64>>> = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let m = StorageManager::new(MachineProfile::B);
+            let mut e = ColumnEngine::new();
+            e.set_threads(threads);
+            assert_eq!(e.threads(), threads);
+            e.load_triple_store(&m, &data, SortOrder::Spo, false);
+            e.load_vertical(&m, &data, false);
+            for (i, plan) in plans.iter().enumerate() {
+                let rows = e.execute(plan).expect("plan executes").to_rows();
+                if threads == 1 {
+                    // Anchor correctness against the naive executor once.
+                    assert_eq!(
+                        naive::normalize(rows.clone()),
+                        naive::normalize(naive::execute(plan, &data)),
+                        "plan {i} wrong vs naive"
+                    );
+                    reference.push(rows);
+                } else {
+                    assert_eq!(
+                        rows, reference[i],
+                        "plan {i} differs at {threads} threads (not even row order may change)"
+                    );
+                }
+            }
+            let stats = e.exec_stats();
+            assert!(
+                stats.parallel_tasks > 0,
+                "nothing partitioned at {threads} threads: {stats:?}"
+            );
+        }
+    }
+
+    /// Value-aligned segmentation: no run straddles a boundary, giant
+    /// runs collapse segments instead of being walked linearly, and the
+    /// parallel run-based kernels stay exact on such inputs.
+    #[test]
+    fn aligned_bounds_handle_giant_runs() {
+        // One value covers almost the whole column.
+        let mut keys = vec![7u64; 50_000];
+        keys.extend([8, 8, 9]);
+        let parts = partitions(keys.len());
+        let bounds = aligned_bounds(keys.len(), parts, |a, b| keys[a] == keys[b]);
+        assert_eq!(bounds.first(), Some(&0));
+        assert_eq!(bounds.last(), Some(&keys.len()));
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "bounds must strictly increase: {bounds:?}");
+            // No boundary lands inside a run.
+            assert!(w[1] == keys.len() || keys[w[1]] != keys[w[1] - 1]);
+        }
+
+        let mut e = ColumnEngine::new();
+        e.set_threads(4);
+        let (k, c) = e.par_group_count_sorted_1(&keys);
+        assert_eq!((k, c), ops::group_count_sorted_1(&keys));
+    }
+
+    /// The scratch-reuse accounting: partitioned batches process many
+    /// morsels each (`morsels / parallel_tasks` ≫ 1), so per-batch scratch
+    /// (hash maps, join partition tables) is reused across morsels rather
+    /// than reallocated per morsel.
+    #[test]
+    fn morsel_counters_show_batched_scratch_reuse() {
+        let data = big_triples();
+        let m = StorageManager::new(MachineProfile::B);
+        let mut e = ColumnEngine::new();
+        e.set_threads(4);
+        e.load_triple_store(&m, &data, SortOrder::Spo, false);
+        let plan = group_count(
+            project(
+                Plan::ScanTriples {
+                    s: None,
+                    p: Some(3),
+                    o: None,
+                },
+                vec![2],
+            ),
+            vec![0],
+        );
+        let _ = e.execute(&plan).expect("executes");
+        let stats = e.exec_stats();
+        assert!(stats.parallel_tasks > 0, "{stats:?}");
+        assert!(
+            stats.morsels >= 4 * stats.parallel_tasks,
+            "each partitioned batch should span several morsels \
+             (scratch per batch, not per morsel): {stats:?}"
+        );
+    }
+
+    /// The per-property pending set in action at dispatch level: a pending
+    /// insert for one property no longer downgrades merge joins on
+    /// untouched properties, while the touched property's scans still
+    /// union and hash.
+    #[test]
+    fn pending_delta_on_one_property_keeps_merge_joins_elsewhere() {
+        let data = big_triples();
+        let m = StorageManager::new(MachineProfile::B);
+        let mut e = ColumnEngine::new();
+        e.load_vertical(&m, &data, false);
+        e.apply(&m, &Delta::of_inserts(vec![Triple::new(1, 5, 2)]))
+            .expect("applies");
+
+        let vp = |p: u64| Plan::ScanProperty {
+            property: p,
+            s: None,
+            o: None,
+            emit_property: false,
+        };
+        // Join over untouched properties: still a merge join, no union.
+        e.reset_exec_stats();
+        let _ = e.execute(&join(vp(1), vp(2), 0, 0)).expect("executes");
+        let clean = e.exec_stats();
+        assert_eq!(clean.merge_joins, 1, "{clean:?}");
+        assert_eq!(clean.hash_joins, 0, "{clean:?}");
+        assert_eq!(clean.delta_union_scans, 0, "{clean:?}");
+
+        // Join touching the pending property: unions and hashes.
+        e.reset_exec_stats();
+        let dirty_rows = e.execute(&join(vp(5), vp(2), 0, 0)).expect("executes");
+        let dirty = e.exec_stats();
+        assert_eq!(dirty.merge_joins, 0, "{dirty:?}");
+        assert_eq!(dirty.hash_joins, 1, "{dirty:?}");
+        assert!(dirty.delta_union_scans >= 1, "{dirty:?}");
+
+        // And the answers are right either way.
+        let mut expect = big_triples();
+        expect.push(Triple::new(1, 5, 2));
+        assert_eq!(
+            naive::normalize(dirty_rows.to_rows()),
+            naive::normalize(naive::execute(&join(vp(5), vp(2), 0, 0), &expect))
+        );
     }
 
     /// All twelve benchmark queries on both layouts match the naive

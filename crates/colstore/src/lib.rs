@@ -36,12 +36,23 @@
 //!   its sorted rows. [`ColumnEngine::merge`] — explicit, or triggered by
 //!   a pending-operation threshold — rebuilds the affected sorted tables
 //!   and restores sorted-path dispatch.
+//! * **Morsel-driven parallelism.** With [`ColumnEngine::set_threads`],
+//!   base scans, selections, hash-join build/probe, aggregation and
+//!   distinct split their input into fixed-size morsels executed by a
+//!   scoped-thread worker pool ([`parallel`]); every barrier merges in
+//!   morsel order, so parallel output is bit-identical to sequential and
+//!   physical-property claims survive partitioning. Sorted-path kernels
+//!   (merge join, run-based aggregation) run the *sequential* kernel per
+//!   value-aligned partition, so the sortedness-aware dispatch wins are
+//!   preserved at every thread count.
 
 pub mod chunk;
 pub mod column;
 pub mod engine;
 pub mod ops;
+pub mod parallel;
 
 pub use chunk::Chunk;
 pub use column::Column;
 pub use engine::{ColumnEngine, ExecStatsSnapshot, DEFAULT_MERGE_THRESHOLD};
+pub use parallel::WorkerPool;

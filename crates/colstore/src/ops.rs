@@ -98,6 +98,103 @@ impl JoinHash {
     }
 }
 
+/// The hash partition a key belongs to when the build side is split into
+/// `1 << parts_log2` partitions. A multiplicative mix of the key's bits,
+/// deliberately *not* the bucket function of [`JoinHash`]'s map, so a
+/// pathological key set cannot degrade both at once.
+#[inline]
+pub fn join_partition_of(key: u64, parts_log2: u32) -> u32 {
+    if parts_log2 == 0 {
+        return 0;
+    }
+    ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & ((1 << parts_log2) - 1)) as u32
+}
+
+/// One partition of a hash-partitioned join build side.
+///
+/// Each worker builds the partition for its own key range by scanning the
+/// build column and chaining only the keys that hash into its partition —
+/// positions are inserted in ascending order, so the per-key chains are
+/// *identical* to the ones an unpartitioned [`JoinHash`] would hold, and
+/// a probe therefore emits exactly the sequential pair order. The tables
+/// are built once per join and shared (read-only) across every probe
+/// morsel — probe scratch, not the build side, is what morsels reuse.
+pub struct JoinHashPartition {
+    /// Key → most-recently-inserted *local* entry id.
+    heads: FxMap<u64, u32>,
+    /// `next[e]` = previous local entry with the same key (`u32::MAX`
+    /// ends the chain).
+    next: Vec<u32>,
+    /// Local entry id → global build position.
+    pos: Vec<u32>,
+}
+
+impl JoinHashPartition {
+    /// Builds partition `part` (of `1 << parts_log2`) over `build` by
+    /// scanning the whole column. Prefer
+    /// [`JoinHashPartition::from_positions`] with a pre-scattered
+    /// position list when building several partitions — this form re-scans
+    /// `build` once per partition.
+    pub fn build(build: &[u64], part: u32, parts_log2: u32) -> Self {
+        Self::from_positions(
+            build,
+            build
+                .iter()
+                .enumerate()
+                .filter(|&(_, &key)| join_partition_of(key, parts_log2) == part)
+                .map(|(i, _)| i as u32),
+        )
+    }
+
+    /// Builds a partition table from this partition's build positions,
+    /// supplied in ascending order (one scatter pass produces the lists
+    /// for every partition at once). Chains end up identical to the ones
+    /// an unpartitioned [`JoinHash`] holds for these keys.
+    pub fn from_positions(build: &[u64], positions: impl IntoIterator<Item = u32>) -> Self {
+        let mut heads: FxMap<u64, u32> = FxMap::default();
+        let mut next = Vec::new();
+        let mut pos = Vec::new();
+        for i in positions {
+            let e = heads.entry(build[i as usize]).or_insert(u32::MAX);
+            next.push(*e);
+            pos.push(i);
+            *e = (next.len() - 1) as u32;
+        }
+        Self { heads, next, pos }
+    }
+
+    /// Appends every `(build_pos, probe_pos)` match for `key` to the
+    /// caller's output buffers (build positions in descending order, like
+    /// [`JoinHash::probe`]).
+    #[inline]
+    pub fn probe_into(
+        &self,
+        key: u64,
+        probe_pos: u32,
+        build_sel: &mut Vec<u32>,
+        probe_sel: &mut Vec<u32>,
+    ) {
+        if let Some(&head) = self.heads.get(&key) {
+            let mut e = head;
+            while e != u32::MAX {
+                build_sel.push(self.pos[e as usize]);
+                probe_sel.push(probe_pos);
+                e = self.next[e as usize];
+            }
+        }
+    }
+
+    /// Number of build entries in this partition.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True when no build key hashed into this partition.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+}
+
 /// Hash equi-join: matching `(left_pos, right_pos)` pairs. Builds on the
 /// smaller input.
 pub fn hash_join(left: &[u64], right: &[u64]) -> (Vec<u32>, Vec<u32>) {
@@ -240,6 +337,9 @@ pub fn distinct_sorted(cols: &[&[u64]], len: usize) -> Vec<u32> {
 }
 
 /// Positions of the first occurrence of each distinct row (sort-based).
+/// Ties break on position, so the representative of each duplicate set
+/// really is its first occurrence — the same canonical choice the
+/// morsel-parallel distinct makes, keeping the two paths bit-identical.
 pub fn distinct_rows(cols: &[&[u64]], len: usize) -> Vec<u32> {
     if len == 0 {
         return Vec::new();
@@ -252,7 +352,7 @@ pub fn distinct_rows(cols: &[&[u64]], len: usize) -> Vec<u32> {
                 o => return o,
             }
         }
-        std::cmp::Ordering::Equal
+        a.cmp(&b)
     });
     let mut out = Vec::new();
     let mut prev: Option<u32> = None;
@@ -323,6 +423,42 @@ mod tests {
         h.sort_unstable();
         assert_eq!(m, h);
         assert_eq!(m.len(), 2 * 2 + 2);
+    }
+
+    /// A hash-partitioned build probed partition-by-key emits *exactly*
+    /// the sequential [`JoinHash`] pair stream — same pairs, same order —
+    /// so morsel-parallel joins are bit-identical to sequential ones.
+    #[test]
+    fn partitioned_join_matches_joinhash_exactly() {
+        let build: Vec<u64> = (0..500).map(|i| i % 37).collect();
+        let probe: Vec<u64> = (0..300).map(|i| (i * 7) % 41).collect();
+        let seq = JoinHash::build(&build);
+        let (want_b, want_p) = seq.probe(&probe);
+        for parts_log2 in [0u32, 1, 3] {
+            let parts: Vec<JoinHashPartition> = (0..1u32 << parts_log2)
+                .map(|w| JoinHashPartition::build(&build, w, parts_log2))
+                .collect();
+            assert_eq!(
+                parts.iter().map(JoinHashPartition::len).sum::<usize>(),
+                build.len(),
+                "every build row lands in exactly one partition"
+            );
+            let mut got_b = Vec::new();
+            let mut got_p = Vec::new();
+            for (j, &key) in probe.iter().enumerate() {
+                parts[join_partition_of(key, parts_log2) as usize]
+                    .probe_into(key, j as u32, &mut got_b, &mut got_p);
+            }
+            assert_eq!(got_b, want_b, "parts_log2 {parts_log2}");
+            assert_eq!(got_p, want_p, "parts_log2 {parts_log2}");
+        }
+        // A partition that received nothing still answers probes.
+        let empty = JoinHashPartition::build(&[], 0, 0);
+        assert!(empty.is_empty());
+        let mut b = Vec::new();
+        let mut p = Vec::new();
+        empty.probe_into(1, 0, &mut b, &mut p);
+        assert!(b.is_empty() && p.is_empty());
     }
 
     #[test]

@@ -1,0 +1,454 @@
+//! Morsel-driven intra-query parallelism: a small scoped-thread worker
+//! pool (std only, no external crates).
+//!
+//! The execution model follows the morsel-driven design: an operator's
+//! input is cut into fixed-size *morsels* (row ranges), a pool of workers
+//! pulls morsel indices from a shared atomic counter until the batch is
+//! drained, and the per-morsel outputs are merged **in morsel order** at
+//! the batch barrier. Because every merge is order-preserving, a
+//! parallelized operator produces *bit-identical* output to its sequential
+//! form — physical-property claims ([`swans_plan::props`]) survive
+//! partitioning unchanged, and result equivalence across thread counts is
+//! structural, not accidental.
+//!
+//! Two execution shapes cover every operator:
+//!
+//! * [`WorkerPool::run_with`] — uniform morsel loops. Each worker owns one
+//!   *scratch* value (`init` runs once per worker, **not** once per
+//!   morsel) that it reuses across every morsel it pulls — this is how
+//!   hash-aggregation maps and join scratch survive across morsels
+//!   instead of being reallocated per task.
+//! * [`WorkerPool::run_reduce`] — per-worker partial aggregation. Workers
+//!   fold morsels into their scratch and the scratches themselves are the
+//!   result (at most one per worker), merged by the caller at the barrier.
+//!
+//! The pool can time every task ([`WorkerPool::set_timing`]): with one
+//! thread the tasks run inline (uncontended), so the recorded durations
+//! feed an honest list-scheduling model of the parallel makespan — the
+//! same simulation philosophy as the storage layer's simulated disk.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Rows per morsel. Small enough that realistic benchmark columns split
+/// into many morsels (load balance), large enough that per-morsel
+/// bookkeeping is noise against the per-row kernel work.
+pub const MORSEL_ROWS: usize = 4096;
+
+/// Upper bound on morsels per batch (keeps the barrier merge cheap).
+pub const MAX_MORSELS: usize = 256;
+
+/// Number of morsels a `len`-row input splits into. Independent of the
+/// thread count, so the task set — and therefore the merged output — is
+/// identical at every parallelism level.
+pub fn partitions(len: usize) -> usize {
+    if len == 0 {
+        return 1;
+    }
+    len.div_ceil(MORSEL_ROWS).clamp(1, MAX_MORSELS)
+}
+
+/// The row range of morsel `i` of `parts` over a `len`-row input.
+pub fn morsel_range(len: usize, parts: usize, i: usize) -> std::ops::Range<usize> {
+    // Even split with the remainder spread over the first morsels, so no
+    // worker draws a systematically larger share.
+    let base = len / parts;
+    let extra = len % parts;
+    let start = i * base + i.min(extra);
+    let end = start + base + usize::from(i < extra);
+    start..end
+}
+
+/// A one-shot task accepted by [`WorkerPool::run_once`].
+pub type OnceTask<'env, T> = Box<dyn FnOnce() -> T + Send + 'env>;
+
+/// A scoped-thread worker pool of a fixed width.
+///
+/// The pool is stateless between batches: each `run_*` call spawns up to
+/// `threads` scoped workers (`std::thread::scope`), drains the batch, and
+/// joins them. With one thread (or one morsel) the batch runs inline on
+/// the caller's thread — no spawn, same code path, same output.
+#[derive(Debug)]
+pub struct WorkerPool {
+    threads: usize,
+    timing: AtomicBool,
+    /// Per-batch task durations (seconds, in morsel order), recorded only
+    /// while timing is enabled.
+    log: Mutex<Vec<Vec<f64>>>,
+}
+
+impl WorkerPool {
+    /// A pool that runs batches on up to `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            timing: AtomicBool::new(false),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether per-task timing is enabled.
+    pub fn timing(&self) -> bool {
+        self.timing.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables per-task timing. Timings recorded with one
+    /// thread are uncontended and feed the scaling model of `bench_pr4`.
+    pub fn set_timing(&self, on: bool) {
+        self.timing.store(on, Ordering::Relaxed);
+        if on {
+            self.log.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+
+    /// Drains the recorded batches of task durations.
+    pub fn take_log(&self) -> Vec<Vec<f64>> {
+        std::mem::take(&mut self.log.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn record_batch(&self, mut durs: Vec<(usize, f64)>) {
+        durs.sort_unstable_by_key(|&(i, _)| i);
+        self.log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(durs.into_iter().map(|(_, d)| d).collect());
+    }
+
+    /// Runs `parts` morsel tasks, returning their outputs **in morsel
+    /// order**. Each worker builds one scratch value with `init` and
+    /// reuses it for every morsel it pulls.
+    pub fn run_with<S, T, I, F>(&self, parts: usize, init: I, task: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        let timing = self.timing.load(Ordering::Relaxed);
+        let workers = self.threads.min(parts);
+        if workers <= 1 {
+            let mut scratch = init();
+            let mut durs = timing.then(|| Vec::with_capacity(parts));
+            let out = (0..parts)
+                .map(|i| {
+                    let t0 = timing.then(Instant::now);
+                    let r = task(&mut scratch, i);
+                    if let (Some(d), Some(t0)) = (durs.as_mut(), t0) {
+                        d.push((i, t0.elapsed().as_secs_f64()));
+                    }
+                    r
+                })
+                .collect();
+            if let Some(d) = durs {
+                self.record_batch(d);
+            }
+            return out;
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = (0..parts).map(|_| None).collect();
+        let mut all_durs: Vec<(usize, f64)> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut scratch = init();
+                        let mut got: Vec<(usize, T)> = Vec::new();
+                        let mut durs: Vec<(usize, f64)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= parts {
+                                break;
+                            }
+                            let t0 = timing.then(Instant::now);
+                            let r = task(&mut scratch, i);
+                            if let Some(t0) = t0 {
+                                durs.push((i, t0.elapsed().as_secs_f64()));
+                            }
+                            got.push((i, r));
+                        }
+                        (got, durs)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (got, durs) = h.join().expect("worker panicked");
+                for (i, r) in got {
+                    slots[i] = Some(r);
+                }
+                all_durs.extend(durs);
+            }
+        });
+        if timing {
+            self.record_batch(all_durs);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every morsel produced"))
+            .collect()
+    }
+
+    /// Runs `parts` morsel tasks that fold into per-worker scratch values
+    /// and returns the scratches (one per worker that ran, at most
+    /// `threads`). The caller merges them at the barrier; merge order is
+    /// the caller's responsibility to keep deterministic (the built-in
+    /// consumers merge into order-insensitive structures).
+    pub fn run_reduce<S, I, F>(&self, parts: usize, init: I, fold: F) -> Vec<S>
+    where
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) + Sync,
+    {
+        let timing = self.timing.load(Ordering::Relaxed);
+        let workers = self.threads.min(parts);
+        if workers <= 1 {
+            let mut scratch = init();
+            let mut durs = timing.then(|| Vec::with_capacity(parts));
+            for i in 0..parts {
+                let t0 = timing.then(Instant::now);
+                fold(&mut scratch, i);
+                if let (Some(d), Some(t0)) = (durs.as_mut(), t0) {
+                    d.push((i, t0.elapsed().as_secs_f64()));
+                }
+            }
+            if let Some(d) = durs {
+                self.record_batch(d);
+            }
+            return vec![scratch];
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut out: Vec<S> = Vec::with_capacity(workers);
+        let mut all_durs: Vec<(usize, f64)> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut scratch = init();
+                        let mut durs: Vec<(usize, f64)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= parts {
+                                break;
+                            }
+                            let t0 = timing.then(Instant::now);
+                            fold(&mut scratch, i);
+                            if let Some(t0) = t0 {
+                                durs.push((i, t0.elapsed().as_secs_f64()));
+                            }
+                        }
+                        (scratch, durs)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (scratch, durs) = h.join().expect("worker panicked");
+                out.push(scratch);
+                all_durs.extend(durs);
+            }
+        });
+        if timing {
+            self.record_batch(all_durs);
+        }
+        out
+    }
+
+    /// Runs a batch of heterogeneous one-shot tasks (e.g. tasks that own
+    /// disjoint `&mut` output slices), returning outputs in task order.
+    pub fn run_once<'env, T>(&self, tasks: Vec<OnceTask<'env, T>>) -> Vec<T>
+    where
+        T: Send,
+    {
+        let parts = tasks.len();
+        let timing = self.timing.load(Ordering::Relaxed);
+        let workers = self.threads.min(parts);
+        if workers <= 1 {
+            let mut durs = timing.then(|| Vec::with_capacity(parts));
+            let out = tasks
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let t0 = timing.then(Instant::now);
+                    let r = t();
+                    if let (Some(d), Some(t0)) = (durs.as_mut(), t0) {
+                        d.push((i, t0.elapsed().as_secs_f64()));
+                    }
+                    r
+                })
+                .collect();
+            if let Some(d) = durs {
+                self.record_batch(d);
+            }
+            return out;
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<OnceTask<'env, T>>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let mut out: Vec<Option<T>> = (0..parts).map(|_| None).collect();
+        let mut all_durs: Vec<(usize, f64)> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut got: Vec<(usize, T)> = Vec::new();
+                        let mut durs: Vec<(usize, f64)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= parts {
+                                break;
+                            }
+                            let task = slots[i]
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .take()
+                                .expect("each task taken once");
+                            let t0 = timing.then(Instant::now);
+                            let r = task();
+                            if let Some(t0) = t0 {
+                                durs.push((i, t0.elapsed().as_secs_f64()));
+                            }
+                            got.push((i, r));
+                        }
+                        (got, durs)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (got, durs) = h.join().expect("worker panicked");
+                for (i, r) in got {
+                    out[i] = Some(r);
+                }
+                all_durs.extend(durs);
+            }
+        });
+        if timing {
+            self.record_batch(all_durs);
+        }
+        out.into_iter()
+            .map(|s| s.expect("every task produced"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn morsel_ranges_tile_the_input() {
+        for len in [0usize, 1, 7, 4096, 4097, 100_000] {
+            let parts = partitions(len);
+            let mut covered = 0usize;
+            for i in 0..parts {
+                let r = morsel_range(len, parts, i);
+                assert_eq!(r.start, covered, "len {len} morsel {i}");
+                covered = r.end;
+            }
+            assert_eq!(covered, len, "len {len}");
+        }
+    }
+
+    #[test]
+    fn partition_count_is_thread_independent_and_capped() {
+        assert_eq!(partitions(0), 1);
+        assert_eq!(partitions(1), 1);
+        assert_eq!(partitions(MORSEL_ROWS), 1);
+        assert_eq!(partitions(MORSEL_ROWS + 1), 2);
+        assert_eq!(partitions(usize::MAX / 2), MAX_MORSELS);
+    }
+
+    #[test]
+    fn run_with_returns_results_in_morsel_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let got = pool.run_with(37, || (), |_, i| i * 3);
+            assert_eq!(got, (0..37).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    /// The scratch-reuse contract: `init` runs once per worker, not once
+    /// per morsel — the whole point of per-worker scratch.
+    #[test]
+    fn scratch_is_built_per_worker_not_per_morsel() {
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let allocs = AtomicUsize::new(0);
+            let parts = 64;
+            let _ = pool.run_with(
+                parts,
+                || {
+                    allocs.fetch_add(1, Ordering::Relaxed);
+                    Vec::<u64>::new()
+                },
+                |scratch, i| {
+                    scratch.push(i as u64);
+                    scratch.len()
+                },
+            );
+            let n = allocs.load(Ordering::Relaxed);
+            assert!(
+                n <= threads,
+                "{threads} threads allocated {n} scratches for {parts} morsels"
+            );
+        }
+    }
+
+    #[test]
+    fn run_reduce_folds_every_morsel_exactly_once() {
+        for threads in [1, 2, 8] {
+            let pool = WorkerPool::new(threads);
+            let partials = pool.run_reduce(100, || 0u64, |acc, i| *acc += i as u64);
+            assert!(partials.len() <= threads.max(1));
+            assert_eq!(partials.iter().sum::<u64>(), 99 * 100 / 2);
+        }
+    }
+
+    #[test]
+    fn run_once_executes_disjoint_mut_slices() {
+        let mut out = vec![0u32; 100];
+        for threads in [1, 3] {
+            let pool = WorkerPool::new(threads);
+            out.fill(0);
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = out
+                .chunks_mut(17)
+                .enumerate()
+                .map(|(k, chunk)| {
+                    let task: Box<dyn FnOnce() -> usize + Send> = Box::new(move || {
+                        for (j, v) in chunk.iter_mut().enumerate() {
+                            *v = (k * 17 + j) as u32;
+                        }
+                        chunk.len()
+                    });
+                    task
+                })
+                .collect();
+            let lens = pool.run_once(tasks);
+            assert_eq!(lens.iter().sum::<usize>(), 100);
+            assert_eq!(out, (0..100).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn timing_log_records_one_batch_per_run() {
+        let pool = WorkerPool::new(2);
+        pool.set_timing(true);
+        let _ = pool.run_with(10, || (), |_, i| i);
+        let _ = pool.run_reduce(5, || 0u64, |a, i| *a += i as u64);
+        let log = pool.take_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].len(), 10);
+        assert_eq!(log[1].len(), 5);
+        assert!(log.iter().flatten().all(|&d| d >= 0.0));
+        assert!(pool.take_log().is_empty(), "log is drained");
+        pool.set_timing(false);
+        let _ = pool.run_with(4, || (), |_, i| i);
+        assert!(pool.take_log().is_empty(), "timing off records nothing");
+    }
+}

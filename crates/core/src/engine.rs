@@ -91,6 +91,14 @@ pub trait Engine: Send + Sync {
         let _ = ops;
     }
 
+    /// Sets the intra-query worker count for engines with morsel-parallel
+    /// execution. Answers must not depend on the width. Advisory; ignored
+    /// by the default (and by the built-in row engine, whose
+    /// tuple-at-a-time iterators are inherently sequential).
+    fn set_threads(&mut self, threads: usize) {
+        let _ = threads;
+    }
+
     /// The physical-property context EXPLAIN should annotate plans with —
     /// what this engine's dispatch actually exploits. The default claims
     /// nothing, which is truthful for any engine that does not do
@@ -199,6 +207,10 @@ impl Engine for ColumnEngine {
 
     fn set_merge_threshold(&mut self, ops: usize) {
         ColumnEngine::set_merge_threshold(self, ops);
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        ColumnEngine::set_threads(self, threads);
     }
 
     fn explain_context(&self) -> PropsContext {

@@ -96,6 +96,9 @@ pub struct StoreConfig {
     /// Buffered-mutation count at which the engine should merge its write
     /// store automatically (`None` = the engine's own default).
     pub merge_threshold: Option<usize>,
+    /// Intra-query worker threads for engines with morsel-parallel
+    /// execution (the column engine). 1 = sequential, the default.
+    pub threads: usize,
 }
 
 impl StoreConfig {
@@ -108,6 +111,7 @@ impl StoreConfig {
             pool_pages: None,
             compression: false,
             merge_threshold: None,
+            threads: 1,
         }
     }
 
@@ -121,6 +125,7 @@ impl StoreConfig {
             pool_pages: None,
             compression: true,
             merge_threshold: None,
+            threads: 1,
         }
     }
 
@@ -143,6 +148,29 @@ impl StoreConfig {
         self
     }
 
+    /// Sets the intra-query worker count: engines with morsel-parallel
+    /// execution (the column engine) run partitioned operators on up to
+    /// `threads` scoped threads. Answers are identical at every width —
+    /// only wall-clock changes.
+    ///
+    /// ```
+    /// use swans_core::{Database, Layout, StoreConfig};
+    /// use swans_rdf::Dataset;
+    ///
+    /// let mut ds = Dataset::new();
+    /// ds.add("<s1>", "<type>", "<Text>");
+    /// ds.add("<s2>", "<type>", "<Date>");
+    /// let config = StoreConfig::column(Layout::VerticallyPartitioned).with_threads(4);
+    /// let db = Database::open(ds, config)?;
+    /// let results = db.query("SELECT ?s WHERE { ?s <type> <Text> }")?;
+    /// assert_eq!(results.decoded(), vec![vec!["<s1>".to_string()]]);
+    /// # Ok::<(), swans_core::Error>(())
+    /// ```
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Human-readable configuration label.
     pub fn label(&self) -> String {
         format!("{} {}", self.engine.name(), self.layout.name())
@@ -153,6 +181,9 @@ impl StoreConfig {
     pub fn validate(&self) -> Result<(), String> {
         if self.pool_pages == Some(0) {
             return Err("buffer pool of 0 pages cannot hold any data".into());
+        }
+        if self.threads == 0 {
+            return Err("worker pool needs at least one thread".into());
         }
         let bw = self.machine.io_read_mb_s;
         if bw.is_nan() || bw <= 0.0 {
@@ -217,6 +248,7 @@ impl RdfStore {
         if let Some(ops) = config.merge_threshold {
             engine.set_merge_threshold(ops);
         }
+        engine.set_threads(config.threads);
         engine.load(&storage, dataset, config.layout, config.compression)?;
         // Loading touched nothing through the pool, but be explicit: the
         // first run must observe a cold system with zeroed counters.

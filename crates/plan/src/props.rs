@@ -19,7 +19,9 @@
 //! with what the executor actually produces — a property pinned by the
 //! randomized sortedness tests in `tests/physprops.rs`.
 
-use swans_rdf::SortOrder;
+use std::collections::BTreeSet;
+
+use swans_rdf::{Id, SortOrder};
 
 use crate::algebra::Plan;
 
@@ -29,23 +31,31 @@ use crate::algebra::Plan;
 /// setting: triples scans claim no order, property-table scans — whose
 /// `(subject, object)` sort is inherent to the vertically-partitioned
 /// layout — still do.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Pending write-store state is tracked **per property**: a pending
+/// insert for property X downgrades only the scans X can reach (property
+/// X's table, and triples scans whose property bound is X or absent) —
+/// scans over untouched properties keep their order claims and their
+/// merge-join/run-aggregation dispatch. This is why the context is
+/// `Clone` rather than `Copy`: it carries the pending property sets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PropsContext {
     /// Clustering order of the `triples(s, p, o)` table, when one is
     /// loaded.
     pub triple_order: Option<SortOrder>,
-    /// Whether the engine holds pending (unmerged) inserts in its write
-    /// store. Every base scan then unions an *unsorted* tail of pending
-    /// rows behind the sorted read-store rows, so scans must not claim any
-    /// order until a merge rebuilds the sorted tables. Deletes alone do not
-    /// set this: tombstone filtering preserves order.
-    pub pending_delta: bool,
-    /// Whether the engine holds pending (unmerged) tombstones. Purely
-    /// informational for [`Plan::explain_annotated`] — scans still execute
-    /// the write-store union (filter) path, which EXPLAIN must show, but
-    /// hiding rows from a sorted stream preserves every order claim, so
-    /// [`fn@derive`] ignores this flag.
-    pub pending_tombstones: bool,
+    /// Properties with pending (unmerged) write-store *inserts*. A base
+    /// scan such an insert could reach unions an *unsorted* tail of
+    /// pending rows behind the sorted read-store rows, so that scan must
+    /// not claim any order until a merge rebuilds the sorted tables.
+    /// Deletes alone do not appear here: tombstone filtering preserves
+    /// order.
+    pub pending_insert_props: BTreeSet<Id>,
+    /// Properties with pending (unmerged) *tombstones*. Purely
+    /// informational for [`Plan::explain_annotated`] — affected scans
+    /// still execute the write-store union (filter) path, which EXPLAIN
+    /// must show, but hiding rows from a sorted stream preserves every
+    /// order claim, so [`fn@derive`] ignores this set.
+    pub pending_tombstone_props: BTreeSet<Id>,
 }
 
 impl PropsContext {
@@ -57,16 +67,51 @@ impl PropsContext {
         }
     }
 
-    /// Marks the context as having pending write-store inserts.
-    pub fn with_pending_delta(mut self) -> Self {
-        self.pending_delta = true;
+    /// Adds properties with pending write-store inserts.
+    pub fn with_pending_inserts(mut self, props: impl IntoIterator<Item = Id>) -> Self {
+        self.pending_insert_props.extend(props);
         self
     }
 
-    /// Marks the context as having pending write-store tombstones.
-    pub fn with_pending_tombstones(mut self) -> Self {
-        self.pending_tombstones = true;
+    /// Adds properties with pending write-store tombstones.
+    pub fn with_pending_tombstones(mut self, props: impl IntoIterator<Item = Id>) -> Self {
+        self.pending_tombstone_props.extend(props);
         self
+    }
+
+    /// Whether any write-store insert is pending at all.
+    pub fn any_pending_inserts(&self) -> bool {
+        !self.pending_insert_props.is_empty()
+    }
+
+    /// Whether a pending insert can reach a triples scan bound (or not)
+    /// to property `p` — if so, the scan's unioned tail destroys its
+    /// order claim.
+    pub fn inserts_reach_triple_scan(&self, p: Option<Id>) -> bool {
+        match p {
+            Some(v) => self.pending_insert_props.contains(&v),
+            None => self.any_pending_inserts(),
+        }
+    }
+
+    /// Whether a pending insert can reach property `p`'s table scan.
+    pub fn inserts_reach_property_scan(&self, p: Id) -> bool {
+        self.pending_insert_props.contains(&p)
+    }
+
+    /// Whether a pending tombstone can reach a triples scan bound (or
+    /// not) to property `p` — the scan then runs the (order-preserving)
+    /// tombstone filter, which EXPLAIN renders.
+    pub fn tombstones_reach_triple_scan(&self, p: Option<Id>) -> bool {
+        match p {
+            Some(v) => self.pending_tombstone_props.contains(&v),
+            None => !self.pending_tombstone_props.is_empty(),
+        }
+    }
+
+    /// Whether a pending tombstone can reach property `p`'s table scan.
+    pub fn tombstones_reach_property_scan(&self, p: Id) -> bool {
+        self.pending_tombstone_props.contains(&p)
     }
 }
 
@@ -133,9 +178,11 @@ pub fn derive(plan: &Plan, ctx: &PropsContext) -> PhysProps {
     match plan {
         Plan::ScanTriples { s, p, o } => {
             // Pending write-store inserts append an unsorted tail to every
-            // base scan: the derivation must stop claiming order or the
-            // executor would merge-join rows that are not merged-joinable.
-            if ctx.pending_delta {
+            // base scan they can reach: the derivation must stop claiming
+            // order there or the executor would merge-join rows that are
+            // not merge-joinable. Scans bound to an untouched property are
+            // unaffected and keep their claims.
+            if ctx.inserts_reach_triple_scan(*p) {
                 return PhysProps::unordered();
             }
             let Some(order) = ctx.triple_order else {
@@ -158,12 +205,12 @@ pub fn derive(plan: &Plan, ctx: &PropsContext) -> PhysProps {
             }
         }
         Plan::ScanProperty {
+            property,
             s,
             o,
             emit_property,
-            ..
         } => {
-            if ctx.pending_delta {
+            if ctx.inserts_reach_property_scan(*property) {
                 return PhysProps::unordered();
             }
             // Property tables are sorted by (subject, object); the
@@ -273,13 +320,14 @@ impl Plan {
     /// over input sorted by exactly its keys will aggregate runs, and so
     /// on.
     ///
-    /// While the write store is non-empty (`ctx.pending_delta` for
-    /// inserts, `ctx.pending_tombstones` for deletes), each base scan
+    /// While the write store is non-empty, each base scan the pending
+    /// state can *reach* (per the context's pending property sets)
     /// additionally prints the write-store union branch it executes — the
-    /// unsorted tail of pending inserts and/or the tombstone filter. Only
-    /// pending *inserts* force the scans' own annotation down to
-    /// `[unsorted]` until a merge; a pure tombstone filter preserves
-    /// order, and the rendering reflects that.
+    /// unsorted tail of pending inserts and/or the tombstone filter.
+    /// Scans over untouched properties print no branch: they run the
+    /// plain read-store path. Only pending *inserts* force an affected
+    /// scan's own annotation down to `[unsorted]` until a merge; a pure
+    /// tombstone filter preserves order, and the rendering reflects that.
     pub fn explain_annotated(&self, ctx: &PropsContext) -> String {
         let mut out = String::new();
         annotate_into(self, ctx, &mut out, 0);
@@ -298,10 +346,17 @@ fn annotate_into(plan: &Plan, ctx: &PropsContext, out: &mut String, depth: usize
     let distinct = if props.distinct { ", distinct" } else { "" };
     let _ = writeln!(out, "{pad}{} [{order}{distinct}]", plan.node_label());
     match plan {
-        Plan::ScanTriples { .. } | Plan::ScanProperty { .. } => {
-            if ctx.pending_delta {
+        Plan::ScanTriples { p, .. } => {
+            if ctx.inserts_reach_triple_scan(*p) {
                 let _ = writeln!(out, "{pad}  ∪ WriteStoreScan(pending delta) [unsorted]");
-            } else if ctx.pending_tombstones {
+            } else if ctx.tombstones_reach_triple_scan(*p) {
+                let _ = writeln!(out, "{pad}  ∪ WriteStoreScan(tombstone filter) [{order}]");
+            }
+        }
+        Plan::ScanProperty { property, .. } => {
+            if ctx.inserts_reach_property_scan(*property) {
+                let _ = writeln!(out, "{pad}  ∪ WriteStoreScan(pending delta) [unsorted]");
+            } else if ctx.tombstones_reach_property_scan(*property) {
                 let _ = writeln!(out, "{pad}  ∪ WriteStoreScan(tombstone filter) [{order}]");
             }
         }
@@ -467,20 +522,36 @@ mod tests {
     }
 
     #[test]
-    fn pending_delta_downgrades_scans_to_unsorted() {
-        let ctx = pso().with_pending_delta();
+    fn pending_inserts_downgrade_only_reachable_scans() {
+        let ctx = pso().with_pending_inserts([3]);
+        // A property-unbound triples scan can see any pending insert.
         assert_eq!(derive(&scan_all(), &ctx), PhysProps::unordered());
-        let vp = Plan::ScanProperty {
-            property: 3,
+        // A triples scan bound to the pending property is reachable...
+        assert_eq!(derive(&scan_p(3), &ctx), PhysProps::unordered());
+        // ...but one bound to an untouched property keeps its claims.
+        assert_eq!(derive(&scan_p(7), &ctx).sorted_by, Some(vec![0, 2, 1]));
+        let vp = |p: u64| Plan::ScanProperty {
+            property: p,
             s: None,
             o: None,
             emit_property: false,
         };
-        assert_eq!(derive(&vp, &ctx), PhysProps::unordered());
+        assert_eq!(derive(&vp(3), &ctx), PhysProps::unordered());
+        assert_eq!(derive(&vp(4), &ctx).sorted_by, Some(vec![0, 1]));
         // Derived (not storage-inherited) orders survive: group-count
         // output is key-sorted regardless of scan order.
         let g = group_count(scan_all(), vec![1]);
         assert_eq!(derive(&g, &ctx).sorted_by, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn tombstones_never_downgrade_order_claims() {
+        let ctx = pso().with_pending_tombstones([3]);
+        assert_eq!(derive(&scan_all(), &ctx).sorted_by, Some(vec![1, 0, 2]));
+        assert_eq!(derive(&scan_p(3), &ctx).sorted_by, Some(vec![0, 2, 1]));
+        assert!(ctx.tombstones_reach_triple_scan(Some(3)));
+        assert!(!ctx.tombstones_reach_triple_scan(Some(4)));
+        assert!(ctx.tombstones_reach_triple_scan(None));
     }
 
     #[test]
@@ -497,26 +568,48 @@ mod tests {
     }
 
     #[test]
-    fn explain_annotated_renders_write_store_union() {
+    fn explain_annotated_renders_write_store_union_per_property() {
         let p = join(scan_p(7), scan_p(8), 0, 0);
-        let text = p.explain_annotated(&pso().with_pending_delta());
+        // Both scans' properties pending: both union, the join hashes.
+        let text = p.explain_annotated(&pso().with_pending_inserts([7, 8]));
         assert!(text.contains("Join(left.col0 = right.col0) [unsorted]"));
         assert!(text.contains("∪ WriteStoreScan(pending delta) [unsorted]"));
-        // One union branch under each of the two scans.
         assert_eq!(text.matches("WriteStoreScan").count(), 2);
+
+        // Only property 7 pending: scan 8 keeps its claim and prints no
+        // union branch; the join still cannot merge (left side unsorted).
+        let partial = p.explain_annotated(&pso().with_pending_inserts([7]));
+        assert_eq!(partial.matches("WriteStoreScan").count(), 1, "{partial}");
+        assert!(partial.contains("ScanTriples(s=?, p=8, o=?) [sorted_by="));
+
+        // A pending insert for an unrelated property leaves the whole
+        // tree untouched: merge join survives, no union branch prints.
+        let unrelated = p.explain_annotated(&pso().with_pending_inserts([9]));
+        assert!(!unrelated.contains("WriteStoreScan"), "{unrelated}");
+        assert!(
+            unrelated.contains("Join(left.col0 = right.col0) [sorted_by="),
+            "{unrelated}"
+        );
     }
 
     #[test]
     fn explain_annotated_renders_tombstone_filter_without_downgrade() {
         let p = join(scan_p(7), scan_p(8), 0, 0);
-        let text = p.explain_annotated(&pso().with_pending_tombstones());
+        let text = p.explain_annotated(&pso().with_pending_tombstones([7, 8]));
         // Tombstones alone preserve order: the join still merge-joins...
         assert!(
             text.contains("Join(left.col0 = right.col0) [sorted_by="),
             "{text}"
         );
-        // ...but EXPLAIN still shows that every scan runs the filter.
+        // ...but EXPLAIN still shows that every affected scan runs the
+        // filter — and only the affected ones.
         assert_eq!(text.matches("WriteStoreScan(tombstone filter)").count(), 2);
+        let partial = p.explain_annotated(&pso().with_pending_tombstones([8]));
+        assert_eq!(
+            partial.matches("WriteStoreScan(tombstone filter)").count(),
+            1,
+            "{partial}"
+        );
     }
 
     #[test]

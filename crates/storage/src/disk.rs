@@ -1,9 +1,10 @@
 //! The simulated disk: converts page reads into accounted bytes, seeks and
 //! simulated wait seconds according to a [`MachineProfile`].
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use crate::io::{IoStats, IoTracePoint};
+use crate::io::{AtomicIoStats, IoStats, IoTracePoint};
 use crate::machine::MachineProfile;
 use crate::manager::SegmentId;
 use crate::PAGE_SIZE;
@@ -20,7 +21,10 @@ use crate::PAGE_SIZE;
 #[derive(Debug)]
 pub struct SimDisk {
     profile: MachineProfile,
-    stats: IoStats,
+    /// Shared atomic accounting sink: clones of this handle observe the
+    /// disk's counters lock-free and race-free (see
+    /// [`SimDisk::stats_handle`]).
+    stats: Arc<AtomicIoStats>,
     /// Position after the previous read: (segment, next page index).
     head: Option<(SegmentId, u32)>,
     trace: Option<TraceState>,
@@ -39,7 +43,7 @@ impl SimDisk {
     pub fn new(profile: MachineProfile) -> Self {
         Self {
             profile,
-            stats: IoStats::default(),
+            stats: Arc::new(AtomicIoStats::new()),
             head: None,
             trace: None,
         }
@@ -48,6 +52,12 @@ impl SimDisk {
     /// The machine profile driving the cost model.
     pub fn profile(&self) -> MachineProfile {
         self.profile
+    }
+
+    /// A shared handle onto the disk's atomic counters — readers snapshot
+    /// through it without synchronizing with the disk itself.
+    pub fn stats_handle(&self) -> Arc<AtomicIoStats> {
+        self.stats.clone()
     }
 
     /// Reads `count` pages starting at `first` from `seg`, charging
@@ -61,19 +71,17 @@ impl SimDisk {
         let mut secs = self.profile.transfer_seconds(bytes);
         if !sequential {
             secs += self.profile.seek_seconds(1);
-            self.stats.seeks += 1;
         }
-        self.stats.bytes_read += bytes;
-        self.stats.read_calls += 1;
-        self.stats.io_seconds += secs;
+        self.stats.record_read(bytes, !sequential, secs);
         self.head = Some((seg, first + count));
 
         if let Some(tr) = &mut self.trace {
-            let at = (self.stats.io_seconds - tr.started_io_seconds)
-                + tr.started_wall.elapsed().as_secs_f64();
+            let now = self.stats.snapshot();
+            let at =
+                (now.io_seconds - tr.started_io_seconds) + tr.started_wall.elapsed().as_secs_f64();
             tr.points.push(IoTracePoint {
                 at_seconds: at,
-                cumulative_bytes: self.stats.bytes_read - tr.start_bytes,
+                cumulative_bytes: now.bytes_read - tr.start_bytes,
             });
         }
     }
@@ -92,33 +100,31 @@ impl SimDisk {
         let mut secs = self.profile.transfer_seconds(bytes);
         if !sequential {
             secs += self.profile.seek_seconds(1);
-            self.stats.seeks += 1;
         }
-        self.stats.bytes_written += bytes;
-        self.stats.write_calls += 1;
-        self.stats.io_seconds += secs;
+        self.stats.record_write(bytes, !sequential, secs);
         self.head = Some((seg, first + count));
     }
 
     /// Current cumulative statistics.
     pub fn stats(&self) -> IoStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Zeroes the statistics (the head position is kept: resetting counters
     /// does not teleport the disk arm).
     pub fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
+        self.stats.reset();
     }
 
     /// Starts recording an I/O read history (Figure 5). Any previous trace
     /// is discarded.
     pub fn begin_trace(&mut self) {
+        let now = self.stats.snapshot();
         self.trace = Some(TraceState {
             points: Vec::new(),
             started_wall: Instant::now(),
-            started_io_seconds: self.stats.io_seconds,
-            start_bytes: self.stats.bytes_read,
+            started_io_seconds: now.io_seconds,
+            start_bytes: now.bytes_read,
         });
     }
 

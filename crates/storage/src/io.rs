@@ -1,5 +1,7 @@
 //! I/O accounting types.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Cumulative I/O statistics for a window of execution.
 ///
 /// `bytes_read` feeds the paper's Table 5 ("Data read from disk"); the
@@ -38,6 +40,90 @@ impl IoStats {
     /// Bytes read, in decimal megabytes (the unit of Table 5 / Figure 5).
     pub fn megabytes_read(&self) -> f64 {
         self.bytes_read as f64 / 1_000_000.0
+    }
+}
+
+/// The live, thread-safe form of [`IoStats`]: every counter is an atomic,
+/// so workers of a parallel query can account I/O concurrently and
+/// readers can [`AtomicIoStats::snapshot`] without taking any lock —
+/// accounting stays truthful (no lost updates, no torn reads of
+/// individual counters) under intra-query parallelism.
+///
+/// `io_seconds` is kept as `f64` bits behind a compare-exchange loop:
+/// no update is ever lost. The accumulation order under concurrency is
+/// whatever the interleaving was, so totals can differ from a
+/// sequential-order sum in the last ulps (f64 addition is not
+/// associative) — never by a dropped term.
+#[derive(Debug, Default)]
+pub struct AtomicIoStats {
+    bytes_read: AtomicU64,
+    read_calls: AtomicU64,
+    seeks: AtomicU64,
+    bytes_written: AtomicU64,
+    write_calls: AtomicU64,
+    io_seconds_bits: AtomicU64,
+}
+
+/// Adds `v` to an `f64` stored as bits in an atomic cell.
+fn add_f64(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+impl AtomicIoStats {
+    /// A zeroed accounting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts one read call of `bytes`, with `seeked` marking a
+    /// non-sequential reposition, waiting `secs` simulated seconds.
+    pub fn record_read(&self, bytes: u64, seeked: bool, secs: f64) {
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.read_calls.fetch_add(1, Ordering::Relaxed);
+        if seeked {
+            self.seeks.fetch_add(1, Ordering::Relaxed);
+        }
+        add_f64(&self.io_seconds_bits, secs);
+    }
+
+    /// Accounts one write call (same fields as [`AtomicIoStats::record_read`]).
+    pub fn record_write(&self, bytes: u64, seeked: bool, secs: f64) {
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.write_calls.fetch_add(1, Ordering::Relaxed);
+        if seeked {
+            self.seeks.fetch_add(1, Ordering::Relaxed);
+        }
+        add_f64(&self.io_seconds_bits, secs);
+    }
+
+    /// A point-in-time [`IoStats`] copy (lock-free).
+    pub fn snapshot(&self) -> IoStats {
+        IoStats {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            read_calls: self.read_calls.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            write_calls: self.write_calls.load(Ordering::Relaxed),
+            io_seconds: f64::from_bits(self.io_seconds_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.read_calls.store(0, Ordering::Relaxed);
+        self.seeks.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.write_calls.store(0, Ordering::Relaxed);
+        self.io_seconds_bits
+            .store(0.0f64.to_bits(), Ordering::Relaxed);
     }
 }
 
@@ -81,6 +167,43 @@ mod tests {
         assert_eq!(d.bytes_written, 30);
         assert_eq!(d.write_calls, 1);
         assert!((d.io_seconds - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atomic_stats_accumulate_and_snapshot_exactly() {
+        let a = AtomicIoStats::new();
+        a.record_read(100, true, 0.25);
+        a.record_read(50, false, 0.125);
+        a.record_write(30, true, 0.5);
+        let s = a.snapshot();
+        assert_eq!(s.bytes_read, 150);
+        assert_eq!(s.read_calls, 2);
+        assert_eq!(s.seeks, 2);
+        assert_eq!(s.bytes_written, 30);
+        assert_eq!(s.write_calls, 1);
+        assert_eq!(s.io_seconds, 0.875, "exact f64 accumulation");
+        a.reset();
+        assert_eq!(a.snapshot(), IoStats::default());
+    }
+
+    /// Concurrent accounting loses nothing — the reason the counters are
+    /// atomics rather than a copied struct.
+    #[test]
+    fn atomic_stats_are_race_free_across_threads() {
+        let a = AtomicIoStats::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        a.record_read(8, false, 0.001);
+                    }
+                });
+            }
+        });
+        let snap = a.snapshot();
+        assert_eq!(snap.bytes_read, 4 * 1000 * 8);
+        assert_eq!(snap.read_calls, 4000);
+        assert!((snap.io_seconds - 4.0).abs() < 1e-9);
     }
 
     #[test]

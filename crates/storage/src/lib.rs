@@ -44,7 +44,7 @@ pub mod manager;
 pub mod pool;
 
 pub use disk::SimDisk;
-pub use io::{IoStats, IoTracePoint};
+pub use io::{AtomicIoStats, IoStats, IoTracePoint};
 pub use machine::MachineProfile;
 pub use manager::{SegmentId, StorageManager};
 pub use pool::BufferPool;

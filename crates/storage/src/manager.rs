@@ -8,7 +8,7 @@
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::disk::SimDisk;
-use crate::io::{IoStats, IoTracePoint};
+use crate::io::{AtomicIoStats, IoStats, IoTracePoint};
 use crate::machine::MachineProfile;
 use crate::pool::BufferPool;
 use crate::{pages_for, PAGE_SIZE};
@@ -37,6 +37,12 @@ struct Inner {
 #[derive(Debug, Clone)]
 pub struct StorageManager {
     inner: Arc<Mutex<Inner>>,
+    /// The disk's atomic accounting counters, held outside the lock:
+    /// [`StorageManager::stats`] snapshots (and
+    /// [`StorageManager::reset_stats`] zeroes) without contending with
+    /// workers that are touching pages — truthful accounting under
+    /// intra-query parallelism.
+    stats: Arc<AtomicIoStats>,
 }
 
 impl StorageManager {
@@ -55,12 +61,15 @@ impl StorageManager {
 
     /// Creates a manager whose pool holds at most `pool_pages` pages.
     pub fn with_pool(profile: MachineProfile, pool_pages: usize) -> Self {
+        let disk = SimDisk::new(profile);
+        let stats = disk.stats_handle();
         Self {
             inner: Arc::new(Mutex::new(Inner {
-                disk: SimDisk::new(profile),
+                disk,
                 pool: BufferPool::new(pool_pages),
                 segments: Vec::new(),
             })),
+            stats,
         }
     }
 
@@ -187,14 +196,15 @@ impl StorageManager {
         self.lock().pool.clear();
     }
 
-    /// Current cumulative I/O statistics.
+    /// Current cumulative I/O statistics (lock-free: reads the disk's
+    /// atomic counters directly).
     pub fn stats(&self) -> IoStats {
-        self.lock().disk.stats()
+        self.stats.snapshot()
     }
 
-    /// Zeroes the I/O statistics.
+    /// Zeroes the I/O statistics (lock-free).
     pub fn reset_stats(&self) {
-        self.lock().disk.reset_stats();
+        self.stats.reset();
     }
 
     /// Number of pages currently resident in the pool.
