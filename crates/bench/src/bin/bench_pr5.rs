@@ -1,0 +1,59 @@
+//! Regenerates `BENCH_PR5.json`: the compressed-execution experiment —
+//! per workload × column layout × query, cold bytes read with compression
+//! off vs on, hot wall time with run kernels on vs off at 1 and 4
+//! threads, and the run-dispatch census proving which path ran.
+//!
+//! Usage: `cargo run -p swans-bench --release --bin bench_pr5 [-- --quick]`
+//! `--quick` shrinks the data set and repeat count for CI smoke runs.
+//! Env knobs: `SWANS_SCALE`, `SWANS_REPEATS`, `SWANS_SEED` (see the crate
+//! docs).
+
+use swans_bench::{compressed, HarnessConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = HarnessConfig::from_env();
+    if quick {
+        cfg.scale = cfg.scale.min(0.001);
+        cfg.repeats = cfg.repeats.min(2);
+    } else if std::env::var("SWANS_SCALE").is_err() {
+        // The trajectory default: the multi-valued workload quadruples the
+        // statement count, so the base scale sits below bench_pr2's.
+        cfg.scale = 0.004;
+    }
+    if std::env::var("SWANS_REPEATS").is_err() && !quick {
+        cfg.repeats = 7; // best-of-7 interleaved hot runs
+    }
+    eprintln!(
+        "[bench_pr5] scale={} repeats={} seed={} quick={quick}",
+        cfg.scale, cfg.repeats, cfg.seed
+    );
+    let ds = cfg.dataset();
+    let series = compressed::run_matrix(&cfg, &ds);
+    let json = compressed::to_json(&cfg, quick, &series);
+    std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
+    eprintln!("[bench_pr5] wrote BENCH_PR5.json");
+
+    // Console summary: bytes and run-kernel verdicts per cell.
+    for ser in &series {
+        eprintln!(
+            "[bench_pr5] {} {}: disk {:.2}x smaller compressed",
+            ser.dataset,
+            ser.layout,
+            ser.disk_plain as f64 / ser.disk_compressed.max(1) as f64
+        );
+        for c in &ser.cells {
+            if c.stats.run_kernel_dispatches == 0 {
+                continue;
+            }
+            eprintln!(
+                "  {:5} bytes {:.2}x  1t {:.2}x  4t {:.2}x  (run kernels: {})",
+                c.query,
+                c.bytes_plain as f64 / c.bytes_compressed.max(1) as f64,
+                c.flat_1t_s / c.run_1t_s.max(1e-12),
+                c.flat_4t_s / c.run_4t_s.max(1e-12),
+                c.stats.run_kernel_dispatches,
+            );
+        }
+    }
+}

@@ -21,11 +21,13 @@
 //! | `bench_pr2` | sorted-vs-hash A/B trajectory (`BENCH_PR2.json`) |
 //! | `bench_updates` | update cost per engine × layout (write path) |
 //! | `bench_pr4` | morsel-parallel scaling curve (`BENCH_PR4.json`) |
+//! | `bench_pr5` | compressed-execution A/B (`BENCH_PR5.json`) |
 //!
 //! Environment knobs: `SWANS_SCALE` (fraction of the 50.3M-triple Barton
 //! data set to synthesize, default 0.02), `SWANS_REPEATS` (averaging, the
 //! paper uses 3; default 3), `SWANS_SEED`.
 
+pub mod compressed;
 pub mod experiments;
 pub mod paper;
 pub mod parallel;

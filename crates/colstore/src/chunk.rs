@@ -1,44 +1,343 @@
-//! Materialized columnar intermediates.
+//! Materialized columnar intermediates, including the run-length-encoded
+//! column representation that compressed execution flows through the
+//! operator tree.
 
-use std::sync::Arc;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
 
-/// One intermediate column: either owned by the operator that produced it,
-/// or a zero-copy reference to a base column (MonetDB-style BAT sharing —
-/// a full-column scan does not copy).
+/// A run-length-encoded column: `values[i]` covers the logical rows
+/// `run_ends[i-1]..run_ends[i]` (with `run_ends[-1]` read as 0).
+///
+/// Invariants (checked in debug builds):
+/// * `values.len() == run_ends.len()`,
+/// * `run_ends` is strictly increasing and its last entry is the logical
+///   length,
+/// * adjacent runs hold *different* values (runs are maximal), so on a
+///   sorted column each run is exactly one group — the property the
+///   run-based aggregation kernels read counts straight off.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunCol {
+    values: Vec<u64>,
+    run_ends: Vec<u32>,
+}
+
+impl RunCol {
+    /// Builds a run column from parallel `values`/`run_ends` vectors.
+    pub fn new(values: Vec<u64>, run_ends: Vec<u32>) -> Self {
+        debug_assert_eq!(values.len(), run_ends.len());
+        debug_assert!(run_ends.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(values.windows(2).all(|w| w[0] != w[1]), "runs are maximal");
+        debug_assert!(run_ends.first().is_none_or(|&e| e > 0));
+        Self { values, run_ends }
+    }
+
+    /// Encodes a flat column (adjacent equal values collapse into runs).
+    pub fn from_flat(data: &[u64]) -> Self {
+        debug_assert!(data.len() <= u32::MAX as usize);
+        let mut values = Vec::new();
+        let mut run_ends = Vec::new();
+        for (i, &v) in data.iter().enumerate() {
+            if values.last() == Some(&v) {
+                *run_ends.last_mut().expect("runs non-empty") = i as u32 + 1;
+            } else {
+                values.push(v);
+                run_ends.push(i as u32 + 1);
+            }
+        }
+        Self { values, run_ends }
+    }
+
+    /// Logical (decompressed) row count.
+    pub fn len(&self) -> usize {
+        self.run_ends.last().map_or(0, |&e| e as usize)
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.run_ends.is_empty()
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// One value per run.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Exclusive end row of each run (cumulative run lengths).
+    pub fn run_ends(&self) -> &[u32] {
+        &self.run_ends
+    }
+
+    /// First logical row of run `i`.
+    #[inline]
+    pub fn run_start(&self, i: usize) -> usize {
+        if i == 0 {
+            0
+        } else {
+            self.run_ends[i - 1] as usize
+        }
+    }
+
+    /// The logical row range of run `i`.
+    #[inline]
+    pub fn run_range(&self, i: usize) -> Range<usize> {
+        self.run_start(i)..self.run_ends[i] as usize
+    }
+
+    /// The compressed footprint of this representation in bytes (one
+    /// `(value, run_end)` pair per run), versus `8 * len()` flat.
+    pub fn compressed_bytes(&self) -> u64 {
+        self.run_count() as u64 * 16
+    }
+
+    /// Iterates `(value, logical row range)` per run.
+    pub fn runs(&self) -> impl Iterator<Item = (u64, Range<usize>)> + '_ {
+        (0..self.run_count()).map(|i| (self.values[i], self.run_range(i)))
+    }
+
+    /// The value at logical row `pos` (binary search over run ends).
+    pub fn value_at(&self, pos: usize) -> u64 {
+        debug_assert!(pos < self.len());
+        let i = self.run_ends.partition_point(|&e| e as usize <= pos);
+        self.values[i]
+    }
+
+    /// Decompresses into a flat vector.
+    pub fn expand(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len());
+        for (v, r) in self.runs() {
+            out.resize(out.len() + r.len(), v);
+        }
+        out
+    }
+
+    /// The run-preserving form of a contiguous row slice: runs cut at the
+    /// range edges, interior runs shared structure-free.
+    pub fn slice(&self, range: Range<usize>) -> RunCol {
+        debug_assert!(range.end <= self.len());
+        if range.is_empty() {
+            return RunCol::default();
+        }
+        let first = self
+            .run_ends
+            .partition_point(|&e| (e as usize) <= range.start);
+        let mut values = Vec::new();
+        let mut run_ends = Vec::new();
+        for i in first..self.run_count() {
+            let r = self.run_range(i);
+            if r.start >= range.end {
+                break;
+            }
+            values.push(self.values[i]);
+            run_ends.push((r.end.min(range.end) - range.start) as u32);
+        }
+        RunCol { values, run_ends }
+    }
+
+    /// Run-preserving gather: the rows selected by a **non-decreasing**
+    /// position vector, re-collapsed into maximal runs. This is how
+    /// selection and merge-join outputs stay run-encoded — their selection
+    /// vectors are monotone by construction. The loop consumes the
+    /// selection run by run (one comparison per element, the same cost
+    /// class as a flat gather's copy, with far fewer writes) and starts
+    /// at the binary-searched first run, so gathering a slice of `sel`
+    /// costs O(slice + runs overlapped), not O(total runs) — the property
+    /// the piece-parallel gather relies on.
+    pub fn gather(&self, sel: &[u32]) -> RunCol {
+        debug_assert!(sel.windows(2).all(|w| w[0] <= w[1]));
+        let mut values: Vec<u64> = Vec::new();
+        let mut run_ends: Vec<u32> = Vec::new();
+        let Some(&first) = sel.first() else {
+            return RunCol::default();
+        };
+        let mut run = self.run_ends.partition_point(|&e| e <= first);
+        let mut i = 0usize;
+        while i < sel.len() {
+            while self.run_ends[run] <= sel[i] {
+                run += 1;
+            }
+            let end = self.run_ends[run];
+            let v = self.values[run];
+            while i < sel.len() && sel[i] < end {
+                i += 1;
+            }
+            if values.last() == Some(&v) {
+                *run_ends.last_mut().expect("non-empty") = i as u32;
+            } else {
+                values.push(v);
+                run_ends.push(i as u32);
+            }
+        }
+        RunCol { values, run_ends }
+    }
+
+    /// Gathers the rows of a **non-decreasing** position vector directly
+    /// into a flat output slice — the path for a dense gather whose
+    /// output will not stay run-encoded: one comparison and one store per
+    /// element (the flat gather's cost class), touching only the run
+    /// headers and never materializing the whole column.
+    pub fn gather_flat(&self, sel: &[u32], out: &mut [u64]) {
+        debug_assert_eq!(sel.len(), out.len());
+        debug_assert!(sel.windows(2).all(|w| w[0] <= w[1]));
+        let Some(&first) = sel.first() else {
+            return;
+        };
+        let mut run = self.run_ends.partition_point(|&e| e <= first);
+        let mut i = 0usize;
+        while i < sel.len() {
+            while self.run_ends[run] <= sel[i] {
+                run += 1;
+            }
+            let end = self.run_ends[run];
+            let v = self.values[run];
+            while i < sel.len() && sel[i] < end {
+                out[i] = v;
+                i += 1;
+            }
+        }
+    }
+
+    /// Concatenates gathered pieces back into one run column, merging the
+    /// boundary runs where adjacent pieces meet in the same value — the
+    /// barrier step of the piece-parallel run gather.
+    pub fn concat(pieces: &[RunCol]) -> RunCol {
+        let mut values = Vec::new();
+        let mut run_ends: Vec<u32> = Vec::new();
+        let mut offset = 0u32;
+        for p in pieces {
+            for (i, (&v, &e)) in p.values.iter().zip(&p.run_ends).enumerate() {
+                if i == 0 && values.last() == Some(&v) {
+                    *run_ends.last_mut().expect("non-empty") = offset + e;
+                } else {
+                    values.push(v);
+                    run_ends.push(offset + e);
+                }
+            }
+            offset += p.len() as u32;
+        }
+        RunCol { values, run_ends }
+    }
+
+    /// Positions holding `value`, assuming the run values are sorted
+    /// non-decreasing (a run-encoded *sorted* column): a binary search
+    /// over the run headers.
+    pub fn eq_range_sorted(&self, value: u64) -> Range<usize> {
+        debug_assert!(self.values.windows(2).all(|w| w[0] <= w[1]));
+        let i = self.values.partition_point(|&v| v < value);
+        if i < self.run_count() && self.values[i] == value {
+            return self.run_range(i);
+        }
+        let pos = if i < self.run_count() {
+            self.run_start(i)
+        } else {
+            self.len()
+        };
+        pos..pos
+    }
+}
+
+/// A run-encoded intermediate column: the shared run representation plus
+/// a lazily-filled flat expansion (shared across clones, built at most
+/// once) for consumers that genuinely need flat input.
+#[derive(Debug, Clone)]
+pub struct RunsData {
+    runs: Arc<RunCol>,
+    expanded: Arc<OnceLock<Vec<u64>>>,
+}
+
+impl RunsData {
+    /// The run representation.
+    pub fn runs(&self) -> &Arc<RunCol> {
+        &self.runs
+    }
+
+    /// Whether the flat expansion has been materialized.
+    pub fn is_expanded(&self) -> bool {
+        self.expanded.get().is_some()
+    }
+
+    fn as_slice(&self) -> &[u64] {
+        self.expanded.get_or_init(|| self.runs.expand())
+    }
+}
+
+/// One intermediate column: owned by the operator that produced it, a
+/// zero-copy reference to a base column (MonetDB-style BAT sharing — a
+/// full-column scan does not copy), or a run-encoded column flowing
+/// through compressed execution.
 #[derive(Debug, Clone)]
 pub enum ColData {
     /// Operator-produced values.
     Owned(Vec<u64>),
     /// A shared base column (unbounded scan output).
     Shared(Arc<Vec<u64>>),
+    /// A run-length-encoded column (compressed execution currency).
+    /// Reading it through [`ColData::as_slice`] expands lazily; run-aware
+    /// consumers read the runs directly and never pay the expansion.
+    Runs(RunsData),
 }
 
 impl ColData {
-    /// The values.
+    /// Wraps a shared run column.
+    pub fn runs(runs: Arc<RunCol>) -> Self {
+        ColData::Runs(RunsData {
+            runs,
+            expanded: Arc::new(OnceLock::new()),
+        })
+    }
+
+    /// The values. A run-encoded column expands on first flat access (the
+    /// expansion is cached and shared across clones).
     #[inline]
     pub fn as_slice(&self) -> &[u64] {
         match self {
             ColData::Owned(v) => v,
             ColData::Shared(a) => a,
+            ColData::Runs(r) => r.as_slice(),
         }
     }
 
-    /// Converts to an owned vector, cloning only if shared.
+    /// The run representation, when this column is run-encoded.
+    pub fn as_runs(&self) -> Option<&Arc<RunCol>> {
+        match self {
+            ColData::Runs(r) => Some(&r.runs),
+            _ => None,
+        }
+    }
+
+    /// Whether this column is run-encoded.
+    pub fn is_runs(&self) -> bool {
+        matches!(self, ColData::Runs(_))
+    }
+
+    /// Converts to an owned flat vector, cloning only if shared.
     pub fn into_owned(self) -> Vec<u64> {
         match self {
             ColData::Owned(v) => v,
             ColData::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+            ColData::Runs(r) => match Arc::try_unwrap(r.expanded) {
+                Ok(cell) => cell.into_inner().unwrap_or_else(|| r.runs.expand()),
+                Err(cell) => cell.get().cloned().unwrap_or_else(|| r.runs.expand()),
+            },
         }
     }
 
-    /// Length of the column.
+    /// Length of the column (no expansion for run-encoded data).
     pub fn len(&self) -> usize {
-        self.as_slice().len()
+        match self {
+            ColData::Owned(v) => v.len(),
+            ColData::Shared(a) => a.len(),
+            ColData::Runs(r) => r.runs.len(),
+        }
     }
 
     /// True when the column has no values.
     pub fn is_empty(&self) -> bool {
-        self.as_slice().is_empty()
+        self.len() == 0
     }
 }
 
@@ -102,7 +401,7 @@ impl Chunk {
         self.cols.len()
     }
 
-    /// The values of column `i`.
+    /// The values of column `i`, expanded flat if run-encoded.
     ///
     /// # Panics
     /// Panics if the column was pruned by the needed-column analysis —
@@ -113,6 +412,23 @@ impl Chunk {
             .as_ref()
             .map(ColData::as_slice)
             .unwrap_or_else(|| panic!("column {i} was pruned as dead but is being read"))
+    }
+
+    /// The run representation of column `i`, when it is run-encoded.
+    pub fn col_runs(&self, i: usize) -> Option<&Arc<RunCol>> {
+        self.cols[i].as_ref().and_then(ColData::as_runs)
+    }
+
+    /// Whether column `i` is run-encoded.
+    pub fn col_is_runs(&self, i: usize) -> bool {
+        self.cols[i].as_ref().is_some_and(ColData::is_runs)
+    }
+
+    /// Whether column `i` is run-encoded *and* its flat expansion has not
+    /// been materialized yet — the condition under which a flat consumer
+    /// actually pays (and the engine counts) an expansion.
+    pub fn col_expansion_pending(&self, i: usize) -> bool {
+        matches!(&self.cols[i], Some(ColData::Runs(r)) if !r.is_expanded())
     }
 
     /// Whether column `i` is materialized.
@@ -131,13 +447,23 @@ impl Chunk {
     }
 
     /// Gathers the rows selected by `sel` (positions) into a new chunk,
-    /// preserving absent columns.
+    /// preserving absent columns. Run-encoded columns stay run-encoded
+    /// when `sel` is non-decreasing (selection/merge-join shapes); an
+    /// unordered gather (hash-join shape) expands them first.
     pub fn gather(&self, sel: &[u32]) -> Chunk {
+        // Checked once, and only when a run column is actually present.
+        let monotone = OnceLock::new();
+        let is_monotone = || *monotone.get_or_init(|| sel.windows(2).all(|w| w[0] <= w[1]));
         let cols = self
             .cols
             .iter()
             .map(|c| {
                 c.as_ref().map(|data| {
+                    if let ColData::Runs(r) = data {
+                        if is_monotone() {
+                            return ColData::runs(Arc::new(r.runs().gather(sel)));
+                        }
+                    }
                     let src = data.as_slice();
                     ColData::Owned(sel.iter().map(|&i| src[i as usize]).collect())
                 })
@@ -151,8 +477,9 @@ impl Chunk {
 
     /// Gathers a contiguous row range into a new chunk — the cheap form of
     /// [`Chunk::gather`] for selections resolved by binary search on a
-    /// sorted column. The full range is zero-copy for shared columns.
-    pub fn gather_range(&self, range: std::ops::Range<usize>) -> Chunk {
+    /// sorted column. The full range is zero-copy for shared columns;
+    /// run-encoded columns stay run-encoded (runs cut at the range edges).
+    pub fn gather_range(&self, range: Range<usize>) -> Chunk {
         debug_assert!(range.end <= self.len);
         let len = range.len();
         let full = range == (0..self.len);
@@ -163,6 +490,8 @@ impl Chunk {
                 c.as_ref().map(|data| {
                     if full {
                         data.clone()
+                    } else if let ColData::Runs(r) = data {
+                        ColData::runs(Arc::new(r.runs().slice(range.clone())))
                     } else {
                         ColData::Owned(data.as_slice()[range.clone()].to_vec())
                     }
@@ -173,6 +502,8 @@ impl Chunk {
     }
 
     /// Converts to row-major form (absent columns as 0) — result delivery.
+    /// Run-encoded columns are expanded here at the latest: the result
+    /// boundary is where compressed execution ends.
     pub fn to_rows(&self) -> Vec<Vec<u64>> {
         (0..self.len)
             .map(|r| {
@@ -250,6 +581,8 @@ mod tests {
         let shared = ColData::Shared(base.clone());
         assert_eq!(shared.into_owned(), vec![9, 9]);
         assert_eq!(ColData::Owned(vec![1]).into_owned(), vec![1]);
+        let runs = ColData::runs(Arc::new(RunCol::from_flat(&[4, 4, 5])));
+        assert_eq!(runs.into_owned(), vec![4, 4, 5]);
     }
 
     #[test]
@@ -265,5 +598,122 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.arity(), 3);
         assert!(c.to_rows().is_empty());
+    }
+
+    #[test]
+    fn runcol_roundtrips_flat_data() {
+        for data in [
+            vec![],
+            vec![7u64],
+            vec![1, 1, 1],
+            vec![1, 1, 2, 2, 2, 5, 7, 7],
+            vec![3, 1, 1, 2],
+        ] {
+            let r = RunCol::from_flat(&data);
+            assert_eq!(r.expand(), data);
+            assert_eq!(r.len(), data.len());
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(r.value_at(i), v, "pos {i}");
+            }
+        }
+        let r = RunCol::from_flat(&[1, 1, 2, 2, 2, 5]);
+        assert_eq!(r.run_count(), 3);
+        assert_eq!(r.values(), &[1, 2, 5]);
+        assert_eq!(r.run_ends(), &[2, 5, 6]);
+        assert_eq!(r.compressed_bytes(), 48);
+    }
+
+    #[test]
+    fn runcol_slice_preserves_runs() {
+        let r = RunCol::from_flat(&[1, 1, 2, 2, 2, 5, 7, 7]);
+        let s = r.slice(1..6);
+        assert_eq!(s.expand(), vec![1, 2, 2, 2, 5]);
+        assert_eq!(s.run_count(), 3);
+        assert!(r.slice(3..3).is_empty());
+        assert_eq!(r.slice(0..8), r);
+    }
+
+    #[test]
+    fn runcol_gather_collapses_adjacent_runs() {
+        let r = RunCol::from_flat(&[1, 1, 2, 2, 2, 5, 7, 7]);
+        // Monotone selection with duplicates (the merge-join left shape).
+        let sel = [0u32, 0, 1, 4, 5, 6, 7];
+        let g = r.gather(&sel);
+        let flat = r.expand();
+        let want: Vec<u64> = sel.iter().map(|&i| flat[i as usize]).collect();
+        assert_eq!(g.expand(), want);
+        // Dropping the middle of a run keeps the representation maximal.
+        let g2 = r.gather(&[0, 4]);
+        assert_eq!(g2.run_count(), 2);
+        assert!(r.gather(&[]).is_empty());
+    }
+
+    #[test]
+    fn runcol_concat_merges_boundary_runs() {
+        let r = RunCol::from_flat(&[1, 1, 2, 2, 2, 5, 7, 7]);
+        let sel: Vec<u32> = (0..8).collect();
+        // Piece-wise gather + concat == whole gather, at every split.
+        for split in 0..=8usize {
+            let pieces = [r.gather(&sel[..split]), r.gather(&sel[split..])];
+            assert_eq!(RunCol::concat(&pieces), r.gather(&sel), "split {split}");
+        }
+        assert!(RunCol::concat(&[]).is_empty());
+    }
+
+    #[test]
+    fn runcol_eq_range_matches_partition_points() {
+        let data = [1u64, 1, 2, 2, 2, 5, 7, 7];
+        let r = RunCol::from_flat(&data);
+        for v in 0..9 {
+            let lo = data.partition_point(|&x| x < v);
+            let hi = data.partition_point(|&x| x <= v);
+            assert_eq!(r.eq_range_sorted(v), lo..hi, "value {v}");
+        }
+        assert_eq!(RunCol::default().eq_range_sorted(3), 0..0);
+    }
+
+    #[test]
+    fn runs_coldata_expands_lazily_and_shares_the_expansion() {
+        let runs = Arc::new(RunCol::from_flat(&[2, 2, 3]));
+        let c = ColData::runs(runs);
+        let clone = c.clone();
+        let ColData::Runs(r) = &c else { unreachable!() };
+        assert!(!r.is_expanded(), "no flat access yet");
+        assert_eq!(c.len(), 3);
+        assert_eq!(clone.as_slice(), &[2, 2, 3]);
+        // The clone's expansion is visible through the original: built once.
+        assert!(r.is_expanded());
+    }
+
+    #[test]
+    fn chunk_gather_keeps_runs_for_monotone_selections() {
+        let runs = Arc::new(RunCol::from_flat(&[1, 1, 2, 2, 5, 5]));
+        let c = Chunk::from_optional(
+            6,
+            vec![
+                Some(ColData::runs(runs)),
+                Some(ColData::Owned(vec![9, 8, 7, 6, 5, 4])),
+            ],
+        );
+        let g = c.gather(&[1, 2, 2, 5]);
+        assert!(g.col_is_runs(0), "monotone gather preserves runs");
+        assert_eq!(g.col(0), &[1, 2, 2, 5]);
+        assert_eq!(g.col(1), &[8, 7, 7, 4]);
+        // An unordered gather expands.
+        let u = c.gather(&[5, 0]);
+        assert!(!u.col_is_runs(0));
+        assert_eq!(u.col(0), &[5, 1]);
+    }
+
+    #[test]
+    fn chunk_gather_range_keeps_runs() {
+        let runs = Arc::new(RunCol::from_flat(&[1, 1, 2, 2, 5, 5]));
+        let c = Chunk::from_optional(6, vec![Some(ColData::runs(runs))]);
+        let g = c.gather_range(1..5);
+        assert!(g.col_is_runs(0));
+        assert_eq!(g.col(0), &[1, 2, 2, 5]);
+        let full = c.gather_range(0..6);
+        assert!(full.col_is_runs(0));
+        assert_eq!(full.to_rows().len(), 6);
     }
 }

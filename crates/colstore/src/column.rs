@@ -5,6 +5,8 @@ use std::sync::Arc;
 
 use swans_storage::{SegmentId, StorageManager};
 
+use crate::chunk::RunCol;
+
 /// One column of a stored table.
 ///
 /// The in-memory vector is the authoritative data (this is a simulation —
@@ -15,12 +17,18 @@ use swans_storage::{SegmentId, StorageManager};
 #[derive(Debug, Clone)]
 pub struct Column {
     data: Arc<Vec<u64>>,
-    /// RLE run headers `(value, start_row)` for a compressed sorted
-    /// column — equality predicates resolve against these directly
-    /// instead of scanning the decompressed values.
-    runs: Option<Arc<Vec<(u64, u32)>>>,
+    /// The RLE run representation of a compressed sorted column — scans
+    /// hand it out directly (compressed execution) and equality
+    /// predicates resolve against it instead of the decompressed values.
+    runs: Option<Arc<RunCol>>,
     segment: SegmentId,
     sorted: bool,
+    /// Whether RLE is *considered* for this column. The actual decision
+    /// is taken per data set by [`plan_layout`] (compress only when the
+    /// run headers are smaller than the plain values) and re-taken on
+    /// every [`Column::rewrite`], so a merge can never silently drop or
+    /// inflate compression.
+    rle: bool,
     storage: StorageManager,
 }
 
@@ -28,35 +36,40 @@ impl Column {
     /// Registers a column with `storage`.
     ///
     /// `sorted` marks the column as non-decreasing (enables binary-search
-    /// selection). `rle_compressed` stores the segment run-length encoded —
-    /// only meaningful for sorted columns, where equal values are adjacent;
-    /// the segment then holds `(value, run_length)` pairs.
+    /// selection). `rle` enables RLE *consideration* — only meaningful for
+    /// sorted columns, where equal values are adjacent. Whether the column
+    /// is actually stored run-length encoded is auto-decided from the
+    /// data: the segment holds `(value, run_length)` pairs only when
+    /// `run_count * 16 < plain_bytes`, i.e. when compression pays.
     pub fn new(
         storage: &StorageManager,
         name: &str,
         data: Vec<u64>,
         sorted: bool,
-        rle_compressed: bool,
+        rle: bool,
     ) -> Self {
-        let (bytes, runs) = plan_layout(&data, sorted, rle_compressed);
+        let (bytes, runs) = plan_layout(&data, sorted, rle);
         let segment = storage.create_segment(name, bytes.max(1));
         Self {
             data: Arc::new(data),
             runs,
             segment,
             sorted,
+            rle,
             storage: storage.clone(),
         }
     }
 
     /// Replaces the column's contents in place — the merge path.
     ///
-    /// The same layout decisions as [`Column::new`] are re-taken for the
-    /// new data (RLE pay-off, run headers), the backing segment is resized
-    /// to the new footprint (evicting any stale cached pages), and the
-    /// whole rewritten segment is charged as written I/O.
-    pub fn rewrite(&mut self, data: Vec<u64>, sorted: bool, rle_compressed: bool) {
-        let (bytes, runs) = plan_layout(&data, sorted, rle_compressed);
+    /// The layout decision of [`Column::new`] is re-taken for the new data
+    /// under the column's own RLE policy (a merge that destroys the runs
+    /// falls back to the plain layout; one that creates them compresses),
+    /// the backing segment is resized to the new footprint (evicting any
+    /// stale cached pages), and the whole rewritten segment is charged as
+    /// written I/O.
+    pub fn rewrite(&mut self, data: Vec<u64>, sorted: bool) {
+        let (bytes, runs) = plan_layout(&data, sorted, self.rle);
         self.storage.resize_segment(self.segment, bytes.max(1));
         self.storage.write_segment(self.segment);
         self.data = Arc::new(data);
@@ -98,14 +111,36 @@ impl Column {
         self.data.clone()
     }
 
+    /// Reads the column *as runs*: touches the (compressed) segment and
+    /// returns the shared run representation without materializing the
+    /// decompressed values — the entry point of compressed execution.
+    /// `None` when the column is not stored run-length encoded.
+    pub fn read_runs(&self) -> Option<Arc<RunCol>> {
+        let runs = self.runs.as_ref()?;
+        self.storage.touch_segment(self.segment);
+        Some(runs.clone())
+    }
+
     /// The values without I/O accounting (internal/test use only).
     pub fn peek(&self) -> &[u64] {
         &self.data
     }
 
+    /// The stored run representation without I/O accounting — the
+    /// engine's planning-time peek (e.g. deciding whether run emission
+    /// pays) must not charge reads.
+    pub fn peek_runs(&self) -> Option<&RunCol> {
+        self.runs.as_deref()
+    }
+
     /// Whether the column carries RLE run headers (compressed layout).
     pub fn has_runs(&self) -> bool {
         self.runs.is_some()
+    }
+
+    /// Number of stored runs (0 when not RLE-compressed).
+    pub fn run_count(&self) -> usize {
+        self.runs.as_ref().map_or(0, |r| r.run_count())
     }
 
     /// Positions holding `value` in a sorted column (charges the column
@@ -120,17 +155,7 @@ impl Column {
         assert!(self.sorted, "eq_range requires a sorted column");
         if let Some(runs) = &self.runs {
             self.storage.touch_segment(self.segment);
-            let i = runs.partition_point(|&(v, _)| v < value);
-            if i < runs.len() && runs[i].0 == value {
-                let start = runs[i].1 as usize;
-                let end = runs
-                    .get(i + 1)
-                    .map_or(self.data.len(), |&(_, s)| s as usize);
-                return start..end;
-            }
-            // Not present: an empty range at the insertion point.
-            let pos = runs.get(i).map_or(self.data.len(), |&(_, s)| s as usize);
-            return pos..pos;
+            return runs.eq_range_sorted(value);
         }
         let data = self.read();
         let lo = data.partition_point(|&x| x < value);
@@ -143,39 +168,27 @@ impl Column {
 /// when the RLE layout is the stored one, the materialized run headers.
 ///
 /// RLE stores `(value, run_length)` pairs, but falls back to the plain
-/// layout when that would not pay off (a sorted but near-distinct column).
-/// Run headers are materialized only when the RLE layout is actually
-/// stored (a near-distinct column would pay up to 2x heap for headers that
-/// search no faster than the values), and only while u32 row offsets
-/// suffice (they cover the full Barton scale).
-#[allow(clippy::type_complexity)]
-fn plan_layout(
-    data: &[u64],
-    sorted: bool,
-    rle_compressed: bool,
-) -> (u64, Option<Arc<Vec<(u64, u32)>>>) {
+/// layout when that would not pay off: the data is compressed only when
+/// `run_count * 16 < plain_bytes` (a sorted but near-distinct column
+/// stays plain). Run headers are materialized only when the RLE layout is
+/// actually stored (a near-distinct column would pay up to 2x heap for
+/// headers that search no faster than the values), and only while u32 row
+/// offsets suffice (they cover the full Barton scale).
+fn plan_layout(data: &[u64], sorted: bool, rle: bool) -> (u64, Option<Arc<RunCol>>) {
     let plain_bytes = data.len() as u64 * 8;
-    let run_count = if rle_compressed {
+    let run_count = if rle {
         debug_assert!(sorted, "RLE layout requires a sorted column");
         count_runs(data)
     } else {
         0
     };
-    let bytes = if rle_compressed {
-        (run_count * 16).min(plain_bytes)
+    let compresses = rle && run_count * 16 < plain_bytes && data.len() <= u32::MAX as usize;
+    let bytes = if compresses {
+        run_count * 16
     } else {
         plain_bytes
     };
-    let runs = (rle_compressed && run_count * 16 <= plain_bytes && data.len() <= u32::MAX as usize)
-        .then(|| {
-            let mut runs: Vec<(u64, u32)> = Vec::with_capacity(run_count as usize);
-            for (i, &v) in data.iter().enumerate() {
-                if runs.last().is_none_or(|&(last, _)| last != v) {
-                    runs.push((v, i as u32));
-                }
-            }
-            Arc::new(runs)
-        });
+    let runs = compresses.then(|| Arc::new(RunCol::from_flat(data)));
     (bytes, runs)
 }
 
@@ -247,6 +260,7 @@ mod tests {
         // RLE does not pay here, so no run headers are materialized either
         // (they would double the heap for no search advantage).
         assert!(!rle.has_runs());
+        assert!(rle.read_runs().is_none());
     }
 
     #[test]
@@ -260,6 +274,7 @@ mod tests {
         let plain = Column::new(&m, "p", data.clone(), true, false);
         let rle = Column::new(&m, "r", data, true, true);
         assert_eq!(rle.disk_bytes(), PAGE_SIZE as u64, "4 runs fit one page");
+        assert_eq!(rle.run_count(), 4);
         assert!(plain.disk_bytes() > 90 * PAGE_SIZE as u64);
     }
 
@@ -268,7 +283,7 @@ mod tests {
     #[test]
     fn rle_eq_range_matches_plain_eq_range() {
         let m = mgr();
-        let data = vec![1, 1, 2, 2, 2, 5, 7, 7];
+        let data = vec![1, 1, 1, 2, 2, 2, 5, 7, 7];
         let plain = Column::new(&m, "p", data.clone(), true, false);
         let rle = Column::new(&m, "r", data, true, true);
         assert!(rle.has_runs());
@@ -296,16 +311,38 @@ mod tests {
         assert_eq!(m.stats().bytes_read, PAGE_SIZE as u64);
     }
 
+    /// Reading the run representation touches the compressed segment —
+    /// not the (larger) plain footprint — and round-trips the data.
+    #[test]
+    fn read_runs_charges_compressed_bytes_only() {
+        let m = mgr();
+        let mut data = vec![7u64; 50_000];
+        data.extend(vec![9u64; 50_000]);
+        let rle = Column::new(&m, "r", data.clone(), true, true);
+        m.clear_pool();
+        m.reset_stats();
+        let runs = rle.read_runs().expect("stored as runs");
+        assert_eq!(m.stats().bytes_read, rle.disk_bytes());
+        assert_eq!(rle.disk_bytes(), PAGE_SIZE as u64, "2 runs, one page");
+        assert_eq!(runs.expand(), data);
+    }
+
+    /// A rewrite re-takes the RLE decision from the new data under the
+    /// column's own policy: compression appears when the merged data
+    /// compresses and disappears when it no longer pays — never silently
+    /// kept stale.
     #[test]
     fn rewrite_resizes_accounts_and_retakes_layout_decisions() {
         let m = mgr();
-        let mut c = Column::new(&m, "c", (0..10_000).collect(), true, false);
+        // RLE considered, but the initial near-distinct data stays plain.
+        let mut c = Column::new(&m, "c", (0..10_000).collect(), true, true);
+        assert!(!c.has_runs());
         let old_bytes = c.disk_bytes();
         m.reset_stats();
-        // Rewrite with low-cardinality sorted data under RLE: shrinks.
+        // Rewrite with low-cardinality sorted data: shrinks and compresses.
         let mut data = vec![1u64; 5_000];
         data.extend(vec![2u64; 5_000]);
-        c.rewrite(data, true, true);
+        c.rewrite(data, true);
         assert!(c.has_runs());
         assert!(c.disk_bytes() < old_bytes);
         let s = m.stats();
@@ -315,6 +352,11 @@ mod tests {
         let before = m.stats().bytes_read;
         let _ = c.read();
         assert_eq!(m.stats().bytes_read, before);
+        // Rewrite back to near-distinct data: compression is dropped and
+        // the footprint returns to the plain layout.
+        c.rewrite((0..10_000).collect(), true);
+        assert!(!c.has_runs());
+        assert_eq!(c.disk_bytes(), old_bytes);
     }
 
     #[test]

@@ -22,10 +22,12 @@ use swans_plan::exec::EngineError;
 use swans_plan::optimize::reorder_joins;
 use swans_plan::props::{derive as derive_props, PhysProps, PropsContext};
 
-use crate::chunk::{Chunk, ColData};
+use std::sync::Arc;
+
+use crate::chunk::{Chunk, ColData, RunCol};
 use crate::column::Column;
-use crate::ops;
-use crate::parallel::{morsel_range, partitions, WorkerPool};
+use crate::ops::{self, RunsView};
+use crate::parallel::{aligned_bounds, morsel_range, partitions, WorkerPool};
 
 /// Kernel-dispatch counters (cumulative since load or the last
 /// [`ColumnEngine::reset_exec_stats`]).
@@ -40,10 +42,16 @@ struct ExecStats {
     distinct_passthroughs: AtomicU64,
     sorted_selects: AtomicU64,
     rle_selects: AtomicU64,
+    sorted_in_selects: AtomicU64,
     delta_union_scans: AtomicU64,
     merges: AtomicU64,
     parallel_tasks: AtomicU64,
     morsels: AtomicU64,
+    run_scans: AtomicU64,
+    run_kernel_dispatches: AtomicU64,
+    runs_expanded: AtomicU64,
+    scan_bytes_compressed: AtomicU64,
+    scan_bytes_logical: AtomicU64,
 }
 
 impl ExecStats {
@@ -58,10 +66,16 @@ impl ExecStats {
             distinct_passthroughs: self.distinct_passthroughs.load(Ordering::Relaxed),
             sorted_selects: self.sorted_selects.load(Ordering::Relaxed),
             rle_selects: self.rle_selects.load(Ordering::Relaxed),
+            sorted_in_selects: self.sorted_in_selects.load(Ordering::Relaxed),
             delta_union_scans: self.delta_union_scans.load(Ordering::Relaxed),
             merges: self.merges.load(Ordering::Relaxed),
             parallel_tasks: self.parallel_tasks.load(Ordering::Relaxed),
             morsels: self.morsels.load(Ordering::Relaxed),
+            run_scans: self.run_scans.load(Ordering::Relaxed),
+            run_kernel_dispatches: self.run_kernel_dispatches.load(Ordering::Relaxed),
+            runs_expanded: self.runs_expanded.load(Ordering::Relaxed),
+            scan_bytes_compressed: self.scan_bytes_compressed.load(Ordering::Relaxed),
+            scan_bytes_logical: self.scan_bytes_logical.load(Ordering::Relaxed),
         }
     }
 
@@ -75,10 +89,16 @@ impl ExecStats {
         self.distinct_passthroughs.store(0, Ordering::Relaxed);
         self.sorted_selects.store(0, Ordering::Relaxed);
         self.rle_selects.store(0, Ordering::Relaxed);
+        self.sorted_in_selects.store(0, Ordering::Relaxed);
         self.delta_union_scans.store(0, Ordering::Relaxed);
         self.merges.store(0, Ordering::Relaxed);
         self.parallel_tasks.store(0, Ordering::Relaxed);
         self.morsels.store(0, Ordering::Relaxed);
+        self.run_scans.store(0, Ordering::Relaxed);
+        self.run_kernel_dispatches.store(0, Ordering::Relaxed);
+        self.runs_expanded.store(0, Ordering::Relaxed);
+        self.scan_bytes_compressed.store(0, Ordering::Relaxed);
+        self.scan_bytes_logical.store(0, Ordering::Relaxed);
     }
 }
 
@@ -111,6 +131,10 @@ pub struct ExecStatsSnapshot {
     /// Scan bounds resolved from RLE run headers instead of decompressed
     /// values.
     pub rle_selects: u64,
+    /// `IN`-list selections on a derived-sorted column answered by
+    /// per-probe binary search (k·log n) instead of a linear membership
+    /// scan.
+    pub sorted_in_selects: u64,
     /// Base scans that ran the write-store union path (a live tombstone
     /// set, or pending inserts matching the scan bounds); scans the
     /// write store cannot affect keep the plain read-store path.
@@ -127,6 +151,24 @@ pub struct ExecStatsSnapshot {
     pub parallel_tasks: u64,
     /// Total morsels executed across all partitioned batches.
     pub morsels: u64,
+    /// Base scans that emitted a run-encoded column straight from the
+    /// stored RLE representation — compressed execution, no
+    /// decompression at the scan boundary.
+    pub run_scans: u64,
+    /// Operators executed by a run-native kernel (run-aware selection,
+    /// run×block merge join, aggregation off run lengths) instead of the
+    /// flat twin.
+    pub run_kernel_dispatches: u64,
+    /// Run-encoded columns expanded to flat values — at the result
+    /// boundary, or for an operator that genuinely needs flat input
+    /// (hash kernels, unordered gathers).
+    pub runs_expanded: u64,
+    /// Bytes actually charged for run-emitting scans (the compressed run
+    /// headers). Compare with [`ExecStatsSnapshot::scan_bytes_logical`].
+    pub scan_bytes_compressed: u64,
+    /// Bytes the same scans would have charged decompressed (8 bytes per
+    /// logical row) — the I/O the run representation saved.
+    pub scan_bytes_logical: u64,
 }
 
 /// The 3-column triples table, sorted by one clustering order.
@@ -198,14 +240,18 @@ pub struct ColumnEngine {
     /// Off, every join hashes and every aggregation/distinct uses the
     /// order-oblivious kernel — the A/B baseline.
     sorted_paths: bool,
+    /// Whether run-encoded execution is active (default): base scans of
+    /// RLE columns emit runs, and operators dispatch run-native kernels
+    /// on them. Off, every scan decompresses at the scan boundary — the
+    /// flat-kernel A/B baseline (sorted dispatch still applies).
+    run_kernels: bool,
     /// Kernel-dispatch counters.
     stats: ExecStats,
     /// The delta side: pending inserts and tombstones.
     write: WriteStore,
-    /// Compression flag [`ColumnEngine::load_triple_store`] ran with —
-    /// merges rebuild the lead column under the same layout policy.
-    triple_compression: bool,
-    /// Compression flag [`ColumnEngine::load_vertical`] ran with.
+    /// Compression flag [`ColumnEngine::load_vertical`] ran with — a
+    /// merge creates *new* property tables under the same policy (columns
+    /// that already exist re-take their own RLE decision per rewrite).
     vp_compression: bool,
     /// Pending operations beyond which [`ColumnEngine::apply`] merges
     /// automatically.
@@ -227,9 +273,9 @@ impl Default for ColumnEngine {
             props: FxHashMap::default(),
             vertical_loaded: false,
             sorted_paths: true,
+            run_kernels: true,
             stats: ExecStats::default(),
             write: WriteStore::default(),
-            triple_compression: false,
             vp_compression: false,
             merge_threshold: DEFAULT_MERGE_THRESHOLD,
             wal: None,
@@ -256,6 +302,29 @@ impl ColumnEngine {
     /// Whether the sortedness-aware execution layer is active.
     pub fn sorted_paths(&self) -> bool {
         self.sorted_paths
+    }
+
+    /// Enables or disables run-encoded (compressed) execution: base scans
+    /// of RLE-stored columns emitting runs, and the run-native kernels
+    /// that consume them. On by default; turning it off forces every scan
+    /// to decompress at the scan boundary — the flat-kernel baseline the
+    /// compressed-execution benchmark compares against (mirroring
+    /// [`ColumnEngine::set_sorted_paths`]). Results are bit-identical
+    /// either way.
+    pub fn set_run_kernels(&mut self, enabled: bool) {
+        self.run_kernels = enabled;
+    }
+
+    /// Whether run-encoded execution is active.
+    pub fn run_kernels(&self) -> bool {
+        self.run_kernels
+    }
+
+    /// Whether base scans may emit run-encoded columns: compressed
+    /// execution rides on the sorted layer (runs only exist on sorted
+    /// columns, and the hash baseline must measure plain flat scans).
+    fn run_emission(&self) -> bool {
+        self.sorted_paths && self.run_kernels
     }
 
     /// Sets the morsel-pool width: partitioned operators execute on up to
@@ -289,6 +358,44 @@ impl ColumnEngine {
     }
 
     /// A snapshot of the kernel-dispatch counters.
+    ///
+    /// The compressed-execution counters make the run-encoded path
+    /// auditable per query — which scans stayed compressed, which
+    /// kernels consumed runs, and the bytes the representation saved:
+    ///
+    /// ```
+    /// use swans_colstore::ColumnEngine;
+    /// use swans_plan::algebra::{group_count, Plan};
+    /// use swans_rdf::Triple;
+    /// use swans_storage::{MachineProfile, StorageManager};
+    ///
+    /// // Each subject holds eight objects of property 7, so the (s, o)
+    /// // table's subject column stores as 5k runs instead of 40k rows.
+    /// let triples: Vec<Triple> = (0..40_000)
+    ///     .map(|i| Triple::new(i / 8, 7, i % 8))
+    ///     .collect();
+    /// let storage = StorageManager::new(MachineProfile::B);
+    /// let mut engine = ColumnEngine::new();
+    /// engine.load_vertical(&storage, &triples, true);
+    ///
+    /// // Count statements per subject: the scan emits the subject column
+    /// // run-encoded and the aggregate reads counts off the run lengths.
+    /// let scan = Plan::ScanProperty {
+    ///     property: 7,
+    ///     s: None,
+    ///     o: None,
+    ///     emit_property: false,
+    /// };
+    /// let rows = engine.execute_rows(&group_count(scan, vec![0])).unwrap();
+    /// assert_eq!(rows.len(), 5_000);
+    ///
+    /// let stats = engine.exec_stats();
+    /// assert!(stats.run_scans > 0 && stats.run_kernel_dispatches > 0);
+    /// // The scan charged the compressed run headers (16 B per run), not
+    /// // the flat column (8 B per row):
+    /// assert_eq!(stats.scan_bytes_logical, 40_000 * 8);
+    /// assert_eq!(stats.scan_bytes_compressed, 5_000 * 16);
+    /// ```
     pub fn exec_stats(&self) -> ExecStatsSnapshot {
         self.stats.snapshot()
     }
@@ -307,6 +414,7 @@ impl ColumnEngine {
     /// them survive an unrelated pending delta. Tombstones never
     /// downgrade: hiding rows from a sorted stream leaves it sorted.
     pub fn props_ctx(&self) -> PropsContext {
+        let emit = self.run_emission();
         PropsContext {
             triple_order: self.triple.as_ref().map(|t| t.order),
             pending_insert_props: self
@@ -317,6 +425,20 @@ impl ColumnEngine {
                 .map(|(&p, _)| p)
                 .collect(),
             pending_tombstone_props: self.write.delete_props.iter().copied().collect(),
+            rle_props: if emit {
+                self.props
+                    .iter()
+                    .filter(|(_, t)| t.s.peek_runs().is_some_and(Self::emit_worthy))
+                    .map(|(&p, _)| p)
+                    .collect()
+            } else {
+                Default::default()
+            },
+            triple_lead_rle: emit
+                && self.triple.as_ref().is_some_and(|t| {
+                    let lead = t.order.permutation()[0];
+                    t.cols[lead].peek_runs().is_some_and(Self::emit_worthy)
+                }),
         }
     }
 
@@ -362,7 +484,6 @@ impl ColumnEngine {
             Column::new(storage, names[i], data, i == lead, compress && i == lead)
         });
         self.triple = Some(TripleTable { order, cols });
-        self.triple_compression = compress;
     }
 
     /// Loads the vertically-partitioned layout: one `(s, o)` table per
@@ -497,7 +618,9 @@ impl ColumnEngine {
                 let lead = t.order.permutation()[0];
                 for c in 0..3 {
                     let data: Vec<u64> = merged.iter().map(|tr| tr.as_row()[c]).collect();
-                    t.cols[c].rewrite(data, c == lead, self.triple_compression && c == lead);
+                    // Each column re-takes its own RLE decision from the
+                    // merged data (see `Column::rewrite`).
+                    t.cols[c].rewrite(data, c == lead);
                 }
             }
         }
@@ -537,8 +660,8 @@ impl ColumnEngine {
                 let (s, o): (Vec<u64>, Vec<u64>) = rows.into_iter().unzip();
                 match self.props.get_mut(&p) {
                     Some(table) => {
-                        table.s.rewrite(s, true, self.vp_compression);
-                        table.o.rewrite(o, false, false);
+                        table.s.rewrite(s, true);
+                        table.o.rewrite(o, false);
                     }
                     None => {
                         if !s.is_empty() {
@@ -597,6 +720,20 @@ impl ColumnEngine {
         }
     }
 
+    /// [`ColumnEngine::execute`] decoded to row-major form — the result
+    /// boundary of compressed execution: any column that stayed
+    /// run-encoded through the whole plan is expanded here (and counted
+    /// in [`ExecStatsSnapshot::runs_expanded`]).
+    pub fn execute_rows(&self, plan: &Plan) -> Result<Vec<Vec<u64>>, EngineError> {
+        let chunk = self.execute(plan)?;
+        for i in 0..chunk.arity() {
+            if chunk.col_expansion_pending(i) {
+                bump(&self.stats.runs_expanded);
+            }
+        }
+        Ok(chunk.to_rows())
+    }
+
     fn exec(&self, plan: &Plan, needed: u64, ctx: &PropsContext) -> Result<Chunk, EngineError> {
         Ok(match plan {
             Plan::ScanTriples { s, p, o } => self.scan_triples(*s, *p, *o, needed)?,
@@ -609,22 +746,56 @@ impl ColumnEngine {
             Plan::Select { input, pred } => {
                 let child = self.exec(input, needed | bit(pred.col), ctx)?;
                 // An equality predicate on the child's leading sort column
-                // resolves by binary search instead of a full scan.
+                // resolves by binary search instead of a full scan — over
+                // the run headers when the column is run-encoded.
                 if pred.op == CmpOp::Eq && self.plan_props(input, ctx).sorted_on(pred.col) {
                     bump(&self.stats.sorted_selects);
-                    let data = child.col(pred.col);
-                    let lo = data.partition_point(|&x| x < pred.value);
-                    let hi = data.partition_point(|&x| x <= pred.value);
-                    child.gather_range(lo..hi)
+                    let range = if let Some(runs) = child.col_runs(pred.col) {
+                        bump(&self.stats.run_kernel_dispatches);
+                        runs.eq_range_sorted(pred.value)
+                    } else {
+                        let data = child.col(pred.col);
+                        let lo = data.partition_point(|&x| x < pred.value);
+                        let hi = data.partition_point(|&x| x <= pred.value);
+                        lo..hi
+                    };
+                    child.gather_range(range)
+                } else if let Some(runs) = child.col_runs(pred.col) {
+                    // Run-encoded column: one predicate test per run.
+                    bump(&self.stats.run_kernel_dispatches);
+                    let sel = ops::select_cmp_runs(runs, pred.value, pred.op == CmpOp::Ne);
+                    self.par_gather(&child, &sel)
                 } else {
-                    let sel =
-                        self.par_select_cmp(child.col(pred.col), pred.value, pred.op == CmpOp::Ne);
+                    let sel = self.par_select_cmp(
+                        self.flat(&child, pred.col),
+                        pred.value,
+                        pred.op == CmpOp::Ne,
+                    );
                     self.par_gather(&child, &sel)
                 }
             }
             Plan::FilterIn { input, col, values } => {
                 let child = self.exec(input, needed | bit(*col), ctx)?;
-                let sel = self.par_select_in(child.col(*col), values);
+                // A derived-sorted filter column answers each probe value
+                // by binary search (k·log n) instead of the linear
+                // membership scan; run-encoded columns probe the (much
+                // shorter) run headers. Both emit the exact ascending
+                // position vector of the linear kernel.
+                let sorted = self.plan_props(input, ctx).sorted_on(*col);
+                let sel = if let Some(runs) = child.col_runs(*col) {
+                    bump(&self.stats.run_kernel_dispatches);
+                    if sorted {
+                        bump(&self.stats.sorted_in_selects);
+                        ops::select_in_sorted_runs(runs, values)
+                    } else {
+                        ops::select_in_runs(runs, values)
+                    }
+                } else if sorted {
+                    bump(&self.stats.sorted_in_selects);
+                    ops::select_in_sorted(child.col(*col), values)
+                } else {
+                    self.par_select_in(child.col(*col), values)
+                };
                 self.par_gather(&child, &sel)
             }
             Plan::Join {
@@ -644,13 +815,48 @@ impl ColumnEngine {
                     && self.plan_props(right, ctx).sorted_on(*right_col);
                 let (lsel, rsel) = if use_merge {
                     bump(&self.stats.merge_joins);
-                    self.par_merge_join(l.col(*left_col), r.col(*right_col))
+                    let lruns = l.col_runs(*left_col);
+                    let rruns = r.col_runs(*right_col);
+                    if lruns.is_some() || rruns.is_some() {
+                        // At least one side is run-encoded: the run×block
+                        // merge join advances whole runs on that side.
+                        bump(&self.stats.run_kernel_dispatches);
+                        let lv = match lruns {
+                            Some(runs) => RunsView::Runs(runs),
+                            None => RunsView::Flat(l.col(*left_col)),
+                        };
+                        let rv = match rruns {
+                            Some(runs) => RunsView::Runs(runs),
+                            None => RunsView::Flat(r.col(*right_col)),
+                        };
+                        self.par_merge_join_runs(lv, rv)
+                    } else {
+                        self.par_merge_join(l.col(*left_col), r.col(*right_col))
+                    }
                 } else {
                     bump(&self.stats.hash_joins);
-                    self.par_hash_join(l.col(*left_col), r.col(*right_col))
+                    self.par_hash_join(self.flat(&l, *left_col), self.flat(&r, *right_col))
                 };
-                let lg = self.par_gather(&l, &lsel);
-                let rg = self.par_gather(&r, &rsel);
+                // The join columns were materialized for probing, but the
+                // parent may never read them — drop those before the
+                // gather instead of copying (or run-expanding) them into
+                // the output. The root executes under a full mask, so
+                // result columns are never pruned here.
+                let mut l = l;
+                if low_bits(needed, la) & bit(*left_col) == 0 {
+                    l.take_col(*left_col);
+                }
+                let mut r = r;
+                if (needed >> la) & bit(*right_col) == 0 {
+                    r.take_col(*right_col);
+                }
+                // The derivation claims run columns survive only a merge
+                // join's *left* side; the right gather (and both sides of
+                // a hash join, whose probe selection can happen to be
+                // monotone) must come out flat so no run column is ever
+                // produced unclaimed.
+                let lg = self.par_gather_opts(&l, &lsel, use_merge);
+                let rg = self.par_gather_opts(&r, &rsel, false);
                 let mut cols = lg.into_cols();
                 cols.extend(rg.into_cols());
                 Chunk::from_optional(lsel.len(), cols)
@@ -696,24 +902,37 @@ impl ColumnEngine {
                 match (keys.len(), runs) {
                     (1, true) => {
                         bump(&self.stats.sorted_group_counts);
-                        let (k, c) = self.par_group_count_sorted_1(child.col(keys[0]));
+                        // A run-encoded key column IS the aggregate: keys
+                        // are the run values, counts the run lengths.
+                        let (k, c) = if let Some(key_runs) = child.col_runs(keys[0]) {
+                            bump(&self.stats.run_kernel_dispatches);
+                            self.par_group_count_sorted_runs(key_runs)
+                        } else {
+                            self.par_group_count_sorted_1(child.col(keys[0]))
+                        };
                         Chunk::from_cols(vec![k, c])
                     }
                     (1, false) => {
                         bump(&self.stats.hash_group_counts);
-                        let (k, c) = self.par_group_count_1(child.col(keys[0]));
+                        let (k, c) = self.par_group_count_1(self.flat(&child, keys[0]));
                         Chunk::from_cols(vec![k, c])
                     }
                     (2, true) => {
                         bump(&self.stats.sorted_group_counts);
-                        let (k0, k1, c) =
-                            self.par_group_count_sorted_2(child.col(keys[0]), child.col(keys[1]));
+                        let (k0, k1, c) = if let Some(key_runs) = child.col_runs(keys[0]) {
+                            bump(&self.stats.run_kernel_dispatches);
+                            self.par_group_count_sorted_2_runs(key_runs, self.flat(&child, keys[1]))
+                        } else {
+                            self.par_group_count_sorted_2(child.col(keys[0]), child.col(keys[1]))
+                        };
                         Chunk::from_cols(vec![k0, k1, c])
                     }
                     (2, false) => {
                         bump(&self.stats.hash_group_counts);
-                        let (k0, k1, c) =
-                            self.par_group_count_2(child.col(keys[0]), child.col(keys[1]));
+                        let (k0, k1, c) = self.par_group_count_2(
+                            self.flat(&child, keys[0]),
+                            self.flat(&child, keys[1]),
+                        );
                         Chunk::from_cols(vec![k0, k1, c])
                     }
                     _ => {
@@ -753,7 +972,17 @@ impl ColumnEngine {
                     for (i, acc_col) in acc.iter_mut().enumerate() {
                         if let Some(a) = acc_col {
                             if let Some(src) = &cols[i] {
-                                a.extend_from_slice(src.as_slice());
+                                // A run-encoded input appends run by run
+                                // (a fill per run — cheaper than the flat
+                                // copy, and no intermediate expansion).
+                                if let Some(runs) = src.as_runs() {
+                                    a.reserve(runs.len());
+                                    for (v, r) in runs.runs() {
+                                        a.resize(a.len() + r.len(), v);
+                                    }
+                                } else {
+                                    a.extend_from_slice(src.as_slice());
+                                }
                             }
                         }
                     }
@@ -771,9 +1000,11 @@ impl ColumnEngine {
                     bump(&self.stats.distinct_passthroughs);
                     return self.exec(input, needed, ctx);
                 }
-                // Row-level distinct requires every column.
+                // Row-level distinct requires every column, flat (the
+                // run-preserving gather below still keeps run columns
+                // run-encoded in the *output*).
                 let child = self.exec(input, full_mask(input.arity()), ctx)?;
-                let cols: Vec<&[u64]> = (0..child.arity()).map(|i| child.col(i)).collect();
+                let cols: Vec<&[u64]> = (0..child.arity()).map(|i| self.flat(&child, i)).collect();
                 let sel = if props.covers_all_columns(input.arity()) {
                     // Fully sorted input: duplicates are adjacent.
                     bump(&self.stats.sorted_distincts);
@@ -915,6 +1146,22 @@ impl ColumnEngine {
             .map(|c| {
                 if needed & bit(c) == 0 {
                     return None;
+                }
+                // The RLE-stored lead column comes out run-encoded —
+                // compressed execution starts at the scan, charging only
+                // the compressed segment and materializing nothing. Only
+                // scans with no bound at all emit runs (mirroring the
+                // derived `run_encoded` claim exactly — a bound scan that
+                // happens to cover the whole range must still come out
+                // flat, or the run column would be unclaimed): a
+                // filtered or range-restricted scan's output collapses
+                // the runs, and the flat path is the better
+                // representation there anyway.
+                if c == perm[0] && self.run_emission() && full && bounds.iter().all(Option::is_none)
+                {
+                    if let Some(runs) = t.cols[c].read_runs().filter(|r| Self::emit_worthy(r)) {
+                        return Some(self.emit_runs(runs));
+                    }
                 }
                 if full {
                     // Unbounded scan: hand out the base column (BAT
@@ -1067,7 +1314,20 @@ impl ColumnEngine {
 
         let mut cols: Vec<Option<ColData>> = vec![None; arity];
         if needed & bit(0) != 0 {
-            cols[0] = Some(materialize(&t.s));
+            // The RLE-stored subject column comes out run-encoded:
+            // compressed execution starts at the scan, charging only the
+            // compressed segment and materializing nothing. As in
+            // `scan_triples`, only scans with no bound at all emit runs
+            // (the exact shape the derived `run_encoded` claim covers —
+            // a bound scan that happens to cover the whole range must
+            // still come out flat).
+            let emit = (self.run_emission() && full && s.is_none() && o.is_none())
+                .then(|| t.s.read_runs().filter(|r| Self::emit_worthy(r)))
+                .flatten();
+            cols[0] = Some(match emit {
+                Some(runs) => self.emit_runs(runs),
+                None => materialize(&t.s),
+            });
         }
         if emit_property && needed & bit(1) != 0 {
             cols[1] = Some(ColData::Owned(vec![property; out_len]));
@@ -1088,6 +1348,52 @@ impl ColumnEngine {
 /// sorted before emission. Partitioning therefore never invalidates a
 /// derived physical property.
 impl ColumnEngine {
+    /// Flat view of a chunk column, counting the event when the column
+    /// arrived run-encoded: a flat consumer (e.g. a hash kernel) ends
+    /// compressed execution for that column. The expansion itself is
+    /// cached and shared, so repeated flat access expands at most once.
+    fn flat<'a>(&self, chunk: &'a Chunk, i: usize) -> &'a [u64] {
+        if chunk.col_expansion_pending(i) {
+            bump(&self.stats.runs_expanded);
+        }
+        chunk.col(i)
+    }
+
+    /// Wraps a stored column's run representation as scan output, applying
+    /// the scan's row restriction run-preservingly and accounting the
+    /// compressed bytes actually charged versus the logical bytes a flat
+    /// materialization would have cost.
+    fn emit_runs(&self, runs: Arc<RunCol>) -> ColData {
+        bump(&self.stats.run_scans);
+        self.stats
+            .scan_bytes_compressed
+            .fetch_add(runs.compressed_bytes(), Ordering::Relaxed);
+        self.stats
+            .scan_bytes_logical
+            .fetch_add(runs.len() as u64 * 8, Ordering::Relaxed);
+        ColData::runs(runs)
+    }
+
+    /// Whether a run column is long-run enough that branchy run-at-a-time
+    /// loops beat the vectorized flat loops on *output-dense* work
+    /// (gathers, non-selective predicates). Aggregation off run lengths
+    /// and merge-join walks win at any compressing run length and are not
+    /// gated by this.
+    fn runs_pay_dense(runs: &RunCol) -> bool {
+        runs.len() >= 8 * runs.run_count()
+    }
+
+    /// Whether a stored run column is worth emitting as the execution
+    /// representation at all. Storage compression engages at average run
+    /// length 2 (that is where the bytes shrink), but the run *kernels*
+    /// only collectively beat the vectorized flat loops from roughly
+    /// average run length 5 — below that, scans hand out the flat
+    /// zero-copy column (still charged at the compressed segment size)
+    /// and only the RLE run-header selects exploit the headers.
+    fn emit_worthy(runs: &RunCol) -> bool {
+        runs.len() >= 5 * runs.run_count()
+    }
+
     /// Counts one partitioned batch of `parts` morsels in the stats.
     fn note_batch(&self, parts: usize) {
         if parts > 1 {
@@ -1193,6 +1499,27 @@ impl ColumnEngine {
         }
     }
 
+    /// The run-source form of [`Self::push_gather_tasks`]: workers write
+    /// disjoint flat output slices straight from the run headers
+    /// ([`RunCol::gather_flat`]) — one comparison and one store per
+    /// element, never materializing the whole column.
+    fn push_run_gather_tasks<'a>(
+        tasks: &mut Vec<Box<dyn FnOnce() + Send + 'a>>,
+        runs: &'a RunCol,
+        idx: &'a [u32],
+        out: &'a mut [u64],
+        parts: usize,
+    ) {
+        let mut rest = out;
+        for m in 0..parts {
+            let r = morsel_range(idx.len(), parts, m);
+            let (slot, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let ids = &idx[r];
+            tasks.push(Box::new(move || runs.gather_flat(ids, slot)));
+        }
+    }
+
     /// `idx.iter().map(|&i| data[i as usize]).collect()`, morsel-parallel.
     fn par_gather_u64(&self, data: &[u64], idx: &[u32]) -> Vec<u64> {
         let parts = partitions(idx.len());
@@ -1210,26 +1537,99 @@ impl ColumnEngine {
     /// [`Chunk::gather`], morsel-parallel — every present column's morsel
     /// tasks run in **one** pool batch (one spawn/join, arity-independent),
     /// so a worker that finishes one column's morsels early pulls into the
-    /// next column's.
+    /// next column's. Run-encoded columns with a monotone selection vector
+    /// gather run-preservingly instead (O(sel + runs) sequential work,
+    /// keeping them run-encoded); an unordered selection expands them
+    /// (counted) and gathers flat.
     fn par_gather(&self, chunk: &Chunk, sel: &[u32]) -> Chunk {
+        self.par_gather_opts(chunk, sel, true)
+    }
+
+    /// [`Self::par_gather`] with an explicit run-preservation policy.
+    /// `preserve_runs: false` guarantees an all-flat output even when the
+    /// selection happens to be monotone — the form join output gathers
+    /// use, because the `run_encoded` derivation claims no run columns
+    /// survive a join's right side (or a hash join at all), and a
+    /// run-encoded column must never be produced where unclaimed. The
+    /// flattening is still run-sourced ([`RunCol::gather_flat`]) for
+    /// monotone selections: no whole-column expansion.
+    fn par_gather_opts(&self, chunk: &Chunk, sel: &[u32], preserve_runs: bool) -> Chunk {
+        let any_runs = (0..chunk.arity()).any(|i| chunk.col_is_runs(i));
+        let monotone = any_runs && sel.windows(2).all(|w| w[0] <= w[1]);
         let parts = partitions(sel.len());
-        if parts <= 1 {
+        if parts <= 1 && (!any_runs || (monotone && preserve_runs)) {
+            // The sequential [`Chunk::gather`] applies the same
+            // run-preservation rule for monotone selections.
             return chunk.gather(sel);
         }
+
+        // Per-column plan. Everything — flat gathers, run-sourced flat
+        // gathers, and run-preserving piece gathers — lands in ONE task
+        // batch (one spawn/join, arity-independent), so a worker that
+        // finishes one column's morsels pulls into the next column's.
+        // Run columns stay run-encoded only where the policy allows and
+        // the representation pays for dense output: long runs, or a
+        // selection sparse enough that the collapsed output stays far
+        // below flat size. Each piece gathers its slice of the selection
+        // (starting at a binary-searched run, so pieces don't re-walk
+        // the prefix); the barrier concatenates, merging boundary runs.
+        // A non-monotone (hash-shape) selection needs random access and
+        // expands the column (counted).
+        let keep: Vec<bool> = (0..chunk.arity())
+            .map(|i| match chunk.col_runs(i) {
+                Some(runs) => {
+                    preserve_runs
+                        && monotone
+                        && (Self::runs_pay_dense(runs) || sel.len() * 4 <= runs.len())
+                }
+                None => false,
+            })
+            .collect();
+        let mut piece_stores: Vec<Option<Vec<RunCol>>> = (0..chunk.arity())
+            .map(|i| keep[i].then(|| vec![RunCol::default(); parts]))
+            .collect();
         let mut outs: Vec<Option<Vec<u64>>> = (0..chunk.arity())
-            .map(|i| chunk.has_col(i).then(|| vec![0u64; sel.len()]))
+            .map(|i| (chunk.has_col(i) && !keep[i]).then(|| vec![0u64; sel.len()]))
             .collect();
         let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
         for (i, out) in outs.iter_mut().enumerate() {
             if let Some(out) = out {
-                Self::push_gather_tasks(&mut tasks, chunk.col(i), sel, out, parts);
+                match chunk.col_runs(i) {
+                    Some(runs) if monotone => {
+                        Self::push_run_gather_tasks(&mut tasks, runs, sel, out, parts);
+                    }
+                    Some(_) => {
+                        if chunk.col_expansion_pending(i) {
+                            bump(&self.stats.runs_expanded);
+                        }
+                        Self::push_gather_tasks(&mut tasks, chunk.col(i), sel, out, parts);
+                    }
+                    None => Self::push_gather_tasks(&mut tasks, chunk.col(i), sel, out, parts),
+                }
+            }
+        }
+        for (i, store) in piece_stores.iter_mut().enumerate() {
+            if let Some(store) = store {
+                let runs = chunk.col_runs(i).expect("keep implies runs");
+                for (m, slot) in store.iter_mut().enumerate() {
+                    let ids = &sel[morsel_range(sel.len(), parts, m)];
+                    tasks.push(Box::new(move || *slot = runs.gather(ids)));
+                }
             }
         }
         self.note_batch(tasks.len());
         self.pool.run_once(tasks);
         Chunk::from_optional(
             sel.len(),
-            outs.into_iter().map(|o| o.map(ColData::Owned)).collect(),
+            piece_stores
+                .into_iter()
+                .zip(outs)
+                .map(|(pieces, flat)| {
+                    pieces
+                        .map(|p| ColData::runs(Arc::new(RunCol::concat(&p))))
+                        .or(flat.map(ColData::Owned))
+                })
+                .collect(),
         )
     }
 
@@ -1370,6 +1770,158 @@ impl ColumnEngine {
             rsel.extend_from_slice(&b);
         }
         (lsel, rsel)
+    }
+
+    /// Merge equi-join with at least one run-encoded side. Partitioning
+    /// must not split a value run across segments: a run-encoded left
+    /// side partitions **directly on its run boundaries** (morsels over
+    /// run indices — every boundary is a run boundary by construction,
+    /// no search needed), a flat left side falls back to the
+    /// binary-search value alignment of [`aligned_bounds`]. Each segment
+    /// runs the sequential run×block kernel and segments concatenate in
+    /// value order — exactly the sequential pair stream.
+    fn par_merge_join_runs(&self, l: RunsView<'_>, r: RunsView<'_>) -> (Vec<u32>, Vec<u32>) {
+        let parts = partitions(l.len());
+        if parts <= 1 || r.is_empty() {
+            return ops::merge_join_runs(l, r);
+        }
+        let bounds: Vec<usize> = match l {
+            RunsView::Runs(runs) => {
+                let rc = runs.run_count();
+                let segs = parts.min(rc);
+                let mut b: Vec<usize> = (0..segs)
+                    .map(|k| runs.run_start(morsel_range(rc, segs, k).start))
+                    .collect();
+                b.push(runs.len());
+                b
+            }
+            RunsView::Flat(f) => aligned_bounds(f.len(), parts, |a, b| f[a] == f[b]),
+        };
+        let segs = bounds.len() - 1;
+        if segs <= 1 {
+            return ops::merge_join_runs(l, r);
+        }
+        self.note_batch(segs);
+        let pieces = self.pool.run_with(
+            segs,
+            || (),
+            |_, k| {
+                let (lo, hi) = (bounds[k], bounds[k + 1]);
+                let r_lo = r.lower_bound(l.value_at(lo));
+                let r_hi = if hi < l.len() {
+                    r.lower_bound(l.value_at(hi))
+                } else {
+                    r.len()
+                };
+                // Slice both sides run-preservingly for the segment.
+                let l_owned;
+                let lv = match l {
+                    RunsView::Runs(runs) => {
+                        l_owned = runs.slice(lo..hi);
+                        RunsView::Runs(&l_owned)
+                    }
+                    RunsView::Flat(f) => RunsView::Flat(&f[lo..hi]),
+                };
+                let r_owned;
+                let rv = match r {
+                    RunsView::Runs(runs) => {
+                        r_owned = runs.slice(r_lo..r_hi);
+                        RunsView::Runs(&r_owned)
+                    }
+                    RunsView::Flat(f) => RunsView::Flat(&f[r_lo..r_hi]),
+                };
+                let (mut ls, mut rs) = ops::merge_join_runs(lv, rv);
+                for v in &mut ls {
+                    *v += lo as u32;
+                }
+                for v in &mut rs {
+                    *v += r_lo as u32;
+                }
+                (ls, rs)
+            },
+        );
+        let total: usize = pieces.iter().map(|(a, _)| a.len()).sum();
+        let mut lsel = Vec::with_capacity(total);
+        let mut rsel = Vec::with_capacity(total);
+        for (a, b) in pieces {
+            lsel.extend_from_slice(&a);
+            rsel.extend_from_slice(&b);
+        }
+        (lsel, rsel)
+    }
+
+    /// Run-based group-count over a run-encoded sorted key column,
+    /// partitioned on run indices (each run is one whole group, so a
+    /// run-index split never cuts a group) — O(runs) total work.
+    fn par_group_count_sorted_runs(&self, keys: &RunCol) -> (Vec<u64>, Vec<u64>) {
+        let rc = keys.run_count();
+        let parts = partitions(keys.len()).min(rc);
+        if parts <= 1 {
+            return ops::group_count_sorted_runs(keys);
+        }
+        self.note_batch(parts);
+        let pieces = self.pool.run_with(
+            parts,
+            || (),
+            |_, k| {
+                let r = morsel_range(rc, parts, k);
+                let ks = keys.values()[r.clone()].to_vec();
+                let mut cs = Vec::with_capacity(r.len());
+                let mut prev = keys.run_start(r.start) as u32;
+                for &e in &keys.run_ends()[r] {
+                    cs.push((e - prev) as u64);
+                    prev = e;
+                }
+                (ks, cs)
+            },
+        );
+        let mut ks = Vec::new();
+        let mut cs = Vec::new();
+        for (k, c) in pieces {
+            ks.extend_from_slice(&k);
+            cs.extend_from_slice(&c);
+        }
+        (ks, cs)
+    }
+
+    /// Two-key run-based group-count with a run-encoded leading key,
+    /// partitioned on the lead column's run boundaries (a lead-run
+    /// boundary is always a `(k0, k1)` group boundary).
+    fn par_group_count_sorted_2_runs(
+        &self,
+        k0: &RunCol,
+        k1: &[u64],
+    ) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+        let rc = k0.run_count();
+        let parts = partitions(k0.len()).min(rc);
+        if parts <= 1 {
+            return ops::group_count_sorted_2_runs(k0, k1);
+        }
+        self.note_batch(parts);
+        let pieces = self.pool.run_with(
+            parts,
+            || (),
+            |_, k| {
+                let r = morsel_range(rc, parts, k);
+                let lo = k0.run_start(r.start);
+                let hi = if r.end < rc {
+                    k0.run_start(r.end)
+                } else {
+                    k0.len()
+                };
+                let seg = k0.slice(lo..hi);
+                ops::group_count_sorted_2_runs(&seg, &k1[lo..hi])
+            },
+        );
+        let mut o0 = Vec::new();
+        let mut o1 = Vec::new();
+        let mut oc = Vec::new();
+        for (a, b, c) in pieces {
+            o0.extend_from_slice(&a);
+            o1.extend_from_slice(&b);
+            oc.extend_from_slice(&c);
+        }
+        (o0, o1, oc)
     }
 
     /// One-key hash group-count via per-worker partial maps (the map is
@@ -1602,39 +2154,6 @@ impl ColumnEngine {
         }
         Chunk::from_cols(out)
     }
-}
-
-/// Segment boundaries for `parts` morsels over a `len`-row *sorted*
-/// input, each boundary advanced past the value run containing it so no
-/// run straddles a segment. `eq(a, b)` compares rows `a` and `b` for
-/// equality; because the input is sorted, the rows equal to the one just
-/// before a tentative boundary form a contiguous prefix of the tail, so
-/// the run end is found by binary search (O(parts · log len) total — a
-/// single giant run costs log time, not a linear walk per boundary).
-fn aligned_bounds(len: usize, parts: usize, eq: impl Fn(usize, usize) -> bool) -> Vec<usize> {
-    let mut bounds = vec![0usize];
-    for m in 1..parts {
-        let start = morsel_range(len, parts, m).start;
-        if start == 0 || start >= len {
-            continue;
-        }
-        let anchor = start - 1;
-        // First index in [start, len) whose row differs from `anchor`'s.
-        let (mut lo, mut hi) = (start, len);
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if eq(anchor, mid) {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        if lo > *bounds.last().expect("non-empty") && lo < len {
-            bounds.push(lo);
-        }
-    }
-    bounds.push(len);
-    bounds
 }
 
 /// Merges per-worker partial hash maps into one, combining the values of
@@ -2374,6 +2893,304 @@ mod tests {
             naive::normalize(dirty_rows.to_rows()),
             naive::normalize(naive::execute(&join(vp(5), vp(2), 0, 0), &expect))
         );
+    }
+
+    /// Run-shaped data: each subject holds several objects per property,
+    /// so vertically-partitioned subject columns compress, and the PSO
+    /// triples lead column compresses massively.
+    fn run_shaped_triples() -> Vec<Triple> {
+        // ~8.6 statements per (subject, property): long enough runs that
+        // every run kernel — the dense-output ones included — dispatches.
+        (0..60_000)
+            .map(|i| Triple::new(i % 1_000, i % 7, i % 797))
+            .collect()
+    }
+
+    fn vp_scan(p: u64) -> Plan {
+        Plan::ScanProperty {
+            property: p,
+            s: None,
+            o: None,
+            emit_property: false,
+        }
+    }
+
+    /// Plans that exercise every run-native kernel: run-emitting scans,
+    /// run-aware selects and IN filters, run×block merge joins, and
+    /// aggregation straight off run lengths.
+    fn run_heavy_plans() -> Vec<Plan> {
+        vec![
+            group_count(vp_scan(1), vec![0]),
+            group_count(vp_scan(1), vec![0, 1]),
+            join(vp_scan(1), vp_scan(2), 0, 0),
+            Plan::Select {
+                input: Box::new(vp_scan(3)),
+                pred: swans_plan::algebra::Predicate {
+                    col: 0,
+                    op: CmpOp::Ne,
+                    value: 5,
+                },
+            },
+            Plan::FilterIn {
+                input: Box::new(vp_scan(3)),
+                col: 0,
+                values: vec![5, 900, 2_999, 1],
+            },
+            // PSO lead column (p) is run-encoded through the projection.
+            group_count(project(scan_all(), vec![1]), vec![0]),
+        ]
+    }
+
+    /// Compressed execution end-to-end: run-encoded scans and run kernels
+    /// fire, charge compressed instead of logical bytes, and the output
+    /// is *bit-identical* to the flat-kernel baseline on every plan.
+    #[test]
+    fn run_execution_matches_flat_baseline_bit_identically() {
+        let data = run_shaped_triples();
+        let m = StorageManager::new(MachineProfile::B);
+        let mut run = ColumnEngine::new();
+        run.load_vertical(&m, &data, true);
+        run.load_triple_store(&m, &data, SortOrder::Pso, true);
+        let mut flat = ColumnEngine::new();
+        flat.set_run_kernels(false);
+        assert!(!flat.run_kernels());
+        flat.load_vertical(&m, &data, true);
+        flat.load_triple_store(&m, &data, SortOrder::Pso, true);
+
+        for (i, plan) in run_heavy_plans().iter().enumerate() {
+            run.reset_exec_stats();
+            let a = run.execute(plan).expect("run path").to_rows();
+            let b = flat.execute(plan).expect("flat path").to_rows();
+            assert_eq!(a, b, "plan {i} differs between run and flat execution");
+            // Anchor correctness once against the naive executor too.
+            assert_eq!(
+                naive::normalize(a),
+                naive::normalize(naive::execute(plan, &data)),
+                "plan {i} wrong vs naive"
+            );
+            let stats = run.exec_stats();
+            assert!(stats.run_scans > 0, "plan {i}: no run scan: {stats:?}");
+            assert!(
+                stats.run_kernel_dispatches > 0,
+                "plan {i}: no run kernel: {stats:?}"
+            );
+            assert!(
+                stats.scan_bytes_compressed < stats.scan_bytes_logical,
+                "plan {i}: compression must save bytes: {stats:?}"
+            );
+        }
+        // The flat baseline never touched the run layer.
+        let fstats = flat.exec_stats();
+        assert_eq!(fstats.run_scans, 0);
+        assert_eq!(fstats.run_kernel_dispatches, 0);
+        assert_eq!(fstats.scan_bytes_compressed, 0);
+        assert_eq!(fstats.runs_expanded, 0);
+    }
+
+    /// Run-kernel execution is bit-identical across pool widths — the
+    /// run-boundary partitioning (run indices, never inside a run) keeps
+    /// the morsel-order merges exact.
+    #[test]
+    fn run_execution_is_bit_identical_at_every_width() {
+        let data = run_shaped_triples();
+        let mut reference: Vec<Vec<Vec<u64>>> = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let m = StorageManager::new(MachineProfile::B);
+            let mut e = ColumnEngine::new();
+            e.set_threads(threads);
+            e.load_vertical(&m, &data, true);
+            e.load_triple_store(&m, &data, SortOrder::Pso, true);
+            for (i, plan) in run_heavy_plans().iter().enumerate() {
+                let rows = e.execute(plan).expect("plan executes").to_rows();
+                if threads == 1 {
+                    reference.push(rows);
+                } else {
+                    assert_eq!(rows, reference[i], "plan {i} differs at {threads} threads");
+                }
+            }
+            assert!(e.exec_stats().run_kernel_dispatches > 0, "width {threads}");
+        }
+    }
+
+    /// The result boundary: a raw scan keeps its subject column
+    /// run-encoded through the whole plan; `execute_rows` expands it
+    /// there and counts the expansion.
+    #[test]
+    fn execute_rows_expands_at_the_result_boundary() {
+        let data = run_shaped_triples();
+        let m = StorageManager::new(MachineProfile::B);
+        let mut e = ColumnEngine::new();
+        e.load_vertical(&m, &data, true);
+        let plan = vp_scan(1);
+        let chunk = e.execute(&plan).expect("scan runs");
+        assert!(chunk.col_is_runs(0), "subject column stays run-encoded");
+        e.reset_exec_stats();
+        let rows = e.execute_rows(&plan).expect("scan decodes");
+        assert!(e.exec_stats().runs_expanded >= 1);
+        assert_eq!(
+            naive::normalize(rows),
+            naive::normalize(naive::execute(&plan, &data))
+        );
+    }
+
+    /// A pending delta on a property suppresses run emission for its
+    /// scans (the union path is flat) without touching other properties;
+    /// a merge restores it.
+    #[test]
+    fn pending_delta_suppresses_run_emission_until_merge() {
+        let data = run_shaped_triples();
+        let m = StorageManager::new(MachineProfile::B);
+        let mut e = ColumnEngine::new();
+        e.load_vertical(&m, &data, true);
+        e.apply(&m, &Delta::of_inserts(vec![Triple::new(1, 1, 2)]))
+            .expect("applies");
+
+        e.reset_exec_stats();
+        let _ = e.execute(&vp_scan(1)).expect("dirty scan");
+        let dirty = e.exec_stats();
+        assert_eq!(dirty.run_scans, 0, "{dirty:?}");
+        assert!(dirty.delta_union_scans >= 1);
+
+        e.reset_exec_stats();
+        let _ = e.execute(&vp_scan(2)).expect("clean scan");
+        assert!(
+            e.exec_stats().run_scans >= 1,
+            "untouched property emits runs"
+        );
+
+        e.merge(&m).expect("merges");
+        e.reset_exec_stats();
+        let _ = e.execute(&vp_scan(1)).expect("merged scan");
+        assert!(e.exec_stats().run_scans >= 1, "merge restores run emission");
+    }
+
+    /// The per-table RLE auto-decision across merges: a near-distinct
+    /// subject column loads uncompressed, compresses once a merge folds
+    /// in duplicate subjects, and decompresses again when they leave —
+    /// never staying silently stale.
+    #[test]
+    fn merge_retakes_rle_decision_per_property_table() {
+        let base: Vec<Triple> = (0..5_000).map(|i| Triple::new(i, 9, i)).collect();
+        let m = StorageManager::new(MachineProfile::B);
+        let mut e = ColumnEngine::new();
+        e.load_vertical(&m, &base, true);
+        assert!(
+            !e.props[&9].s.has_runs(),
+            "distinct subjects must not compress"
+        );
+
+        // Five extra objects per subject: runs of length 6 — compresses
+        // well past the engine's run-emission threshold.
+        let dupes: Vec<Triple> = (0..25_000)
+            .map(|i| Triple::new(i % 5_000, 9, 100_000 + i))
+            .collect();
+        e.apply(&m, &Delta::of_inserts(dupes.clone()))
+            .expect("applies");
+        e.merge(&m).expect("merges");
+        assert!(
+            e.props[&9].s.has_runs(),
+            "merge must re-take the RLE decision"
+        );
+        e.reset_exec_stats();
+        let got = e
+            .execute(&group_count(vp_scan(9), vec![0]))
+            .expect("group runs");
+        assert!(e.exec_stats().run_scans >= 1);
+        assert_eq!(got.len(), 5_000);
+
+        // Deleting the duplicates drops the compression again.
+        e.apply(&m, &Delta::of_deletes(dupes)).expect("applies");
+        e.merge(&m).expect("merges");
+        assert!(
+            !e.props[&9].s.has_runs(),
+            "merge must drop compression that no longer pays"
+        );
+    }
+
+    /// Runs must never flow where the derivation claims none — the two
+    /// sneaky shapes: a *bound* scan that happens to cover the whole
+    /// stored range (claim requires no bound at all), and a merge join
+    /// whose right selection vector happens to be monotone (claims say
+    /// only the left side survives run-encoded).
+    #[test]
+    fn unclaimed_positions_never_carry_runs() {
+        // Every triple of property 7 — a p-bound PSO scan covers the
+        // whole table; property 9 is one distinct row per subject.
+        let mut data: Vec<Triple> = (0..20_000).map(|i| Triple::new(i / 8, 7, i % 8)).collect();
+        data.extend((0..2_500).map(|i| Triple::new(i, 9, 424_242)));
+        let m = StorageManager::new(MachineProfile::B);
+        let mut e = ColumnEngine::new();
+        e.load_triple_store(&m, &data, SortOrder::Pso, true);
+        e.load_vertical(&m, &data, true);
+        let ctx = e.props_ctx();
+
+        // Bound-but-covering triples scan: claim empty, output flat.
+        let bound = scan_p(7);
+        assert!(derive_props(&bound, &ctx).run_encoded.is_empty());
+        let chunk = e.execute(&bound).expect("scan runs");
+        for c in 0..chunk.arity() {
+            assert!(!chunk.col_is_runs(c), "unclaimed run column {c}");
+        }
+        // Bound subject covering one whole run on the VP table.
+        let vps = Plan::ScanProperty {
+            property: 7,
+            s: Some(3),
+            o: None,
+            emit_property: false,
+        };
+        assert!(!e.execute(&vps).expect("scan runs").col_is_runs(0));
+
+        // Merge join with a distinct (flat) left side: the right pair
+        // positions come out monotone, but the right run column must
+        // still gather flat.
+        let j = join(vp_scan(9), vp_scan(7), 0, 0);
+        assert!(derive_props(&j, &ctx).run_encoded.is_empty());
+        e.reset_exec_stats();
+        let out = e.execute(&j).expect("join runs");
+        assert_eq!(e.exec_stats().merge_joins, 1);
+        for c in 0..out.arity() {
+            assert!(!out.col_is_runs(c), "unclaimed run column {c}");
+        }
+        assert_eq!(
+            naive::normalize(out.to_rows()),
+            naive::normalize(naive::execute(&j, &data))
+        );
+    }
+
+    /// The sorted `IN` satellite: a derived-sorted filter column resolves
+    /// each probe by binary search (counted), identically to the linear
+    /// kernel — and the baseline with sorted paths off keeps the linear
+    /// scan.
+    #[test]
+    fn filter_in_on_sorted_column_binary_searches() {
+        let data = run_shaped_triples();
+        let m = StorageManager::new(MachineProfile::B);
+        let mut e = ColumnEngine::new();
+        // No compression: the sorted-IN path must fire on flat sorted
+        // columns too.
+        e.load_vertical(&m, &data, false);
+        let plan = Plan::FilterIn {
+            input: Box::new(vp_scan(4)),
+            col: 0,
+            values: vec![7, 2_999, 7, 100, 5_000_000],
+        };
+        e.reset_exec_stats();
+        let got = e.execute(&plan).expect("filter runs");
+        let stats = e.exec_stats();
+        assert_eq!(stats.sorted_in_selects, 1, "{stats:?}");
+        assert_eq!(stats.run_scans, 0, "uncompressed: no run emission");
+        assert_eq!(
+            naive::normalize(got.to_rows()),
+            naive::normalize(naive::execute(&plan, &data))
+        );
+
+        let mut baseline = ColumnEngine::new();
+        baseline.set_sorted_paths(false);
+        baseline.load_vertical(&m, &data, false);
+        baseline.reset_exec_stats();
+        let base = baseline.execute(&plan).expect("baseline runs");
+        assert_eq!(baseline.exec_stats().sorted_in_selects, 0);
+        assert_eq!(got.to_rows(), base.to_rows());
     }
 
     /// All twelve benchmark queries on both layouts match the naive

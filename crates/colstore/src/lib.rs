@@ -21,6 +21,18 @@
 //!   segment — the effect the paper attributes to "column-stores with
 //!   compression (e.g., RLE or delta-compression)" achieving PSO clustering
 //!   without storing the property column.
+//! * **Compressed execution.** An RLE-stored column is not decompressed
+//!   at the scan boundary: scans emit it as a [`RunCol`] (values + run
+//!   ends) that flows through the operator tree as a first-class
+//!   representation — selections test once per run, merge joins advance
+//!   whole runs and emit run×match blocks, sorted aggregation reads
+//!   counts straight off run lengths, and gathers/slices with monotone
+//!   selection vectors stay run-encoded. Expansion to flat values happens
+//!   lazily, at the result boundary or for an operator that genuinely
+//!   needs flat input (hash kernels, unions). The layer can be switched
+//!   off ([`ColumnEngine::set_run_kernels`]) for A/B comparison, and
+//!   [`ExecStatsSnapshot`] records run scans, run-kernel dispatches,
+//!   expansions, and compressed-vs-logical scan bytes.
 //! * **Projection pushdown.** Only the columns a query actually consumes
 //!   are read and materialized (late materialization).
 //! * **Sortedness-aware dispatch.** Physical properties derived from the
@@ -52,7 +64,7 @@ pub mod engine;
 pub mod ops;
 pub mod parallel;
 
-pub use chunk::Chunk;
+pub use chunk::{Chunk, ColData, RunCol};
 pub use column::Column;
 pub use engine::{ColumnEngine, ExecStatsSnapshot, DEFAULT_MERGE_THRESHOLD};
 pub use parallel::WorkerPool;

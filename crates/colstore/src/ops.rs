@@ -9,6 +9,8 @@ use std::hash::BuildHasherDefault;
 
 use swans_rdf::hash::FxHasher;
 
+use crate::chunk::RunCol;
+
 type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// Positions where `col[i] == value` (or `!=` when `negate`).
@@ -25,6 +27,33 @@ pub fn select_cmp(col: &[u64], value: u64, negate: bool) -> Vec<u32> {
             if v == value {
                 out.push(i as u32);
             }
+        }
+    }
+    out
+}
+
+/// Appends the whole position range of a matching run. A manual push
+/// loop into pre-reserved capacity: per-range `Vec::extend` setup costs
+/// dominate on short runs, and the output side is the whole cost of a
+/// non-selective predicate.
+#[inline]
+fn push_range(out: &mut Vec<u32>, r: std::ops::Range<usize>) {
+    let mut p = r.start as u32;
+    let end = r.end as u32;
+    while p < end {
+        out.push(p);
+        p += 1;
+    }
+}
+
+/// Run-aware [`select_cmp`]: the predicate is evaluated **once per run**
+/// and whole position ranges are emitted — identical output, O(runs)
+/// predicate tests instead of O(rows).
+pub fn select_cmp_runs(runs: &RunCol, value: u64, negate: bool) -> Vec<u32> {
+    let mut out = Vec::with_capacity(if negate { runs.len() } else { 0 });
+    for (v, r) in runs.runs() {
+        if (v == value) != negate {
+            push_range(&mut out, r);
         }
     }
     out
@@ -51,6 +80,60 @@ pub fn select_in(col: &[u64], values: &[u64]) -> Vec<u32> {
                 out.push(i as u32);
             }
         }
+    }
+    out
+}
+
+/// Run-aware [`select_in`]: membership is tested once per run.
+pub fn select_in_runs(runs: &RunCol, values: &[u64]) -> Vec<u32> {
+    let mut out = Vec::new();
+    if values.len() <= SELECT_IN_LINEAR_MAX {
+        for (v, r) in runs.runs() {
+            if values.contains(&v) {
+                push_range(&mut out, r);
+            }
+        }
+    } else {
+        let set: std::collections::HashSet<u64, BuildHasherDefault<FxHasher>> =
+            values.iter().copied().collect();
+        for (v, r) in runs.runs() {
+            if set.contains(&v) {
+                push_range(&mut out, r);
+            }
+        }
+    }
+    out
+}
+
+/// [`select_in`] over a **sorted** column: each probe value resolves by
+/// binary search (k·log n instead of the linear membership scan). The
+/// probe list is sorted and deduplicated first, so the per-value ranges
+/// concatenate into exactly the ascending position vector [`select_in`]
+/// emits.
+pub fn select_in_sorted(col: &[u64], values: &[u64]) -> Vec<u32> {
+    debug_assert!(col.windows(2).all(|w| w[0] <= w[1]));
+    let mut probes: Vec<u64> = values.to_vec();
+    probes.sort_unstable();
+    probes.dedup();
+    let mut out = Vec::new();
+    for v in probes {
+        let lo = col.partition_point(|&x| x < v);
+        let hi = col.partition_point(|&x| x <= v);
+        out.extend(lo as u32..hi as u32);
+    }
+    out
+}
+
+/// [`select_in_sorted`] over a run-encoded sorted column: each probe
+/// value binary-searches the (much shorter) run headers — k·log(runs).
+pub fn select_in_sorted_runs(runs: &RunCol, values: &[u64]) -> Vec<u32> {
+    let mut probes: Vec<u64> = values.to_vec();
+    probes.sort_unstable();
+    probes.dedup();
+    let mut out = Vec::new();
+    for v in probes {
+        let r = runs.eq_range_sorted(v);
+        out.extend(r.start as u32..r.end as u32);
     }
     out
 }
@@ -247,6 +330,235 @@ pub fn merge_join(left: &[u64], right: &[u64]) -> (Vec<u32>, Vec<u32>) {
         }
     }
     (left_sel, right_sel)
+}
+
+/// A sorted join input viewed as a sequence of maximal equal-value runs —
+/// either a flat column (runs found by the linear walk [`merge_join`]
+/// already does) or a run-encoded column (runs read off the headers in
+/// O(1) each). The compressed-execution merge join is generic over the
+/// two, so every flat/runs side combination shares one kernel.
+#[derive(Debug, Clone, Copy)]
+pub enum RunsView<'a> {
+    /// A flat sorted column.
+    Flat(&'a [u64]),
+    /// A run-encoded sorted column.
+    Runs(&'a RunCol),
+}
+
+impl RunsView<'_> {
+    /// Logical row count.
+    pub fn len(&self) -> usize {
+        match self {
+            RunsView::Flat(c) => c.len(),
+            RunsView::Runs(r) => r.len(),
+        }
+    }
+
+    /// True when the input has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this view reads run headers rather than rows.
+    pub fn is_runs(&self) -> bool {
+        matches!(self, RunsView::Runs(_))
+    }
+
+    /// The value at logical row `pos`.
+    pub fn value_at(&self, pos: usize) -> u64 {
+        match self {
+            RunsView::Flat(c) => c[pos],
+            RunsView::Runs(r) => r.value_at(pos),
+        }
+    }
+
+    /// First row position with a value `>= v` (binary search — over the
+    /// run headers on run-encoded input).
+    pub fn lower_bound(&self, v: u64) -> usize {
+        match self {
+            RunsView::Flat(c) => c.partition_point(|&x| x < v),
+            RunsView::Runs(r) => {
+                let i = r.values().partition_point(|&x| x < v);
+                if i < r.run_count() {
+                    r.run_start(i)
+                } else {
+                    r.len()
+                }
+            }
+        }
+    }
+}
+
+/// Merge equi-join over run views: matching `(left_pos, right_pos)` pairs
+/// in **exactly** the [`merge_join`] order, but every run-encoded side
+/// advances by whole runs (one tight comparison per run header instead of
+/// one per row) and each matching run pair emits its run×match block
+/// directly. Dispatches to a monomorphic kernel per side combination —
+/// the per-run bookkeeping must stay as cheap as the flat kernel's
+/// per-row step, or short runs would eat the walk savings.
+pub fn merge_join_runs(left: RunsView<'_>, right: RunsView<'_>) -> (Vec<u32>, Vec<u32>) {
+    match (left, right) {
+        (RunsView::Runs(l), RunsView::Runs(r)) => merge_join_rr(l, r),
+        (RunsView::Runs(l), RunsView::Flat(r)) => merge_join_rf(l, r),
+        (RunsView::Flat(l), RunsView::Runs(r)) => merge_join_fr(l, r),
+        (RunsView::Flat(l), RunsView::Flat(r)) => merge_join(l, r),
+    }
+}
+
+/// Both sides run-encoded: the whole walk happens on run headers.
+fn merge_join_rr(l: &RunCol, r: &RunCol) -> (Vec<u32>, Vec<u32>) {
+    let (lv, le) = (l.values(), l.run_ends());
+    let (rv, re) = (r.values(), r.run_ends());
+    let cap = l.len().min(r.len());
+    let mut left_sel = Vec::with_capacity(cap);
+    let mut right_sel = Vec::with_capacity(cap);
+    let (mut li, mut ri) = (0usize, 0usize);
+    // Running run starts: no per-run lookups beyond the header arrays.
+    let (mut ls, mut rs) = (0u32, 0u32);
+    while li < lv.len() && ri < rv.len() {
+        match lv[li].cmp(&rv[ri]) {
+            std::cmp::Ordering::Less => {
+                ls = le[li];
+                li += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                rs = re[ri];
+                ri += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                for a in ls..le[li] {
+                    for b in rs..re[ri] {
+                        left_sel.push(a);
+                        right_sel.push(b);
+                    }
+                }
+                ls = le[li];
+                li += 1;
+                rs = re[ri];
+                ri += 1;
+            }
+        }
+    }
+    (left_sel, right_sel)
+}
+
+/// Left run-encoded, right flat: the left walk is per run header, the
+/// right walk per row (with the same linear run detection [`merge_join`]
+/// does on a match).
+fn merge_join_rf(l: &RunCol, r: &[u64]) -> (Vec<u32>, Vec<u32>) {
+    let (lv, le) = (l.values(), l.run_ends());
+    let cap = l.len().min(r.len());
+    let mut left_sel = Vec::with_capacity(cap);
+    let mut right_sel = Vec::with_capacity(cap);
+    let mut li = 0usize;
+    let mut ls = 0u32;
+    let mut rp = 0usize;
+    while li < lv.len() && rp < r.len() {
+        match lv[li].cmp(&r[rp]) {
+            std::cmp::Ordering::Less => {
+                ls = le[li];
+                li += 1;
+            }
+            std::cmp::Ordering::Greater => rp += 1,
+            std::cmp::Ordering::Equal => {
+                let v = lv[li];
+                let mut r_end = rp + 1;
+                while r_end < r.len() && r[r_end] == v {
+                    r_end += 1;
+                }
+                for a in ls..le[li] {
+                    for b in rp..r_end {
+                        left_sel.push(a);
+                        right_sel.push(b as u32);
+                    }
+                }
+                ls = le[li];
+                li += 1;
+                rp = r_end;
+            }
+        }
+    }
+    (left_sel, right_sel)
+}
+
+/// Left flat, right run-encoded — the mirror of [`merge_join_rf`], with
+/// the left row loop kept outermost so the pair order matches
+/// [`merge_join`] exactly.
+fn merge_join_fr(l: &[u64], r: &RunCol) -> (Vec<u32>, Vec<u32>) {
+    let (rv, re) = (r.values(), r.run_ends());
+    let cap = l.len().min(r.len());
+    let mut left_sel = Vec::with_capacity(cap);
+    let mut right_sel = Vec::with_capacity(cap);
+    let mut lp = 0usize;
+    let mut ri = 0usize;
+    let mut rs = 0u32;
+    while lp < l.len() && ri < rv.len() {
+        match l[lp].cmp(&rv[ri]) {
+            std::cmp::Ordering::Less => lp += 1,
+            std::cmp::Ordering::Greater => {
+                rs = re[ri];
+                ri += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let v = l[lp];
+                let mut l_end = lp + 1;
+                while l_end < l.len() && l[l_end] == v {
+                    l_end += 1;
+                }
+                for a in lp..l_end {
+                    for b in rs..re[ri] {
+                        left_sel.push(a as u32);
+                        right_sel.push(b);
+                    }
+                }
+                lp = l_end;
+                rs = re[ri];
+                ri += 1;
+            }
+        }
+    }
+    (left_sel, right_sel)
+}
+
+/// Run-based group-count over a run-encoded **sorted** key column: each
+/// run *is* one group, so the keys are the run values and the counts are
+/// the run-length differences — O(runs), no inner scan at all.
+pub fn group_count_sorted_runs(keys: &RunCol) -> (Vec<u64>, Vec<u64>) {
+    debug_assert!(keys.values().windows(2).all(|w| w[0] < w[1]));
+    let ks = keys.values().to_vec();
+    let mut cs = Vec::with_capacity(keys.run_count());
+    let mut prev = 0u32;
+    for &e in keys.run_ends() {
+        cs.push((e - prev) as u64);
+        prev = e;
+    }
+    (ks, cs)
+}
+
+/// Two-key run-based group-count where the *leading* key is run-encoded
+/// and the pair stream is sorted lexicographically: the outer loop walks
+/// `k0`'s runs (each a contiguous block of one leading key) and only the
+/// second column is scanned for inner runs.
+pub fn group_count_sorted_2_runs(k0: &RunCol, k1: &[u64]) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    debug_assert_eq!(k0.len(), k1.len());
+    let mut o0 = Vec::new();
+    let mut o1 = Vec::new();
+    let mut oc = Vec::new();
+    for (v0, r) in k0.runs() {
+        let mut i = r.start;
+        while i < r.end {
+            let v1 = k1[i];
+            let mut j = i + 1;
+            while j < r.end && k1[j] == v1 {
+                j += 1;
+            }
+            o0.push(v0);
+            o1.push(v1);
+            oc.push((j - i) as u64);
+            i = j;
+        }
+    }
+    (o0, o1, oc)
 }
 
 /// Groups by one key column; returns `(keys, counts)`.
@@ -527,6 +839,129 @@ mod tests {
     fn distinct_rows_empty() {
         assert!(distinct_rows(&[], 0).is_empty());
     }
+
+    #[test]
+    fn select_cmp_runs_matches_flat() {
+        let flat = [5u64, 5, 1, 1, 1, 5, 2];
+        let runs = RunCol::from_flat(&flat);
+        for negate in [false, true] {
+            for v in [0u64, 1, 2, 5] {
+                assert_eq!(
+                    select_cmp_runs(&runs, v, negate),
+                    select_cmp(&flat, v, negate),
+                    "value {v} negate {negate}"
+                );
+            }
+        }
+        assert!(select_cmp_runs(&RunCol::default(), 1, false).is_empty());
+    }
+
+    #[test]
+    fn select_in_runs_matches_flat_on_both_probe_sizes() {
+        let flat: Vec<u64> = (0..200).map(|i| (i / 7) % 23).collect();
+        let runs = RunCol::from_flat(&flat);
+        for n in [0usize, 3, 8, 9, 16] {
+            let values: Vec<u64> = (0..n as u64).map(|v| v * 3).collect();
+            assert_eq!(
+                select_in_runs(&runs, &values),
+                select_in(&flat, &values),
+                "{n} probes"
+            );
+        }
+    }
+
+    #[test]
+    fn select_in_sorted_matches_linear_select_in() {
+        let mut col: Vec<u64> = (0..300).map(|i| (i * i) % 40).collect();
+        col.sort_unstable();
+        // Unsorted probe list with duplicates: output must still be the
+        // ascending position vector of the linear kernel.
+        let values = [9u64, 1, 30, 9, 250, 0];
+        assert_eq!(select_in_sorted(&col, &values), select_in(&col, &values));
+        let runs = RunCol::from_flat(&col);
+        assert_eq!(
+            select_in_sorted_runs(&runs, &values),
+            select_in(&col, &values)
+        );
+        assert!(select_in_sorted(&[], &values).is_empty());
+    }
+
+    #[test]
+    fn merge_join_runs_is_bit_identical_to_flat_merge_join() {
+        let l: Vec<u64> = [1, 2, 2, 3, 7, 7, 7].to_vec();
+        let r: Vec<u64> = [0, 2, 2, 3, 3, 7, 9].to_vec();
+        let want = merge_join(&l, &r);
+        let lr = RunCol::from_flat(&l);
+        let rr = RunCol::from_flat(&r);
+        for (name, got) in [
+            (
+                "rr",
+                merge_join_runs(RunsView::Runs(&lr), RunsView::Runs(&rr)),
+            ),
+            (
+                "rf",
+                merge_join_runs(RunsView::Runs(&lr), RunsView::Flat(&r)),
+            ),
+            (
+                "fr",
+                merge_join_runs(RunsView::Flat(&l), RunsView::Runs(&rr)),
+            ),
+            (
+                "ff",
+                merge_join_runs(RunsView::Flat(&l), RunsView::Flat(&r)),
+            ),
+        ] {
+            assert_eq!(got, want, "{name} differs (order matters)");
+        }
+        // Empty sides.
+        let empty = RunCol::default();
+        assert_eq!(
+            merge_join_runs(RunsView::Runs(&empty), RunsView::Flat(&r)),
+            (vec![], vec![])
+        );
+    }
+
+    #[test]
+    fn group_count_sorted_runs_reads_counts_off_run_lengths() {
+        let flat = [1u64, 1, 1, 3, 5, 5];
+        let runs = RunCol::from_flat(&flat);
+        assert_eq!(group_count_sorted_runs(&runs), group_count_sorted_1(&flat));
+        assert_eq!(
+            group_count_sorted_runs(&RunCol::default()),
+            (vec![], vec![])
+        );
+    }
+
+    #[test]
+    fn group_count_sorted_2_runs_matches_flat_twin() {
+        let k0 = [1u64, 1, 1, 2, 2, 4];
+        let k1 = [5u64, 5, 7, 0, 0, 9];
+        let runs = RunCol::from_flat(&k0);
+        assert_eq!(
+            group_count_sorted_2_runs(&runs, &k1),
+            group_count_sorted_2(&k0, &k1)
+        );
+        assert_eq!(
+            group_count_sorted_2_runs(&RunCol::default(), &[]),
+            (vec![], vec![], vec![])
+        );
+    }
+
+    #[test]
+    fn runs_view_lower_bound_agrees_between_variants() {
+        let flat = [1u64, 1, 4, 4, 4, 9];
+        let runs = RunCol::from_flat(&flat);
+        for v in 0..11 {
+            assert_eq!(
+                RunsView::Runs(&runs).lower_bound(v),
+                RunsView::Flat(&flat).lower_bound(v),
+                "value {v}"
+            );
+        }
+        assert_eq!(RunsView::Runs(&runs).value_at(3), 4);
+        assert!(RunsView::Runs(&runs).is_runs());
+        assert!(!RunsView::Flat(&flat).is_runs());
+    }
 }
 
 #[cfg(all(test, feature = "proptests"))]
@@ -608,6 +1043,99 @@ mod proptests {
             let (k, c) = group_count_1(&keys);
             prop_assert_eq!(c.iter().sum::<u64>() as usize, keys.len());
             prop_assert!(k.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        /// RunCol round-trips arbitrary run-shaped data, through slices
+        /// and monotone gathers included.
+        #[test]
+        fn runcol_roundtrips(
+            shape in proptest::collection::vec((0u64..12, 1usize..6), 0..60),
+        ) {
+            let flat: Vec<u64> = shape
+                .iter()
+                .flat_map(|&(v, n)| std::iter::repeat(v).take(n))
+                .collect();
+            let runs = RunCol::from_flat(&flat);
+            prop_assert_eq!(runs.expand(), flat.clone());
+            prop_assert!(runs.run_count() <= flat.len());
+            if !flat.is_empty() {
+                let mid = flat.len() / 2;
+                prop_assert_eq!(runs.slice(0..mid).expand(), flat[..mid].to_vec());
+                prop_assert_eq!(runs.slice(mid..flat.len()).expand(), flat[mid..].to_vec());
+                let sel: Vec<u32> = (0..flat.len() as u32).step_by(2).collect();
+                let want: Vec<u64> = sel.iter().map(|&i| flat[i as usize]).collect();
+                prop_assert_eq!(runs.gather(&sel).expand(), want);
+            }
+        }
+
+        /// Run-aware selection kernels are bit-identical to their flat
+        /// twins on random run-shaped inputs.
+        #[test]
+        fn run_select_kernels_match_flat_twins(
+            shape in proptest::collection::vec((0u64..8, 1usize..5), 0..50),
+            probes in proptest::collection::vec(0u64..10, 0..12),
+            value in 0u64..10,
+            negate in proptest::bool::ANY,
+        ) {
+            let flat: Vec<u64> = shape
+                .iter()
+                .flat_map(|&(v, n)| std::iter::repeat(v).take(n))
+                .collect();
+            let runs = RunCol::from_flat(&flat);
+            prop_assert_eq!(
+                select_cmp_runs(&runs, value, negate),
+                select_cmp(&flat, value, negate)
+            );
+            prop_assert_eq!(select_in_runs(&runs, &probes), select_in(&flat, &probes));
+            // Sorted variants need a sorted column.
+            let mut sorted = flat.clone();
+            sorted.sort_unstable();
+            let sorted_runs = RunCol::from_flat(&sorted);
+            prop_assert_eq!(
+                select_in_sorted(&sorted, &probes),
+                select_in(&sorted, &probes)
+            );
+            prop_assert_eq!(
+                select_in_sorted_runs(&sorted_runs, &probes),
+                select_in(&sorted, &probes)
+            );
+        }
+
+        /// The run-view merge join emits the exact flat merge-join pair
+        /// stream on every flat/runs side combination.
+        #[test]
+        fn merge_join_runs_matches_flat(
+            ls in proptest::collection::vec((0u64..10, 1usize..4), 0..30),
+            rs in proptest::collection::vec((0u64..10, 1usize..4), 0..30),
+        ) {
+            let mut l: Vec<u64> = ls.iter().flat_map(|&(v, n)| std::iter::repeat(v).take(n)).collect();
+            let mut r: Vec<u64> = rs.iter().flat_map(|&(v, n)| std::iter::repeat(v).take(n)).collect();
+            l.sort_unstable();
+            r.sort_unstable();
+            let lr = RunCol::from_flat(&l);
+            let rr = RunCol::from_flat(&r);
+            let want = merge_join(&l, &r);
+            prop_assert_eq!(merge_join_runs(RunsView::Runs(&lr), RunsView::Runs(&rr)), want.clone());
+            prop_assert_eq!(merge_join_runs(RunsView::Runs(&lr), RunsView::Flat(&r)), want.clone());
+            prop_assert_eq!(merge_join_runs(RunsView::Flat(&l), RunsView::Runs(&rr)), want);
+        }
+
+        /// Run-based aggregation reads counts off run lengths, identical
+        /// to the scanning kernels.
+        #[test]
+        fn run_group_counts_match_flat(
+            rows in proptest::collection::vec((0u64..8, 0u64..8), 0..150),
+        ) {
+            let mut rows = rows;
+            rows.sort_unstable();
+            let k0: Vec<u64> = rows.iter().map(|r| r.0).collect();
+            let k1: Vec<u64> = rows.iter().map(|r| r.1).collect();
+            let runs0 = RunCol::from_flat(&k0);
+            prop_assert_eq!(group_count_sorted_runs(&runs0), group_count_sorted_1(&k0));
+            prop_assert_eq!(
+                group_count_sorted_2_runs(&runs0, &k1),
+                group_count_sorted_2(&k0, &k1)
+            );
         }
     }
 }

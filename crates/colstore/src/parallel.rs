@@ -60,6 +60,49 @@ pub fn morsel_range(len: usize, parts: usize, i: usize) -> std::ops::Range<usize
     start..end
 }
 
+/// Segment boundaries for `parts` morsels over a `len`-row *sorted*
+/// input, each boundary advanced past the value run containing it so no
+/// run straddles a segment — the partitioning the sorted kernels (merge
+/// join, run aggregation, linear distinct) require to stay exact under
+/// parallelism. `eq(a, b)` compares rows `a` and `b` for equality;
+/// because the input is sorted, the rows equal to the one just before a
+/// tentative boundary form a contiguous prefix of the tail, so the run
+/// end is found by binary search (O(parts · log len) total — a single
+/// giant run costs log time, not a linear walk per boundary).
+///
+/// **Run-encoded inputs do not need this function**: a [`RunCol`]'s run
+/// headers *are* the value alignment, so run-native kernels partition
+/// directly on run indices ([`morsel_range`] over the run count) — every
+/// segment boundary is a run boundary by construction, at zero search
+/// cost.
+///
+/// [`RunCol`]: crate::chunk::RunCol
+pub fn aligned_bounds(len: usize, parts: usize, eq: impl Fn(usize, usize) -> bool) -> Vec<usize> {
+    let mut bounds = vec![0usize];
+    for m in 1..parts {
+        let start = morsel_range(len, parts, m).start;
+        if start == 0 || start >= len {
+            continue;
+        }
+        let anchor = start - 1;
+        // First index in [start, len) whose row differs from `anchor`'s.
+        let (mut lo, mut hi) = (start, len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if eq(anchor, mid) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo > *bounds.last().expect("non-empty") && lo < len {
+            bounds.push(lo);
+        }
+    }
+    bounds.push(len);
+    bounds
+}
+
 /// A one-shot task accepted by [`WorkerPool::run_once`].
 pub type OnceTask<'env, T> = Box<dyn FnOnce() -> T + Send + 'env>;
 
@@ -353,6 +396,21 @@ mod tests {
             }
             assert_eq!(covered, len, "len {len}");
         }
+    }
+
+    #[test]
+    fn aligned_bounds_never_split_a_run() {
+        let keys: Vec<u64> = (0..10_000).map(|i| i / 37).collect();
+        let parts = partitions(keys.len());
+        let bounds = aligned_bounds(keys.len(), parts, |a, b| keys[a] == keys[b]);
+        assert_eq!(bounds.first(), Some(&0));
+        assert_eq!(bounds.last(), Some(&keys.len()));
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "bounds must strictly increase: {bounds:?}");
+            assert!(w[1] == keys.len() || keys[w[1]] != keys[w[1] - 1]);
+        }
+        // A single giant run collapses to one segment.
+        assert_eq!(aligned_bounds(100, 4, |_, _| true), vec![0, 100]);
     }
 
     #[test]

@@ -182,8 +182,11 @@ impl Engine for ColumnEngine {
     }
 
     fn execute(&self, plan: &Plan) -> Result<ResultSet, EngineError> {
-        let chunk = ColumnEngine::execute(self, plan)?;
-        Ok(ResultSet::new(chunk.to_rows(), plan.output_kinds()))
+        // `execute_rows` is the result boundary of compressed execution:
+        // columns that stayed run-encoded through the whole plan expand
+        // here (counted in the engine's `runs_expanded` statistic).
+        let rows = ColumnEngine::execute_rows(self, plan)?;
+        Ok(ResultSet::new(rows, plan.output_kinds()))
     }
 
     fn footprint(&self) -> Footprint {

@@ -20,7 +20,11 @@
 //!    joins the same column of its base relation twice is rotated so that
 //!    the *sorted–sorted* pair joins first, turning a hash join into the
 //!    linear merge join the sorted layouts were built for (see
-//!    [`crate::props`]).
+//!    [`crate::props`]). The same rotation is what places run-encoded
+//!    columns ([`crate::props::PhysProps::run_encoded`]) opposite each
+//!    other: the rotated sorted pair is exactly where a compressed scan's
+//!    run column meets another, letting the engine's run×block merge join
+//!    advance whole runs instead of rows.
 //!
 //! All rewrites are proven answer-preserving by the cross-engine fuzzer in
 //! `tests/random_plans.rs` (which round-trips every random plan through

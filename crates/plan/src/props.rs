@@ -54,8 +54,18 @@ pub struct PropsContext {
     /// informational for [`Plan::explain_annotated`] — affected scans
     /// still execute the write-store union (filter) path, which EXPLAIN
     /// must show, but hiding rows from a sorted stream preserves every
-    /// order claim, so [`fn@derive`] ignores this set.
+    /// order claim, so [`fn@derive`] ignores this set (it *does* disable
+    /// the run-encoding claim: the tombstone filter path materializes
+    /// flat).
     pub pending_tombstone_props: BTreeSet<Id>,
+    /// Properties whose vertically-partitioned subject column is stored
+    /// run-length encoded — their unbounded scans emit the subject as a
+    /// run-encoded column (compressed execution) instead of flat values.
+    /// Empty when the engine's run-kernel layer is disabled.
+    pub rle_props: BTreeSet<Id>,
+    /// Whether the triples table's leading clustering column is stored
+    /// run-length encoded (e.g. the property column under PSO).
+    pub triple_lead_rle: bool,
 }
 
 impl PropsContext {
@@ -76,6 +86,19 @@ impl PropsContext {
     /// Adds properties with pending write-store tombstones.
     pub fn with_pending_tombstones(mut self, props: impl IntoIterator<Item = Id>) -> Self {
         self.pending_tombstone_props.extend(props);
+        self
+    }
+
+    /// Adds properties whose subject column is stored run-length encoded.
+    pub fn with_rle_props(mut self, props: impl IntoIterator<Item = Id>) -> Self {
+        self.rle_props.extend(props);
+        self
+    }
+
+    /// Marks the triples table's leading clustering column as stored
+    /// run-length encoded.
+    pub fn with_triple_lead_rle(mut self) -> Self {
+        self.triple_lead_rle = true;
         self
     }
 
@@ -124,6 +147,23 @@ pub struct PhysProps {
     pub sorted_by: Option<Vec<usize>>,
     /// Whether no two output rows are equal on *all* columns.
     pub distinct: bool,
+    /// Output columns that **may** flow through the operator tree
+    /// run-length encoded (the compressed-execution currency): the
+    /// executor dispatches run-native kernels on them — run-aware
+    /// selection, run×block merge joins, aggregation straight off run
+    /// lengths — and expands them to flat values only at the result
+    /// boundary or for an operator that genuinely needs flat input. The
+    /// claim is an upper bound: it survives exactly the operators whose
+    /// selection vectors are monotone (selections, filters, merge-join
+    /// left sides, distinct) — hash joins and unions materialize flat and
+    /// drop it — but the executor additionally applies run-length cost
+    /// gates (output-dense work on short-run columns takes the flat
+    /// path), so a claimed column can still materialize flat. The
+    /// invariant the executor upholds is the converse: a run-encoded
+    /// column is only ever *produced* at a claimed position. (A plain
+    /// list, not an `Option`: projection can duplicate the one source
+    /// run column into several output positions.)
+    pub run_encoded: Vec<usize>,
 }
 
 impl PhysProps {
@@ -173,7 +213,14 @@ impl PhysProps {
 ///   hash joins destroy order,
 /// * group-count emits key-sorted, key-distinct rows on every path,
 /// * multi-input unions destroy order (concatenation),
-/// * distinct preserves order and guarantees distinctness.
+/// * distinct preserves order and guarantees distinctness,
+/// * run-encoding ([`PhysProps::run_encoded`]) originates at scans of
+///   RLE-stored lead columns (per the context's [`PropsContext::rle_props`]
+///   / [`PropsContext::triple_lead_rle`]) and survives exactly the
+///   operators with monotone selection vectors — selections, filters,
+///   projections of the column, merge-join left sides and distinct; a
+///   pending write-store delta (inserts *or* tombstones) on a reachable
+///   property forces the scan flat.
 pub fn derive(plan: &Plan, ctx: &PropsContext) -> PhysProps {
     match plan {
         Plan::ScanTriples { s, p, o } => {
@@ -199,9 +246,25 @@ pub fn derive(plan: &Plan, ctx: &PropsContext) -> PhysProps {
                 .filter(|&c| !bound[c])
                 .collect();
             key.extend((0..3).filter(|&c| bound[c]));
+            // The leading clustering column flows out run-encoded when it
+            // is stored RLE, the scan is range-resolved (no bound column
+            // at all — with the lead unbound, any bound column becomes a
+            // residual filter, whose selection collapses runs toward
+            // length one and therefore materializes flat), and no pending
+            // delta forces the flat union path.
+            let lead = order.permutation()[0];
+            let run_encoded = if ctx.triple_lead_rle
+                && bound.iter().all(|b| !b)
+                && !ctx.tombstones_reach_triple_scan(*p)
+            {
+                vec![lead]
+            } else {
+                Vec::new()
+            };
             PhysProps {
                 sorted_by: Some(key),
                 distinct: false,
+                run_encoded,
             }
         }
         Plan::ScanProperty {
@@ -232,18 +295,35 @@ pub fn derive(plan: &Plan, ctx: &PropsContext) -> PhysProps {
             if o.is_some() {
                 key.push(o_pos);
             }
+            // Run-encoded only for range-resolved scans: an object bound
+            // with the subject unbound is a residual filter, which
+            // materializes flat (see the triples-scan rule).
+            let run_encoded = if s.is_none()
+                && o.is_none()
+                && ctx.rle_props.contains(property)
+                && !ctx.tombstones_reach_property_scan(*property)
+            {
+                vec![0]
+            } else {
+                Vec::new()
+            };
             PhysProps {
                 sorted_by: Some(key),
                 distinct: false,
+                run_encoded,
             }
         }
         Plan::Select { input, .. }
         | Plan::FilterIn { input, .. }
         | Plan::HavingCountGt { input, .. } => derive(input, ctx),
-        Plan::Distinct { input } => PhysProps {
-            sorted_by: derive(input, ctx).sorted_by,
-            distinct: true,
-        },
+        Plan::Distinct { input } => {
+            let ip = derive(input, ctx);
+            PhysProps {
+                sorted_by: ip.sorted_by,
+                distinct: true,
+                run_encoded: ip.run_encoded,
+            }
+        }
         Plan::Project { input, cols } => {
             let ip = derive(input, ctx);
             let sorted_by = ip.sorted_by.and_then(|key| {
@@ -260,9 +340,17 @@ pub fn derive(plan: &Plan, ctx: &PropsContext) -> PhysProps {
             });
             // Dropping columns can merge previously distinct rows.
             let distinct = ip.distinct && (0..input.arity()).all(|c| cols.contains(&c));
+            // The run column survives at every projected position.
+            let run_encoded = cols
+                .iter()
+                .enumerate()
+                .filter(|&(_, c)| ip.run_encoded.contains(c))
+                .map(|(i, _)| i)
+                .collect();
             PhysProps {
                 sorted_by,
                 distinct,
+                run_encoded,
             }
         }
         Plan::Join {
@@ -279,15 +367,20 @@ pub fn derive(plan: &Plan, ctx: &PropsContext) -> PhysProps {
             let distinct = lp.distinct && rp.distinct;
             if lp.sorted_on(*left_col) && rp.sorted_on(*right_col) {
                 // Merge join: the left selection vector is non-decreasing,
-                // so every left-side ordering survives.
+                // so every left-side ordering survives — run-encoding of
+                // left columns included. The right selection vector is not
+                // monotone (it rewinds per matching left row), so right
+                // run columns are expanded by the gather.
                 PhysProps {
                     sorted_by: lp.sorted_by,
                     distinct,
+                    run_encoded: lp.run_encoded,
                 }
             } else {
                 PhysProps {
                     sorted_by: None,
                     distinct,
+                    run_encoded: Vec::new(),
                 }
             }
         }
@@ -299,13 +392,20 @@ pub fn derive(plan: &Plan, ctx: &PropsContext) -> PhysProps {
             PhysProps {
                 sorted_by: Some((0..=keys.len()).collect()),
                 distinct: true,
+                run_encoded: Vec::new(),
             }
         }
         Plan::UnionAll { inputs } => {
             if inputs.len() == 1 {
-                derive(&inputs[0], ctx)
+                // A singleton union preserves order and distinctness, but
+                // its copy-out still materializes flat values.
+                PhysProps {
+                    run_encoded: Vec::new(),
+                    ..derive(&inputs[0], ctx)
+                }
             } else {
-                // Concatenation destroys order and can duplicate rows.
+                // Concatenation destroys order and can duplicate rows
+                // (and materializes flat).
                 PhysProps::unordered()
             }
         }
@@ -344,7 +444,20 @@ fn annotate_into(plan: &Plan, ctx: &PropsContext, out: &mut String, depth: usize
         None => "unsorted".to_string(),
     };
     let distinct = if props.distinct { ", distinct" } else { "" };
-    let _ = writeln!(out, "{pad}{} [{order}{distinct}]", plan.node_label());
+    let runs = if props.run_encoded.is_empty() {
+        String::new()
+    } else {
+        format!(
+            ", runs@{}",
+            props
+                .run_encoded
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    };
+    let _ = writeln!(out, "{pad}{} [{order}{distinct}{runs}]", plan.node_label());
     match plan {
         Plan::ScanTriples { p, .. } => {
             if ctx.inserts_reach_triple_scan(*p) {
@@ -631,10 +744,93 @@ mod tests {
     }
 
     #[test]
+    fn run_encoding_originates_at_rle_scans_and_survives_monotone_ops() {
+        let ctx = pso().with_rle_props([3]).with_triple_lead_rle();
+        // VP subject column: run-encoded when the table is RLE and s is
+        // unbound.
+        let vp = |p: u64| Plan::ScanProperty {
+            property: p,
+            s: None,
+            o: None,
+            emit_property: false,
+        };
+        assert_eq!(derive(&vp(3), &ctx).run_encoded, vec![0]);
+        assert_eq!(
+            derive(&vp(4), &ctx).run_encoded,
+            Vec::<usize>::new(),
+            "not an RLE table"
+        );
+        let bound_s = Plan::ScanProperty {
+            property: 3,
+            s: Some(7),
+            o: None,
+            emit_property: false,
+        };
+        assert_eq!(
+            derive(&bound_s, &ctx).run_encoded,
+            Vec::<usize>::new(),
+            "bound subject"
+        );
+        // Triples scan: the PSO lead column p is run-encoded only while
+        // unbound.
+        assert_eq!(derive(&scan_all(), &ctx).run_encoded, vec![1]);
+        assert!(derive(&scan_p(3), &ctx).run_encoded.is_empty());
+        // Selections and filters preserve the claim; projection remaps it.
+        let filtered = Plan::FilterIn {
+            input: Box::new(vp(3)),
+            col: 1,
+            values: vec![9],
+        };
+        assert_eq!(derive(&filtered, &ctx).run_encoded, vec![0]);
+        let projected = project(vp(3), vec![1, 0]);
+        assert_eq!(derive(&projected, &ctx).run_encoded, vec![1]);
+        let dropped = project(vp(3), vec![1]);
+        assert!(derive(&dropped, &ctx).run_encoded.is_empty());
+        // Merge joins keep the left run column; hash joins drop it.
+        let merged = join(vp(3), vp(3), 0, 0);
+        assert_eq!(derive(&merged, &ctx).run_encoded, vec![0]);
+        let hashed = join(vp(3), vp(3), 1, 1);
+        assert!(derive(&hashed, &ctx).run_encoded.is_empty());
+        // Group-count output and unions are flat.
+        assert!(derive(&group_count(vp(3), vec![0]), &ctx)
+            .run_encoded
+            .is_empty());
+        let union = Plan::UnionAll {
+            inputs: vec![vp(3)],
+        };
+        assert!(derive(&union, &ctx).run_encoded.is_empty());
+        assert_eq!(derive(&union, &ctx).sorted_by, Some(vec![0, 1]));
+        // Pending deltas force the scan flat: inserts drop everything,
+        // tombstones drop only the run claim.
+        let pending = ctx.clone().with_pending_inserts([3]);
+        assert_eq!(derive(&vp(3), &pending), PhysProps::unordered());
+        let tomb = ctx.clone().with_pending_tombstones([3]);
+        let p = derive(&vp(3), &tomb);
+        assert_eq!(p.sorted_by, Some(vec![0, 1]), "tombstones keep order");
+        assert!(p.run_encoded.is_empty(), "but the union path is flat");
+    }
+
+    #[test]
+    fn explain_annotated_renders_run_encoding() {
+        let ctx = pso().with_rle_props([3]);
+        let scan = Plan::ScanProperty {
+            property: 3,
+            s: None,
+            o: None,
+            emit_property: false,
+        };
+        let text = scan.explain_annotated(&ctx);
+        assert!(text.contains("runs@0"), "{text}");
+        let plain = scan.explain_annotated(&pso());
+        assert!(!plain.contains("runs@"), "{plain}");
+    }
+
+    #[test]
     fn helper_predicates() {
         let p = PhysProps {
             sorted_by: Some(vec![1, 0]),
             distinct: false,
+            run_encoded: Vec::new(),
         };
         assert!(p.sorted_on(1));
         assert!(!p.sorted_on(0));

@@ -221,6 +221,60 @@ fn derived_props_match_actual_output_on_random_plans() {
     );
 }
 
+/// The run-encoding claim is *sound*: a run-encoded column never flows
+/// where the derivation (under the engine's own context, which knows
+/// which stored columns are RLE) claims none — and wherever one does
+/// flow, expanding it yields exactly the flat values. The claim is an
+/// upper bound, not an exact predictor: the executor's cost gates may
+/// materialize a claimed column flat (dense gathers over short runs).
+/// Join-free plans only: the column engine reorders join chains before
+/// executing, so a joined plan's *executed* shape can differ from the
+/// derived one.
+#[test]
+fn run_encoded_columns_only_flow_where_claimed() {
+    let mut rng = StdRng::seed_from_u64(0x52_554E);
+    let mut actual_runs = 0usize;
+    for round in 0..250 {
+        // Heavily duplicated ids → VP subject columns and triples lead
+        // columns compress, so run columns actually occur.
+        let triples: Vec<Triple> = (0..rng.random_range(40..120))
+            .map(|_| {
+                Triple::new(
+                    rng.next_u64() % 4,
+                    rng.next_u64() % 3,
+                    rng.next_u64() % ID_SPACE,
+                )
+            })
+            .collect();
+        let plan = gen_plan(&mut rng, 2);
+        if swans_plan::optimize::has_join(&plan) {
+            continue;
+        }
+        let m = StorageManager::new(MachineProfile::B);
+        let mut engine = ColumnEngine::new();
+        engine.load_triple_store(&m, &triples, SortOrder::Pso, true);
+        engine.load_vertical(&m, &triples, true);
+        let props = derive(&plan, &engine.props_ctx());
+        let chunk = engine.execute(&plan).expect("plan executes");
+        for col in 0..chunk.arity() {
+            if let Some(runs) = chunk.col_runs(col) {
+                actual_runs += 1;
+                assert!(
+                    props.run_encoded.contains(&col),
+                    "round {round}: unclaimed run column {col} for {plan:?}"
+                );
+                let runs = runs.clone();
+                assert_eq!(
+                    runs.expand().as_slice(),
+                    chunk.col(col),
+                    "round {round}: run expansion differs from flat values"
+                );
+            }
+        }
+    }
+    assert!(actual_runs > 10, "only {actual_runs} run-encoded outputs");
+}
+
 /// Randomized A/B: the sorted dispatch layer returns exactly the hash
 /// baseline's answers.
 #[test]
