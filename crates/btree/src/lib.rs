@@ -497,6 +497,7 @@ mod tests {
     /// Compression is adaptive: a unique leading column (SPO-style) gains
     /// nothing, while a low-cardinality one (PSO-style) shrinks.
     #[test]
+    #[cfg_attr(miri, ignore = "large input: minutes under the interpreter")]
     fn prefix_compression_is_adaptive() {
         let m = mgr();
         let opts = BTreeOptions {
@@ -516,6 +517,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "large input: minutes under the interpreter")]
     fn probe_charges_interior_descent() {
         let m = mgr();
         let rows: Vec<u64> = (0..200_000u64).flat_map(|i| [i % 7, i, i]).collect();

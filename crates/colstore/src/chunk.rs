@@ -578,7 +578,7 @@ mod tests {
     #[test]
     fn into_owned_unwraps_or_clones() {
         let base = Arc::new(vec![9u64, 9]);
-        let shared = ColData::Shared(base.clone());
+        let shared = ColData::Shared(base);
         assert_eq!(shared.into_owned(), vec![9, 9]);
         assert_eq!(ColData::Owned(vec![1]).into_owned(), vec![1]);
         let runs = ColData::runs(Arc::new(RunCol::from_flat(&[4, 4, 5])));

@@ -210,6 +210,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "large input: minutes under the interpreter")]
     fn read_touches_whole_segment_once() {
         let m = mgr();
         let c = Column::new(&m, "c", (0..10_000).collect(), true, false);
@@ -251,6 +252,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "large input: minutes under the interpreter")]
     fn rle_never_inflates_distinct_columns() {
         let m = mgr();
         let data: Vec<u64> = (0..100_000).collect(); // all runs length 1
@@ -264,6 +266,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "large input: minutes under the interpreter")]
     fn rle_compression_shrinks_low_cardinality_sorted_column() {
         let m = mgr();
         // 100k values, 4 runs.
@@ -297,6 +300,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "large input: minutes under the interpreter")]
     fn rle_eq_range_charges_the_compressed_segment() {
         let m = mgr();
         // 100k rows, 4 runs: the RLE segment is one page.

@@ -245,6 +245,11 @@ pub struct ColumnEngine {
     /// on them. Off, every scan decompresses at the scan boundary — the
     /// flat-kernel A/B baseline (sorted dispatch still applies).
     run_kernels: bool,
+    /// Whether [`ColumnEngine::execute`] runs the static plan verifier
+    /// ([`swans_plan::verify`](mod@swans_plan::verify)) before executing. Defaults to on in
+    /// debug builds and off in release; `StoreConfig::with_verify(true)`
+    /// opts a release build in.
+    verify: bool,
     /// Kernel-dispatch counters.
     stats: ExecStats,
     /// The delta side: pending inserts and tombstones.
@@ -274,6 +279,7 @@ impl Default for ColumnEngine {
             vertical_loaded: false,
             sorted_paths: true,
             run_kernels: true,
+            verify: cfg!(debug_assertions),
             stats: ExecStats::default(),
             write: WriteStore::default(),
             vp_compression: false,
@@ -318,6 +324,24 @@ impl ColumnEngine {
     /// Whether run-encoded execution is active.
     pub fn run_kernels(&self) -> bool {
         self.run_kernels
+    }
+
+    /// Enables or disables pre-execution plan verification (the static
+    /// checker in [`swans_plan::verify`](mod@swans_plan::verify)): flow typing, physical-property
+    /// soundness and executor legality, with failures surfacing as
+    /// [`EngineError::Verify`] naming the offending operator by plan
+    /// path. On by default in debug builds; release builds opt in
+    /// through `StoreConfig::with_verify(true)`. Independent of the
+    /// debug-only shadow validator, which spot-checks claimed properties
+    /// against actual operator outputs and is always active under
+    /// `debug_assertions`.
+    pub fn set_verify(&mut self, on: bool) {
+        self.verify = on;
+    }
+
+    /// Whether pre-execution plan verification is active.
+    pub fn verify_enabled(&self) -> bool {
+        self.verify
     }
 
     /// Whether base scans may emit run-encoded columns: compressed
@@ -706,18 +730,28 @@ impl ColumnEngine {
     ///
     /// With the sorted layer active, join chains are first reordered to
     /// pair sorted inputs ([`reorder_joins`]) — a physical rewrite that
-    /// never changes answers, only which kernel runs.
+    /// never changes answers, only which kernel runs. With verification
+    /// active ([`ColumnEngine::set_verify`]; the default in debug
+    /// builds), the plan *as executed* — after the reorder, under this
+    /// engine's layout context — additionally passes the static verifier
+    /// first, so an unjustifiable property claim is an
+    /// [`EngineError::Verify`] naming the operator, not a wrong answer.
     pub fn execute(&self, plan: &Plan) -> Result<Chunk, EngineError> {
         plan.validate().map_err(EngineError::InvalidPlan)?;
         // One context per execution: the derivation (and the join
         // reordering) must see a consistent write-store state throughout.
         let ctx = self.props_ctx();
-        if self.sorted_paths && swans_plan::optimize::has_join(plan) {
-            let reordered = reorder_joins(plan.clone(), &ctx);
-            self.exec(&reordered, full_mask(plan.arity()), &ctx)
+        let reordered;
+        let plan = if self.sorted_paths && swans_plan::optimize::has_join(plan) {
+            reordered = reorder_joins(plan.clone(), &ctx);
+            &reordered
         } else {
-            self.exec(plan, full_mask(plan.arity()), &ctx)
+            plan
+        };
+        if self.verify {
+            swans_plan::verify::verify(plan, &ctx).map_err(EngineError::Verify)?;
         }
+        self.exec(plan, full_mask(plan.arity()), &ctx)
     }
 
     /// [`ColumnEngine::execute`] decoded to row-major form — the result
@@ -735,7 +769,7 @@ impl ColumnEngine {
     }
 
     fn exec(&self, plan: &Plan, needed: u64, ctx: &PropsContext) -> Result<Chunk, EngineError> {
-        Ok(match plan {
+        let chunk = match plan {
             Plan::ScanTriples { s, p, o } => self.scan_triples(*s, *p, *o, needed)?,
             Plan::ScanProperty {
                 property,
@@ -1016,7 +1050,117 @@ impl ColumnEngine {
                 drop(cols);
                 self.par_gather(&child, &sel)
             }
-        })
+        };
+        #[cfg(debug_assertions)]
+        self.shadow_validate(plan, ctx, &chunk);
+        Ok(chunk)
+    }
+
+    /// Debug-mode shadow validator: spot-checks the [`PhysProps`] claims
+    /// the dispatcher relied on against the operator's *actual* output.
+    /// Compiled only under `debug_assertions`; every test-suite execution
+    /// therefore cross-examines the property derivation at every plan
+    /// node.
+    ///
+    /// Checks, in order:
+    /// * output arity matches the plan (the join key-drop rule: pruned
+    ///   columns stay *absent at their position*, never shifting the
+    ///   schema),
+    /// * the run-encoding converse invariant — a column is only ever
+    ///   produced run-encoded at a claimed position,
+    /// * with the sorted layer active (claims are dispatch-relevant only
+    ///   then): the claimed sort key really is lexicographically
+    ///   non-decreasing, and a claimed-distinct output really has no
+    ///   duplicate rows. Both checks sample adjacent row pairs (capped)
+    ///   and read run columns through their headers, so no run column is
+    ///   expanded early — the expansion accounting the compressed-
+    ///   execution stats assert on stays untouched.
+    #[cfg(debug_assertions)]
+    fn shadow_validate(&self, plan: &Plan, ctx: &PropsContext, chunk: &Chunk) {
+        assert_eq!(
+            chunk.arity(),
+            plan.arity(),
+            "shadow validator: output arity diverges from the plan at {}",
+            plan.explain().lines().next().unwrap_or_default()
+        );
+        let props = self.plan_props(plan, ctx);
+        // Converse run invariant: runs only at claimed positions. With
+        // the sorted layer off, `plan_props` claims nothing — and run
+        // emission is off too, so nothing may come out run-encoded.
+        for i in 0..chunk.arity() {
+            if chunk.col_is_runs(i) {
+                assert!(
+                    props.run_encoded.contains(&i),
+                    "shadow validator: column {i} is run-encoded but unclaimed at {}",
+                    plan.explain().lines().next().unwrap_or_default()
+                );
+            }
+        }
+        if !self.sorted_paths {
+            return;
+        }
+        // Read a cell without expanding a run column (expansion would
+        // corrupt the runs_expanded accounting the stats tests pin).
+        let cell = |col: usize, row: usize| match chunk.col_runs(col) {
+            Some(runs) => runs.value_at(row),
+            None => chunk.col(col)[row],
+        };
+        let len = chunk.len();
+        if let Some(key) = &props.sorted_by {
+            let present: Vec<usize> = key
+                .iter()
+                .take_while(|&&k| chunk.has_col(k))
+                .copied()
+                .collect();
+            if !present.is_empty() && len > 1 {
+                // All adjacent pairs for small outputs, an even sample
+                // for large ones — enough to catch a wrong dispatch
+                // without quadratic (or even full-linear) debug cost.
+                const MAX_PAIRS: usize = 1 << 12;
+                let step = ((len - 1) / MAX_PAIRS).max(1);
+                let mut row = 0;
+                while row + 1 < len {
+                    // Lexicographic comparison on the present key prefix.
+                    let mut lex_ok = true;
+                    for &k in &present {
+                        match cell(k, row).cmp(&cell(k, row + 1)) {
+                            std::cmp::Ordering::Less => break,
+                            std::cmp::Ordering::Equal => {}
+                            std::cmp::Ordering::Greater => {
+                                lex_ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    assert!(
+                        lex_ok,
+                        "shadow validator: claimed sorted_by={key:?} violated between \
+                         rows {row} and {} at {}",
+                        row + 1,
+                        plan.explain().lines().next().unwrap_or_default()
+                    );
+                    row += step;
+                }
+            }
+        }
+        if props.distinct
+            && len > 1
+            && len <= 1 << 12
+            && (0..chunk.arity()).all(|i| chunk.has_col(i))
+        {
+            let mut rows: Vec<Vec<u64>> = (0..len)
+                .map(|r| (0..chunk.arity()).map(|c| cell(c, r)).collect())
+                .collect();
+            rows.sort_unstable();
+            let before = rows.len();
+            rows.dedup();
+            assert_eq!(
+                before,
+                rows.len(),
+                "shadow validator: claimed distinct output contains duplicates at {}",
+                plan.explain().lines().next().unwrap_or_default()
+            );
+        }
     }
 
     /// Scans the triples table: binary-search the bound sort-order prefix,
@@ -2129,7 +2273,7 @@ impl ColumnEngine {
                 let partials =
                     self.pool
                         .run_reduce(parts, FxHashMap::<[u64; 4], u64>::default, |map, m| {
-                            fold(map, morsel_range(n, parts, m))
+                            fold(map, morsel_range(n, parts, m));
                         });
                 merge_partials(partials, |a, b| *a += b)
             };
@@ -2400,6 +2544,7 @@ mod tests {
     /// Projection pushdown: a plan that only consumes p and o must not
     /// read the subject column.
     #[test]
+    #[cfg_attr(miri, ignore = "large input: minutes under the interpreter")]
     fn needed_column_analysis_prunes_io() {
         let m = StorageManager::new(MachineProfile::B);
         let mut e = ColumnEngine::new();
@@ -2799,6 +2944,7 @@ mod tests {
     /// runs collapse segments instead of being walked linearly, and the
     /// parallel run-based kernels stay exact on such inputs.
     #[test]
+    #[cfg_attr(miri, ignore = "large input: minutes under the interpreter")]
     fn aligned_bounds_handle_giant_runs() {
         // One value covers almost the whole column.
         let mut keys = vec![7u64; 50_000];
@@ -3069,6 +3215,7 @@ mod tests {
     /// in duplicate subjects, and decompresses again when they leave —
     /// never staying silently stale.
     #[test]
+    #[cfg_attr(miri, ignore = "large input: minutes under the interpreter")]
     fn merge_retakes_rle_decision_per_property_table() {
         let base: Vec<Triple> = (0..5_000).map(|i| Triple::new(i, 9, i)).collect();
         let m = StorageManager::new(MachineProfile::B);
@@ -3113,6 +3260,7 @@ mod tests {
     /// whose right selection vector happens to be monotone (claims say
     /// only the left side survives run-encoded).
     #[test]
+    #[cfg_attr(miri, ignore = "large input: minutes under the interpreter")]
     fn unclaimed_positions_never_carry_runs() {
         // Every triple of property 7 — a p-bound PSO scan covers the
         // whole table; property 9 is one distinct row per subject.

@@ -58,6 +58,8 @@
 //!   value-aligned partition, so the sortedness-aware dispatch wins are
 //!   preserved at every thread count.
 
+#![warn(missing_docs)]
+
 pub mod chunk;
 pub mod column;
 pub mod engine;

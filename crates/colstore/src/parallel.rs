@@ -385,6 +385,7 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
 
     #[test]
+    #[cfg_attr(miri, ignore = "large input: minutes under the interpreter")]
     fn morsel_ranges_tile_the_input() {
         for len in [0usize, 1, 7, 4096, 4097, 100_000] {
             let parts = partitions(len);
@@ -399,6 +400,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "large input: minutes under the interpreter")]
     fn aligned_bounds_never_split_a_run() {
         let keys: Vec<u64> = (0..10_000).map(|i| i / 37).collect();
         let parts = partitions(keys.len());

@@ -99,6 +99,16 @@ pub trait Engine: Send + Sync {
         let _ = threads;
     }
 
+    /// Enables or disables pre-execution plan verification for engines
+    /// that run the static checker in [`swans_plan::verify`](mod@swans_plan::verify) (the column
+    /// engine verifies in debug builds by default and opts release
+    /// builds in through this switch). Advisory; ignored by the default
+    /// (and by the built-in row engine, which takes no dispatch decision
+    /// a property claim could corrupt).
+    fn set_verify(&mut self, on: bool) {
+        let _ = on;
+    }
+
     /// The physical-property context EXPLAIN should annotate plans with —
     /// what this engine's dispatch actually exploits. The default claims
     /// nothing, which is truthful for any engine that does not do
@@ -214,6 +224,10 @@ impl Engine for ColumnEngine {
 
     fn set_threads(&mut self, threads: usize) {
         ColumnEngine::set_threads(self, threads);
+    }
+
+    fn set_verify(&mut self, on: bool) {
+        ColumnEngine::set_verify(self, on);
     }
 
     fn explain_context(&self) -> PropsContext {

@@ -99,6 +99,11 @@ pub struct StoreConfig {
     /// Intra-query worker threads for engines with morsel-parallel
     /// execution (the column engine). 1 = sequential, the default.
     pub threads: usize,
+    /// Pre-execution plan verification override (`None` = the engine's
+    /// own default: the column engine verifies in debug builds and skips
+    /// in release). `Some(true)` opts a release build into the static
+    /// checker; `Some(false)` silences it even in debug.
+    pub verify: Option<bool>,
 }
 
 impl StoreConfig {
@@ -112,6 +117,7 @@ impl StoreConfig {
             compression: false,
             merge_threshold: None,
             threads: 1,
+            verify: None,
         }
     }
 
@@ -126,6 +132,7 @@ impl StoreConfig {
             compression: true,
             merge_threshold: None,
             threads: 1,
+            verify: None,
         }
     }
 
@@ -168,6 +175,19 @@ impl StoreConfig {
     /// ```
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Opts into (or out of) pre-execution plan verification: the static
+    /// checker in `swans_plan::verify` runs on every plan the engine
+    /// executes, so an unjustifiable physical-property claim surfaces as
+    /// a typed error naming the offending operator instead of a wrong
+    /// answer. The column engine verifies in debug builds regardless;
+    /// `with_verify(true)` extends that to release builds (the check is
+    /// one linear plan walk — negligible next to execution), and
+    /// `with_verify(false)` silences it everywhere.
+    pub fn with_verify(mut self, on: bool) -> Self {
+        self.verify = Some(on);
         self
     }
 
@@ -249,6 +269,9 @@ impl RdfStore {
             engine.set_merge_threshold(ops);
         }
         engine.set_threads(config.threads);
+        if let Some(on) = config.verify {
+            engine.set_verify(on);
+        }
         engine.load(&storage, dataset, config.layout, config.compression)?;
         // Loading touched nothing through the pool, but be explicit: the
         // first run must observe a cold system with zeroed counters.

@@ -526,7 +526,7 @@ mod tests {
         let terms = project(scan_all(), vec![0, 1]); // Term, Term
         let counted = group_count(scan_all(), vec![0]); // Term, Count
         let bad = Plan::UnionAll {
-            inputs: vec![terms.clone(), counted.clone()],
+            inputs: vec![terms, counted.clone()],
         };
         let err = bad.validate().unwrap_err();
         assert!(err.contains("column kinds"), "{err}");

@@ -21,6 +21,12 @@ pub enum EngineError {
     /// mismatches, empty unions, ...). Carries [`crate::Plan::validate`]'s
     /// description of the first problem.
     InvalidPlan(String),
+    /// The plan failed the static verifier ([`crate::verify`](mod@crate::verify)) before
+    /// execution — flow typing, physical-property soundness or executor
+    /// legality. The error names the offending operator by plan path
+    /// (e.g. `$.0.1`), so EXPLAIN output and engine errors point at the
+    /// exact node instead of just describing the problem.
+    Verify(crate::verify::VerifyError),
     /// The plan is valid but uses a construct this engine cannot run.
     Unsupported(String),
 }
@@ -35,6 +41,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "no vertically-partitioned layout loaded in this engine")
             }
             EngineError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            EngineError::Verify(e) => write!(f, "plan verification failed: {e}"),
             EngineError::Unsupported(m) => write!(f, "unsupported plan: {m}"),
         }
     }
@@ -60,5 +67,19 @@ mod tests {
         assert!(EngineError::Unsupported("frob".into())
             .to_string()
             .contains("frob"));
+    }
+
+    #[test]
+    fn verify_errors_render_the_plan_path() {
+        use crate::algebra::{join, scan_all};
+        use crate::Plan;
+        let bad = Plan::Distinct {
+            input: Box::new(join(scan_all(), scan_all(), 0, 9)),
+        };
+        let e = crate::verify::verify(&bad, &crate::PropsContext::default()).unwrap_err();
+        let rendered = EngineError::Verify(e).to_string();
+        assert!(rendered.contains("plan verification failed"), "{rendered}");
+        assert!(rendered.contains("$.0"), "{rendered}");
+        assert!(rendered.contains("Join"), "{rendered}");
     }
 }

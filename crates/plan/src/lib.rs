@@ -31,6 +31,9 @@
 //! * [`sparql`] — a miniature SPARQL front-end compiling
 //!   `SELECT ... WHERE { BGP }` to logical plans, so *new* queries (the
 //!   thing the paper could not do with C-Store) are one string away,
+//! * [`mod@verify`] — the static plan verifier: flow typing, physical-property
+//!   soundness and executor legality checked before execution, with typed
+//!   [`verify::VerifyError`]s naming the offending operator by plan path,
 //! * [`exec`] — the [`exec::EngineError`] type every executor reports
 //!   through instead of panicking.
 //!
@@ -59,6 +62,7 @@ pub mod pattern;
 pub mod props;
 pub mod queries;
 pub mod sparql;
+pub mod verify;
 
 pub use algebra::{CmpOp, ColumnKind, Plan, Predicate};
 pub use coverage::{analyze, Coverage};
@@ -69,3 +73,4 @@ pub use pattern::{JoinPattern, SimplePattern};
 pub use props::{derive as derive_props, PhysProps, PropsContext};
 pub use queries::{build_plan, QueryContext, QueryId, Scheme};
 pub use sparql::{compile_sparql, CompiledQuery, SparqlError};
+pub use verify::{verify, Claims, PlanPath, VerifyError, VerifyErrorKind, VerifyReport};

@@ -524,7 +524,7 @@ mod tests {
             keyed_on_b
         );
         // C unsorted on its join column: untouched.
-        let c_unsorted = join(join(vp_scan(1), union.clone(), 0, 0), vp_scan(3), 0, 1);
+        let c_unsorted = join(join(vp_scan(1), union, 0, 0), vp_scan(3), 0, 1);
         assert_eq!(
             reorder_joins(c_unsorted.clone(), &PropsContext::default()),
             c_unsorted

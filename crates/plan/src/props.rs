@@ -804,7 +804,7 @@ mod tests {
         // tombstones drop only the run claim.
         let pending = ctx.clone().with_pending_inserts([3]);
         assert_eq!(derive(&vp(3), &pending), PhysProps::unordered());
-        let tomb = ctx.clone().with_pending_tombstones([3]);
+        let tomb = ctx.with_pending_tombstones([3]);
         let p = derive(&vp(3), &tomb);
         assert_eq!(p.sorted_by, Some(vec![0, 1]), "tombstones keep order");
         assert!(p.run_encoded.is_empty(), "but the union path is flat");

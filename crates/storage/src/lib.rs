@@ -36,6 +36,8 @@
 //! stale cached pages, and freshly written pages enter the pool as the
 //! newest copy.
 
+#![warn(missing_docs)]
+
 pub mod disk;
 pub mod io;
 pub mod lru;

@@ -41,7 +41,7 @@ fn main() -> Result<(), swans_core::Error> {
             StoreConfig::column(Layout::VerticallyPartitioned).on_machine(machine),
         )?,
         Database::open(
-            dataset.clone(),
+            dataset,
             StoreConfig::row(Layout::TripleStore(SortOrder::Pso)).on_machine(machine),
         )?,
     ];

@@ -183,10 +183,7 @@ fn column_engine_run_path_is_bit_identical_to_flat_path() {
             triples.push(Triple::new(t.s, t.p, t.o.wrapping_add(k * 1_000_003)));
         }
     }
-    let ds = swans_rdf::Dataset {
-        triples,
-        ..base.clone()
-    };
+    let ds = swans_rdf::Dataset { triples, ..base };
     let m = StorageManager::new(MachineProfile::B);
 
     for (layout_name, order, scheme) in [

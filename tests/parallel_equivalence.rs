@@ -16,9 +16,18 @@ use swans_rdf::Dataset;
 /// Pool widths under test.
 const WIDTHS: [usize; 3] = [1, 2, 8];
 
+/// Quick mode (`SWANS_PAR_QUICK=1`): a ~5× smaller data set, same widths
+/// and states. CI's sanitizer job runs this suite under ThreadSanitizer,
+/// where every memory access is instrumented — full scale would blow the
+/// job's time box without exercising any additional synchronization.
+fn quick() -> bool {
+    std::env::var_os("SWANS_PAR_QUICK").is_some_and(|v| v == "1")
+}
+
 fn dataset() -> Dataset {
     swans_datagen::generate(&swans_datagen::BartonConfig {
-        scale: 0.0015, // ~75k triples: hot columns span many morsels
+        // Full scale is ~75k triples: hot columns span many morsels.
+        scale: if quick() { 0.0003 } else { 0.0015 },
         seed: 52,
         n_properties: 40,
     })

@@ -1,220 +1,464 @@
-//! Property-based cross-engine fuzzing: for *arbitrary* logical plans over
-//! arbitrary small data sets, the row engine, the column engine (all three
-//! clustering orders) and the naive reference executor must return exactly
-//! the same bag of rows. This goes beyond the twelve benchmark queries and
-//! exercises operator compositions the benchmark never builds.
+//! Plan-level fuzzing, in two tiers.
 //!
-//! Requires the `proptest` crate, which is not declared as a dependency
-//! so the workspace keeps resolving offline. To re-enable where crates.io
-//! is reachable: add `proptest = "1"` to `[dev-dependencies]` of the root
+//! **Mutation fuzzing of the plan verifier** (always on): every benchmark
+//! plan, under every physical context, verifies cleanly — and stops
+//! verifying the moment a single point is corrupted. The fuzzer derives
+//! the optimizer's own claim tree, then flips exactly one thing — a
+//! property claim (`sorted_by` / `distinct` / `run_encoded`) or a column
+//! index inside the plan itself — and asserts `swans_plan::verify`
+//! rejects the mutant with an error whose path resolves to a real node.
+//!
+//! **Property-based cross-engine fuzzing** (feature-gated): for
+//! *arbitrary* logical plans over arbitrary small data sets, the row
+//! engine, the column engine (all three clustering orders) and the naive
+//! reference executor must return exactly the same bag of rows. Requires
+//! the `proptest` crate, which is not declared as a dependency so the
+//! workspace keeps resolving offline. To re-enable where crates.io is
+//! reachable: add `proptest = "1"` to `[dev-dependencies]` of the root
 //! package, then run `cargo test --features proptests`.
-#![cfg(feature = "proptests")]
 
-use proptest::prelude::*;
+use swans_datagen::rng::StdRng;
+use swans_plan::queries::{build_plan, QueryContext, QueryId, Scheme};
+use swans_plan::verify::{locate, verify, verify_claims, Claims, PlanPath};
+use swans_plan::{optimize_for, Plan, PropsContext};
+use swans_rdf::SortOrder;
 
-use swans_colstore::ColumnEngine;
-use swans_plan::algebra::{CmpOp, Plan, Predicate};
-use swans_plan::naive;
-use swans_rdf::{SortOrder, Triple};
-use swans_rowstore::engine::{RowEngine, TripleIndexConfig};
-use swans_storage::{MachineProfile, StorageManager};
-
-const ID_SPACE: u64 = 8;
-
-fn arb_opt_id() -> impl Strategy<Value = Option<u64>> {
-    proptest::option::of(0..ID_SPACE)
+/// A small Barton-shaped data set: enough vocabulary to resolve every
+/// benchmark query's constants.
+fn query_context() -> QueryContext {
+    let ds = swans_datagen::generate(&swans_datagen::BartonConfig {
+        scale: 0.0002,
+        seed: 7,
+        n_properties: 28,
+    });
+    QueryContext::from_dataset(&ds, 28)
 }
 
-fn arb_leaf() -> impl Strategy<Value = Plan> {
-    prop_oneof![
-        (arb_opt_id(), arb_opt_id(), arb_opt_id()).prop_map(|(s, p, o)| Plan::ScanTriples {
-            s,
-            p,
-            o
-        }),
-        (0..ID_SPACE, arb_opt_id(), arb_opt_id(), any::<bool>()).prop_map(
-            |(property, s, o, emit_property)| Plan::ScanProperty {
-                property,
-                s,
-                o,
-                emit_property,
-            }
-        ),
+/// The physical contexts the engine actually runs under: clean layouts in
+/// each clustering order, pending-delta downgrades, and RLE storage.
+fn props_contexts(q: &QueryContext) -> Vec<PropsContext> {
+    let pso = PropsContext::with_order(SortOrder::Pso);
+    vec![
+        PropsContext::default(),
+        PropsContext::with_order(SortOrder::Spo),
+        pso.clone(),
+        pso.clone().with_pending_inserts([q.type_p, q.language_p]),
+        pso.clone().with_pending_tombstones([q.origin_p]),
+        pso.with_rle_props(q.interesting.clone())
+            .with_triple_lead_rle(),
     ]
 }
 
-/// Recursive plan generator. Column indices are drawn as raw seeds and
-/// reduced modulo the child arity, so every generated plan is valid.
-fn arb_plan() -> impl Strategy<Value = Plan> {
-    arb_leaf().prop_recursive(3, 20, 2, |inner| {
+/// Every benchmark plan in both schemes, plus its physically-optimized
+/// form under `ctx` (join reordering changes the tree shape, so mutants
+/// cover rotated joins and restore-order projections too).
+fn benchmark_plans(q: &QueryContext, ctx: &PropsContext) -> Vec<Plan> {
+    let mut plans = Vec::new();
+    for query in QueryId::ALL {
+        for scheme in [Scheme::TripleStore, Scheme::VerticallyPartitioned] {
+            let plan = build_plan(query, scheme, q);
+            plans.push(optimize_for(plan.clone(), ctx));
+            plans.push(plan);
+        }
+    }
+    plans
+}
+
+/// All root→node paths in the plan, in preorder.
+fn all_paths(plan: &Plan) -> Vec<Vec<usize>> {
+    fn walk(plan: &Plan, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        out.push(prefix.clone());
+        let kids: Vec<&Plan> = match plan {
+            Plan::ScanTriples { .. } | Plan::ScanProperty { .. } => vec![],
+            Plan::Select { input, .. }
+            | Plan::FilterIn { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::GroupCount { input, .. }
+            | Plan::HavingCountGt { input, .. }
+            | Plan::Distinct { input } => vec![input],
+            Plan::Join { left, right, .. } => vec![left, right],
+            Plan::UnionAll { inputs } => inputs.iter().collect(),
+        };
+        for (i, kid) in kids.into_iter().enumerate() {
+            prefix.push(i);
+            walk(kid, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Mutable access to the node at `segs` (child indices from the root).
+fn node_at_mut<'a>(plan: &'a mut Plan, segs: &[usize]) -> &'a mut Plan {
+    let mut node = plan;
+    for &seg in segs {
+        node = match node {
+            Plan::Select { input, .. }
+            | Plan::FilterIn { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::GroupCount { input, .. }
+            | Plan::HavingCountGt { input, .. }
+            | Plan::Distinct { input } => input,
+            Plan::Join { left, right, .. } => {
+                if seg == 0 {
+                    left
+                } else {
+                    right
+                }
+            }
+            Plan::UnionAll { inputs } => &mut inputs[seg],
+            Plan::ScanTriples { .. } | Plan::ScanProperty { .. } => {
+                unreachable!("path walks off a leaf")
+            }
+        };
+    }
+    node
+}
+
+/// One attempted single-point corruption. Returns the mutated
+/// `(plan, claims)` pair, or `None` if the chosen node cannot host the
+/// chosen mutation class (e.g. strengthening `distinct` on an
+/// already-distinct node).
+fn mutate(
+    plan: &Plan,
+    claims: &Claims,
+    ctx: &PropsContext,
+    segs: &[usize],
+    class: usize,
+    rng: &mut StdRng,
+) -> Option<(Plan, Claims)> {
+    let path = PlanPath::from_segments(segs.to_vec());
+    let node = locate(plan, &path).expect("enumerated path resolves");
+    let arity = node.arity();
+    let mut mutated_claims = claims.clone();
+    let entry = mutated_claims.at_mut(&path).expect("claims tree parallel");
+    match class {
+        // Strengthen (or reorder) the sort-key claim past what the layout
+        // justifies.
+        0 => {
+            match &mut entry.props.sorted_by {
+                None => entry.props.sorted_by = Some(vec![0]),
+                Some(key) => {
+                    if let Some(extra) = (0..arity).find(|c| !key.contains(c)) {
+                        key.push(extra);
+                    } else if key.len() >= 2 {
+                        key.swap(0, 1);
+                    } else {
+                        return None;
+                    }
+                }
+            }
+            Some((plan.clone(), mutated_claims))
+        }
+        // Invent a distinct claim.
+        1 => {
+            if entry.props.distinct {
+                return None;
+            }
+            entry.props.distinct = true;
+            Some((plan.clone(), mutated_claims))
+        }
+        // Invent a run-encoding claim on a column no RLE scan feeds.
+        2 => {
+            let free: Vec<usize> = (0..arity)
+                .filter(|c| !entry.props.run_encoded.contains(c))
+                .collect();
+            if free.is_empty() {
+                return None;
+            }
+            entry
+                .props
+                .run_encoded
+                .push(free[rng.random_range(0..free.len())]);
+            Some((plan.clone(), mutated_claims))
+        }
+        // Corrupt a column index inside the plan itself (claims are
+        // re-derived: the *structural* check must catch it).
+        _ => {
+            let mut mutated = plan.clone();
+            let target = node_at_mut(&mut mutated, segs);
+            match target {
+                Plan::Select { pred, .. } => pred.col = arity + 7,
+                Plan::FilterIn { col, .. } => *col = arity + 7,
+                Plan::Join {
+                    right_col, right, ..
+                } => *right_col = right.arity() + 7,
+                Plan::Project { cols, .. } => cols[0] = arity + 7,
+                Plan::GroupCount { keys, .. } => keys[0] = arity + 7,
+                _ => return None,
+            }
+            let claims = Claims::derive_tree(&mutated, ctx);
+            Some((mutated, claims))
+        }
+    }
+}
+
+/// The verifier accepts the optimizer's own claims on every benchmark
+/// plan under every physical context — zero false positives.
+#[test]
+fn unmutated_benchmark_plans_always_verify() {
+    let q = query_context();
+    for ctx in props_contexts(&q) {
+        for plan in benchmark_plans(&q, &ctx) {
+            verify(&plan, &ctx).unwrap_or_else(|e| panic!("{e}\non {}", plan.explain()));
+        }
+    }
+}
+
+/// The mutation fuzzer: ≥95% of single-point corruptions are rejected,
+/// and every rejection names a node that actually exists in the plan.
+#[test]
+fn verifier_rejects_single_point_mutants() {
+    let q = query_context();
+    let mut rng = StdRng::seed_from_u64(0x5AA5_2008);
+    let (mut attempted, mut rejected) = (0u64, 0u64);
+    for ctx in props_contexts(&q) {
+        for plan in benchmark_plans(&q, &ctx) {
+            let claims = Claims::derive_tree(&plan, &ctx);
+            let paths = all_paths(&plan);
+            for _ in 0..6 {
+                let segs = &paths[rng.random_range(0..paths.len())];
+                let class = rng.random_range(0..4);
+                let Some((mplan, mclaims)) = mutate(&plan, &claims, &ctx, segs, class, &mut rng)
+                else {
+                    continue;
+                };
+                attempted += 1;
+                match verify_claims(&mplan, &mclaims, &ctx) {
+                    Ok(_) => {}
+                    Err(e) => {
+                        rejected += 1;
+                        assert!(
+                            locate(&mplan, &e.path).is_some(),
+                            "error path {} does not resolve in the mutant",
+                            e.path
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(attempted >= 500, "fuzzer starved: only {attempted} mutants");
+    let rate = rejected as f64 / attempted as f64;
+    eprintln!("mutation fuzzer: {rejected}/{attempted} mutants rejected ({rate:.3})");
+    assert!(
+        rate >= 0.95,
+        "verifier caught only {rejected}/{attempted} mutants ({rate:.3})"
+    );
+}
+
+/// Cross-engine equivalence on arbitrary generated plans (feature-gated:
+/// needs the undeclared `proptest` crate — see the module docs).
+#[cfg(feature = "proptests")]
+mod cross_engine {
+    use proptest::prelude::*;
+
+    use swans_colstore::ColumnEngine;
+    use swans_plan::algebra::{CmpOp, Plan, Predicate};
+    use swans_plan::naive;
+    use swans_rdf::{SortOrder, Triple};
+    use swans_rowstore::engine::{RowEngine, TripleIndexConfig};
+    use swans_storage::{MachineProfile, StorageManager};
+
+    const ID_SPACE: u64 = 8;
+
+    fn arb_opt_id() -> impl Strategy<Value = Option<u64>> {
+        proptest::option::of(0..ID_SPACE)
+    }
+
+    fn arb_leaf() -> impl Strategy<Value = Plan> {
         prop_oneof![
-            // Select
-            (inner.clone(), any::<usize>(), 0..ID_SPACE, any::<bool>()).prop_map(
-                |(p, colseed, value, ne)| {
-                    let col = colseed % p.arity();
-                    Plan::Select {
-                        input: Box::new(p),
-                        pred: Predicate {
-                            col,
-                            op: if ne { CmpOp::Ne } else { CmpOp::Eq },
-                            value,
-                        },
-                    }
+            (arb_opt_id(), arb_opt_id(), arb_opt_id()).prop_map(|(s, p, o)| Plan::ScanTriples {
+                s,
+                p,
+                o
+            }),
+            (0..ID_SPACE, arb_opt_id(), arb_opt_id(), any::<bool>()).prop_map(
+                |(property, s, o, emit_property)| Plan::ScanProperty {
+                    property,
+                    s,
+                    o,
+                    emit_property,
                 }
             ),
-            // FilterIn
-            (
-                inner.clone(),
-                any::<usize>(),
-                proptest::collection::vec(0..ID_SPACE, 0..4)
-            )
-                .prop_map(|(p, colseed, values)| {
-                    let col = colseed % p.arity();
-                    Plan::FilterIn {
-                        input: Box::new(p),
-                        col,
-                        values,
-                    }
-                }),
-            // Join (cap the combined arity to keep row widths legal)
-            (inner.clone(), inner.clone(), any::<usize>(), any::<usize>()).prop_map(
-                |(l, r, ls, rs)| {
-                    if l.arity() + r.arity() > 9 {
-                        // Too wide: degrade to the left child.
-                        return l;
-                    }
-                    let left_col = ls % l.arity();
-                    let right_col = rs % r.arity();
-                    Plan::Join {
-                        left: Box::new(l),
-                        right: Box::new(r),
-                        left_col,
-                        right_col,
-                    }
-                }
-            ),
-            // Project (non-empty)
-            (
-                inner.clone(),
-                proptest::collection::vec(any::<usize>(), 1..4)
-            )
-                .prop_map(|(p, seeds)| {
-                    let a = p.arity();
-                    Plan::Project {
-                        input: Box::new(p),
-                        cols: seeds.into_iter().map(|s| s % a).collect(),
-                    }
-                }),
-            // GroupCount on 1–2 distinct keys
-            (
-                inner.clone(),
-                any::<usize>(),
-                proptest::option::of(any::<usize>())
-            )
-                .prop_map(|(p, k0, k1)| {
-                    let a = p.arity();
-                    let mut keys = vec![k0 % a];
-                    if let Some(k1) = k1 {
-                        let k1 = k1 % a;
-                        if !keys.contains(&k1) {
-                            keys.push(k1);
+        ]
+    }
+
+    /// Recursive plan generator. Column indices are drawn as raw seeds and
+    /// reduced modulo the child arity, so every generated plan is valid.
+    fn arb_plan() -> impl Strategy<Value = Plan> {
+        arb_leaf().prop_recursive(3, 20, 2, |inner| {
+            prop_oneof![
+                // Select
+                (inner.clone(), any::<usize>(), 0..ID_SPACE, any::<bool>()).prop_map(
+                    |(p, colseed, value, ne)| {
+                        let col = colseed % p.arity();
+                        Plan::Select {
+                            input: Box::new(p),
+                            pred: Predicate {
+                                col,
+                                op: if ne { CmpOp::Ne } else { CmpOp::Eq },
+                                value,
+                            },
                         }
                     }
-                    Plan::GroupCount {
-                        input: Box::new(p),
-                        keys,
+                ),
+                // FilterIn
+                (
+                    inner.clone(),
+                    any::<usize>(),
+                    proptest::collection::vec(0..ID_SPACE, 0..4)
+                )
+                    .prop_map(|(p, colseed, values)| {
+                        let col = colseed % p.arity();
+                        Plan::FilterIn {
+                            input: Box::new(p),
+                            col,
+                            values,
+                        }
+                    }),
+                // Join (cap the combined arity to keep row widths legal)
+                (inner.clone(), inner.clone(), any::<usize>(), any::<usize>()).prop_map(
+                    |(l, r, ls, rs)| {
+                        if l.arity() + r.arity() > 9 {
+                            // Too wide: degrade to the left child.
+                            return l;
+                        }
+                        let left_col = ls % l.arity();
+                        let right_col = rs % r.arity();
+                        Plan::Join {
+                            left: Box::new(l),
+                            right: Box::new(r),
+                            left_col,
+                            right_col,
+                        }
                     }
+                ),
+                // Project (non-empty)
+                (
+                    inner.clone(),
+                    proptest::collection::vec(any::<usize>(), 1..4)
+                )
+                    .prop_map(|(p, seeds)| {
+                        let a = p.arity();
+                        Plan::Project {
+                            input: Box::new(p),
+                            cols: seeds.into_iter().map(|s| s % a).collect(),
+                        }
+                    }),
+                // GroupCount on 1–2 distinct keys
+                (
+                    inner.clone(),
+                    any::<usize>(),
+                    proptest::option::of(any::<usize>())
+                )
+                    .prop_map(|(p, k0, k1)| {
+                        let a = p.arity();
+                        let mut keys = vec![k0 % a];
+                        if let Some(k1) = k1 {
+                            let k1 = k1 % a;
+                            if !keys.contains(&k1) {
+                                keys.push(k1);
+                            }
+                        }
+                        Plan::GroupCount {
+                            input: Box::new(p),
+                            keys,
+                        }
+                    }),
+                // HavingCountGt (valid over any non-empty schema: filters on
+                // the last column)
+                (inner.clone(), 0u64..3).prop_map(|(p, min)| Plan::HavingCountGt {
+                    input: Box::new(p),
+                    min,
                 }),
-            // HavingCountGt (valid over any non-empty schema: filters on
-            // the last column)
-            (inner.clone(), 0u64..3).prop_map(|(p, min)| Plan::HavingCountGt {
-                input: Box::new(p),
-                min,
-            }),
-            // UnionAll of two structurally identical branches
-            inner.clone().prop_map(|p| Plan::UnionAll {
-                inputs: vec![p.clone(), p],
-            }),
-            // Distinct
-            inner.prop_map(|p| Plan::Distinct { input: Box::new(p) }),
-        ]
-    })
-}
+                // UnionAll of two structurally identical branches
+                inner.clone().prop_map(|p| Plan::UnionAll {
+                    inputs: vec![p.clone(), p],
+                }),
+                // Distinct
+                inner.prop_map(|p| Plan::Distinct { input: Box::new(p) }),
+            ]
+        })
+    }
 
-fn arb_triples() -> impl Strategy<Value = Vec<Triple>> {
-    proptest::collection::vec(
-        (0..ID_SPACE, 0..ID_SPACE, 0..ID_SPACE).prop_map(|(s, p, o)| Triple::new(s, p, o)),
-        0..60,
-    )
-}
+    fn arb_triples() -> impl Strategy<Value = Vec<Triple>> {
+        proptest::collection::vec(
+            (0..ID_SPACE, 0..ID_SPACE, 0..ID_SPACE).prop_map(|(s, p, o)| Triple::new(s, p, o)),
+            0..60,
+        )
+    }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
 
-    #[test]
-    fn engines_match_naive_on_random_plans(
-        triples in arb_triples(),
-        plan in arb_plan(),
-    ) {
-        prop_assert_eq!(plan.validate(), Ok(()));
-        let want = naive::normalize(naive::execute(&plan, &triples));
+        #[test]
+        fn engines_match_naive_on_random_plans(
+            triples in arb_triples(),
+            plan in arb_plan(),
+        ) {
+            prop_assert_eq!(plan.validate(), Ok(()));
+            let want = naive::normalize(naive::execute(&plan, &triples));
 
-        // The optimizer's rewrites must preserve answers on any plan.
-        let optimized = swans_plan::optimize(plan.clone());
-        prop_assert_eq!(optimized.validate(), Ok(()));
-        let opt_rows = naive::normalize(naive::execute(&optimized, &triples));
-        prop_assert_eq!(
-            &opt_rows, &want,
-            "optimize() changed answers: {:?} -> {:?}", plan, optimized
-        );
-
-        // Scheme lowering must preserve answers too (given the complete
-        // property list of the data set).
-        let all_props: Vec<u64> = {
-            let mut ps: Vec<u64> = triples.iter().map(|t| t.p).collect();
-            ps.sort_unstable();
-            ps.dedup();
-            ps
-        };
-        let lowered = swans_plan::lower_to_vertical(&plan, &all_props);
-        prop_assert_eq!(lowered.validate(), Ok(()));
-        let low_rows = naive::normalize(naive::execute(&lowered, &triples));
-        prop_assert_eq!(
-            &low_rows, &want,
-            "lower_to_vertical() changed answers on {:?}", plan
-        );
-
-        // Column engine under all clustering orders — executing both the
-        // raw and the optimized plan.
-        for order in [SortOrder::Spo, SortOrder::Pso, SortOrder::Osp] {
-            let m = StorageManager::new(MachineProfile::B);
-            let mut col = ColumnEngine::new();
-            col.load_triple_store(&m, &triples, order, true);
-            col.load_vertical(&m, &triples, false);
-            let got = naive::normalize(col.execute(&plan).expect("plan executes").to_rows());
+            // The optimizer's rewrites must preserve answers on any plan.
+            let optimized = swans_plan::optimize(plan.clone());
+            prop_assert_eq!(optimized.validate(), Ok(()));
+            let opt_rows = naive::normalize(naive::execute(&optimized, &triples));
             prop_assert_eq!(
-                &got, &want,
-                "column engine ({}) diverged on {:?}", order, plan
+                &opt_rows, &want,
+                "optimize() changed answers: {:?} -> {:?}", plan, optimized
             );
-            let got_opt =
-                naive::normalize(col.execute(&optimized).expect("plan executes").to_rows());
-            prop_assert_eq!(
-                &got_opt, &want,
-                "column engine ({}) diverged on optimized {:?}", order, optimized
-            );
-        }
 
-        // Row engine under both paper index configurations.
-        for config in [TripleIndexConfig::spo(), TripleIndexConfig::pso()] {
-            let m = StorageManager::new(MachineProfile::B);
-            let mut row = RowEngine::new();
-            row.load_triple_store(&m, &triples, &config);
-            row.load_vertical(&m, &triples);
-            let got = naive::normalize(row.execute(&plan).expect("plan executes"));
+            // Scheme lowering must preserve answers too (given the complete
+            // property list of the data set).
+            let all_props: Vec<u64> = {
+                let mut ps: Vec<u64> = triples.iter().map(|t| t.p).collect();
+                ps.sort_unstable();
+                ps.dedup();
+                ps
+            };
+            let lowered = swans_plan::lower_to_vertical(&plan, &all_props);
+            prop_assert_eq!(lowered.validate(), Ok(()));
+            let low_rows = naive::normalize(naive::execute(&lowered, &triples));
             prop_assert_eq!(
-                &got, &want,
-                "row engine ({}) diverged on {:?}", config.cluster, plan
+                &low_rows, &want,
+                "lower_to_vertical() changed answers on {:?}", plan
             );
+
+            // Column engine under all clustering orders — executing both the
+            // raw and the optimized plan.
+            for order in [SortOrder::Spo, SortOrder::Pso, SortOrder::Osp] {
+                let m = StorageManager::new(MachineProfile::B);
+                let mut col = ColumnEngine::new();
+                col.load_triple_store(&m, &triples, order, true);
+                col.load_vertical(&m, &triples, false);
+                let got = naive::normalize(col.execute(&plan).expect("plan executes").to_rows());
+                prop_assert_eq!(
+                    &got, &want,
+                    "column engine ({}) diverged on {:?}", order, plan
+                );
+                let got_opt =
+                    naive::normalize(col.execute(&optimized).expect("plan executes").to_rows());
+                prop_assert_eq!(
+                    &got_opt, &want,
+                    "column engine ({}) diverged on optimized {:?}", order, optimized
+                );
+            }
+
+            // Row engine under both paper index configurations.
+            for config in [TripleIndexConfig::spo(), TripleIndexConfig::pso()] {
+                let m = StorageManager::new(MachineProfile::B);
+                let mut row = RowEngine::new();
+                row.load_triple_store(&m, &triples, &config);
+                row.load_vertical(&m, &triples);
+                let got = naive::normalize(row.execute(&plan).expect("plan executes"));
+                prop_assert_eq!(
+                    &got, &want,
+                    "row engine ({}) diverged on {:?}", config.cluster, plan
+                );
+            }
         }
     }
 }
