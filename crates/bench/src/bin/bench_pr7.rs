@@ -1,0 +1,41 @@
+//! Regenerates `BENCH_PR7.json`: the durability experiment — per engine ×
+//! layout configuration, the real-I/O cost of a crash-safe workload
+//! (fsyncs, bytes synced, WAL growth) and the recovery path a restart
+//! pays (snapshot load + WAL replay + engine load), plus the checkpoint
+//! cost that bounds WAL accumulation.
+//!
+//! Usage: `cargo run -p swans-bench --release --bin bench_pr7 [-- --quick]`
+//! `--quick` shrinks the data set and workload for CI smoke runs.
+//! Env knobs: `SWANS_SCALE`, `SWANS_SEED` (see the crate docs).
+
+use swans_bench::{durability, HarnessConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = HarnessConfig::from_env();
+    let mut ops = 2_000;
+    if quick {
+        cfg.scale = cfg.scale.min(0.0005);
+        ops = 200;
+    } else if std::env::var("SWANS_SCALE").is_err() {
+        // Match bench_updates: the row engine's in-place path is
+        // O(table size) per operation.
+        cfg.scale = 0.004;
+    }
+    eprintln!(
+        "[bench_pr7] scale={} seed={} ops={ops} quick={quick}",
+        cfg.scale, cfg.seed
+    );
+    let rows = durability::run(&cfg, ops);
+    let json = durability::to_json(&cfg, quick, &rows);
+    std::fs::write("BENCH_PR7.json", &json).expect("write BENCH_PR7.json");
+    eprintln!("[bench_pr7] wrote BENCH_PR7.json");
+
+    println!("{}", durability::render(&rows));
+    println!(
+        "Every configuration recovers from the same directory format: the\n\
+         snapshot carries the checkpointed state (RLE-compressed, CRC-sealed),\n\
+         the WAL carries every acknowledged batch since. `recover s` is the\n\
+         full restart path: snapshot load + WAL replay + engine load."
+    );
+}

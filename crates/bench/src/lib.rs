@@ -22,12 +22,14 @@
 //! | `bench_updates` | update cost per engine × layout (write path) |
 //! | `bench_pr4` | morsel-parallel scaling curve (`BENCH_PR4.json`) |
 //! | `bench_pr5` | compressed-execution A/B (`BENCH_PR5.json`) |
+//! | `bench_pr7` | durability: recovery time + WAL/snapshot sizes (`BENCH_PR7.json`) |
 //!
 //! Environment knobs: `SWANS_SCALE` (fraction of the 50.3M-triple Barton
 //! data set to synthesize, default 0.02), `SWANS_REPEATS` (averaging, the
 //! paper uses 3; default 3), `SWANS_SEED`.
 
 pub mod compressed;
+pub mod durability;
 pub mod experiments;
 pub mod paper;
 pub mod parallel;

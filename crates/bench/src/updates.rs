@@ -42,6 +42,15 @@ pub struct UpdateMeasure {
     pub merge_mb_written: f64,
     /// Hot q5 compute seconds after the merge.
     pub q5_merged_s: f64,
+    /// Real fsyncs a durable twin of this configuration issued while
+    /// applying the same workload (one per acknowledged commit, plus any
+    /// checkpoint the engine's merge policy triggered).
+    pub syncs: u64,
+    /// Bytes the durable twin made durable with those fsyncs (decimal MB).
+    pub synced_mb: f64,
+    /// The durable twin's WAL size after the applies (decimal MB) — what
+    /// an un-checkpointed crash at the end of the workload would replay.
+    pub wal_mb: f64,
 }
 
 /// The six configuration cells of the experiment.
@@ -120,6 +129,40 @@ pub fn run(cfg: &HarnessConfig, ops: usize) -> Vec<UpdateMeasure> {
             let merge_io = db.store().storage().stats().since(&before);
             let q5_merged_s = hot_q5(&db, &ctx);
 
+            // The durable twin: same configuration, same applies, but
+            // through a crash-safe directory — its WAL appends and fsyncs
+            // are the real-I/O price of making this workload durable.
+            let dir = crate::durability::scratch_dir("upd");
+            let (syncs, synced_mb, wal_mb) = {
+                let mut twin = Database::import_at(
+                    &dir,
+                    ds.clone(),
+                    db.config().clone(),
+                    swans_core::DurabilityOptions::default(),
+                )
+                .expect("durable twin imports");
+                let before = twin.store().storage().stats();
+                twin.delete(
+                    deletes
+                        .iter()
+                        .map(|(s, p, o)| (s.as_str(), p.as_str(), o.as_str())),
+                )
+                .expect("twin deletes apply");
+                twin.insert(
+                    inserts
+                        .iter()
+                        .map(|(s, p, o)| (s.as_str(), p.as_str(), o.as_str())),
+                )
+                .expect("twin inserts apply");
+                let io = twin.store().storage().stats().since(&before);
+                (
+                    io.syncs,
+                    io.bytes_synced as f64 / 1e6,
+                    twin.wal_bytes().expect("durable") as f64 / 1e6,
+                )
+            };
+            let _ = std::fs::remove_dir_all(&dir);
+
             UpdateMeasure {
                 config: label,
                 ops: deletes.len() + inserts.len(),
@@ -129,6 +172,9 @@ pub fn run(cfg: &HarnessConfig, ops: usize) -> Vec<UpdateMeasure> {
                 merge_s,
                 merge_mb_written: merge_io.bytes_written as f64 / 1e6,
                 q5_merged_s,
+                syncs,
+                synced_mb,
+                wal_mb,
             }
         })
         .collect()
@@ -156,6 +202,9 @@ pub fn render(rows: &[UpdateMeasure]) -> String {
                 format!("{:.3}", r.merge_s),
                 format!("{:.2}", r.merge_mb_written),
                 format!("{:.4}", r.q5_merged_s),
+                r.syncs.to_string(),
+                format!("{:.2}", r.synced_mb),
+                format!("{:.3}", r.wal_mb),
             ]
         })
         .collect();
@@ -169,6 +218,9 @@ pub fn render(rows: &[UpdateMeasure]) -> String {
             "merge s",
             "merge MBw",
             "q5 merged s",
+            "fsyncs",
+            "sync MBw",
+            "WAL MB",
         ],
         &table,
     )
@@ -183,6 +235,7 @@ mod tests {
     /// writes at apply time and nothing at merge, the column engine pays
     /// its table rebuilds at merge time.
     #[test]
+    #[cfg_attr(miri, ignore)] // the durable twin does real file I/O
     fn tiny_run_reports_the_cost_split() {
         let cfg = HarnessConfig {
             scale: 0.0001,
@@ -199,6 +252,11 @@ mod tests {
             } else {
                 assert!(r.merge_mb_written > 0.0, "{}: merge rebuilds", r.config);
             }
+            // The durable twin: one delete batch + one insert batch, each
+            // fsynced before acknowledgement, both waiting in the WAL.
+            assert!(r.syncs >= 2, "{}: twin fsyncs its commits", r.config);
+            assert!(r.synced_mb > 0.0, "{}: fsyncs carry bytes", r.config);
+            assert!(r.wal_mb > 0.0, "{}: the WAL holds the batches", r.config);
         }
         let text = render(&rows);
         assert!(text.contains("configuration"));

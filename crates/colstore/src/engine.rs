@@ -429,6 +429,14 @@ impl ColumnEngine {
         self.stats.reset();
     }
 
+    /// Lifetime count of write-store merges (explicit and
+    /// threshold-triggered). The durability layer watches this to
+    /// checkpoint whenever the engine folded its write store — a merge is
+    /// exactly the moment the sorted state is worth snapshotting.
+    pub fn merges(&self) -> u64 {
+        self.exec_stats().merges
+    }
+
     /// The physical-layout context plans are derived against.
     ///
     /// Pending write-store state is reported **per property**: only scans

@@ -6,6 +6,7 @@
 //! an *arbitrary* query on whatever engine × layout was opened — returning
 //! decoded term strings, not raw dictionary codes.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use swans_plan::algebra::Plan;
@@ -13,6 +14,7 @@ use swans_plan::queries::{QueryContext, QueryId};
 use swans_plan::sparql::compile_sparql;
 use swans_rdf::{Dataset, Delta};
 
+use crate::durable::{DurabilityOptions, Durable, RecoveryReport};
 use crate::error::Error;
 use crate::result::ResultSet;
 use crate::store::{QueryRun, RdfStore, StoreConfig};
@@ -39,15 +41,21 @@ use crate::Engine;
 pub struct Database {
     dataset: Arc<Dataset>,
     store: RdfStore,
+    durable: Option<Durable>,
 }
 
 impl Database {
     /// Opens `dataset` under `config` with the built-in engine the
-    /// configuration names.
+    /// configuration names. In-memory only: nothing survives a process
+    /// restart (see [`Database::open_at`] for the durable form).
     pub fn open(dataset: impl Into<Arc<Dataset>>, config: StoreConfig) -> Result<Self, Error> {
         let dataset = dataset.into();
         let store = RdfStore::try_load(&dataset, config)?;
-        Ok(Self { dataset, store })
+        Ok(Self {
+            dataset,
+            store,
+            durable: None,
+        })
     }
 
     /// Opens `dataset` on a caller-provided [`Engine`] implementation —
@@ -59,7 +67,81 @@ impl Database {
     ) -> Result<Self, Error> {
         let dataset = dataset.into();
         let store = RdfStore::with_engine(&dataset, config, engine)?;
-        Ok(Self { dataset, store })
+        Ok(Self {
+            dataset,
+            store,
+            durable: None,
+        })
+    }
+
+    /// Opens (or initializes) a **durable** database rooted at directory
+    /// `path`: recovery loads the last valid snapshot and replays the
+    /// write-ahead-log tail, so every batch a previous process
+    /// acknowledged is present — even if that process was killed
+    /// mid-write. A torn or corrupt WAL tail is a clean end-of-log, never
+    /// an error. The directory's format is engine-agnostic: it may be
+    /// reopened under any `config`.
+    ///
+    /// ```
+    /// use swans_core::{Database, Layout, StoreConfig};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("swans-open-at-doc-{}", std::process::id()));
+    /// # let _ = std::fs::remove_dir_all(&dir);
+    /// let config = StoreConfig::column(Layout::VerticallyPartitioned);
+    /// let mut db = Database::open_at(&dir, config.clone())?;
+    /// db.insert([("<s1>", "<type>", "<Text>")])?; // logged + fsynced before applying
+    /// db.checkpoint()?; // snapshot the store, truncate the log
+    /// drop(db);
+    ///
+    /// // A new process sees the acknowledged state.
+    /// let db = Database::open_at(&dir, config)?;
+    /// assert_eq!(db.query("SELECT ?s WHERE { ?s <type> <Text> }")?.len(), 1);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), swans_core::Error>(())
+    /// ```
+    pub fn open_at(path: impl AsRef<Path>, config: StoreConfig) -> Result<Self, Error> {
+        Self::open_at_with(path, config, DurabilityOptions::default())
+    }
+
+    /// [`Database::open_at`] with explicit [`DurabilityOptions`] (fsync
+    /// policy, append verification, auto-checkpoint threshold, fault
+    /// injection).
+    pub fn open_at_with(
+        path: impl AsRef<Path>,
+        config: StoreConfig,
+        options: DurabilityOptions,
+    ) -> Result<Self, Error> {
+        let (dataset, durable) = Durable::open(path.as_ref(), options)?;
+        Self::finish_durable(dataset, config, durable)
+    }
+
+    /// Bulk-imports `dataset` into a **fresh** durable directory at
+    /// `path` (an immediate checkpoint makes the import durable), then
+    /// opens it. Fails if `path` already holds a durable database.
+    pub fn import_at(
+        path: impl AsRef<Path>,
+        dataset: Dataset,
+        config: StoreConfig,
+        options: DurabilityOptions,
+    ) -> Result<Self, Error> {
+        let durable = Durable::create_from(path.as_ref(), &dataset, options)?;
+        Self::finish_durable(dataset, config, durable)
+    }
+
+    fn finish_durable(
+        dataset: Dataset,
+        config: StoreConfig,
+        mut durable: Durable,
+    ) -> Result<Self, Error> {
+        let dataset = Arc::new(dataset);
+        let store = RdfStore::try_load(&dataset, config)?;
+        durable.set_stats(store.storage().stats_handle());
+        durable.engine_merges = store.merges();
+        Ok(Self {
+            dataset,
+            store,
+            durable: Some(durable),
+        })
     }
 
     /// The data set this database serves.
@@ -156,11 +238,7 @@ impl Database {
         if delta.is_empty() {
             return Ok(0);
         }
-        // Engine first: if it declines the delta, the triple bag must not
-        // diverge from what the engine serves (interned terms are
-        // harmless — a dictionary entry with no triples).
-        self.store.apply(&delta)?;
-        Arc::make_mut(&mut self.dataset).apply(&delta);
+        self.commit(&delta)?;
         Ok(delta.inserts.len())
     }
 
@@ -198,8 +276,7 @@ impl Database {
         if delta.is_empty() {
             return Ok(0);
         }
-        self.store.apply(&delta)?;
-        Arc::make_mut(&mut self.dataset).apply(&delta);
+        self.commit(&delta)?;
         Ok(delta.deletes.len())
     }
 
@@ -210,17 +287,74 @@ impl Database {
         if delta.is_empty() {
             return Ok(());
         }
+        self.commit(delta)
+    }
+
+    /// The one commit path every mutation takes. Durable databases log
+    /// the batch first — the WAL append (verified and fsynced under the
+    /// default [`DurabilityOptions`]) is the acknowledgement point; if it
+    /// fails, neither the engine nor the dataset is touched. Then the
+    /// engine absorbs the delta ("engine first": if it declines, the
+    /// triple bag must not diverge from what the engine serves — interned
+    /// terms are harmless, a dictionary entry with no triples), and
+    /// finally the logical dataset. A threshold-triggered engine merge or
+    /// a reached auto-checkpoint budget checkpoints before returning.
+    fn commit(&mut self, delta: &Delta) -> Result<(), Error> {
+        if let Some(durable) = &mut self.durable {
+            durable.append_batch(&self.dataset.dict, delta)?;
+        }
         self.store.apply(delta)?;
         Arc::make_mut(&mut self.dataset).apply(delta);
+        if let Some(durable) = &self.durable {
+            if self.store.merges() != durable.engine_merges || durable.wants_checkpoint() {
+                self.checkpoint()?;
+            }
+        }
         Ok(())
     }
 
     /// Merges the engine's buffered mutations into its sorted primary
     /// layout, restoring sorted-path dispatch (merge joins, run-based
     /// aggregation) on the column engine. A no-op for engines that apply
-    /// mutations in place.
+    /// mutations in place. On a durable database the merged state is
+    /// immediately checkpointed — the sorted store was just rebuilt, so
+    /// this is exactly when a snapshot is cheapest to justify.
     pub fn merge(&mut self) -> Result<(), Error> {
-        self.store.merge()
+        self.store.merge()?;
+        if self.durable.is_some() {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Snapshots the current state into the durable directory (temp
+    /// file, verify, atomic rename) and truncates the write-ahead log. A
+    /// no-op on non-durable databases. On error, the previous snapshot
+    /// and the full WAL are left intact.
+    pub fn checkpoint(&mut self) -> Result<(), Error> {
+        let merges = self.store.merges();
+        if let Some(durable) = &mut self.durable {
+            durable.checkpoint(&self.dataset)?;
+            durable.engine_merges = merges;
+        }
+        Ok(())
+    }
+
+    /// How recovery went when this database was opened with
+    /// [`Database::open_at`]; `None` for in-memory databases.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.durable.as_ref().map(Durable::report)
+    }
+
+    /// Current write-ahead-log size in bytes (`None` if not durable).
+    pub fn wal_bytes(&self) -> Option<u64> {
+        self.durable.as_ref().map(Durable::wal_bytes)
+    }
+
+    /// Encoded size of the latest snapshot in bytes (`None` if not
+    /// durable, 0 if none has been written yet).
+    pub fn snapshot_bytes(&self) -> Option<u64> {
+        self.durable.as_ref().map(Durable::snapshot_bytes)
     }
 
     /// Number of applied-but-unmerged mutations buffered by the engine.
@@ -637,6 +771,7 @@ mod tests {
         let mut db = Database {
             dataset: Arc::new(ds),
             store,
+            durable: None,
         };
         let before = db.dataset().len();
         assert!(matches!(
@@ -649,6 +784,105 @@ mod tests {
             Err(Error::Engine(_))
         ));
         assert_eq!(db.dataset().len(), before);
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "swans-db-{}-{}-{}",
+            tag,
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The durable lifecycle end to end: import, mutate, kill (drop),
+    /// reopen — under every engine × layout, and the directory written
+    /// under one configuration reopens under every other.
+    #[test]
+    #[cfg_attr(miri, ignore)] // real file I/O
+    fn durable_directory_reopens_under_every_configuration() {
+        let dir = scratch("reopen");
+        let q = "SELECT ?s ?l WHERE { ?s <type> <Text> . ?s <lang> ?l }";
+        {
+            let mut db = Database::import_at(
+                &dir,
+                dataset(),
+                StoreConfig::column(Layout::VerticallyPartitioned),
+                DurabilityOptions::default(),
+            )
+            .expect("imports");
+            db.insert([("<s4>", "<type>", "<Text>"), ("<s4>", "<lang>", "\"deu\"")])
+                .expect("inserts");
+            db.delete([("<s2>", "<lang>", "\"eng\"")]).expect("deletes");
+            assert!(db.wal_bytes().unwrap() > 0, "batches logged");
+            // No checkpoint, no merge: the WAL tail alone must carry the
+            // mutations through the reopen.
+        }
+        let expected = vec![
+            vec!["<s1>".to_string(), "\"fre\"".to_string()],
+            vec!["<s4>".to_string(), "\"deu\"".to_string()],
+        ];
+        for config in all_configs() {
+            let label = config.label();
+            let db = Database::open_at(&dir, config).unwrap_or_else(|e| panic!("{label}: {e}"));
+            let report = db.recovery_report().expect("durable");
+            assert_eq!(report.replayed_batches, 2, "{label}");
+            assert!(report.snapshot_triples > 0, "{label}");
+            let mut rows = db
+                .query(q)
+                .unwrap_or_else(|e| panic!("{label}: {e}"))
+                .decoded();
+            rows.sort();
+            assert_eq!(rows, expected, "{label} recovered state disagrees");
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// A threshold-triggered engine merge checkpoints automatically: the
+    /// WAL is truncated without any explicit merge()/checkpoint() call.
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn auto_merge_checkpoints_durable_databases() {
+        let dir = scratch("automerge");
+        let config = StoreConfig::column(Layout::VerticallyPartitioned).with_merge_threshold(2);
+        let mut db = Database::import_at(&dir, dataset(), config, DurabilityOptions::default())
+            .expect("imports");
+        db.insert([("<a>", "<type>", "<Text>")]).expect("inserts");
+        assert!(db.wal_bytes().unwrap() > 0);
+        db.insert([("<b>", "<type>", "<Text>")]).expect("inserts");
+        assert_eq!(db.pending_delta(), 0, "threshold reached: auto-merged");
+        assert_eq!(db.wal_bytes(), Some(0), "auto-merge checkpointed");
+        // The checkpoint is complete: a reopen replays nothing.
+        drop(db);
+        let db = Database::open_at(&dir, StoreConfig::row(Layout::VerticallyPartitioned))
+            .expect("reopens");
+        assert_eq!(db.recovery_report().unwrap().replayed_batches, 0);
+        assert_eq!(
+            db.query("SELECT ?s WHERE { ?s <type> <Text> }")
+                .expect("queries")
+                .len(),
+            4
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Durable fsync accounting reaches the store's IoStats window.
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn durable_syncs_are_accounted() {
+        let dir = scratch("syncs");
+        let mut db = Database::open_at(&dir, StoreConfig::column(Layout::VerticallyPartitioned))
+            .expect("opens");
+        let before = db.store().storage().stats();
+        db.insert([("<s1>", "<type>", "<Text>")]).expect("inserts");
+        let after = db.store().storage().stats().since(&before);
+        assert!(after.syncs >= 1, "commit must fsync");
+        assert!(after.bytes_synced > 0);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -85,6 +85,14 @@ pub trait Engine: Send + Sync {
         0
     }
 
+    /// Lifetime count of merges this engine performed (explicit *and*
+    /// threshold-triggered). The durable front door watches this across
+    /// [`Engine::apply`] calls to checkpoint right after an automatic
+    /// merge. Zero forever — the default — for engines that never merge.
+    fn merges(&self) -> u64 {
+        0
+    }
+
     /// Sets the buffered-operation count at which [`Engine::apply`] should
     /// merge automatically. Advisory; ignored by the default.
     fn set_merge_threshold(&mut self, ops: usize) {
@@ -216,6 +224,10 @@ impl Engine for ColumnEngine {
 
     fn pending_delta(&self) -> usize {
         ColumnEngine::pending_delta(self)
+    }
+
+    fn merges(&self) -> u64 {
+        ColumnEngine::merges(self)
     }
 
     fn set_merge_threshold(&mut self, ops: usize) {

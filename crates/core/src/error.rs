@@ -20,6 +20,11 @@ pub enum Error {
     Engine(EngineError),
     /// The store configuration is invalid.
     Config(String),
+    /// Durable storage failed: a write-ahead append, a checkpoint, or
+    /// recovery from disk. The batch that triggered it was **not**
+    /// acknowledged — on reopen the database reflects only acknowledged
+    /// batches.
+    Io(String),
 }
 
 impl std::fmt::Display for Error {
@@ -29,6 +34,7 @@ impl std::fmt::Display for Error {
             Error::Plan(m) => write!(f, "planning error: {m}"),
             Error::Engine(e) => write!(f, "engine error: {e}"),
             Error::Config(m) => write!(f, "configuration error: {m}"),
+            Error::Io(m) => write!(f, "I/O error: {m}"),
         }
     }
 }
@@ -53,7 +59,18 @@ impl From<SparqlError> for Error {
 
 impl From<EngineError> for Error {
     fn from(e: EngineError) -> Self {
-        Error::Engine(e)
+        match e {
+            // An engine-level I/O failure is a database-level I/O failure:
+            // callers match one variant regardless of which layer hit disk.
+            EngineError::Io(m) => Error::Io(m),
+            other => Error::Engine(other),
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
     }
 }
 
@@ -79,6 +96,17 @@ mod tests {
             Error::from(SparqlError::Unsupported("u".into())),
             Error::Plan(_)
         ));
+    }
+
+    #[test]
+    fn io_errors_unify_across_layers() {
+        assert_eq!(
+            Error::from(EngineError::Io("fsync failed".into())),
+            Error::Io("fsync failed".into())
+        );
+        let e = Error::from(std::io::Error::other("torn write"));
+        assert!(matches!(&e, Error::Io(m) if m.contains("torn write")));
+        assert!(e.to_string().contains("I/O error"));
     }
 
     #[test]

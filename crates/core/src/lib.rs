@@ -49,6 +49,10 @@
 //! * [`RdfStore`] — one loaded (engine × layout × machine) configuration,
 //!   executing plans through a `Box<dyn Engine>` under the paper's
 //!   cold/hot measurement protocol;
+//! * [`durable`] — crash-safe persistence: [`Database::open_at`] gives a
+//!   database a directory with a checksummed write-ahead log and
+//!   RLE-compressed snapshots, so acknowledged batches survive a process
+//!   kill and reopen under *any* engine × layout;
 //! * [`ResultSet`] — decoded, lazily iterable results;
 //! * [`Error`] — the typed error of the whole path (parse / plan /
 //!   engine / config);
@@ -65,6 +69,7 @@
 //! cost profiles differ.
 
 pub mod db;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod result;
@@ -73,6 +78,7 @@ pub mod store;
 pub mod sweep;
 
 pub use db::Database;
+pub use durable::{DurabilityOptions, Durable, RecoveryReport};
 pub use engine::{Engine, EngineError, Footprint};
 pub use error::Error;
 pub use result::ResultSet;

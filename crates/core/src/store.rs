@@ -339,6 +339,11 @@ impl RdfStore {
         self.engine.pending_delta()
     }
 
+    /// Lifetime engine merge count (see [`Engine::merges`]).
+    pub fn merges(&self) -> u64 {
+        self.engine.merges()
+    }
+
     /// The physical-property context EXPLAIN annotations should use for
     /// this store's engine state.
     pub fn explain_context(&self) -> swans_plan::props::PropsContext {

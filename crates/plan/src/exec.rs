@@ -29,6 +29,10 @@ pub enum EngineError {
     Verify(crate::verify::VerifyError),
     /// The plan is valid but uses a construct this engine cannot run.
     Unsupported(String),
+    /// A durable-storage operation failed underneath the engine — a
+    /// write-ahead append, a snapshot publication, or recovery. Carries
+    /// the underlying I/O error's message.
+    Io(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -43,6 +47,7 @@ impl std::fmt::Display for EngineError {
             EngineError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
             EngineError::Verify(e) => write!(f, "plan verification failed: {e}"),
             EngineError::Unsupported(m) => write!(f, "unsupported plan: {m}"),
+            EngineError::Io(m) => write!(f, "I/O error: {m}"),
         }
     }
 }
@@ -67,6 +72,9 @@ mod tests {
         assert!(EngineError::Unsupported("frob".into())
             .to_string()
             .contains("frob"));
+        assert!(EngineError::Io("disk on fire".into())
+            .to_string()
+            .contains("disk on fire"));
     }
 
     #[test]

@@ -81,7 +81,80 @@ impl Delta {
     pub fn payload_bytes(&self) -> u64 {
         self.len() as u64 * 24
     }
+
+    /// Serializes the delta for the write-ahead log:
+    ///
+    /// ```text
+    /// [n_deletes: u32 LE][n_inserts: u32 LE]
+    /// n_deletes × [s: u64 LE][p: u64 LE][o: u64 LE]
+    /// n_inserts × [s: u64 LE][p: u64 LE][o: u64 LE]
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.len() * 24);
+        out.extend_from_slice(&(self.deletes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.inserts.len() as u32).to_le_bytes());
+        for t in self.deletes.iter().chain(&self.inserts) {
+            for id in t.as_row() {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a [`Delta::to_bytes`] image. Exact-length: the buffer must
+    /// hold precisely the announced operations — truncation and trailing
+    /// garbage are both typed errors (the WAL's checksum makes corruption
+    /// a parse-stopper upstream; this codec still never panics on any
+    /// input).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DeltaDecodeError> {
+        if bytes.len() < 8 {
+            return Err(DeltaDecodeError::Truncated);
+        }
+        let n_del = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let n_ins = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        let need = n_del
+            .checked_add(n_ins)
+            .and_then(|n| n.checked_mul(24))
+            .and_then(|n| n.checked_add(8))
+            .ok_or(DeltaDecodeError::Truncated)?;
+        if bytes.len() < need {
+            return Err(DeltaDecodeError::Truncated);
+        }
+        if bytes.len() > need {
+            return Err(DeltaDecodeError::TrailingBytes);
+        }
+        let mut triples = bytes[8..].chunks_exact(24).map(|c| {
+            Triple::new(
+                u64::from_le_bytes(c[0..8].try_into().unwrap()),
+                u64::from_le_bytes(c[8..16].try_into().unwrap()),
+                u64::from_le_bytes(c[16..24].try_into().unwrap()),
+            )
+        });
+        let deletes: Vec<Triple> = triples.by_ref().take(n_del).collect();
+        let inserts: Vec<Triple> = triples.collect();
+        Ok(Self { deletes, inserts })
+    }
 }
+
+/// Why a [`Delta::from_bytes`] image failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaDecodeError {
+    /// The buffer ends before the announced operations.
+    Truncated,
+    /// The buffer holds bytes past the announced operations.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DeltaDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaDecodeError::Truncated => write!(f, "delta image truncated"),
+            DeltaDecodeError::TrailingBytes => write!(f, "delta image has trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaDecodeError {}
 
 #[cfg(test)]
 mod tests {
@@ -95,6 +168,42 @@ mod tests {
         assert!(!d.is_empty());
         assert_eq!(d.payload_bytes(), 48);
         assert!(Delta::new().is_empty());
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let mut d = Delta::new();
+        d.insert(Triple::new(1, 2, 3))
+            .insert(Triple::new(u64::MAX, 0, 7))
+            .delete(Triple::new(4, 5, 6));
+        assert_eq!(Delta::from_bytes(&d.to_bytes()), Ok(d));
+        let empty = Delta::new();
+        assert_eq!(Delta::from_bytes(&empty.to_bytes()), Ok(empty));
+    }
+
+    #[test]
+    fn codec_rejects_truncation_and_trailing_bytes() {
+        let mut d = Delta::new();
+        d.insert(Triple::new(1, 2, 3)).delete(Triple::new(4, 5, 6));
+        let bytes = d.to_bytes();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Delta::from_bytes(&bytes[..cut]),
+                Err(DeltaDecodeError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(
+            Delta::from_bytes(&long),
+            Err(DeltaDecodeError::TrailingBytes)
+        );
+        // A corrupted count that would overflow the length math is a
+        // clean rejection, not a huge allocation or a panic.
+        let mut huge = bytes;
+        huge[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Delta::from_bytes(&huge), Err(DeltaDecodeError::Truncated));
     }
 
     #[test]

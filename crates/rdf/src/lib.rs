@@ -32,7 +32,7 @@ pub mod stats;
 pub mod triple;
 
 pub use dataset::Dataset;
-pub use delta::Delta;
+pub use delta::{Delta, DeltaDecodeError};
 pub use dict::Dictionary;
 pub use stats::{CfdSeries, DatasetStats};
 pub use triple::{SortOrder, Triple};

@@ -1,0 +1,115 @@
+//! Offline CRC32 (IEEE 802.3, the polynomial of zlib/gzip/ethernet).
+//!
+//! The durability layer checksums every write-ahead-log record and every
+//! snapshot it persists; recovery trusts nothing it cannot re-verify. The
+//! workspace builds fully offline, so the checksum is implemented here —
+//! a 256-entry table generated at compile time — instead of pulling in a
+//! crate. The variant is the reflected CRC-32/ISO-HDLC: init `!0`, final
+//! xor `!0`, polynomial `0xEDB88320` (bit-reversed `0x04C11DB7`), the
+//! exact function whose check value over `"123456789"` is `0xCBF43926`.
+
+/// The 256-entry lookup table, one byte of input per step.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Streaming CRC32 state: [`Crc32::update`] over any number of chunks,
+/// then [`Crc32::finish`]. Feeding the same bytes in different chunkings
+/// yields the same checksum.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh checksum state.
+    pub fn new() -> Self {
+        Self { state: !0 }
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The known-answer vector every CRC-32/ISO-HDLC implementation must
+    /// reproduce (the "check" value of the CRC catalogue).
+    #[test]
+    fn known_answer_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"write-ahead logging, one record at a time";
+        for split in 0..data.len() {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), crc32(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = b"durability is a property you prove, not assume";
+        let base = crc32(data);
+        let mut copy = data.to_vec();
+        for bit in 0..copy.len() * 8 {
+            copy[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&copy), base, "flip of bit {bit} went undetected");
+            copy[bit / 8] ^= 1 << (bit % 8);
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! Fault injection for the durability layer's *real* file I/O.
+//!
+//! The simulated disk ([`crate::SimDisk`]) models cost; durability needs
+//! actual files, and actual files fail in actual ways: a process dies
+//! between two writes, a write lands only partially (a torn page), a bit
+//! rots silently, a syscall returns `EIO`. Every byte the write-ahead log
+//! and the snapshot writer move goes through a [`DurableFile`], which
+//! consults a shared [`FaultState`] before each operation — so a test can
+//! arm *"fail at the Nth write, this way"* and sweep N across a whole
+//! workload (the crash matrix in `tests/durability.rs`).
+//!
+//! ## The crash model
+//!
+//! "Killing the process" is modeled, not performed: when a crash fault
+//! fires, the [`FaultState`] is poisoned and **every subsequent operation
+//! through it fails**, so no later write can land — exactly what a dead
+//! process can no longer do. Whatever reached the file system before the
+//! crash stays there, and recovery reopens the same paths with a fresh
+//! (fault-free) state. Two write-time faults bracket what a real kernel
+//! may do with an un-synced write: [`FaultKind::CrashBefore`] loses it
+//! entirely, [`FaultKind::Torn`] keeps an arbitrary prefix.
+//!
+//! Reads are never faulted: recovery code must handle *any* byte sequence
+//! a faulted writer can leave behind, and the corruption fuzzer covers
+//! byte-level rot on the read side directly.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::io::AtomicIoStats;
+
+/// What happens when an armed fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The process dies *before* the operation: nothing lands, every
+    /// later operation fails.
+    CrashBefore,
+    /// A torn write: only the first `keep` bytes of the buffer land, then
+    /// the process dies.
+    Torn {
+        /// Bytes of the faulted write that reach the file.
+        keep: usize,
+    },
+    /// Silent corruption: one bit of the written buffer is flipped and the
+    /// write *succeeds* — nothing notices until a checksum is re-verified.
+    FlipBit {
+        /// Which bit to flip, taken modulo the buffer's bit length.
+        bit: u64,
+    },
+    /// The operation returns an injected I/O error; the process survives
+    /// and may retry or continue.
+    Error,
+}
+
+/// One armed fault: fire [`FaultPolicy::kind`] on the
+/// [`FaultPolicy::at_op`]-th subsequent faultable operation (0-based;
+/// writes, syncs, truncations and renames all count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Index of the operation to fault (0 = the very next one).
+    pub at_op: u64,
+    /// How that operation fails.
+    pub kind: FaultKind,
+}
+
+/// Shared fault-injection state: an operation counter, at most one armed
+/// policy, and the crash poison. All files of one durable database share
+/// one `Arc<FaultState>`, so the operation index is global across the WAL
+/// and the snapshot writer — every write of a workload is one sweepable
+/// injection point.
+#[derive(Debug, Default)]
+pub struct FaultState {
+    ops: AtomicU64,
+    crashed: AtomicBool,
+    policy: Mutex<Option<FaultPolicy>>,
+}
+
+impl FaultState {
+    /// A fresh, fault-free state (the production default: with no policy
+    /// armed it only counts operations).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Arms `policy`, replacing any previous one.
+    pub fn arm(&self, policy: FaultPolicy) {
+        *self.policy.lock().unwrap_or_else(|e| e.into_inner()) = Some(policy);
+    }
+
+    /// Removes the armed policy (operations keep counting).
+    pub fn disarm(&self) {
+        *self.policy.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Number of faultable operations seen so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// True once a crash fault has fired: the modeled process is dead and
+    /// every further operation through this state fails.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// The error every post-crash operation returns.
+    fn dead(&self) -> io::Error {
+        io::Error::other("injected crash: the process model is dead")
+    }
+
+    /// Begins one faultable operation: fails if already crashed, counts
+    /// the operation, and returns the fault to apply (if the armed policy
+    /// names this index).
+    fn begin_op(&self) -> io::Result<Option<FaultKind>> {
+        if self.crashed() {
+            return Err(self.dead());
+        }
+        let index = self.ops.fetch_add(1, Ordering::Relaxed);
+        let armed = *self.policy.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(armed.and_then(|p| (p.at_op == index).then_some(p.kind)))
+    }
+
+    /// Marks the modeled process dead and returns the crash error.
+    fn crash(&self) -> io::Error {
+        self.crashed.store(true, Ordering::Relaxed);
+        self.dead()
+    }
+}
+
+/// A file whose writes, syncs and truncations pass through a
+/// [`FaultState`], with fsync accounting into an [`AtomicIoStats`] sink.
+///
+/// The durability layer performs every mutation of the write-ahead log
+/// and the snapshot files through this type; positions are tracked
+/// explicitly (no append mode), so a read-back verification can re-read
+/// exactly the range a write claimed to cover.
+#[derive(Debug)]
+pub struct DurableFile {
+    file: File,
+    pos: u64,
+    unsynced: u64,
+    faults: Arc<FaultState>,
+    stats: Option<Arc<AtomicIoStats>>,
+}
+
+impl DurableFile {
+    /// Creates (truncating) `path` for writing.
+    pub fn create(path: &Path, faults: Arc<FaultState>) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            file,
+            pos: 0,
+            unsynced: 0,
+            faults,
+            stats: None,
+        })
+    }
+
+    /// Opens `path` (creating it empty if missing) positioned at its end —
+    /// the write-ahead-log append mode.
+    pub fn open_end(path: &Path, faults: Arc<FaultState>) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let pos = file.metadata()?.len();
+        Ok(Self {
+            file,
+            pos,
+            unsynced: 0,
+            faults,
+            stats: None,
+        })
+    }
+
+    /// Attaches an accounting sink: every [`DurableFile::sync`] records
+    /// one fsync and the bytes it made durable.
+    pub fn with_stats(mut self, stats: Arc<AtomicIoStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Replaces the accounting sink after construction.
+    pub fn set_stats(&mut self, stats: Arc<AtomicIoStats>) {
+        self.stats = Some(stats);
+    }
+
+    /// Current write position (bytes from the start of the file).
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Writes all of `buf` at the current position, applying any armed
+    /// fault: a crash loses the buffer (entirely or beyond a torn
+    /// prefix), a bit flip corrupts it silently, an injected error leaves
+    /// the file untouched.
+    pub fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.faults.begin_op()? {
+            None => self.write_plain(buf),
+            Some(FaultKind::CrashBefore) => Err(self.faults.crash()),
+            Some(FaultKind::Torn { keep }) => {
+                let keep = keep.min(buf.len());
+                // The prefix lands (the part of the page the disk got to)
+                // and then the process dies: pos is never advanced, no
+                // later write can run anyway.
+                self.write_plain(&buf[..keep]).ok();
+                let _ = self.file.sync_all();
+                Err(self.faults.crash())
+            }
+            Some(FaultKind::FlipBit { bit }) => {
+                let mut copy = buf.to_vec();
+                if !copy.is_empty() {
+                    let b = (bit % (copy.len() as u64 * 8)) as usize;
+                    copy[b / 8] ^= 1 << (b % 8);
+                }
+                self.write_plain(&copy)
+            }
+            Some(FaultKind::Error) => Err(io::Error::other("injected I/O error on write")),
+        }
+    }
+
+    fn write_plain(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(self.pos))?;
+        self.file.write_all(buf)?;
+        self.pos += buf.len() as u64;
+        self.unsynced += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Forces written bytes to stable storage (`fsync`), recording the
+    /// sync and its byte count in the attached stats sink.
+    pub fn sync(&mut self) -> io::Result<()> {
+        match self.faults.begin_op()? {
+            None => {
+                self.file.sync_all()?;
+                if let Some(stats) = &self.stats {
+                    stats.record_sync(self.unsynced);
+                }
+                self.unsynced = 0;
+                Ok(())
+            }
+            Some(FaultKind::Error) => Err(io::Error::other("injected I/O error on fsync")),
+            // A crash at sync time: the bytes were already handed to the
+            // file system (and in this model persist), but the caller
+            // never sees the acknowledgement.
+            Some(_) => Err(self.faults.crash()),
+        }
+    }
+
+    /// Truncates the file to `len` bytes and repositions the writer.
+    pub fn set_len(&mut self, len: u64) -> io::Result<()> {
+        match self.faults.begin_op()? {
+            None => {
+                self.file.set_len(len)?;
+                self.pos = len;
+                Ok(())
+            }
+            Some(FaultKind::Error) => Err(io::Error::other("injected I/O error on truncate")),
+            Some(_) => Err(self.faults.crash()),
+        }
+    }
+
+    /// Reads exactly `len` bytes at `offset` (not faulted — see the
+    /// module docs). Used for read-back verification of writes.
+    pub fn read_at(&mut self, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        self.file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+/// Renames `from` to `to` through the fault layer (the atomic-commit step
+/// of snapshot publication): a crash fault prevents the rename entirely —
+/// the rename syscall itself is atomic, so there is no torn variant.
+pub fn rename(faults: &FaultState, from: &Path, to: &Path) -> io::Result<()> {
+    match faults.begin_op()? {
+        None => std::fs::rename(from, to),
+        Some(FaultKind::Error) => Err(io::Error::other("injected I/O error on rename")),
+        Some(_) => Err(faults.crash()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicU32;
+
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "swans-fault-{}-{}-{}",
+            tag,
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // real file I/O
+    fn unfaulted_writes_land_and_count_ops() {
+        let dir = scratch("plain");
+        let faults = FaultState::new();
+        let path = dir.join("f");
+        let mut f = DurableFile::create(&path, faults.clone()).unwrap();
+        f.write_all(b"hello ").unwrap();
+        f.write_all(b"world").unwrap();
+        f.sync().unwrap();
+        assert_eq!(faults.ops(), 3, "two writes + one sync");
+        assert!(!faults.crashed());
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello world");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn crash_before_loses_the_write_and_poisons_the_state() {
+        let dir = scratch("crash");
+        let faults = FaultState::new();
+        faults.arm(FaultPolicy {
+            at_op: 1,
+            kind: FaultKind::CrashBefore,
+        });
+        let path = dir.join("f");
+        let mut f = DurableFile::create(&path, faults.clone()).unwrap();
+        f.write_all(b"one").unwrap();
+        assert!(f.write_all(b"two").is_err());
+        assert!(faults.crashed());
+        assert!(
+            f.write_all(b"three").is_err(),
+            "dead processes write nothing"
+        );
+        assert!(f.sync().is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"one");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn torn_write_keeps_a_prefix() {
+        let dir = scratch("torn");
+        let faults = FaultState::new();
+        faults.arm(FaultPolicy {
+            at_op: 0,
+            kind: FaultKind::Torn { keep: 4 },
+        });
+        let path = dir.join("f");
+        let mut f = DurableFile::create(&path, faults.clone()).unwrap();
+        assert!(f.write_all(b"0123456789").is_err());
+        assert!(faults.crashed());
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn flip_bit_corrupts_silently() {
+        let dir = scratch("flip");
+        let faults = FaultState::new();
+        faults.arm(FaultPolicy {
+            at_op: 0,
+            kind: FaultKind::FlipBit { bit: 1 },
+        });
+        let path = dir.join("f");
+        let mut f = DurableFile::create(&path, faults.clone()).unwrap();
+        f.write_all(&[0u8; 4])
+            .expect("the write succeeds — that is the point");
+        assert!(!faults.crashed());
+        assert_eq!(std::fs::read(&path).unwrap(), vec![2u8, 0, 0, 0]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn injected_error_leaves_the_process_alive() {
+        let dir = scratch("err");
+        let faults = FaultState::new();
+        faults.arm(FaultPolicy {
+            at_op: 0,
+            kind: FaultKind::Error,
+        });
+        let path = dir.join("f");
+        let mut f = DurableFile::create(&path, faults.clone()).unwrap();
+        assert!(f.write_all(b"nope").is_err());
+        assert!(!faults.crashed());
+        f.write_all(b"retry").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"retry");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn sync_accounts_into_the_stats_sink() {
+        let dir = scratch("sync");
+        let stats = Arc::new(AtomicIoStats::new());
+        let mut f = DurableFile::create(&dir.join("f"), FaultState::new())
+            .unwrap()
+            .with_stats(stats.clone());
+        f.write_all(&[7u8; 100]).unwrap();
+        f.sync().unwrap();
+        f.sync().unwrap();
+        let snap = stats.snapshot();
+        assert_eq!(snap.syncs, 2);
+        assert_eq!(snap.bytes_synced, 100, "only dirty bytes count once");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn rename_is_faultable() {
+        let dir = scratch("rename");
+        let faults = FaultState::new();
+        let a = dir.join("a");
+        let b = dir.join("b");
+        std::fs::write(&a, b"x").unwrap();
+        faults.arm(FaultPolicy {
+            at_op: 0,
+            kind: FaultKind::CrashBefore,
+        });
+        assert!(rename(&faults, &a, &b).is_err());
+        assert!(a.exists() && !b.exists(), "crash-before: no rename");
+        let faults2 = FaultState::new();
+        rename(&faults2, &a, &b).unwrap();
+        assert!(!a.exists() && b.exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

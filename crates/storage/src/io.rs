@@ -20,6 +20,13 @@ pub struct IoStats {
     pub bytes_written: u64,
     /// Number of distinct write calls issued to the disk.
     pub write_calls: u64,
+    /// Number of `fsync` calls the durability layer issued against *real*
+    /// files (WAL appends, snapshot publication). Unlike the simulated
+    /// counters above, these measure actual durable I/O.
+    pub syncs: u64,
+    /// Bytes made durable by those syncs (each written byte is counted
+    /// once, by the first sync that covers it).
+    pub bytes_synced: u64,
     /// Simulated seconds spent waiting on the disk (reads and writes).
     pub io_seconds: f64,
 }
@@ -33,6 +40,8 @@ impl IoStats {
             seeks: self.seeks - earlier.seeks,
             bytes_written: self.bytes_written - earlier.bytes_written,
             write_calls: self.write_calls - earlier.write_calls,
+            syncs: self.syncs - earlier.syncs,
+            bytes_synced: self.bytes_synced - earlier.bytes_synced,
             io_seconds: self.io_seconds - earlier.io_seconds,
         }
     }
@@ -61,6 +70,8 @@ pub struct AtomicIoStats {
     seeks: AtomicU64,
     bytes_written: AtomicU64,
     write_calls: AtomicU64,
+    syncs: AtomicU64,
+    bytes_synced: AtomicU64,
     io_seconds_bits: AtomicU64,
 }
 
@@ -103,6 +114,14 @@ impl AtomicIoStats {
         add_f64(&self.io_seconds_bits, secs);
     }
 
+    /// Accounts one real `fsync` that made `bytes` previously-written
+    /// bytes durable. No simulated wait is charged: the durability layer
+    /// runs against real files whose cost is measured, not modeled.
+    pub fn record_sync(&self, bytes: u64) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        self.bytes_synced.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// A point-in-time [`IoStats`] copy (lock-free).
     pub fn snapshot(&self) -> IoStats {
         IoStats {
@@ -111,6 +130,8 @@ impl AtomicIoStats {
             seeks: self.seeks.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             write_calls: self.write_calls.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+            bytes_synced: self.bytes_synced.load(Ordering::Relaxed),
             io_seconds: f64::from_bits(self.io_seconds_bits.load(Ordering::Relaxed)),
         }
     }
@@ -122,6 +143,8 @@ impl AtomicIoStats {
         self.seeks.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.write_calls.store(0, Ordering::Relaxed);
+        self.syncs.store(0, Ordering::Relaxed);
+        self.bytes_synced.store(0, Ordering::Relaxed);
         self.io_seconds_bits
             .store(0.0f64.to_bits(), Ordering::Relaxed);
     }
@@ -150,6 +173,8 @@ mod tests {
             seeks: 2,
             bytes_written: 50,
             write_calls: 2,
+            syncs: 4,
+            bytes_synced: 48,
             io_seconds: 1.5,
         };
         let b = IoStats {
@@ -158,6 +183,8 @@ mod tests {
             seeks: 1,
             bytes_written: 20,
             write_calls: 1,
+            syncs: 1,
+            bytes_synced: 8,
             io_seconds: 0.5,
         };
         let d = a.since(&b);
@@ -166,6 +193,8 @@ mod tests {
         assert_eq!(d.seeks, 1);
         assert_eq!(d.bytes_written, 30);
         assert_eq!(d.write_calls, 1);
+        assert_eq!(d.syncs, 3);
+        assert_eq!(d.bytes_synced, 40);
         assert!((d.io_seconds - 1.0).abs() < 1e-12);
     }
 
@@ -175,12 +204,15 @@ mod tests {
         a.record_read(100, true, 0.25);
         a.record_read(50, false, 0.125);
         a.record_write(30, true, 0.5);
+        a.record_sync(30);
         let s = a.snapshot();
         assert_eq!(s.bytes_read, 150);
         assert_eq!(s.read_calls, 2);
         assert_eq!(s.seeks, 2);
         assert_eq!(s.bytes_written, 30);
         assert_eq!(s.write_calls, 1);
+        assert_eq!(s.syncs, 1);
+        assert_eq!(s.bytes_synced, 30);
         assert_eq!(s.io_seconds, 0.875, "exact f64 accumulation");
         a.reset();
         assert_eq!(a.snapshot(), IoStats::default());

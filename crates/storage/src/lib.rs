@@ -35,21 +35,41 @@
 //! segment is resized ([`StorageManager::resize_segment`]), evicting its
 //! stale cached pages, and freshly written pages enter the pool as the
 //! newest copy.
+//!
+//! ## The durability layer (real files)
+//!
+//! Simulated bytes cannot survive a process restart, so durability is the
+//! one part of the crate that does **real** file I/O: a checksummed
+//! write-ahead log ([`wal`]), RLE-compressed snapshots published by
+//! atomic rename ([`snapshot`]), an offline CRC32 ([`crc`]), and a
+//! fault-injection wrapper around every durable write ([`fault`]) that
+//! lets the crash-matrix test kill the modeled process at any write, tear
+//! a record, flip a bit, or inject errors. Real fsync cost is accounted
+//! in [`IoStats::syncs`] / [`IoStats::bytes_synced`], kept separate from
+//! the simulated counters.
 
 #![warn(missing_docs)]
 
+pub mod crc;
 pub mod disk;
+pub mod fault;
 pub mod io;
 pub mod lru;
 pub mod machine;
 pub mod manager;
 pub mod pool;
+pub mod snapshot;
+pub mod wal;
 
+pub use crc::{crc32, Crc32};
 pub use disk::SimDisk;
+pub use fault::{DurableFile, FaultKind, FaultPolicy, FaultState};
 pub use io::{AtomicIoStats, IoStats, IoTracePoint};
 pub use machine::MachineProfile;
 pub use manager::{SegmentId, StorageManager};
 pub use pool::BufferPool;
+pub use snapshot::{SnapshotData, SnapshotError, SNAPSHOT_FILE, SNAPSHOT_TMP};
+pub use wal::{WalOptions, WalRecord, WalTail, WalWriter, WAL_FILE};
 
 /// Page size in bytes. 8 KiB, a common DBMS default.
 pub const PAGE_SIZE: usize = 8192;

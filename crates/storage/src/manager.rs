@@ -207,6 +207,14 @@ impl StorageManager {
         self.stats.reset();
     }
 
+    /// Shared handle to the live accounting sink, for co-located
+    /// accounting by components outside the simulated disk — the
+    /// durability layer records its real fsyncs here so one snapshot
+    /// shows simulated read/write traffic *and* durable-sync cost.
+    pub fn stats_handle(&self) -> Arc<AtomicIoStats> {
+        Arc::clone(&self.stats)
+    }
+
     /// Number of pages currently resident in the pool.
     pub fn resident_pages(&self) -> usize {
         self.lock().pool.resident_pages()

@@ -1,0 +1,507 @@
+//! The checksummed write-ahead log.
+//!
+//! One WAL record carries one committed batch (a `Delta` plus the
+//! dictionary terms it introduced, encoded by the core layer — the WAL
+//! itself is payload-agnostic). The on-disk format per record is
+//!
+//! ```text
+//! [payload_len: u32 LE][seq: u64 LE][payload bytes][crc32: u32 LE]
+//! ```
+//!
+//! where the CRC covers the 12 header bytes *and* the payload, so a flip
+//! anywhere in a record — length, sequence number, body — is detected.
+//! Sequence numbers are strictly monotone (+1 per record); a gap means
+//! the file is not a log this writer produced, and parsing stops there.
+//!
+//! ## Recovery contract
+//!
+//! [`parse_wal`] never fails and never panics: it returns every record of
+//! the longest valid prefix plus a [`WalTail`] describing how the log
+//! ends. A torn final record (the classic crash-mid-append), a checksum
+//! mismatch, or a sequence break all yield [`WalTail::Torn`] — a *clean
+//! end of log*, because the commit protocol acknowledges a batch only
+//! after its record is fully written (and, under the default policy,
+//! fsynced): anything unparseable past the valid prefix was never
+//! acknowledged.
+//!
+//! ## Append protocol
+//!
+//! [`WalWriter::append`] writes the record, optionally re-reads and
+//! compares it ([`WalOptions::verify_appends`] — this is what catches a
+//! silently corrupted write before it is acknowledged), optionally
+//! fsyncs ([`WalOptions::sync_on_commit`]), and only then returns the
+//! record's sequence number. An append that errors rolls the file back
+//! to the record boundary when it can; if even the rollback fails the
+//! writer poisons itself rather than risk appending after garbage.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::crc::Crc32;
+use crate::fault::{DurableFile, FaultState};
+use crate::io::AtomicIoStats;
+
+/// File name of the write-ahead log inside a durable database directory.
+pub const WAL_FILE: &str = "wal.swans";
+
+/// Bytes of fixed framing around a record's payload (u32 length + u64
+/// sequence number + u32 CRC).
+pub const RECORD_OVERHEAD: usize = 16;
+
+/// One decoded WAL record: a sequence number and an opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Strictly monotone commit sequence number.
+    pub seq: u64,
+    /// The batch payload, exactly as handed to [`WalWriter::append`].
+    pub payload: Vec<u8>,
+}
+
+/// How a parsed WAL ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalTail {
+    /// The file ends exactly at a record boundary.
+    Clean,
+    /// The bytes past `valid_bytes` do not form a valid record — a torn
+    /// final append, bit rot, or a sequence break. Recovery treats this
+    /// as the end of the log and truncates the tail.
+    Torn {
+        /// Length of the longest valid prefix, in bytes.
+        valid_bytes: u64,
+        /// Human-readable cause, for logs and recovery reports.
+        reason: String,
+    },
+}
+
+impl WalTail {
+    /// True if the log ended on a record boundary.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, WalTail::Clean)
+    }
+}
+
+/// Encodes one record (framing + checksum) ready to append.
+pub fn encode_record(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_OVERHEAD + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(payload);
+    let mut crc = Crc32::new();
+    crc.update(&out);
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+    out
+}
+
+/// Parses a WAL image into the longest valid record prefix plus a
+/// [`WalTail`]. Total function: any byte sequence yields a well-defined
+/// result, never a panic, never an error. Payload lengths are validated
+/// against the remaining file before any allocation, so a corrupted
+/// length field cannot trigger a huge allocation.
+pub fn parse_wal(bytes: &[u8]) -> (Vec<WalRecord>, WalTail) {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    let mut prev_seq: Option<u64> = None;
+    let torn = |offset: usize, reason: &str| WalTail::Torn {
+        valid_bytes: offset as u64,
+        reason: reason.to_string(),
+    };
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        if rest.len() < RECORD_OVERHEAD {
+            return (records, torn(offset, "torn record header"));
+        }
+        let payload_len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+        let Some(record_len) = payload_len.checked_add(RECORD_OVERHEAD) else {
+            return (records, torn(offset, "record length overflows"));
+        };
+        if rest.len() < record_len {
+            return (records, torn(offset, "record length exceeds file"));
+        }
+        let seq = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+        let body_end = 12 + payload_len;
+        let stored_crc = u32::from_le_bytes(rest[body_end..record_len].try_into().unwrap());
+        let mut crc = Crc32::new();
+        crc.update(&rest[..body_end]);
+        if crc.finish() != stored_crc {
+            return (records, torn(offset, "checksum mismatch"));
+        }
+        if let Some(prev) = prev_seq {
+            if seq != prev + 1 {
+                return (records, torn(offset, "sequence break"));
+            }
+        }
+        prev_seq = Some(seq);
+        records.push(WalRecord {
+            seq,
+            payload: rest[12..body_end].to_vec(),
+        });
+        offset += record_len;
+    }
+    (records, WalTail::Clean)
+}
+
+/// Commit-policy knobs for the [`WalWriter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalOptions {
+    /// Fsync after every append, before acknowledging it. On (the
+    /// default), an acknowledged batch survives any crash; off trades
+    /// that guarantee for throughput (a crash may lose a suffix of
+    /// acknowledged batches, but never tears one).
+    pub sync_on_commit: bool,
+    /// Re-read and compare every appended record before acknowledging
+    /// it, catching silent write corruption while rollback is still
+    /// possible. Default on.
+    pub verify_appends: bool,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        Self {
+            sync_on_commit: true,
+            verify_appends: true,
+        }
+    }
+}
+
+/// The appending side of the write-ahead log.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: DurableFile,
+    path: PathBuf,
+    next_seq: u64,
+    options: WalOptions,
+    poisoned: bool,
+}
+
+impl WalWriter {
+    /// Opens (creating if absent) the WAL at `path`, parses it, truncates
+    /// any torn tail, and returns the valid records, how the log ended,
+    /// and a writer positioned to continue. `base_seq` is the highest
+    /// sequence number already durable elsewhere (the snapshot's
+    /// `last_seq`; 0 for a fresh database) — the writer continues above
+    /// both it and the log's own last record.
+    pub fn recover(
+        path: &Path,
+        faults: Arc<FaultState>,
+        options: WalOptions,
+        base_seq: u64,
+    ) -> io::Result<(Vec<WalRecord>, WalTail, WalWriter)> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let (records, tail) = parse_wal(&bytes);
+        let mut file = DurableFile::open_end(path, faults)?;
+        if let WalTail::Torn { valid_bytes, .. } = &tail {
+            file.set_len(*valid_bytes)?;
+        }
+        let last = records.last().map_or(0, |r| r.seq);
+        let writer = WalWriter {
+            file,
+            path: path.to_path_buf(),
+            next_seq: last.max(base_seq) + 1,
+            options,
+            poisoned: false,
+        };
+        Ok((records, tail, writer))
+    }
+
+    /// Attaches an fsync-accounting sink.
+    pub fn set_stats(&mut self, stats: Arc<AtomicIoStats>) {
+        self.file.set_stats(stats);
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Sequence number the next append will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Current log length in bytes (valid records only).
+    pub fn len_bytes(&self) -> u64 {
+        self.file.pos()
+    }
+
+    /// Appends one batch payload as a checksummed record, verifies and
+    /// syncs it per the [`WalOptions`], and returns its sequence number.
+    /// When this returns `Ok`, the batch is acknowledged: under
+    /// `sync_on_commit` it survives any subsequent crash. On error the
+    /// batch is *not* acknowledged — the record may or may not have
+    /// reached disk, and recovery is free to keep or drop it (the crash
+    /// matrix asserts exactly this envelope).
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "WAL writer poisoned by an earlier failed rollback",
+            ));
+        }
+        let seq = self.next_seq;
+        let record = encode_record(seq, payload);
+        let start = self.file.pos();
+        self.file.write_all(&record)?;
+        if self.options.verify_appends {
+            let back = self.file.read_at(start, record.len())?;
+            if back != record {
+                // The write landed wrong (e.g. silent bit corruption).
+                // Roll back to the record boundary so the log stays a
+                // valid prefix; if even that fails, poison the writer.
+                if self.file.set_len(start).is_err() {
+                    self.poisoned = true;
+                }
+                return Err(io::Error::other(
+                    "WAL append verification failed: written record does not match",
+                ));
+            }
+        }
+        if self.options.sync_on_commit {
+            self.file.sync()?;
+        }
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Forces the log to stable storage (used by checkpointing even when
+    /// `sync_on_commit` is off).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync()
+    }
+
+    /// Empties the log after a checkpoint has made its records redundant.
+    /// Sequence numbers keep counting — the snapshot's `last_seq` and the
+    /// log's first record stay contiguous.
+    pub fn truncate(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "swans-wal-{}-{}-{}",
+            tag,
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    /// Tiny deterministic RNG (xorshift64*), the workspace's offline
+    /// stand-in for a proptest generator.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    fn random_payloads(rng: &mut Rng, n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|_| {
+                let len = (rng.next() % 64) as usize;
+                (0..len).map(|_| (rng.next() & 0xFF) as u8).collect()
+            })
+            .collect()
+    }
+
+    fn encode_log(payloads: &[Vec<u8>]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for (i, p) in payloads.iter().enumerate() {
+            bytes.extend_from_slice(&encode_record(i as u64 + 1, p));
+        }
+        bytes
+    }
+
+    #[test]
+    fn round_trip_random_logs() {
+        let mut rng = Rng(0x5EED_0007);
+        for trial in 0..50 {
+            let payloads = random_payloads(&mut rng, (trial % 7) + 1);
+            let (records, tail) = parse_wal(&encode_log(&payloads));
+            assert!(tail.is_clean());
+            assert_eq!(records.len(), payloads.len());
+            for (i, (r, p)) in records.iter().zip(&payloads).enumerate() {
+                assert_eq!(r.seq, i as u64 + 1);
+                assert_eq!(&r.payload, p);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_a_clean_empty_log() {
+        let (records, tail) = parse_wal(&[]);
+        assert!(records.is_empty());
+        assert!(tail.is_clean());
+    }
+
+    /// Every single-bit corruption of a valid log is detected: parsing
+    /// yields a strict prefix of the original records and a torn tail —
+    /// never a panic, never a corrupted record accepted.
+    #[test]
+    fn single_bit_corruption_always_yields_a_valid_prefix() {
+        let mut rng = Rng(0xBAD_B17);
+        let payloads = random_payloads(&mut rng, 4);
+        let bytes = encode_log(&payloads);
+        let (originals, _) = parse_wal(&bytes);
+        for bit in 0..bytes.len() * 8 {
+            let mut copy = bytes.clone();
+            copy[bit / 8] ^= 1 << (bit % 8);
+            let (records, tail) = parse_wal(&copy);
+            assert!(
+                records.len() < originals.len(),
+                "flip of bit {bit} was not detected"
+            );
+            assert!(!tail.is_clean(), "flip of bit {bit}: tail claims clean");
+            assert_eq!(
+                records,
+                originals[..records.len()],
+                "flip of bit {bit}: surviving prefix differs"
+            );
+        }
+    }
+
+    /// Truncation at every byte boundary: the torn tail is reported and
+    /// exactly the fully-contained records survive.
+    #[test]
+    fn truncation_at_every_point_keeps_the_contained_prefix() {
+        let mut rng = Rng(0x7072_EF1C);
+        let payloads = random_payloads(&mut rng, 3);
+        let bytes = encode_log(&payloads);
+        let mut boundaries = vec![0usize];
+        for p in &payloads {
+            boundaries.push(boundaries.last().unwrap() + RECORD_OVERHEAD + p.len());
+        }
+        for cut in 0..bytes.len() {
+            let (records, tail) = parse_wal(&bytes[..cut]);
+            let contained = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(records.len(), contained, "cut at {cut}");
+            if boundaries.contains(&cut) {
+                assert!(tail.is_clean(), "cut at boundary {cut} should be clean");
+            } else {
+                assert!(!tail.is_clean(), "cut mid-record at {cut} must be torn");
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_break_ends_the_log() {
+        let mut bytes = encode_record(1, b"a");
+        bytes.extend_from_slice(&encode_record(3, b"b")); // gap: 2 missing
+        let (records, tail) = parse_wal(&bytes);
+        assert_eq!(records.len(), 1);
+        match tail {
+            WalTail::Torn { reason, .. } => assert!(reason.contains("sequence")),
+            WalTail::Clean => panic!("sequence break not detected"),
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // real file I/O
+    fn writer_appends_recovers_and_truncates() {
+        let dir = scratch("writer");
+        let path = dir.join(WAL_FILE);
+        let opts = WalOptions::default();
+        {
+            let (records, tail, mut w) =
+                WalWriter::recover(&path, FaultState::new(), opts, 0).unwrap();
+            assert!(records.is_empty() && tail.is_clean());
+            assert_eq!(w.append(b"first").unwrap(), 1);
+            assert_eq!(w.append(b"second").unwrap(), 2);
+        }
+        // Reopen: both batches replay; the writer continues at seq 3.
+        {
+            let (records, tail, mut w) =
+                WalWriter::recover(&path, FaultState::new(), opts, 0).unwrap();
+            assert!(tail.is_clean());
+            assert_eq!(
+                records
+                    .iter()
+                    .map(|r| r.payload.clone())
+                    .collect::<Vec<_>>(),
+                vec![b"first".to_vec(), b"second".to_vec()]
+            );
+            w.truncate().unwrap();
+            assert_eq!(
+                w.append(b"third").unwrap(),
+                3,
+                "seq continues after truncate"
+            );
+        }
+        // base_seq from a snapshot dominates an empty/behind log.
+        {
+            let (_, _, w) = WalWriter::recover(&path, FaultState::new(), opts, 10).unwrap();
+            assert_eq!(w.next_seq(), 11);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn recovery_truncates_a_torn_tail_and_appends_continue() {
+        let dir = scratch("torn");
+        let path = dir.join(WAL_FILE);
+        let opts = WalOptions::default();
+        {
+            let (_, _, mut w) = WalWriter::recover(&path, FaultState::new(), opts, 0).unwrap();
+            w.append(b"kept").unwrap();
+            w.append(b"doomed").unwrap();
+        }
+        // Tear the last record by dropping its final 3 bytes.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (records, tail, mut w) = WalWriter::recover(&path, FaultState::new(), opts, 0).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].payload, b"kept");
+        assert!(!tail.is_clean());
+        // The torn bytes are gone; a new append lands cleanly after "kept".
+        assert_eq!(w.append(b"after").unwrap(), 2);
+        let (records, tail) = parse_wal(&std::fs::read(&path).unwrap());
+        assert!(tail.is_clean());
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].payload, b"after");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn verified_append_rolls_back_silent_corruption() {
+        use crate::fault::{FaultKind, FaultPolicy};
+        let dir = scratch("verify");
+        let path = dir.join(WAL_FILE);
+        let faults = FaultState::new();
+        let (_, _, mut w) =
+            WalWriter::recover(&path, faults.clone(), WalOptions::default(), 0).unwrap();
+        w.append(b"good").unwrap();
+        // Ops so far: open-end (not counted), append write + sync = ops 0,1.
+        faults.arm(FaultPolicy {
+            at_op: faults.ops(),
+            kind: FaultKind::FlipBit { bit: 37 },
+        });
+        assert!(w.append(b"corrupted-in-flight").is_err());
+        faults.disarm();
+        // The log still ends at the good record; the writer is usable.
+        let (records, tail) = parse_wal(&std::fs::read(&path).unwrap());
+        assert!(tail.is_clean(), "rollback left a torn tail: {tail:?}");
+        assert_eq!(records.len(), 1);
+        assert_eq!(w.append(b"retry").unwrap(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
