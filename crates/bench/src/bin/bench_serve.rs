@@ -1,0 +1,35 @@
+//! Regenerates `BENCH_PR8.json`: the concurrent-serving experiment — N
+//! HTTP clients against the `swans-serve` front door, snapshot-isolated
+//! reads overlapping their (real-time) simulated I/O waits, throughput
+//! and latency percentiles per client count, plus a mixed read/write
+//! phase.
+//!
+//! Usage: `cargo run -p swans-bench --release --bin bench_serve [-- --quick]`
+//! `--quick` shrinks the data set and request counts for CI smoke runs.
+//! Env knobs: `SWANS_SCALE`, `SWANS_SEED` (see the crate docs).
+
+use swans_bench::{serving, HarnessConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = HarnessConfig::from_env();
+    if std::env::var("SWANS_SCALE").is_err() {
+        // Serving wants a mid-size table: big enough that the scan query
+        // pays for real pages, small enough that a phase is seconds.
+        cfg.scale = if quick { 0.0008 } else { 0.003 };
+    }
+    eprintln!(
+        "[bench_serve] scale={} seed={} quick={quick}",
+        cfg.scale, cfg.seed
+    );
+    let (phases, scaling) = serving::run(&cfg, quick);
+    let json = serving::to_json(&cfg, quick, &phases, scaling);
+    std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
+    eprintln!("[bench_serve] wrote BENCH_PR8.json");
+
+    println!("{}", serving::render(&phases, scaling));
+    assert!(
+        phases.iter().all(|p| p.errors == 0),
+        "every request must answer 200"
+    );
+}

@@ -112,14 +112,14 @@ pub fn run(cfg: &HarnessConfig, ops: usize) -> Vec<DurabilityMeasure> {
             // Import (initial snapshot), then the batched workload — no
             // checkpoint, so the WAL alone carries every batch.
             let (batches, wal_bytes, snapshot_bytes, syncs, synced_mb) = {
-                let mut db = Database::import_at(
+                let db = Database::import_at(
                     &dir,
                     ds.clone(),
                     config.clone(),
                     DurabilityOptions::default(),
                 )
                 .expect("import succeeds");
-                let before = db.store().storage().stats();
+                let before = db.storage().stats();
                 let mut batches = 0usize;
                 let chunk = |v: &[(String, String, String)]| v.len().div_ceil(CHUNKS).max(1);
                 for c in deletes.chunks(chunk(&deletes)) {
@@ -138,7 +138,7 @@ pub fn run(cfg: &HarnessConfig, ops: usize) -> Vec<DurabilityMeasure> {
                     .expect("inserts apply");
                     batches += 1;
                 }
-                let io = db.store().storage().stats().since(&before);
+                let io = db.storage().stats().since(&before);
                 (
                     batches,
                     db.wal_bytes().expect("durable"),
@@ -151,12 +151,9 @@ pub fn run(cfg: &HarnessConfig, ops: usize) -> Vec<DurabilityMeasure> {
 
             // Recovery: what a restart pays.
             let start = Instant::now();
-            let mut db = Database::open_at(&dir, config).expect("recovery succeeds");
+            let db = Database::open_at(&dir, config).expect("recovery succeeds");
             let recover_s = start.elapsed().as_secs_f64();
-            let report = db
-                .recovery_report()
-                .expect("durable reopen reports")
-                .clone();
+            let report = db.recovery_report().expect("durable reopen reports");
 
             let start = Instant::now();
             db.checkpoint().expect("checkpoint succeeds");

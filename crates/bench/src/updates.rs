@@ -100,9 +100,9 @@ pub fn run(cfg: &HarnessConfig, ops: usize) -> Vec<UpdateMeasure> {
         .into_iter()
         .map(|config| {
             let label = config.label();
-            let mut db = Database::open(ds.clone(), config.on_machine(cfg.machine_b()))
+            let db = Database::open(ds.clone(), config.on_machine(cfg.machine_b()))
                 .expect("store loads");
-            let before = db.store().storage().stats();
+            let before = db.storage().stats();
             let start = Instant::now();
             db.delete(
                 deletes
@@ -117,16 +117,16 @@ pub fn run(cfg: &HarnessConfig, ops: usize) -> Vec<UpdateMeasure> {
             )
             .expect("inserts apply");
             let apply_s = start.elapsed().as_secs_f64();
-            let apply_io = db.store().storage().stats().since(&before);
+            let apply_io = db.storage().stats().since(&before);
 
-            let ctx = QueryContext::from_dataset(db.dataset(), 28);
+            let ctx = QueryContext::from_dataset(&db.dataset(), 28);
             let q5_pending_s = hot_q5(&db, &ctx);
 
-            let before = db.store().storage().stats();
+            let before = db.storage().stats();
             let start = Instant::now();
             db.merge().expect("merge succeeds");
             let merge_s = start.elapsed().as_secs_f64();
-            let merge_io = db.store().storage().stats().since(&before);
+            let merge_io = db.storage().stats().since(&before);
             let q5_merged_s = hot_q5(&db, &ctx);
 
             // The durable twin: same configuration, same applies, but
@@ -134,14 +134,14 @@ pub fn run(cfg: &HarnessConfig, ops: usize) -> Vec<UpdateMeasure> {
             // are the real-I/O price of making this workload durable.
             let dir = crate::durability::scratch_dir("upd");
             let (syncs, synced_mb, wal_mb) = {
-                let mut twin = Database::import_at(
+                let twin = Database::import_at(
                     &dir,
                     ds.clone(),
                     db.config().clone(),
                     swans_core::DurabilityOptions::default(),
                 )
                 .expect("durable twin imports");
-                let before = twin.store().storage().stats();
+                let before = twin.storage().stats();
                 twin.delete(
                     deletes
                         .iter()
@@ -154,7 +154,7 @@ pub fn run(cfg: &HarnessConfig, ops: usize) -> Vec<UpdateMeasure> {
                         .map(|(s, p, o)| (s.as_str(), p.as_str(), o.as_str())),
                 )
                 .expect("twin inserts apply");
-                let io = twin.store().storage().stats().since(&before);
+                let io = twin.storage().stats().since(&before);
                 (
                     io.syncs,
                     io.bytes_synced as f64 / 1e6,

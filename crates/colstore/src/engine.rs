@@ -172,7 +172,11 @@ pub struct ExecStatsSnapshot {
 }
 
 /// The 3-column triples table, sorted by one clustering order.
-#[derive(Debug)]
+///
+/// Cloning is cheap: [`Column`] data lives behind `Arc`s, so a clone is a
+/// shared view of the same immutable sorted run — the substrate of
+/// [`ColumnEngine::fork`]'s snapshot semantics.
+#[derive(Debug, Clone)]
 struct TripleTable {
     order: SortOrder,
     /// Columns at their *logical* positions (0 = s, 1 = p, 2 = o); the row
@@ -181,7 +185,8 @@ struct TripleTable {
 }
 
 /// One vertically-partitioned property table, sorted by (subject, object).
-#[derive(Debug)]
+/// Cloning shares the column data (see [`TripleTable`]).
+#[derive(Debug, Clone)]
 struct PropTable {
     s: Column,
     o: Column,
@@ -196,7 +201,7 @@ struct PropTable {
 /// either layout's scans can union their pending tail in O(matching rows).
 /// Deletes are tombstones checked against every read-store row a scan
 /// produces.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct WriteStore {
     /// Pending inserts, in arrival order.
     inserts: Vec<Triple>,
@@ -540,6 +545,37 @@ impl ColumnEngine {
         }
         self.vertical_loaded = true;
         self.vp_compression = compress;
+    }
+
+    /// A *snapshot fork*: an independent engine answering queries from
+    /// exactly this engine's current state — sorted tables (shared
+    /// zero-copy: column data lives behind `Arc`s, and
+    /// [`Column::rewrite`] replaces, never mutates, the shared vectors)
+    /// plus a private copy of the pending write store (bounded by the
+    /// merge threshold). The fork is immutable-by-convention: the caller
+    /// uses it for reads while the original keeps absorbing mutations and
+    /// merging; nothing the original does changes a fork's answers.
+    ///
+    /// The fork gets **zeroed kernel-dispatch counters** and its own
+    /// worker pool of the same width — concurrent readers each fork, so
+    /// per-session statistics never cross-contaminate and pool barriers
+    /// never interleave between sessions.
+    pub fn fork(&self) -> ColumnEngine {
+        ColumnEngine {
+            triple: self.triple.clone(),
+            props: self.props.clone(),
+            vertical_loaded: self.vertical_loaded,
+            sorted_paths: self.sorted_paths,
+            run_kernels: self.run_kernels,
+            verify: self.verify,
+            stats: ExecStats::default(),
+            write: self.write.clone(),
+            vp_compression: self.vp_compression,
+            merge_threshold: self.merge_threshold,
+            wal: self.wal,
+            wal_bytes: self.wal_bytes,
+            pool: WorkerPool::new(self.pool.threads()),
+        }
     }
 
     /// Absorbs a [`Delta`] into the write store: tombstones first (a

@@ -5,23 +5,53 @@
 //! a SPARQL entry point that parses, plans, optimizes, lowers and executes
 //! an *arbitrary* query on whatever engine × layout was opened — returning
 //! decoded term strings, not raw dictionary codes.
+//!
+//! # Concurrency model
+//!
+//! The database is split into a **writer side** (the store, the durable
+//! log, the authoritative data set — all behind one mutex) and a
+//! **published side** (an `Arc`'d immutable [`Snapshot`] behind an
+//! `RwLock` that is only ever *swapped*, never held across work). Every
+//! mutation commits under the writer lock — WAL append first, then the
+//! engine, then the logical data set — and finishes by publishing a new
+//! snapshot: a zero-copy fork of the engine plus the new data-set `Arc`.
+//!
+//! Reads never take the writer lock (unless the engine cannot fork):
+//! [`Database::query`] clones the published `Arc` and executes on that
+//! version; [`Database::session`] pins a version for many queries. All
+//! mutating methods take `&self`, so a `Database` shared behind an `Arc`
+//! serves concurrent readers and writers — the `swans-serve` HTTP front
+//! door is exactly that.
 
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use swans_plan::algebra::Plan;
+use swans_plan::props::PropsContext;
 use swans_plan::queries::{QueryContext, QueryId};
-use swans_plan::sparql::compile_sparql;
 use swans_rdf::{Dataset, Delta};
+use swans_storage::StorageManager;
 
 use crate::durable::{DurabilityOptions, Durable, RecoveryReport};
 use crate::error::Error;
 use crate::result::ResultSet;
+use crate::snapshot::{compile, Session, Snapshot};
 use crate::store::{QueryRun, RdfStore, StoreConfig};
 use crate::Engine;
 
+/// The writer side: everything a commit mutates, behind one mutex.
+struct WriterState {
+    dataset: Arc<Dataset>,
+    store: RdfStore,
+    durable: Option<Durable>,
+    /// Version counter of the *last published* snapshot.
+    version: u64,
+}
+
 /// A data set opened in one physical configuration, queryable with SPARQL
-/// and mutable through [`Database::insert`] / [`Database::delete`].
+/// and mutable through [`Database::insert`] / [`Database::delete`] — from
+/// any number of threads at once (see the module docs for the snapshot
+/// publication protocol).
 ///
 /// ```
 /// use swans_core::{Database, Layout, StoreConfig};
@@ -31,7 +61,7 @@ use crate::Engine;
 /// ds.add("<s1>", "<type>", "<Text>");
 /// ds.add("<s1>", "<language>", "<fre>");
 /// ds.add("<s2>", "<type>", "<Date>");
-/// let mut db = Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned))?;
+/// let db = Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned))?;
 ///
 /// let results = db.query("SELECT ?s WHERE { ?s <type> <Text> }")?;
 /// assert_eq!(results.columns(), ["s"]);
@@ -39,9 +69,13 @@ use crate::Engine;
 /// # Ok::<(), swans_core::Error>(())
 /// ```
 pub struct Database {
-    dataset: Arc<Dataset>,
-    store: RdfStore,
-    durable: Option<Durable>,
+    /// The loaded configuration (immutable after open).
+    config: StoreConfig,
+    /// The shared storage service (immutable handle; interior state is
+    /// its own concern and thread-safe).
+    storage: StorageManager,
+    writer: Mutex<WriterState>,
+    published: RwLock<Arc<Snapshot>>,
 }
 
 impl Database {
@@ -51,15 +85,13 @@ impl Database {
     pub fn open(dataset: impl Into<Arc<Dataset>>, config: StoreConfig) -> Result<Self, Error> {
         let dataset = dataset.into();
         let store = RdfStore::try_load(&dataset, config)?;
-        Ok(Self {
-            dataset,
-            store,
-            durable: None,
-        })
+        Ok(Self::from_parts(dataset, store, None))
     }
 
     /// Opens `dataset` on a caller-provided [`Engine`] implementation —
-    /// the third-party plug-in point.
+    /// the third-party plug-in point. Engines without
+    /// [`Engine::fork`] support still work: reads then serialize through
+    /// the writer lock instead of running on published snapshots.
     pub fn open_with_engine(
         dataset: impl Into<Arc<Dataset>>,
         config: StoreConfig,
@@ -67,11 +99,7 @@ impl Database {
     ) -> Result<Self, Error> {
         let dataset = dataset.into();
         let store = RdfStore::with_engine(&dataset, config, engine)?;
-        Ok(Self {
-            dataset,
-            store,
-            durable: None,
-        })
+        Ok(Self::from_parts(dataset, store, None))
     }
 
     /// Opens (or initializes) a **durable** database rooted at directory
@@ -88,7 +116,7 @@ impl Database {
     /// let dir = std::env::temp_dir().join(format!("swans-open-at-doc-{}", std::process::id()));
     /// # let _ = std::fs::remove_dir_all(&dir);
     /// let config = StoreConfig::column(Layout::VerticallyPartitioned);
-    /// let mut db = Database::open_at(&dir, config.clone())?;
+    /// let db = Database::open_at(&dir, config.clone())?;
     /// db.insert([("<s1>", "<type>", "<Text>")])?; // logged + fsynced before applying
     /// db.checkpoint()?; // snapshot the store, truncate the log
     /// drop(db);
@@ -137,47 +165,115 @@ impl Database {
         let store = RdfStore::try_load(&dataset, config)?;
         durable.set_stats(store.storage().stats_handle());
         durable.engine_merges = store.merges();
-        Ok(Self {
+        Ok(Self::from_parts(dataset, store, Some(durable)))
+    }
+
+    /// Assembles the writer side and publishes version 1.
+    fn from_parts(dataset: Arc<Dataset>, store: RdfStore, durable: Option<Durable>) -> Self {
+        let config = store.config().clone();
+        let storage = store.storage().clone();
+        let mut writer = WriterState {
             dataset,
             store,
-            durable: Some(durable),
+            durable,
+            version: 0,
+        };
+        let first = Self::capture(&mut writer);
+        Self {
+            config,
+            storage,
+            writer: Mutex::new(writer),
+            published: RwLock::new(first),
+        }
+    }
+
+    /// Locks the writer side. Poisoning is recovered: every commit step
+    /// is ordered so that an unwind leaves a consistent (at worst
+    /// slightly stale-published) state, and the next publication
+    /// re-exports the writer's truth.
+    fn writer(&self) -> MutexGuard<'_, WriterState> {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Builds the next snapshot from the writer's current state.
+    fn capture(writer: &mut WriterState) -> Arc<Snapshot> {
+        writer.version += 1;
+        Arc::new(Snapshot {
+            version: writer.version,
+            dataset: writer.dataset.clone(),
+            config: writer.store.config().clone(),
+            storage: writer.store.storage().clone(),
+            engine: writer.store.fork_engine().map(Arc::from),
+            pending: writer.store.pending_delta(),
         })
     }
 
-    /// The data set this database serves.
-    pub fn dataset(&self) -> &Dataset {
-        &self.dataset
+    /// Publishes the writer's current state: the atomic `Arc` swap that
+    /// makes a commit visible. Readers holding older snapshots are
+    /// untouched; new reads pick up the new version.
+    fn publish(&self, writer: &mut WriterState) {
+        let snap = Self::capture(writer);
+        let mut slot = self.published.write().unwrap_or_else(|e| e.into_inner());
+        *slot = snap;
     }
 
-    /// The underlying store (configuration, storage manager, engine).
-    pub fn store(&self) -> &RdfStore {
-        &self.store
+    /// The currently published [`Snapshot`] — the latest acknowledged
+    /// version. Holding the returned `Arc` pins that version: it keeps
+    /// answering bit-identically no matter what is committed afterwards.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.published
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Opens a reader [`Session`]: pins the current snapshot and forks a
+    /// private engine for it, so per-session execution counters never
+    /// cross-contaminate. Errors with
+    /// [`EngineError::Unsupported`](crate::EngineError::Unsupported) if
+    /// the engine cannot fork (third-party engines without
+    /// [`Engine::fork`]) — plain [`Database::query`] still works there.
+    pub fn session(&self) -> Result<Session, Error> {
+        Session::pin(self.snapshot())
+    }
+
+    /// The data set of the latest published version.
+    pub fn dataset(&self) -> Arc<Dataset> {
+        self.snapshot().dataset.clone()
     }
 
     /// The loaded configuration.
     pub fn config(&self) -> &StoreConfig {
-        self.store.config()
+        &self.config
     }
 
-    /// Compiles `sparql` for this database's layout: parse → plan →
-    /// optimize → (lower onto property tables when vertically partitioned).
-    fn compile(&self, sparql: &str) -> Result<swans_plan::CompiledQuery, Error> {
-        Ok(compile_sparql(
-            sparql,
-            &self.dataset,
-            self.store.config().layout.scheme(),
-        )?)
+    /// The storage manager (I/O statistics, traces, pool control) —
+    /// shared by the writer and every published snapshot.
+    pub fn storage(&self) -> &StorageManager {
+        &self.storage
+    }
+
+    /// Total on-disk footprint of this layout in bytes.
+    pub fn disk_bytes(&self) -> u64 {
+        self.storage.total_bytes()
     }
 
     /// Parses, plans and executes a SPARQL query, returning decoded,
     /// lazily iterable results. Works identically on every engine × layout
-    /// configuration.
+    /// configuration, and concurrently with writers: the query runs
+    /// against the latest published snapshot (falling back to the writer
+    /// lock only for engines without snapshot support).
     pub fn query(&self, sparql: &str) -> Result<ResultSet, Error> {
-        let compiled = self.compile(sparql)?;
-        let results = self.store.execute_plan(&compiled.plan)?;
+        let snap = self.snapshot();
+        if snap.isolated() {
+            return snap.query(sparql);
+        }
+        let writer = self.writer();
+        let compiled = compile(&writer.dataset, &self.config, sparql)?;
+        let results = writer.store.execute_plan(&compiled.plan)?;
         Ok(results
             .with_columns(compiled.columns)
-            .with_dataset(self.dataset.clone()))
+            .with_dataset(writer.dataset.clone()))
     }
 
     /// Like [`Database::query`], but also reports the timing and I/O of
@@ -187,30 +283,36 @@ impl Database {
     /// moved into the [`ResultSet`] (reachable encoded via
     /// [`ResultSet::ids`]) rather than materialized twice.
     pub fn query_timed(&self, sparql: &str) -> Result<(ResultSet, QueryRun), Error> {
-        let compiled = self.compile(sparql)?;
-        let mut run = self.store.run_plan(&compiled.plan)?;
+        let snap = self.snapshot();
+        if snap.isolated() {
+            let compiled = compile(&snap.dataset, &self.config, sparql)?;
+            let mut run = snap.run_plan(&compiled.plan)?;
+            let rows = std::mem::take(&mut run.rows);
+            let results = ResultSet::new(rows, compiled.plan.output_kinds())
+                .with_columns(compiled.columns)
+                .with_dataset(snap.dataset.clone());
+            return Ok((results, run));
+        }
+        let writer = self.writer();
+        let compiled = compile(&writer.dataset, &self.config, sparql)?;
+        let mut run = writer.store.run_plan(&compiled.plan)?;
         let rows = std::mem::take(&mut run.rows);
         let results = ResultSet::new(rows, compiled.plan.output_kinds())
             .with_columns(compiled.columns)
-            .with_dataset(self.dataset.clone());
+            .with_dataset(writer.dataset.clone());
         Ok((results, run))
     }
 
     /// Inserts triples given as `(subject, property, object)` term
     /// strings, returning how many were inserted. New terms are interned
     /// into the dictionary incrementally; the data set and the engine's
-    /// physical layout absorb the batch together, so a query issued right
-    /// after sees the new rows (via the engine's write path) and a fresh
-    /// bulk load of [`Database::dataset`] would answer identically.
+    /// physical layout absorb the batch together, and the new version is
+    /// published atomically before the call returns — a query issued
+    /// right after (from any thread) sees the new rows, while readers
+    /// already pinned to an older snapshot are untouched.
     ///
     /// Inserts have bag semantics: inserting an already-present triple
     /// stores another copy.
-    ///
-    /// The data set lives behind an `Arc` shared with every [`ResultSet`]
-    /// a query handed out: mutating while such a handle is alive
-    /// copy-on-writes the whole data set (triples + dictionary). Drop
-    /// result sets before large mutation batches — this applies to
-    /// [`Database::delete`] and [`Database::apply`] too.
     ///
     /// ```
     /// use swans_core::{Database, Layout, StoreConfig};
@@ -218,19 +320,20 @@ impl Database {
     ///
     /// let mut ds = Dataset::new();
     /// ds.add("<s1>", "<type>", "<Text>");
-    /// let mut db = Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned))?;
+    /// let db = Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned))?;
     /// db.insert([("<s2>", "<type>", "<Text>"), ("<s2>", "<language>", "<fre>")])?;
     /// let results = db.query("SELECT ?s WHERE { ?s <type> <Text> }")?;
     /// assert_eq!(results.len(), 2);
     /// # Ok::<(), swans_core::Error>(())
     /// ```
     pub fn insert<'a>(
-        &mut self,
+        &self,
         triples: impl IntoIterator<Item = (&'a str, &'a str, &'a str)>,
     ) -> Result<usize, Error> {
+        let mut writer = self.writer();
         let mut delta = Delta::new();
         {
-            let dataset = Arc::make_mut(&mut self.dataset);
+            let dataset = Arc::make_mut(&mut writer.dataset);
             for (s, p, o) in triples {
                 delta.insert(dataset.encode(s, p, o));
             }
@@ -238,7 +341,7 @@ impl Database {
         if delta.is_empty() {
             return Ok(0);
         }
-        self.commit(&delta)?;
+        self.commit(&mut writer, &delta)?;
         Ok(delta.inserts.len())
     }
 
@@ -257,73 +360,85 @@ impl Database {
     /// let mut ds = Dataset::new();
     /// ds.add("<s1>", "<type>", "<Text>");
     /// ds.add("<s2>", "<type>", "<Text>");
-    /// let mut db = Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned))?;
+    /// let db = Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned))?;
     /// db.delete([("<s1>", "<type>", "<Text>")])?;
     /// let results = db.query("SELECT ?s WHERE { ?s <type> <Text> }")?;
     /// assert_eq!(results.decoded(), vec![vec!["<s2>".to_string()]]);
     /// # Ok::<(), swans_core::Error>(())
     /// ```
     pub fn delete<'a>(
-        &mut self,
+        &self,
         triples: impl IntoIterator<Item = (&'a str, &'a str, &'a str)>,
     ) -> Result<usize, Error> {
+        let mut writer = self.writer();
         let mut delta = Delta::new();
         for (s, p, o) in triples {
-            if let Some(t) = self.dataset.try_encode(s, p, o) {
+            if let Some(t) = writer.dataset.try_encode(s, p, o) {
                 delta.delete(t);
             }
         }
         if delta.is_empty() {
             return Ok(0);
         }
-        self.commit(&delta)?;
+        self.commit(&mut writer, &delta)?;
         Ok(delta.deletes.len())
     }
 
     /// Applies an already-encoded [`Delta`] (the batch-level escape hatch
     /// for callers that hold ids). The ids must come from this database's
     /// dictionary.
-    pub fn apply(&mut self, delta: &Delta) -> Result<(), Error> {
+    pub fn apply(&self, delta: &Delta) -> Result<(), Error> {
         if delta.is_empty() {
             return Ok(());
         }
-        self.commit(delta)
+        let mut writer = self.writer();
+        self.commit(&mut writer, delta)
     }
 
-    /// The one commit path every mutation takes. Durable databases log
-    /// the batch first — the WAL append (verified and fsynced under the
-    /// default [`DurabilityOptions`]) is the acknowledgement point; if it
-    /// fails, neither the engine nor the dataset is touched. Then the
-    /// engine absorbs the delta ("engine first": if it declines, the
-    /// triple bag must not diverge from what the engine serves — interned
-    /// terms are harmless, a dictionary entry with no triples), and
-    /// finally the logical dataset. A threshold-triggered engine merge or
-    /// a reached auto-checkpoint budget checkpoints before returning.
-    fn commit(&mut self, delta: &Delta) -> Result<(), Error> {
-        if let Some(durable) = &mut self.durable {
-            durable.append_batch(&self.dataset.dict, delta)?;
+    /// The one commit path every mutation takes — under the writer lock.
+    /// Durable databases log the batch first — the WAL append (verified
+    /// and fsynced under the default [`DurabilityOptions`]) is the
+    /// acknowledgement point; if it fails, neither the engine nor the
+    /// dataset is touched. Then the engine absorbs the delta ("engine
+    /// first": if it declines, the triple bag must not diverge from what
+    /// the engine serves — interned terms are harmless, a dictionary
+    /// entry with no triples), then the logical dataset; a
+    /// threshold-triggered engine merge or a reached auto-checkpoint
+    /// budget checkpoints next. **Publication is last**: the new version
+    /// becomes visible only after it is durable — a reader can never
+    /// observe a batch that a crash could lose.
+    fn commit(&self, writer: &mut WriterState, delta: &Delta) -> Result<(), Error> {
+        if let Some(durable) = &mut writer.durable {
+            durable.append_batch(&writer.dataset.dict, delta)?;
         }
-        self.store.apply(delta)?;
-        Arc::make_mut(&mut self.dataset).apply(delta);
-        if let Some(durable) = &self.durable {
-            if self.store.merges() != durable.engine_merges || durable.wants_checkpoint() {
-                self.checkpoint()?;
-            }
+        writer.store.apply(delta)?;
+        Arc::make_mut(&mut writer.dataset).apply(delta);
+        let wants_checkpoint = writer.durable.as_ref().is_some_and(|durable| {
+            writer.store.merges() != durable.engine_merges || durable.wants_checkpoint()
+        });
+        if wants_checkpoint {
+            Self::checkpoint_writer(writer)?;
         }
+        self.publish(writer);
         Ok(())
     }
 
     /// Merges the engine's buffered mutations into its sorted primary
     /// layout, restoring sorted-path dispatch (merge joins, run-based
-    /// aggregation) on the column engine. A no-op for engines that apply
-    /// mutations in place. On a durable database the merged state is
-    /// immediately checkpointed — the sorted store was just rebuilt, so
-    /// this is exactly when a snapshot is cheapest to justify.
-    pub fn merge(&mut self) -> Result<(), Error> {
-        self.store.merge()?;
-        if self.durable.is_some() {
-            self.checkpoint()?;
+    /// aggregation) on the column engine, and publishes the merged
+    /// version. Readers pinned to pre-merge snapshots keep their
+    /// write-store union view — answers are bit-identical either way. A
+    /// no-op for engines that apply mutations in place. On a durable
+    /// database the merged state is immediately checkpointed — the sorted
+    /// store was just rebuilt, so this is exactly when a snapshot is
+    /// cheapest to justify.
+    pub fn merge(&self) -> Result<(), Error> {
+        let mut writer = self.writer();
+        writer.store.merge()?;
+        if writer.durable.is_some() {
+            Self::checkpoint_writer(&mut writer)?;
         }
+        self.publish(&mut writer);
         Ok(())
     }
 
@@ -331,10 +446,15 @@ impl Database {
     /// file, verify, atomic rename) and truncates the write-ahead log. A
     /// no-op on non-durable databases. On error, the previous snapshot
     /// and the full WAL are left intact.
-    pub fn checkpoint(&mut self) -> Result<(), Error> {
-        let merges = self.store.merges();
-        if let Some(durable) = &mut self.durable {
-            durable.checkpoint(&self.dataset)?;
+    pub fn checkpoint(&self) -> Result<(), Error> {
+        let mut writer = self.writer();
+        Self::checkpoint_writer(&mut writer)
+    }
+
+    fn checkpoint_writer(writer: &mut WriterState) -> Result<(), Error> {
+        let merges = writer.store.merges();
+        if let Some(durable) = &mut writer.durable {
+            durable.checkpoint(&writer.dataset)?;
             durable.engine_merges = merges;
         }
         Ok(())
@@ -342,24 +462,35 @@ impl Database {
 
     /// How recovery went when this database was opened with
     /// [`Database::open_at`]; `None` for in-memory databases.
-    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
-        self.durable.as_ref().map(Durable::report)
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.writer().durable.as_ref().map(|d| d.report().clone())
     }
 
     /// Current write-ahead-log size in bytes (`None` if not durable).
     pub fn wal_bytes(&self) -> Option<u64> {
-        self.durable.as_ref().map(Durable::wal_bytes)
+        self.writer().durable.as_ref().map(Durable::wal_bytes)
     }
 
     /// Encoded size of the latest snapshot in bytes (`None` if not
     /// durable, 0 if none has been written yet).
     pub fn snapshot_bytes(&self) -> Option<u64> {
-        self.durable.as_ref().map(Durable::snapshot_bytes)
+        self.writer().durable.as_ref().map(Durable::snapshot_bytes)
     }
 
-    /// Number of applied-but-unmerged mutations buffered by the engine.
+    /// Number of applied-but-unmerged mutations buffered at the latest
+    /// published version.
     pub fn pending_delta(&self) -> usize {
-        self.store.pending_delta()
+        self.snapshot().pending
+    }
+
+    /// The physical-property context EXPLAIN annotations use — derived
+    /// from the latest published snapshot's engine state (or the writer's,
+    /// for engines without snapshot support).
+    pub fn explain_context(&self) -> PropsContext {
+        match self.snapshot().engine.as_deref() {
+            Some(engine) => engine.explain_context(),
+            None => self.writer().store.explain_context(),
+        }
     }
 
     /// Returns the optimized plan tree `sparql` would execute — already
@@ -383,8 +514,8 @@ impl Database {
     /// # Ok::<(), swans_core::Error>(())
     /// ```
     pub fn explain(&self, sparql: &str) -> Result<Plan, Error> {
-        let plan = self.compile(sparql)?.plan;
-        swans_plan::verify::verify(&plan, &self.store.explain_context())
+        let plan = compile(&self.dataset(), &self.config, sparql)?.plan;
+        swans_plan::verify::verify(&plan, &self.explain_context())
             .map_err(swans_plan::EngineError::Verify)?;
         Ok(plan)
     }
@@ -399,8 +530,8 @@ impl Database {
     /// rendering ends with the verifier's coverage footer, e.g.
     /// `-- verified: 7 nodes, 2 merge joins, 0 run-encoded claims`.
     pub fn explain_text(&self, sparql: &str) -> Result<String, Error> {
-        let plan = self.compile(sparql)?.plan;
-        let ctx = self.store.explain_context();
+        let plan = compile(&self.dataset(), &self.config, sparql)?.plan;
+        let ctx = self.explain_context();
         let report =
             swans_plan::verify::verify(&plan, &ctx).map_err(swans_plan::EngineError::Verify)?;
         Ok(format!("{}-- {report}\n", plan.explain_annotated(&ctx)))
@@ -409,25 +540,36 @@ impl Database {
     /// Executes a raw logical plan (the algebra-level escape hatch),
     /// decoding results through this database's dictionary.
     pub fn execute_plan(&self, plan: &Plan) -> Result<ResultSet, Error> {
-        let results = self.store.execute_plan(plan)?;
-        Ok(results.with_dataset(self.dataset.clone()))
+        let snap = self.snapshot();
+        if snap.isolated() {
+            return snap.execute_plan(plan);
+        }
+        let writer = self.writer();
+        let results = writer.store.execute_plan(plan)?;
+        Ok(results.with_dataset(writer.dataset.clone()))
     }
 
     /// Runs benchmark query `q` through the paper's measurement protocol
     /// (the thin wrapper over the pre-`Database` benchmark path).
     pub fn run_benchmark(&self, q: QueryId, ctx: &QueryContext) -> QueryRun {
-        self.store.run_query(q, ctx)
+        let snap = self.snapshot();
+        if snap.isolated() {
+            return snap
+                .run_benchmark(q, ctx)
+                .unwrap_or_else(|e| panic!("benchmark query {q} failed: {e}"));
+        }
+        self.writer().store.run_query(q, ctx)
     }
 
     /// A [`QueryContext`] resolving the benchmark constants against this
     /// data set.
     pub fn benchmark_context(&self, n_interesting: usize) -> QueryContext {
-        QueryContext::from_dataset(&self.dataset, n_interesting)
+        QueryContext::from_dataset(&self.dataset(), n_interesting)
     }
 
     /// Empties the buffer pool so the next query runs cold.
     pub fn make_cold(&self) {
-        self.store.make_cold();
+        self.storage.clear_pool();
     }
 }
 
@@ -577,7 +719,7 @@ mod tests {
         let mut reference: Option<Vec<Vec<String>>> = None;
         for config in all_configs() {
             let label = config.label();
-            let mut db = Database::open(ds.clone(), config).expect("opens");
+            let db = Database::open(ds.clone(), config).expect("opens");
             db.insert([("<s4>", "<type>", "<Text>"), ("<s4>", "<lang>", "\"deu\"")])
                 .expect("inserts");
             db.delete([("<s2>", "<lang>", "\"eng\"")]).expect("deletes");
@@ -606,8 +748,7 @@ mod tests {
 
             // The mutated data set is the logical truth: a fresh bulk load
             // answers identically.
-            let fresh =
-                Database::open(db.dataset().clone(), db.config().clone()).expect("fresh load");
+            let fresh = Database::open(db.dataset(), db.config().clone()).expect("fresh load");
             let mut fresh_rows = fresh.query(q).expect("queries").decoded();
             fresh_rows.sort();
             assert_eq!(fresh_rows, merged, "{label}: fresh load disagrees");
@@ -618,7 +759,7 @@ mod tests {
     /// decode back out; deletes of unknown terms are no-ops.
     #[test]
     fn new_terms_intern_incrementally() {
-        let mut db = Database::open(
+        let db = Database::open(
             dataset(),
             StoreConfig::column(Layout::VerticallyPartitioned),
         )
@@ -647,7 +788,7 @@ mod tests {
     /// union branch exactly while a delta is pending.
     #[test]
     fn explain_text_tracks_write_store_state() {
-        let mut db = Database::open(
+        let db = Database::open(
             dataset(),
             StoreConfig::column(Layout::VerticallyPartitioned),
         )
@@ -679,7 +820,7 @@ mod tests {
     fn explain_text_ends_with_the_verification_footer() {
         for config in all_configs() {
             let label = config.label();
-            let mut db = Database::open(dataset(), config).expect("opens");
+            let db = Database::open(dataset(), config).expect("opens");
             let q = "SELECT ?s ?l WHERE { ?s <type> <Text> . ?s <lang> ?l }";
             let clean = db
                 .explain_text(q)
@@ -714,7 +855,7 @@ mod tests {
     #[test]
     fn merge_threshold_config_is_honored() {
         let config = StoreConfig::column(Layout::VerticallyPartitioned).with_merge_threshold(2);
-        let mut db = Database::open(dataset(), config).expect("opens");
+        let db = Database::open(dataset(), config).expect("opens");
         db.insert([("<a>", "<type>", "<Text>")]).expect("inserts");
         assert_eq!(db.pending_delta(), 1);
         db.insert([("<b>", "<type>", "<Text>")]).expect("inserts");
@@ -729,7 +870,9 @@ mod tests {
         use swans_plan::naive;
         use swans_storage::StorageManager;
 
-        /// Read-only engine: keeps the default (declining) write path.
+        /// Read-only engine: keeps the default (declining) write path and
+        /// the default (absent) snapshot fork — reads go through the
+        /// writer lock.
         struct ReadOnlyEngine {
             triples: Vec<swans_rdf::Triple>,
         }
@@ -761,18 +904,21 @@ mod tests {
             }
         }
 
-        let ds = dataset();
-        let store = RdfStore::with_engine(
-            &ds,
+        let db = Database::open_with_engine(
+            dataset(),
             StoreConfig::row(Layout::TripleStore(SortOrder::Pso)),
             Box::new(ReadOnlyEngine { triples: vec![] }),
         )
         .expect("loads");
-        let mut db = Database {
-            dataset: Arc::new(ds),
-            store,
-            durable: None,
-        };
+        // No fork: sessions are unavailable, plain queries still answer.
+        assert!(db.session().is_err());
+        assert!(!db.snapshot().isolated());
+        assert_eq!(
+            db.query("SELECT ?s WHERE { ?s <type> <Text> }")
+                .expect("fallback reads work")
+                .len(),
+            2
+        );
         let before = db.dataset().len();
         assert!(matches!(
             db.insert([("<x>", "<type>", "<Text>")]),
@@ -784,6 +930,32 @@ mod tests {
             Err(Error::Engine(_))
         ));
         assert_eq!(db.dataset().len(), before);
+    }
+
+    /// The snapshot publication protocol in one thread: a pinned session
+    /// keeps its version's answers while commits publish newer versions,
+    /// and versions increase monotonically.
+    #[test]
+    fn pinned_session_is_isolated_from_later_commits() {
+        let db = Database::open(
+            dataset(),
+            StoreConfig::column(Layout::VerticallyPartitioned),
+        )
+        .expect("opens");
+        let q = "SELECT ?s WHERE { ?s <type> <Text> }";
+        let session = db.session().expect("built-in engines fork");
+        let v0 = session.version();
+        let before = session.query(q).expect("queries").decoded();
+
+        db.insert([("<s9>", "<type>", "<Text>")]).expect("inserts");
+        db.merge().expect("merges");
+
+        // The pinned session still answers from its version...
+        assert_eq!(session.query(q).expect("queries").decoded(), before);
+        assert_eq!(session.version(), v0);
+        // ...while a fresh read sees the new version.
+        assert_eq!(db.query(q).expect("queries").len(), before.len() + 1);
+        assert!(db.snapshot().version() > v0, "versions are monotone");
     }
 
     fn scratch(tag: &str) -> std::path::PathBuf {
@@ -808,7 +980,7 @@ mod tests {
         let dir = scratch("reopen");
         let q = "SELECT ?s ?l WHERE { ?s <type> <Text> . ?s <lang> ?l }";
         {
-            let mut db = Database::import_at(
+            let db = Database::import_at(
                 &dir,
                 dataset(),
                 StoreConfig::column(Layout::VerticallyPartitioned),
@@ -849,7 +1021,7 @@ mod tests {
     fn auto_merge_checkpoints_durable_databases() {
         let dir = scratch("automerge");
         let config = StoreConfig::column(Layout::VerticallyPartitioned).with_merge_threshold(2);
-        let mut db = Database::import_at(&dir, dataset(), config, DurabilityOptions::default())
+        let db = Database::import_at(&dir, dataset(), config, DurabilityOptions::default())
             .expect("imports");
         db.insert([("<a>", "<type>", "<Text>")]).expect("inserts");
         assert!(db.wal_bytes().unwrap() > 0);
@@ -875,11 +1047,11 @@ mod tests {
     #[cfg_attr(miri, ignore)]
     fn durable_syncs_are_accounted() {
         let dir = scratch("syncs");
-        let mut db = Database::open_at(&dir, StoreConfig::column(Layout::VerticallyPartitioned))
+        let db = Database::open_at(&dir, StoreConfig::column(Layout::VerticallyPartitioned))
             .expect("opens");
-        let before = db.store().storage().stats();
+        let before = db.storage().stats();
         db.insert([("<s1>", "<type>", "<Text>")]).expect("inserts");
-        let after = db.store().storage().stats().since(&before);
+        let after = db.storage().stats().since(&before);
         assert!(after.syncs >= 1, "commit must fsync");
         assert!(after.bytes_synced > 0);
         let _ = std::fs::remove_dir_all(dir);

@@ -124,6 +124,28 @@ pub trait Engine: Send + Sync {
     fn explain_context(&self) -> PropsContext {
         PropsContext::default()
     }
+
+    /// A *snapshot fork*: an independent engine answering queries from
+    /// exactly this engine's current state, unaffected by any mutation the
+    /// original absorbs afterwards. This is the seam snapshot-isolated
+    /// concurrent reads hang on — the front door forks on every commit and
+    /// publishes the fork as the readable version.
+    ///
+    /// The column engine forks zero-copy (its sorted runs are immutable
+    /// `Arc`s); the row engine deep-copies its trees. The default returns
+    /// `None`: a third-party engine without fork support still works, but
+    /// reads fall back to the writer lock (serialized, not isolated).
+    fn fork(&self) -> Option<Box<dyn Engine>> {
+        None
+    }
+
+    /// Named execution counters (kernel dispatches, merges, ...) since
+    /// this engine instance was created or last reset — the auditable form
+    /// of operator selection, surfaced per *session* once engines are
+    /// forked per reader. The default reports nothing.
+    fn stat_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 impl Engine for RowEngine {
@@ -173,6 +195,10 @@ impl Engine for RowEngine {
 
     fn apply(&mut self, storage: &StorageManager, delta: &Delta) -> Result<(), EngineError> {
         RowEngine::apply(self, storage, delta)
+    }
+
+    fn fork(&self) -> Option<Box<dyn Engine>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -244,6 +270,35 @@ impl Engine for ColumnEngine {
 
     fn explain_context(&self) -> PropsContext {
         self.props_ctx()
+    }
+
+    fn fork(&self) -> Option<Box<dyn Engine>> {
+        Some(Box::new(ColumnEngine::fork(self)))
+    }
+
+    fn stat_counters(&self) -> Vec<(&'static str, u64)> {
+        let s = self.exec_stats();
+        vec![
+            ("merge_joins", s.merge_joins),
+            ("hash_joins", s.hash_joins),
+            ("sorted_group_counts", s.sorted_group_counts),
+            ("hash_group_counts", s.hash_group_counts),
+            ("sorted_distincts", s.sorted_distincts),
+            ("sort_distincts", s.sort_distincts),
+            ("distinct_passthroughs", s.distinct_passthroughs),
+            ("sorted_selects", s.sorted_selects),
+            ("rle_selects", s.rle_selects),
+            ("sorted_in_selects", s.sorted_in_selects),
+            ("delta_union_scans", s.delta_union_scans),
+            ("merges", s.merges),
+            ("parallel_tasks", s.parallel_tasks),
+            ("morsels", s.morsels),
+            ("run_scans", s.run_scans),
+            ("run_kernel_dispatches", s.run_kernel_dispatches),
+            ("runs_expanded", s.runs_expanded),
+            ("scan_bytes_compressed", s.scan_bytes_compressed),
+            ("scan_bytes_logical", s.scan_bytes_logical),
+        ]
     }
 }
 

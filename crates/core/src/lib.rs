@@ -21,7 +21,7 @@
 //! use swans_datagen::{generate, BartonConfig};
 //!
 //! let dataset = generate(&BartonConfig::with_triples(20_000));
-//! let mut db = Database::open(dataset, StoreConfig::column(Layout::VerticallyPartitioned))?;
+//! let db = Database::open(dataset, StoreConfig::column(Layout::VerticallyPartitioned))?;
 //! let results = db.query(
 //!     "SELECT ?t (COUNT(*) AS ?n) WHERE { ?s <type> ?t } GROUP BY ?t",
 //! )?;
@@ -53,6 +53,10 @@
 //!   database a directory with a checksummed write-ahead log and
 //!   RLE-compressed snapshots, so acknowledged batches survive a process
 //!   kill and reopen under *any* engine × layout;
+//! * [`snapshot`] — concurrent serving: every commit publishes an
+//!   immutable [`Snapshot`] version; [`Database::session`] pins one for
+//!   snapshot-isolated reads that never block (or get blocked by) the
+//!   writer;
 //! * [`ResultSet`] — decoded, lazily iterable results;
 //! * [`Error`] — the typed error of the whole path (parse / plan /
 //!   engine / config);
@@ -74,6 +78,7 @@ pub mod engine;
 pub mod error;
 pub mod result;
 pub mod runner;
+pub mod snapshot;
 pub mod store;
 pub mod sweep;
 
@@ -83,6 +88,7 @@ pub use engine::{Engine, EngineError, Footprint};
 pub use error::Error;
 pub use result::ResultSet;
 pub use runner::{geometric_mean, measure_cold, measure_hot, Measurement};
+pub use snapshot::{Session, Snapshot};
 pub use store::{EngineKind, Layout, QueryRun, RdfStore, StoreConfig};
 
 /// Normalizes a query result for order-insensitive comparison. q8 is

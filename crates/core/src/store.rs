@@ -5,8 +5,6 @@
 //! third-party implementation are handled identically, and executing a
 //! plan the engine cannot run returns a typed error instead of panicking.
 
-use std::time::Instant;
-
 use swans_colstore::ColumnEngine;
 use swans_plan::algebra::Plan;
 use swans_plan::exec::EngineError;
@@ -350,6 +348,13 @@ impl RdfStore {
         self.engine.explain_context()
     }
 
+    /// A snapshot fork of the engine (see [`Engine::fork`]): an
+    /// independent reader answering exactly the store's current state.
+    /// `None` for engines without fork support.
+    pub fn fork_engine(&self) -> Option<Box<dyn Engine>> {
+        self.engine.fork()
+    }
+
     /// Executes a raw logical plan (no timing), returning the encoded
     /// result set.
     pub fn execute_plan(&self, plan: &Plan) -> Result<ResultSet, EngineError> {
@@ -358,17 +363,7 @@ impl RdfStore {
 
     /// Executes an arbitrary plan under the measurement protocol.
     pub fn run_plan(&self, plan: &Plan) -> Result<QueryRun, EngineError> {
-        let io_before = self.storage.stats();
-        let start = Instant::now();
-        let rows = self.engine.execute(plan)?.into_ids();
-        let user_seconds = start.elapsed().as_secs_f64();
-        let io = self.storage.stats().since(&io_before);
-        Ok(QueryRun {
-            rows,
-            user_seconds,
-            real_seconds: user_seconds + io.io_seconds,
-            io,
-        })
+        crate::snapshot::run_plan_on(self.engine.as_ref(), &self.storage, plan)
     }
 
     /// Builds and executes benchmark query `q`, measuring user/real time

@@ -51,7 +51,11 @@ impl TripleIndexConfig {
 
 /// The row-store engine instance: a triple-store layout and/or a
 /// vertically-partitioned layout sharing one storage manager.
-#[derive(Default)]
+/// Cloning deep-copies the B+tree arenas: a clone is a fully independent
+/// snapshot of the tables (the row store maintains its trees in place, so
+/// snapshot isolation needs a real copy — unlike the column engine, whose
+/// immutable sorted runs fork zero-copy).
+#[derive(Default, Clone)]
 pub struct RowEngine {
     triple: Option<RowTable>,
     props: FxHashMap<Id, RowTable>,

@@ -20,12 +20,15 @@ pub struct TableOptions {
     pub prefix_compressed: bool,
 }
 
+#[derive(Clone)]
 struct Secondary {
     perm: Vec<usize>,
     tree: BTree,
 }
 
-/// A row table stored as its clustered index.
+/// A row table stored as its clustered index. Cloning deep-copies the
+/// underlying B+trees (see [`crate::RowEngine`]'s clone semantics).
+#[derive(Clone)]
 pub struct RowTable {
     arity: usize,
     cluster_perm: Vec<usize>,

@@ -1,0 +1,37 @@
+//! The few square inches of JSON the server emits: string escaping and
+//! the error envelope. Output only — nothing here parses JSON.
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters per RFC 8259).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `{"error": "..."}` envelope every failure route returns.
+pub fn error(msg: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", escape(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_the_json_metacharacters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(error("bad \"q\""), "{\"error\":\"bad \\\"q\\\"\"}");
+    }
+}

@@ -1,0 +1,514 @@
+#![warn(missing_docs)]
+
+//! # swans-serve
+//!
+//! A SPARQL-over-HTTP front door for [`swans_core::Database`] — built on
+//! nothing but `std`: a `TcpListener`, one thread per connection, and a
+//! hand-rolled slice of HTTP/1.1 (exactly what the four routes below
+//! need, no more).
+//!
+//! The point of the crate is not the HTTP — it is what serving demands
+//! of the engine: **every request runs on its own pinned snapshot**
+//! ([`Database::session`]), so a burst of concurrent clients reads a
+//! consistent version each, never blocks the writer, and never torn-reads
+//! a half-applied batch. `POST /update` goes through the same writer path
+//! as the embedded API (WAL-acknowledged before visible).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use swans_core::{Database, Layout, StoreConfig};
+//! use swans_rdf::Dataset;
+//!
+//! let mut ds = Dataset::new();
+//! ds.add("<s1>", "<type>", "<Text>");
+//! let db = Arc::new(Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned))?);
+//! let server = swans_serve::serve(db, "127.0.0.1:0")?;
+//! println!("listening on http://{}", server.addr());
+//! // curl "http://<addr>/query?q=SELECT%20?s%20WHERE%20%7B%20?s%20<type>%20<Text>%20%7D"
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Routes
+//!
+//! | Route | Method | Body / params | Returns |
+//! |---|---|---|---|
+//! | `/query` | GET/POST | `?q=<sparql>` (percent-encoded) or raw body | `{"version","columns","rows","row_count"}` |
+//! | `/explain` | GET/POST | same as `/query` | `{"version","plan"}` (annotated + verified text) |
+//! | `/stats` | GET | — | `{"version","triples","pending","requests","counters","io"}` |
+//! | `/update` | POST | lines `+ <s> <p> <o>` / `- <s> <p> <o>` | `{"inserted","deleted","version"}` |
+//!
+//! Errors come back as `400 {"error": "..."}`; unknown routes as `404`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use swans_core::{Database, ResultSet};
+
+mod json;
+
+pub use json::escape as json_escape;
+
+/// A running HTTP server: the bound address plus the handle needed to
+/// stop it. Dropping the value **without** calling [`Server::shutdown`]
+/// leaves the accept thread running for the life of the process.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+struct Shared {
+    db: Arc<Database>,
+    stop: AtomicBool,
+    /// Total requests answered (any route, any status).
+    requests: AtomicU64,
+    /// Connections currently being handled.
+    active: AtomicU64,
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
+/// `db` until [`Server::shutdown`]. One thread per connection; each
+/// read request pins its own snapshot version.
+pub fn serve(db: Arc<Database>, addr: &str) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        db,
+        stop: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        active: AtomicU64::new(0),
+    });
+    let accept_shared = shared.clone();
+    let accept = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shared.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let conn_shared = accept_shared.clone();
+            conn_shared.active.fetch_add(1, Ordering::AcqRel);
+            std::thread::spawn(move || {
+                let _ = handle_connection(&conn_shared, stream);
+                conn_shared.active.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+    });
+    Ok(Server {
+        addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+impl Server {
+    /// The bound address (resolves the ephemeral port of `":0"` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total requests answered so far.
+    pub fn requests(&self) -> u64 {
+        self.shared.requests.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting, waits for in-flight connections to drain (bounded
+    /// at five seconds), and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while self.shared.active.load(Ordering::Acquire) > 0 && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// One parsed request: the slice of HTTP/1.1 the routes need.
+struct Request {
+    method: String,
+    /// Path without the query string.
+    path: String,
+    /// Decoded `q=` parameter, if present.
+    q: Option<String>,
+    body: Vec<u8>,
+}
+
+fn bad_request(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None); // connection closed before a request
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad_request("empty request line"))?;
+    let target = parts.next().ok_or_else(|| bad_request("missing target"))?;
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, qs)) => (p, Some(qs)),
+        None => (target, None),
+    };
+    let q = query_string.and_then(|qs| {
+        qs.split('&')
+            .find_map(|kv| kv.strip_prefix("q="))
+            .map(percent_decode)
+    });
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad_request("connection closed mid-headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad_request("bad content-length"))?;
+            }
+        }
+    }
+    // A front door for test traffic, not the open internet: still, never
+    // let one request buffer unbounded memory.
+    if content_length > 16 << 20 {
+        return Err(bad_request("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        q,
+        body,
+    }))
+}
+
+/// Decodes `%XX` escapes and `+`-as-space (the form/query encoding curl
+/// and browsers produce).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok());
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let Some(request) = read_request(&mut reader).transpose() else {
+        return Ok(());
+    };
+    shared.requests.fetch_add(1, Ordering::AcqRel);
+    let (status, body) = match request {
+        Err(e) => ("400 Bad Request", json::error(&e.to_string())),
+        Ok(req) => route(shared, &req),
+    };
+    respond(&mut stream, status, &body)
+}
+
+fn route(shared: &Shared, req: &Request) -> (&'static str, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET" | "POST", "/query") => match sparql_of(req) {
+            Ok(sparql) => run_query(&shared.db, &sparql),
+            Err(msg) => ("400 Bad Request", json::error(msg)),
+        },
+        ("GET" | "POST", "/explain") => match sparql_of(req) {
+            Ok(sparql) => run_explain(&shared.db, &sparql),
+            Err(msg) => ("400 Bad Request", json::error(msg)),
+        },
+        ("GET", "/stats") => ("200 OK", stats_json(shared)),
+        ("POST", "/update") => run_update(&shared.db, &req.body),
+        _ => ("404 Not Found", json::error("no such route")),
+    }
+}
+
+fn sparql_of(req: &Request) -> Result<String, &'static str> {
+    if let Some(q) = &req.q {
+        return Ok(q.clone());
+    }
+    if !req.body.is_empty() {
+        return String::from_utf8(req.body.clone()).map_err(|_| "body is not UTF-8");
+    }
+    Err("missing query: pass ?q=<sparql> or a request body")
+}
+
+/// Executes on a pinned per-request session when the engine supports
+/// snapshot forks; falls back to the database's writer-lock read path
+/// otherwise. Either way the reported `version` is the one answered from.
+fn run_query(db: &Database, sparql: &str) -> (&'static str, String) {
+    let outcome = match db.session() {
+        Ok(session) => session.query(sparql).map(|r| (session.version(), r)),
+        Err(_) => db.query(sparql).map(|r| (db.snapshot().version(), r)),
+    };
+    match outcome {
+        Ok((version, results)) => ("200 OK", results_json(version, &results)),
+        Err(e) => ("400 Bad Request", json::error(&e.to_string())),
+    }
+}
+
+fn run_explain(db: &Database, sparql: &str) -> (&'static str, String) {
+    let version = db.snapshot().version();
+    match db.explain_text(sparql) {
+        Ok(plan) => (
+            "200 OK",
+            format!(
+                "{{\"version\":{version},\"plan\":\"{}\"}}",
+                json::escape(&plan)
+            ),
+        ),
+        Err(e) => ("400 Bad Request", json::error(&e.to_string())),
+    }
+}
+
+fn results_json(version: u64, results: &ResultSet) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str(&format!("{{\"version\":{version},\"columns\":["));
+    for (i, c) in results.columns().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\"", json::escape(c)));
+    }
+    out.push_str("],\"rows\":[");
+    for (i, row) in results.decoded().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, term) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", json::escape(term)));
+        }
+        out.push(']');
+    }
+    out.push_str(&format!("],\"row_count\":{}}}", results.len()));
+    out
+}
+
+fn stats_json(shared: &Shared) -> String {
+    let snap = shared.db.snapshot();
+    let io = shared.db.storage().stats();
+    let counters = match shared.db.session() {
+        Ok(session) => session
+            .stat_counters()
+            .iter()
+            .map(|(name, v)| format!("\"{name}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(","),
+        Err(_) => String::new(),
+    };
+    format!(
+        "{{\"version\":{},\"triples\":{},\"pending\":{},\"requests\":{},\"counters\":{{{counters}}},\
+         \"io\":{{\"bytes_read\":{},\"read_calls\":{},\"seeks\":{},\"bytes_written\":{},\
+         \"syncs\":{},\"bytes_synced\":{},\"io_seconds\":{}}}}}",
+        snap.version(),
+        snap.dataset().len(),
+        snap.pending_delta(),
+        shared.requests.load(Ordering::Acquire),
+        io.bytes_read,
+        io.read_calls,
+        io.seeks,
+        io.bytes_written,
+        io.syncs,
+        io.bytes_synced,
+        io.io_seconds,
+    )
+}
+
+/// One `(subject, predicate, object)` term triple from the update body.
+type TermTriple = [String; 3];
+
+/// Parses the update mini-language: one mutation per line, `+` inserts,
+/// `-` deletes, terms whitespace-separated with the object extending to
+/// the end of the line (so quoted literals may contain spaces). Blank
+/// lines and `#` comments are skipped.
+fn parse_updates(body: &[u8]) -> Result<(Vec<TermTriple>, Vec<TermTriple>), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let mut inserts = Vec::new();
+    let mut deletes = Vec::new();
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (op, rest) = line.split_at(1);
+        let rest = rest.trim_start();
+        let mut it = rest.splitn(3, char::is_whitespace);
+        let (s, p, o) = match (it.next(), it.next(), it.next()) {
+            (Some(s), Some(p), Some(o)) if !o.trim().is_empty() => (s, p, o.trim()),
+            _ => return Err(format!("line {}: expected `+|- <s> <p> <o>`", n + 1)),
+        };
+        let triple = [s.to_string(), p.to_string(), o.to_string()];
+        match op {
+            "+" => inserts.push(triple),
+            "-" => deletes.push(triple),
+            other => return Err(format!("line {}: unknown op {other:?}", n + 1)),
+        }
+    }
+    Ok((inserts, deletes))
+}
+
+fn run_update(db: &Database, body: &[u8]) -> (&'static str, String) {
+    let (inserts, deletes) = match parse_updates(body) {
+        Ok(parsed) => parsed,
+        Err(msg) => return ("400 Bad Request", json::error(&msg)),
+    };
+    let applied = db
+        .insert(inserts.iter().map(|[s, p, o]| (&**s, &**p, &**o)))
+        .and_then(|ins| {
+            let del = db.delete(deletes.iter().map(|[s, p, o]| (&**s, &**p, &**o)))?;
+            Ok((ins, del))
+        });
+    match applied {
+        Ok((inserted, deleted)) => (
+            "200 OK",
+            format!(
+                "{{\"inserted\":{inserted},\"deleted\":{deleted},\"version\":{}}}",
+                db.snapshot().version()
+            ),
+        ),
+        Err(e) => ("400 Bad Request", json::error(&e.to_string())),
+    }
+}
+
+/// A minimal blocking HTTP client for tests and benchmarks: sends one
+/// request, returns `(status_code, body)`.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: swans\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad_request("malformed status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// Percent-encodes a SPARQL string for use in a `?q=` parameter.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 3);
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char);
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_round_trip() {
+        let q = "SELECT ?s WHERE { ?s <type> \"a b\" }";
+        assert_eq!(percent_decode(&percent_encode(q)), q);
+        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%", "dangling escape is literal");
+        assert_eq!(percent_decode("%zz"), "%zz", "bad hex is literal");
+    }
+
+    #[test]
+    fn update_language_parses() {
+        let body = b"# a comment\n+ <s> <p> \"a literal with spaces\"\n\n- <s2> <p2> <o2>\n";
+        let (ins, del) = parse_updates(body).expect("parses");
+        assert_eq!(
+            ins,
+            vec![[
+                "<s>".to_string(),
+                "<p>".to_string(),
+                "\"a literal with spaces\"".to_string()
+            ]]
+        );
+        assert_eq!(
+            del,
+            vec![["<s2>".to_string(), "<p2>".to_string(), "<o2>".to_string()]]
+        );
+        assert!(parse_updates(b"* <s> <p> <o>").is_err());
+        assert!(parse_updates(b"+ <s> <p>").is_err());
+    }
+}

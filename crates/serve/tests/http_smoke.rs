@@ -1,0 +1,141 @@
+//! HTTP smoke test: a real server on an ephemeral port, 32 clients
+//! hammering it in parallel, and every concurrent answer diffed against
+//! the sequential answer to the same request. Also exercises `/update`,
+//! `/explain`, `/stats`, and the error paths.
+
+use std::sync::Arc;
+
+use swans_core::{Database, Layout, StoreConfig};
+use swans_datagen::{generate, BartonConfig};
+use swans_serve::{http_request, percent_encode, serve};
+
+fn db() -> Arc<Database> {
+    let ds = generate(&BartonConfig {
+        scale: 0.0003,
+        seed: 77,
+        n_properties: 30,
+    });
+    Arc::new(Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned)).expect("opens"))
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT ?s ?o WHERE { ?s <title> ?o }",
+    "SELECT ?t (COUNT(*) AS ?n) WHERE { ?s <type> ?t } GROUP BY ?t",
+    "SELECT ?s WHERE { ?s <type> <Text> }",
+    "SELECT ?s ?o WHERE { ?s <type> <Text> . ?s <language> ?o }",
+];
+
+#[test]
+fn thirty_two_parallel_clients_match_sequential() {
+    let server = serve(db(), "127.0.0.1:0").expect("binds");
+    let addr = server.addr();
+
+    // Sequential reference: one answer per query.
+    let reference: Vec<(u16, String)> = QUERIES
+        .iter()
+        .map(|q| {
+            http_request(addr, "GET", &format!("/query?q={}", percent_encode(q)), "")
+                .expect("sequential request")
+        })
+        .collect();
+    for (status, body) in &reference {
+        assert_eq!(*status, 200, "{body}");
+        assert!(body.contains("\"rows\":["), "{body}");
+    }
+
+    // 32 clients, each issuing every query, all at once — each client
+    // starts at a different query so concurrent requests overlap on
+    // different routes.
+    let answers: Vec<Vec<(usize, u16, String)>> = std::thread::scope(|scope| {
+        (0..32usize)
+            .map(|client| {
+                scope.spawn(move || {
+                    (0..QUERIES.len())
+                        .map(|i| {
+                            let qi = (i + client) % QUERIES.len();
+                            let (status, body) = http_request(
+                                addr,
+                                "GET",
+                                &format!("/query?q={}", percent_encode(QUERIES[qi])),
+                                "",
+                            )
+                            .expect("parallel request");
+                            (qi, status, body)
+                        })
+                        .collect()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    for client in &answers {
+        for (qi, status, body) in client {
+            let (want_status, want_body) = &reference[*qi];
+            assert_eq!(status, want_status);
+            assert_eq!(
+                body, want_body,
+                "a concurrent client saw a different answer"
+            );
+        }
+    }
+
+    assert!(server.requests() >= 4 + 32 * 4);
+    server.shutdown();
+}
+
+#[test]
+fn update_route_round_trips_and_bumps_the_version() {
+    let server = serve(db(), "127.0.0.1:0").expect("binds");
+    let addr = server.addr();
+
+    let (status, stats) = http_request(addr, "GET", "/stats", "").expect("stats");
+    assert_eq!(status, 200, "{stats}");
+    assert!(stats.contains("\"version\":1"), "{stats}");
+    assert!(stats.contains("\"io\":{"), "{stats}");
+
+    let body = "+ <smoke-s> <smoke-p> \"smoke o\"\n+ <smoke-s2> <smoke-p> <o2>\n- <smoke-s2> <smoke-p> <o2>\n";
+    let (status, reply) = http_request(addr, "POST", "/update", body).expect("update");
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"inserted\":2"), "{reply}");
+    assert!(reply.contains("\"deleted\":1"), "{reply}");
+
+    let q = "SELECT ?o WHERE { <smoke-s> <smoke-p> ?o }";
+    let (status, reply) =
+        http_request(addr, "GET", &format!("/query?q={}", percent_encode(q)), "").expect("query");
+    assert_eq!(status, 200);
+    assert!(reply.contains("\\\"smoke o\\\""), "{reply}");
+    assert!(
+        !reply.contains("\"version\":1,"),
+        "post-update reads run on a newer version: {reply}"
+    );
+
+    // POST /query with the SPARQL as the body (no ?q=).
+    let (status, reply) = http_request(addr, "POST", "/query", q).expect("post query");
+    assert_eq!(status, 200);
+    assert!(reply.contains("\"row_count\":1"), "{reply}");
+
+    let (status, reply) = http_request(
+        addr,
+        "GET",
+        &format!("/explain?q={}", percent_encode(q)),
+        "",
+    )
+    .expect("explain");
+    assert_eq!(status, 200);
+    assert!(reply.contains("verified:"), "{reply}");
+
+    // Error paths: bad SPARQL, missing q, unknown route, bad update line.
+    let (status, reply) = http_request(addr, "GET", "/query?q=FROB", "").expect("bad sparql");
+    assert_eq!(status, 400);
+    assert!(reply.contains("\"error\""), "{reply}");
+    let (status, _) = http_request(addr, "GET", "/query", "").expect("missing q");
+    assert_eq!(status, 400);
+    let (status, _) = http_request(addr, "GET", "/nope", "").expect("unknown route");
+    assert_eq!(status, 404);
+    let (status, _) = http_request(addr, "POST", "/update", "* <s> <p> <o>").expect("bad op");
+    assert_eq!(status, 400);
+
+    server.shutdown();
+}

@@ -23,7 +23,7 @@ fn main() -> Result<(), swans_core::Error> {
     // published atomically (temp file + rename, CRC-sealed).
     {
         let dataset = generate(&BartonConfig::with_triples(50_000));
-        let mut db = Database::import_at(
+        let db = Database::import_at(
             &dir,
             dataset,
             StoreConfig::column(Layout::VerticallyPartitioned),
@@ -53,7 +53,7 @@ fn main() -> Result<(), swans_core::Error> {
     // Recovery: last valid snapshot + WAL replay. A torn tail (a record
     // cut short by the crash) would be truncated silently — acknowledged
     // batches always survive, a half-written one never half-applies.
-    let mut db = Database::open_at(&dir, StoreConfig::column(Layout::VerticallyPartitioned))?;
+    let db = Database::open_at(&dir, StoreConfig::column(Layout::VerticallyPartitioned))?;
     let report = db.recovery_report().expect("durable databases report");
     println!(
         "\nreopened: {} snapshot triples + {} replayed batches ({} ops), torn tail: {}",

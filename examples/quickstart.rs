@@ -31,7 +31,7 @@ fn main() -> Result<(), swans_core::Error> {
     println!(
         "opened {} ({} bytes on simulated disk)",
         db.config().label(),
-        db.store().disk_bytes()
+        db.disk_bytes()
     );
 
     // One SPARQL string runs the whole pipeline: parse → plan → optimize →

@@ -13,7 +13,7 @@ use swans_datagen::{generate, BartonConfig};
 
 fn main() -> Result<(), swans_core::Error> {
     let dataset = generate(&BartonConfig::with_triples(50_000));
-    let mut db = Database::open(dataset, StoreConfig::column(Layout::VerticallyPartitioned))?;
+    let db = Database::open(dataset, StoreConfig::column(Layout::VerticallyPartitioned))?;
     let q = "SELECT ?s WHERE { ?s <type> <Text> . ?s <origin> <info:marcorg/DLC> }";
     let baseline = db.query(q)?.len();
     println!(
@@ -48,9 +48,9 @@ fn main() -> Result<(), swans_core::Error> {
     );
 
     // Merge: affected sorted tables are rebuilt, write bytes accounted.
-    let before = db.store().storage().stats();
+    let before = db.storage().stats();
     db.merge()?;
-    let merged = db.store().storage().stats().since(&before);
+    let merged = db.storage().stats().since(&before);
     println!(
         "merged: {:.2} MB written rebuilding sorted tables, {} ops pending\n",
         merged.bytes_written as f64 / 1e6,

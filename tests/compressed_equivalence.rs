@@ -123,7 +123,7 @@ fn all_queries_agree_with_run_kernels_on_and_off() {
         )
         .expect("inserts");
     }
-    let ctx = QueryContext::from_dataset(dbs[0].1.dataset(), 28);
+    let ctx = QueryContext::from_dataset(&dbs[0].1.dataset(), 28);
     let pending_reference = run_all(&dbs[0].1, &ctx);
     assert_ne!(
         pending_reference, reference,

@@ -111,7 +111,7 @@ fn interleaved_mutations_match_fresh_bulk_load_on_all_configs() {
         }
         // All twelve queries agree across all six configurations at this
         // interleaving point (the column configs are still unmerged).
-        let ctx = QueryContext::from_dataset(dbs[0].dataset(), 28);
+        let ctx = QueryContext::from_dataset(&dbs[0].dataset(), 28);
         let reference = run_all(&dbs[0], &ctx);
         for db in &dbs[1..] {
             assert_eq!(
@@ -124,7 +124,7 @@ fn interleaved_mutations_match_fresh_bulk_load_on_all_configs() {
     }
 
     // Final state: compare pre-merge, post-merge, and a fresh bulk load.
-    let final_ds = dbs[0].dataset().clone();
+    let final_ds = dbs[0].dataset();
     let ctx = QueryContext::from_dataset(&final_ds, 28);
     for db in &mut dbs {
         let label = db.config().label();

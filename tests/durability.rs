@@ -160,7 +160,7 @@ fn workload(ds: &Dataset) -> Vec<WorkOp> {
     ]
 }
 
-fn run_op(db: &mut Database, op: &WorkOp) -> Result<(), Error> {
+fn run_op(db: &Database, op: &WorkOp) -> Result<(), Error> {
     fn strs(ts: &[Term3]) -> impl Iterator<Item = (&str, &str, &str)> {
         ts.iter()
             .map(|(s, p, o)| (s.as_str(), p.as_str(), o.as_str()))
@@ -221,7 +221,7 @@ fn verify_against_twins(dir: &Path) {
         let db = Database::open_at(dir, config.clone()).expect("recovered dir reopens");
         let ctx = db.benchmark_context(28);
         let answers = run_all(&db, &ctx);
-        let twin = Database::open(db.dataset().clone(), config.clone()).expect("twin bulk-loads");
+        let twin = Database::open(db.dataset(), config.clone()).expect("twin bulk-loads");
         assert_eq!(
             run_all(&twin, &ctx),
             answers,
@@ -305,7 +305,7 @@ fn crash_matrix_recovers_a_consistent_prefix_at_every_injection_point() {
         let dir = scratch("dry");
         clone_dir(&seed, &dir);
         let faults = FaultState::new();
-        let mut db = Database::open_at_with(
+        let db = Database::open_at_with(
             &dir,
             config.clone(),
             DurabilityOptions {
@@ -315,7 +315,7 @@ fn crash_matrix_recovers_a_consistent_prefix_at_every_injection_point() {
         )
         .expect("dry run opens");
         for op in &ops {
-            run_op(&mut db, op).expect("dry run is fault-free");
+            run_op(&db, op).expect("dry run is fault-free");
         }
         assert_eq!(
             db_bag(&db),
@@ -353,7 +353,7 @@ fn crash_matrix_recovers_a_consistent_prefix_at_every_injection_point() {
 
             let faults = FaultState::new();
             faults.arm(FaultPolicy { at_op: i, kind });
-            let mut db = Database::open_at_with(
+            let db = Database::open_at_with(
                 &dir,
                 config.clone(),
                 DurabilityOptions {
@@ -367,7 +367,7 @@ fn crash_matrix_recovers_a_consistent_prefix_at_every_injection_point() {
             // (the process model is killed and the directory reopened).
             let mut completed = ops.len();
             for (k, op) in ops.iter().enumerate() {
-                if run_op(&mut db, op).is_err() {
+                if run_op(&db, op).is_err() {
                     completed = k;
                     break;
                 }
@@ -460,7 +460,7 @@ fn recovery_is_total_under_single_bit_file_corruption() {
     let seed = scratch("flip-seed");
     let mut states: Vec<Vec<Term3>> = Vec::new();
     {
-        let mut db = Database::import_at(&seed, ds, config.clone(), DurabilityOptions::default())
+        let db = Database::import_at(&seed, ds, config.clone(), DurabilityOptions::default())
             .expect("imports");
         states.push(db_bag(&db));
         db.insert([("<s4>", "<type>", "<Text>"), ("<s4>", "<lang>", "\"deu\"")])

@@ -114,7 +114,7 @@ fn all_queries_agree_on_every_config_at_every_width() {
         .expect("inserts");
         assert!(db.pending_delta() > 0 || !label.contains("column"));
     }
-    let ctx = QueryContext::from_dataset(dbs[0].1.dataset(), 28);
+    let ctx = QueryContext::from_dataset(&dbs[0].1.dataset(), 28);
     let pending_reference = run_all(&dbs[0].1, &ctx);
     assert_ne!(
         pending_reference, reference,

@@ -1,0 +1,110 @@
+//! Per-session execution accounting: concurrent sessions must not
+//! cross-contaminate their dispatch counters. Each [`swans_core::Session`]
+//! runs on a private engine fork with zeroed counters, so a session's
+//! `stat_counters()` reflect exactly its *own* queries — verified here by
+//! diffing two concurrent sessions' counters against sequential twins of
+//! the same workloads.
+
+use std::collections::BTreeMap;
+
+use swans_core::{Database, Layout, Session, StoreConfig};
+use swans_rdf::Dataset;
+
+const JOIN_Q: &str = "SELECT ?s ?l WHERE { ?s <type> <Text> . ?s <language> ?l }";
+const SCAN_Q: &str = "SELECT ?s ?o WHERE { ?s <title> ?o }";
+
+fn db() -> Database {
+    let ds: Dataset = swans_datagen::generate(&swans_datagen::BartonConfig {
+        scale: 0.0004,
+        seed: 17,
+        n_properties: 30,
+    });
+    Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned)).expect("opens")
+}
+
+fn counters(session: &Session) -> BTreeMap<&'static str, u64> {
+    session.stat_counters().into_iter().collect()
+}
+
+fn run_n(session: &Session, q: &str, n: usize) {
+    for _ in 0..n {
+        session.query(q).expect("query runs");
+    }
+}
+
+#[test]
+fn concurrent_sessions_do_not_cross_contaminate_dispatch_counters() {
+    let db = db();
+
+    // Sequential twins: what each workload costs when run alone.
+    let seq_a = {
+        let s = db.session().expect("forks");
+        run_n(&s, JOIN_Q, 3);
+        counters(&s)
+    };
+    let seq_b = {
+        let s = db.session().expect("forks");
+        run_n(&s, SCAN_Q, 1);
+        counters(&s)
+    };
+    assert_ne!(
+        seq_a, seq_b,
+        "the two workloads must differ, or contamination would be invisible"
+    );
+    assert!(
+        seq_a.values().any(|&v| v > 0),
+        "the join workload must dispatch something: {seq_a:?}"
+    );
+
+    // The same two workloads, concurrently, interleaved hard.
+    let (con_a, con_b) = std::thread::scope(|scope| {
+        let db = &db;
+        let a = scope.spawn(move || {
+            let s = db.session().expect("forks");
+            run_n(&s, JOIN_Q, 3);
+            counters(&s)
+        });
+        let b = scope.spawn(move || {
+            let s = db.session().expect("forks");
+            run_n(&s, SCAN_Q, 1);
+            counters(&s)
+        });
+        (a.join().expect("A"), b.join().expect("B"))
+    });
+
+    assert_eq!(
+        con_a, seq_a,
+        "session A's counters changed because B ran next to it"
+    );
+    assert_eq!(
+        con_b, seq_b,
+        "session B's counters changed because A ran next to it"
+    );
+
+    // A brand-new session starts from zero — nothing leaks across forks.
+    let fresh = counters(&db.session().expect("forks"));
+    assert!(
+        fresh.values().all(|&v| v == 0),
+        "a fresh session must start with zeroed counters: {fresh:?}"
+    );
+}
+
+/// The writer's queries don't show up in sessions either: `db.query` runs
+/// on the published snapshot's fork (or the writer engine), never on a
+/// session's private fork.
+#[test]
+fn database_level_queries_leave_sessions_untouched() {
+    let db = db();
+    let session = db.session().expect("forks");
+    run_n(&session, JOIN_Q, 1);
+    let before = counters(&session);
+    for _ in 0..4 {
+        db.query(JOIN_Q).expect("front-door query");
+        db.query(SCAN_Q).expect("front-door query");
+    }
+    assert_eq!(
+        counters(&session),
+        before,
+        "front-door traffic contaminated a pinned session's counters"
+    );
+}

@@ -1,0 +1,132 @@
+//! Snapshot-lifetime properties: a pinned snapshot keeps answering the
+//! full 12-query benchmark suite **bit-identically** while the writer
+//! publishes (and the system drops) newer versions around it — and the
+//! `Arc` accounting says dropped versions are actually freed, with
+//! strong counts returning to baseline once sessions end.
+
+use std::sync::Arc;
+
+use swans_core::{Database, DurabilityOptions, Layout, StoreConfig};
+use swans_plan::queries::{QueryContext, QueryId};
+use swans_rdf::Dataset;
+
+fn dataset() -> Dataset {
+    swans_datagen::generate(&swans_datagen::BartonConfig {
+        scale: 0.0004,
+        seed: 63,
+        n_properties: 36,
+    })
+}
+
+/// The full suite, raw rows — bit-identical means same rows, same order.
+fn run_suite(session: &swans_core::Session, ctx: &QueryContext) -> Vec<Vec<Vec<u64>>> {
+    QueryId::ALL
+        .iter()
+        .map(|&q| session.run_benchmark(q, ctx).expect("suite query").rows)
+        .collect()
+}
+
+/// One churn step: commit a batch of brand-new terms (publishes), and
+/// merge every other step (publishes again; on a durable database the
+/// merge also checkpoints, truncating the WAL under the pinned reader).
+fn churn(db: &Database, step: usize) {
+    let triples: Vec<(String, String, String)> = (0..40)
+        .map(|i| {
+            (
+                format!("<churn-s{step}-{i}>"),
+                "<churn-prop>".to_string(),
+                format!("<churn-o{i}>"),
+            )
+        })
+        .collect();
+    db.insert(triples.iter().map(|(s, p, o)| (&**s, &**p, &**o)))
+        .expect("churn insert");
+    if step % 2 == 1 {
+        db.merge().expect("churn merge");
+    }
+}
+
+#[test]
+#[cfg_attr(miri, ignore)] // durable directory: real file I/O
+fn pinned_snapshot_answers_bit_identically_across_merges_and_checkpoints() {
+    let dir = std::env::temp_dir().join(format!("swans-snap-life-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ds = dataset();
+    let ctx = QueryContext::from_dataset(&ds, 28);
+    let db = Database::import_at(
+        &dir,
+        ds,
+        StoreConfig::column(Layout::VerticallyPartitioned),
+        DurabilityOptions::default(),
+    )
+    .expect("imports");
+
+    let pinned = db.session().expect("pins version 1 via a fork");
+    let v0 = pinned.version();
+    let reference = run_suite(&pinned, &ctx);
+
+    // A weak handle to the pinned version, to observe its deallocation.
+    let old = Arc::downgrade(pinned.snapshot());
+
+    // Interleave: churn (publish, merge, checkpoint) — then re-ask the
+    // pinned reader, every round.
+    for step in 0..6 {
+        churn(&db, step);
+        assert_eq!(
+            run_suite(&pinned, &ctx),
+            reference,
+            "step {step}: the pinned snapshot's answers drifted"
+        );
+        assert_eq!(pinned.version(), v0);
+    }
+    assert!(
+        db.snapshot().version() > v0 + 5,
+        "churn must actually publish new versions"
+    );
+
+    // And concurrently: readers re-running the suite on their own pinned
+    // sessions while the writer keeps publishing.
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let ctx = &ctx;
+            let db = &db;
+            scope.spawn(move || {
+                // Whatever version this session lands on, its own answers
+                // must repeat bit-identically while the writer publishes.
+                let mine = db.session().expect("forks");
+                let before = run_suite(&mine, ctx);
+                for _ in 0..3 {
+                    assert_eq!(run_suite(&mine, ctx), before, "pinned answers drifted");
+                }
+            });
+        }
+        for step in 6..10 {
+            churn(&db, step);
+        }
+    });
+
+    // Lifetime: dropping the pinned session releases the old version.
+    assert!(old.upgrade().is_some(), "pinned version still alive");
+    drop(pinned);
+    assert!(
+        old.upgrade().is_none(),
+        "nothing else may retain a dropped version — snapshot leak"
+    );
+
+    // Strong-count baseline: sessions add exactly one strong ref each to
+    // the current snapshot and give it back when they end.
+    let current = db.snapshot();
+    let baseline = Arc::strong_count(&current);
+    {
+        let sessions: Vec<_> = (0..5).map(|_| db.session().expect("forks")).collect();
+        assert_eq!(Arc::strong_count(&current), baseline + 5);
+        drop(sessions);
+    }
+    assert_eq!(
+        Arc::strong_count(&current),
+        baseline,
+        "session teardown must return the snapshot refcount to baseline"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -26,7 +26,7 @@ fn dataset() -> Dataset {
 /// physically optimized form.
 fn verify_and_run_all(db: &Database, qctx: &QueryContext, label: &str) {
     let scheme = db.config().layout.scheme();
-    let ctx = db.store().explain_context();
+    let ctx = db.explain_context();
     for q in QueryId::ALL {
         let plan = build_plan(q, scheme, qctx);
         for (form, p) in [
@@ -37,8 +37,7 @@ fn verify_and_run_all(db: &Database, qctx: &QueryContext, label: &str) {
             let report = verify(&p, &ctx)
                 .unwrap_or_else(|e| panic!("{label} {q:?} ({form}): {e}\n{}", p.explain()));
             assert!(report.nodes >= 1, "{label} {q:?} ({form})");
-            db.store()
-                .execute_plan(&p)
+            db.execute_plan(&p)
                 .unwrap_or_else(|e| panic!("{label} {q:?} ({form}) fails to execute: {e}"));
         }
     }
@@ -50,7 +49,7 @@ fn benchmark_plans_verify_in_every_configuration_and_state() {
     let qctx = QueryContext::from_dataset(&ds, 28);
     for config in all_configs() {
         let label = config.label();
-        let mut db = Database::open(ds.clone(), config).expect("opens");
+        let db = Database::open(ds.clone(), config).expect("opens");
         verify_and_run_all(&db, &qctx, &format!("{label}/clean"));
 
         // Pending delta: tombstones on existing triples plus inserts on
