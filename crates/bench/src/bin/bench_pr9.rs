@@ -1,0 +1,39 @@
+//! Regenerates `BENCH_PR9.json`: the plan-quality experiment — rotation
+//! heuristic vs cost-based enumeration on the same submitted plans, per
+//! column layout × query (the twelve benchmark queries plus two
+//! star-shaped queries submitted in their worst join order), with
+//! per-cell q-error and the CBO engine's leapfrog-dispatch census.
+//!
+//! Usage: `cargo run -p swans-bench --release --bin bench_pr9 [-- --quick]`
+//! `--quick` shrinks the data set and star overlay for CI smoke runs.
+//! Env knobs: `SWANS_SCALE`, `SWANS_SEED`, `SWANS_REPEATS` (see the
+//! crate docs).
+
+use swans_bench::{planquality, HarnessConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = HarnessConfig::from_env();
+    let (mut star, fan) = (120_000u64, 4u64);
+    if quick {
+        cfg.scale = cfg.scale.min(0.0005);
+        star = 2_000;
+    }
+    eprintln!(
+        "[bench_pr9] scale={} seed={} star={star} quick={quick}",
+        cfg.scale, cfg.seed
+    );
+    let ds = cfg.dataset();
+    let cells = planquality::run(&cfg, &ds, star, fan);
+    let json = planquality::to_json(&cfg, quick, star, &cells);
+    std::fs::write("BENCH_PR9.json", &json).expect("write BENCH_PR9.json");
+    eprintln!("[bench_pr9] wrote BENCH_PR9.json");
+
+    println!("{}", planquality::render(&cells));
+    println!(
+        "Both columns execute the same submitted plans; only the optimizer\n\
+         differs. `lf` counts leapfrog star-kernel dispatches in the CBO\n\
+         run — the star queries are submitted dense-arms-first, so any win\n\
+         there is the enumerator finding the order the heuristic cannot."
+    );
+}

@@ -24,6 +24,7 @@
 //! | `bench_pr5` | compressed-execution A/B (`BENCH_PR5.json`) |
 //! | `bench_pr7` | durability: recovery time + WAL/snapshot sizes (`BENCH_PR7.json`) |
 //! | `bench_serve` | concurrent serving over HTTP: throughput/latency vs clients (`BENCH_PR8.json`) |
+//! | `bench_pr9` | plan quality: heuristic vs cost-based enumeration + q-error (`BENCH_PR9.json`) |
 //!
 //! Environment knobs: `SWANS_SCALE` (fraction of the 50.3M-triple Barton
 //! data set to synthesize, default 0.02), `SWANS_REPEATS` (averaging, the
@@ -34,6 +35,7 @@ pub mod durability;
 pub mod experiments;
 pub mod paper;
 pub mod parallel;
+pub mod planquality;
 pub mod serving;
 pub mod sorted;
 pub mod updates;

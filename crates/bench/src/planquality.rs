@@ -1,0 +1,316 @@
+//! The plan-quality experiment behind `BENCH_PR9.json` — the rotation
+//! heuristic vs cost-based enumeration A/B of PR 9.
+//!
+//! Per column layout × query, both engines execute the *same submitted
+//! plan*; the only difference is the `set_cbo` switch, i.e. whether the
+//! join order is picked by the statistics-driven enumerator (with the
+//! leapfrog star kernel among its candidates) or by the legacy rotation
+//! heuristic. The workload is the twelve benchmark queries plus two
+//! star-shaped queries over a synthetic star overlay: subject-sharing
+//! property chains submitted in their worst order, with one highly
+//! selective arm — the shape where the binary fold grinds through a
+//! large intermediate while the leapfrog gallop skips it.
+//!
+//! Each cell records: best-of-N hot wall seconds per side (interleaved,
+//! so clock drift hits both equally; optimization time is inside the
+//! measurement — the enumerator pays for itself), the estimated vs
+//! actual root cardinality and their q-error, and the CBO engine's
+//! leapfrog-dispatch count proving which physical plan ran.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use swans_colstore::ColumnEngine;
+use swans_core::Layout;
+use swans_plan::algebra::{join, Plan};
+use swans_plan::queries::{build_plan, QueryContext, QueryId};
+use swans_plan::{estimate_rows, optimize_cbo, reorder_joins};
+use swans_rdf::{Dataset, Id, Triple};
+use swans_storage::StorageManager;
+
+use crate::HarnessConfig;
+
+/// Speedups below this are treated as measurement noise by the verdict
+/// (the PR's acceptance bar: CBO never slower beyond 10%).
+pub const NOISE_FLOOR: f64 = 0.90;
+/// A star cell counts as a leapfrog win at or above this speedup.
+pub const STAR_WIN: f64 = 1.3;
+
+/// The star overlay's property roles, in chain order.
+struct StarProps {
+    /// Dense: `fan` objects per subject.
+    a: Id,
+    /// Dense: `fan` objects per subject (disjoint object pool).
+    b: Id,
+    /// Sparse: one object on every 64th subject — the selective arm.
+    c: Id,
+    /// Half-dense: two objects on every other subject.
+    d: Id,
+}
+
+/// Interns the star overlay into `ds`: `n` fresh subjects sharing four
+/// fresh properties with the densities above. Star subjects are disjoint
+/// from the generator's, so the benchmark queries' *answers* are
+/// untouched (their property-unbound scans merely read more rows — the
+/// same extra work on both sides of the A/B).
+fn add_star_overlay(ds: &mut Dataset, n: u64, fan: u64) -> StarProps {
+    let props = StarProps {
+        a: ds.dict.intern("<star-pa>"),
+        b: ds.dict.intern("<star-pb>"),
+        c: ds.dict.intern("<star-pc>"),
+        d: ds.dict.intern("<star-pd>"),
+    };
+    for i in 0..n {
+        let s = ds.dict.intern(&format!("<star-s{i}>"));
+        for j in 0..fan {
+            let oa = ds.dict.intern(&format!("<star-oa{}>", (i * fan + j) % 997));
+            ds.triples.push(Triple::new(s, props.a, oa));
+            let ob = ds.dict.intern(&format!("<star-ob{}>", (i + j * 31) % 761));
+            ds.triples.push(Triple::new(s, props.b, ob));
+        }
+        if i % 64 == 0 {
+            let oc = ds.dict.intern(&format!("<star-oc{}>", i % 7));
+            ds.triples.push(Triple::new(s, props.c, oc));
+        }
+        if i % 2 == 0 {
+            for j in 0..2 {
+                let od = ds.dict.intern(&format!("<star-od{}>", (i + j) % 13));
+                ds.triples.push(Triple::new(s, props.d, od));
+            }
+        }
+    }
+    props
+}
+
+/// A property leaf in `layout`'s scheme.
+fn leaf(layout: Layout, p: Id) -> Plan {
+    match layout {
+        Layout::TripleStore(_) => Plan::ScanTriples {
+            s: None,
+            p: Some(p),
+            o: None,
+        },
+        Layout::VerticallyPartitioned => Plan::ScanProperty {
+            property: p,
+            s: None,
+            o: None,
+            emit_property: false,
+        },
+    }
+}
+
+/// The star queries, submitted in their worst order: the two dense arms
+/// joined first, the selective arm last. The rotation heuristic sees a
+/// chain; the enumerator sees a subject star and may collapse it into
+/// one leapfrog node.
+fn star_plans(layout: Layout, p: &StarProps) -> Vec<(String, Plan)> {
+    let l = |id| leaf(layout, id);
+    vec![
+        (
+            "qstar3".into(),
+            join(join(l(p.a), l(p.b), 0, 0), l(p.c), 0, 0),
+        ),
+        (
+            "qstar4".into(),
+            join(join(join(l(p.a), l(p.b), 0, 0), l(p.d), 0, 0), l(p.c), 0, 0),
+        ),
+    ]
+}
+
+/// One (layout, query) measurement.
+#[derive(Debug, Clone)]
+pub struct PlanQualityCell {
+    /// Layout label.
+    pub layout: String,
+    /// Query name (`q1` … `q8*`, `qstar3`, `qstar4`).
+    pub query: String,
+    /// Result cardinality.
+    pub rows: usize,
+    /// The cost model's root-cardinality estimate.
+    pub est_rows: f64,
+    /// `max(est/actual, actual/est)`, both floored at one row.
+    pub q_error: f64,
+    /// Best hot wall seconds with the rotation heuristic.
+    pub heuristic_s: f64,
+    /// Best hot wall seconds with cost-based enumeration.
+    pub cbo_s: f64,
+    /// Leapfrog kernel dispatches in one CBO execution.
+    pub leapfrog_dispatches: u64,
+    /// Whether enumeration and rotation produced different plans. Equal
+    /// plans execute identical code on both sides, so their wall-clock
+    /// ratio is measurement noise by construction — the verdict only
+    /// judges cells that actually differ.
+    pub plans_differ: bool,
+}
+
+impl PlanQualityCell {
+    /// Heuristic time over CBO time: above one, enumeration won.
+    pub fn speedup(&self) -> f64 {
+        self.heuristic_s / self.cbo_s.max(1e-12)
+    }
+}
+
+fn load(cfg: &HarnessConfig, ds: &Dataset, layout: Layout, cbo: bool) -> ColumnEngine {
+    let storage = StorageManager::new(cfg.machine_b());
+    let mut e = ColumnEngine::new();
+    e.set_cbo(cbo);
+    match layout {
+        Layout::TripleStore(order) => e.load_triple_store(&storage, &ds.triples, order, true),
+        Layout::VerticallyPartitioned => e.load_vertical(&storage, &ds.triples, true),
+    }
+    e
+}
+
+/// Best wall seconds of `plan` on `e` over one timed batch.
+fn timed(e: &ColumnEngine, plan: &Plan, inner: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..inner {
+        let _ = e.execute(plan).expect("bench run");
+    }
+    start.elapsed().as_secs_f64() / inner as f64
+}
+
+/// Runs the full experiment: three column layouts × (benchmark + star)
+/// queries, heuristic vs CBO interleaved.
+pub fn run(cfg: &HarnessConfig, ds: &Dataset, star: u64, fan: u64) -> Vec<PlanQualityCell> {
+    let mut ds = ds.clone();
+    let props = add_star_overlay(&mut ds, star, fan);
+    let qctx = QueryContext::from_dataset(&ds, 28);
+    eprintln!(
+        "[bench_pr9] {} triples ({} star overlay subjects), repeats={}",
+        ds.len(),
+        star,
+        cfg.repeats
+    );
+    let mut out = Vec::new();
+    for layout in crate::compressed::layouts() {
+        eprintln!("[bench_pr9] {} ...", layout.name());
+        let cbo = load(cfg, &ds, layout, true);
+        let heur = load(cfg, &ds, layout, false);
+        let ctx = cbo.props_ctx();
+        let mut plans: Vec<(String, Plan)> = QueryId::ALL
+            .iter()
+            .map(|&q| (q.name().to_string(), build_plan(q, layout.scheme(), &qctx)))
+            .collect();
+        plans.extend(star_plans(layout, &props));
+        for (name, plan) in plans {
+            let plans_differ =
+                optimize_cbo(plan.clone(), &ctx) != reorder_joins(plan.clone(), &ctx);
+            // Warm both sides, grab cardinality + dispatch census.
+            cbo.reset_exec_stats();
+            let rows = cbo.execute(&plan).expect("cbo run").to_rows().len();
+            let leapfrog_dispatches = cbo.exec_stats().leapfrog_dispatches;
+            let _ = heur.execute(&plan).expect("heuristic run");
+            // Sub-millisecond cells batch enough iterations to resolve.
+            let probe = timed(&cbo, &plan, 1);
+            let inner = ((0.005 / probe.max(1e-9)) as usize).clamp(1, 50);
+            let (mut best_c, mut best_h) = (f64::INFINITY, f64::INFINITY);
+            for _ in 0..cfg.repeats.max(2) {
+                best_c = best_c.min(timed(&cbo, &plan, inner));
+                best_h = best_h.min(timed(&heur, &plan, inner));
+            }
+            let est = estimate_rows(&plan, &ctx).max(1.0);
+            let actual = rows.max(1) as f64;
+            out.push(PlanQualityCell {
+                layout: layout.name(),
+                query: name,
+                rows,
+                est_rows: est,
+                q_error: (est / actual).max(actual / est),
+                heuristic_s: best_h,
+                cbo_s: best_c,
+                leapfrog_dispatches,
+                plans_differ,
+            });
+        }
+    }
+    out
+}
+
+/// Renders `BENCH_PR9.json` (hand-rolled writer — the workspace builds
+/// fully offline).
+pub fn to_json(cfg: &HarnessConfig, quick: bool, star: u64, cells: &[PlanQualityCell]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(
+        s,
+        "  \"meta\": {{\"experiment\": \"plan-quality\", \"pr\": 9, \
+         \"scale\": {}, \"repeats\": {}, \"seed\": {}, \"star_subjects\": {star}, \
+         \"quick\": {quick}}},",
+        cfg.scale, cfg.repeats, cfg.seed
+    );
+    let _ = writeln!(s, "  \"cells\": [");
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"layout\": \"{}\", \"query\": \"{}\", \"rows\": {}, \
+                 \"est_rows\": {:.1}, \"q_error\": {:.3}, \
+                 \"heuristic_s\": {:.6}, \"cbo_s\": {:.6}, \"speedup\": {:.3}, \
+                 \"leapfrog_dispatches\": {}, \"plans_differ\": {}}}",
+                c.layout,
+                c.query,
+                c.rows,
+                c.est_rows,
+                c.q_error,
+                c.heuristic_s,
+                c.cbo_s,
+                c.speedup(),
+                c.leapfrog_dispatches,
+                c.plans_differ
+            )
+        })
+        .collect();
+    let _ = writeln!(s, "{}", rows.join(",\n"));
+    let _ = writeln!(s, "  ],");
+
+    let slower: Vec<String> = cells
+        .iter()
+        .filter(|c| c.plans_differ && c.speedup() < NOISE_FLOOR)
+        .map(|c| format!("\"{}/{} ({:.2}x)\"", c.layout, c.query, c.speedup()))
+        .collect();
+    let wins: Vec<String> = cells
+        .iter()
+        .filter(|c| {
+            c.query.starts_with("qstar") && c.leapfrog_dispatches > 0 && c.speedup() >= STAR_WIN
+        })
+        .map(|c| format!("\"{}/{} ({:.2}x)\"", c.layout, c.query, c.speedup()))
+        .collect();
+    let max_q = cells.iter().map(|c| c.q_error).fold(0.0, f64::max);
+    let _ = writeln!(
+        s,
+        "  \"verdict\": {{\"cbo_slower_beyond_noise\": [{}], \
+         \"leapfrog_star_wins\": [{}], \"max_q_error\": {:.3}}}",
+        slower.join(", "),
+        wins.join(", "),
+        max_q
+    );
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Renders the human-readable table.
+pub fn render(cells: &[PlanQualityCell]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<14} {:<8} {:>9} {:>11} {:>8} {:>12} {:>12} {:>8} {:>4}",
+        "layout", "query", "rows", "est", "q-err", "heuristic s", "cbo s", "speedup", "lf"
+    );
+    for c in cells {
+        let _ = writeln!(
+            s,
+            "{:<14} {:<8} {:>9} {:>11.1} {:>8.2} {:>12.6} {:>12.6} {:>7.2}x {:>4}",
+            c.layout,
+            c.query,
+            c.rows,
+            c.est_rows,
+            c.q_error,
+            c.heuristic_s,
+            c.cbo_s,
+            c.speedup(),
+            c.leapfrog_dispatches
+        );
+    }
+    s
+}

@@ -436,6 +436,17 @@ impl Chunk {
         self.cols[i].is_some()
     }
 
+    /// Replaces a run-encoded column with its flat expansion in place (a
+    /// no-op on flat or pruned columns) — the result-boundary enforcement
+    /// of the converse run invariant when an optimizer rewrite produces
+    /// runs at a position the submitted plan never claimed.
+    pub fn expand_col(&mut self, i: usize) {
+        if self.cols[i].as_ref().is_some_and(ColData::is_runs) {
+            let c = self.cols[i].take().expect("presence just checked");
+            self.cols[i] = Some(ColData::Owned(c.into_owned()));
+        }
+    }
+
     /// Takes ownership of column `i` if present.
     pub fn take_col(&mut self, i: usize) -> Option<ColData> {
         self.cols[i].take()

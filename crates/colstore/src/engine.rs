@@ -17,12 +17,13 @@ use swans_rdf::hash::{FxHashMap, FxHashSet};
 use swans_rdf::{Delta, Id, SortOrder, Triple};
 use swans_storage::{SegmentId, StorageManager};
 
-use swans_plan::algebra::{CmpOp, Plan};
+use swans_plan::algebra::{leapfrog_fold, CmpOp, Plan};
 use swans_plan::exec::EngineError;
-use swans_plan::optimize::reorder_joins;
+use swans_plan::optimize::{optimize_cbo, reorder_joins};
 use swans_plan::props::{derive as derive_props, PhysProps, PropsContext};
+use swans_plan::stats::{PropStats, StatsCatalog, TripleStats};
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::chunk::{Chunk, ColData, RunCol};
 use crate::column::Column;
@@ -35,6 +36,7 @@ use crate::parallel::{aligned_bounds, morsel_range, partitions, WorkerPool};
 struct ExecStats {
     merge_joins: AtomicU64,
     hash_joins: AtomicU64,
+    leapfrog_dispatches: AtomicU64,
     sorted_group_counts: AtomicU64,
     hash_group_counts: AtomicU64,
     sorted_distincts: AtomicU64,
@@ -59,6 +61,7 @@ impl ExecStats {
         ExecStatsSnapshot {
             merge_joins: self.merge_joins.load(Ordering::Relaxed),
             hash_joins: self.hash_joins.load(Ordering::Relaxed),
+            leapfrog_dispatches: self.leapfrog_dispatches.load(Ordering::Relaxed),
             sorted_group_counts: self.sorted_group_counts.load(Ordering::Relaxed),
             hash_group_counts: self.hash_group_counts.load(Ordering::Relaxed),
             sorted_distincts: self.sorted_distincts.load(Ordering::Relaxed),
@@ -82,6 +85,7 @@ impl ExecStats {
     fn reset(&self) {
         self.merge_joins.store(0, Ordering::Relaxed);
         self.hash_joins.store(0, Ordering::Relaxed);
+        self.leapfrog_dispatches.store(0, Ordering::Relaxed);
         self.sorted_group_counts.store(0, Ordering::Relaxed);
         self.hash_group_counts.store(0, Ordering::Relaxed);
         self.sorted_distincts.store(0, Ordering::Relaxed);
@@ -114,6 +118,12 @@ pub struct ExecStatsSnapshot {
     pub merge_joins: u64,
     /// Joins executed by [`ops::hash_join`].
     pub hash_joins: u64,
+    /// Multi-way star joins executed by the [`ops::leapfrog_join`]
+    /// kernel (every input derived-sorted on its key column). A
+    /// leapfrog node whose inputs lost their order falls back to the
+    /// binary-join fold, counting under `merge_joins`/`hash_joins`
+    /// instead.
+    pub leapfrog_dispatches: u64,
     /// Group-counts executed by the run-based sorted kernels.
     pub sorted_group_counts: u64,
     /// Group-counts executed by the hash kernels (incl. the generic
@@ -250,6 +260,23 @@ pub struct ColumnEngine {
     /// on them. Off, every scan decompresses at the scan boundary — the
     /// flat-kernel A/B baseline (sorted dispatch still applies).
     run_kernels: bool,
+    /// Whether cost-based join enumeration is active (default): join
+    /// chains re-planned by [`optimize_cbo`] against the statistics
+    /// catalog. Off, the statistics-free rotation heuristic
+    /// ([`reorder_joins`]) plans alone — the A/B baseline mirroring
+    /// `sorted_paths`/`run_kernels`.
+    cbo: bool,
+    /// Per-table statistics collected at load/merge time and published
+    /// through [`PropsContext::stats`] for the cost model. `None` until
+    /// the first load; shared by `Arc` so snapshot forks republish the
+    /// same catalog until their next merge recollects.
+    stats_catalog: Option<Arc<StatsCatalog>>,
+    /// Memoized [`optimize_cbo`] rewrites keyed by the submitted plan.
+    /// Enumeration is deterministic in (plan, physical context), and
+    /// every context-changing mutation clears the map, so a hit is
+    /// exactly what a fresh enumeration would produce — repeated
+    /// executions pay the DP once (prepared-statement economics).
+    plan_cache: Mutex<FxHashMap<Plan, Arc<Plan>>>,
     /// Whether [`ColumnEngine::execute`] runs the static plan verifier
     /// ([`swans_plan::verify`](mod@swans_plan::verify)) before executing. Defaults to on in
     /// debug builds and off in release; `StoreConfig::with_verify(true)`
@@ -284,6 +311,9 @@ impl Default for ColumnEngine {
             vertical_loaded: false,
             sorted_paths: true,
             run_kernels: true,
+            cbo: true,
+            stats_catalog: None,
+            plan_cache: Mutex::new(FxHashMap::default()),
             verify: cfg!(debug_assertions),
             stats: ExecStats::default(),
             write: WriteStore::default(),
@@ -308,6 +338,7 @@ impl ColumnEngine {
     /// the benchmark trajectory compares against.
     pub fn set_sorted_paths(&mut self, enabled: bool) {
         self.sorted_paths = enabled;
+        self.invalidate_plan_cache();
     }
 
     /// Whether the sortedness-aware execution layer is active.
@@ -324,11 +355,32 @@ impl ColumnEngine {
     /// either way.
     pub fn set_run_kernels(&mut self, enabled: bool) {
         self.run_kernels = enabled;
+        self.invalidate_plan_cache();
     }
 
     /// Whether run-encoded execution is active.
     pub fn run_kernels(&self) -> bool {
         self.run_kernels
+    }
+
+    /// Enables or disables cost-based join enumeration: with statistics
+    /// loaded, join chains are re-planned by
+    /// [`optimize_cbo`](swans_plan::optimize::optimize_cbo) — DP over
+    /// the join graph plus the leapfrog star kernel — instead of the
+    /// statistics-free rotation heuristic. On by default; turning it off
+    /// pins the heuristic baseline the plan-quality benchmark compares
+    /// against (mirroring [`ColumnEngine::set_sorted_paths`]). Results
+    /// are bit-identical either way up to row order of the final result
+    /// only when plans are order-insensitive; the A/B tests compare
+    /// normalized (sorted) rows.
+    pub fn set_cbo(&mut self, enabled: bool) {
+        self.cbo = enabled;
+        self.invalidate_plan_cache();
+    }
+
+    /// Whether cost-based join enumeration is active.
+    pub fn cbo(&self) -> bool {
+        self.cbo
     }
 
     /// Enables or disables pre-execution plan verification (the static
@@ -476,7 +528,118 @@ impl ColumnEngine {
                     let lead = t.order.permutation()[0];
                     t.cols[lead].peek_runs().is_some_and(Self::emit_worthy)
                 }),
+            stats: self.stats_catalog.clone(),
         }
+    }
+
+    /// Recollects the statistics catalog from the current read-store
+    /// tables: row counts, per-column distinct counts (the sorted lead
+    /// column by a linear boundary pass — on an RLE column that count is
+    /// exactly the run count the header already holds — the rest by
+    /// hashing) and the bytes a full scan touches as stored (16 B per
+    /// run header for RLE-kept columns, 8 B per flat row). Runs at every
+    /// load and merge — the only moments the read store changes — so the
+    /// published catalog never describes dropped tables. Pending
+    /// write-store deltas leave it slightly stale by design (see
+    /// [`StatsCatalog`]); the next merge recollects.
+    /// Drops every memoized plan rewrite. Called by every mutation that
+    /// changes the physical context enumeration prices against: loads,
+    /// delta application, merges, and the execution-layer switches.
+    fn invalidate_plan_cache(&mut self) {
+        self.plan_cache.get_mut().expect("plan cache").clear();
+    }
+
+    /// The memoized cost-based rewrite of `plan` under the current
+    /// physical state (see the `plan_cache` field).
+    fn cached_cbo(&self, plan: &Plan, ctx: &PropsContext) -> Arc<Plan> {
+        /// Re-enumerating is cheap relative to unbounded growth; a full
+        /// clear at the cap keeps the map O(workload distinct plans).
+        const PLAN_CACHE_CAP: usize = 256;
+        if let Some(hit) = self.plan_cache.lock().expect("plan cache").get(plan) {
+            return hit.clone();
+        }
+        let optimized = Arc::new(optimize_cbo(plan.clone(), ctx));
+        let mut cache = self.plan_cache.lock().expect("plan cache");
+        if cache.len() >= PLAN_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(plan.clone(), optimized.clone());
+        optimized
+    }
+
+    fn rebuild_stats(&mut self) {
+        fn distinct_sorted(vals: &[u64]) -> u64 {
+            u64::from(!vals.is_empty()) + vals.windows(2).filter(|w| w[0] != w[1]).count() as u64
+        }
+        fn distinct_hashed(vals: &[u64]) -> u64 {
+            let seen: FxHashSet<u64> = vals.iter().copied().collect();
+            seen.len() as u64
+        }
+        fn col_bytes(c: &Column) -> u64 {
+            match c.peek_runs() {
+                Some(r) => r.run_count() as u64 * 16,
+                None => c.len() as u64 * 8,
+            }
+        }
+        let mut catalog = StatsCatalog::default();
+        if let Some(t) = &self.triple {
+            let lead = t.order.permutation()[0];
+            catalog.triple = Some(TripleStats {
+                rows: t.cols[0].len() as u64,
+                distinct: std::array::from_fn(|i| {
+                    if i == lead {
+                        distinct_sorted(t.cols[i].peek())
+                    } else {
+                        distinct_hashed(t.cols[i].peek())
+                    }
+                }),
+                scan_bytes: t.cols.iter().map(col_bytes).sum(),
+            });
+        }
+        for (&p, t) in &self.props {
+            catalog.props.insert(
+                p,
+                PropStats {
+                    rows: t.s.len() as u64,
+                    distinct_subjects: distinct_sorted(t.s.peek()),
+                    distinct_objects: distinct_hashed(t.o.peek()),
+                    scan_bytes: col_bytes(&t.s) + col_bytes(&t.o),
+                },
+            );
+        }
+        // A triple-store-only engine still publishes per-property
+        // statistics, grouped out of the triples table: property-bound
+        // scans then estimate against the property's own row count and
+        // object set instead of the whole-table independence assumption,
+        // which collapses on correlated (p, o) pairs like (type, Text).
+        if catalog.props.is_empty() {
+            if let Some(t) = &self.triple {
+                let (s, p, o) = (t.cols[0].peek(), t.cols[1].peek(), t.cols[2].peek());
+                let mut groups: FxHashMap<Id, (u64, FxHashSet<u64>, FxHashSet<u64>)> =
+                    FxHashMap::default();
+                for i in 0..p.len() {
+                    let g = groups.entry(p[i]).or_default();
+                    g.0 += 1;
+                    g.1.insert(s[i]);
+                    g.2.insert(o[i]);
+                }
+                for (pid, (rows, subs, objs)) in groups {
+                    catalog.props.insert(
+                        pid,
+                        PropStats {
+                            rows,
+                            distinct_subjects: subs.len() as u64,
+                            distinct_objects: objs.len() as u64,
+                            // Priced as if vertically partitioned: the
+                            // uncompressed (s, o) pair per row.
+                            scan_bytes: rows * 16,
+                        },
+                    );
+                }
+            }
+        }
+        self.stats_catalog = Some(Arc::new(catalog));
+        self.invalidate_plan_cache();
     }
 
     /// Physical properties of `plan` under this engine's layout, or
@@ -521,6 +684,7 @@ impl ColumnEngine {
             Column::new(storage, names[i], data, i == lead, compress && i == lead)
         });
         self.triple = Some(TripleTable { order, cols });
+        self.rebuild_stats();
     }
 
     /// Loads the vertically-partitioned layout: one `(s, o)` table per
@@ -545,6 +709,7 @@ impl ColumnEngine {
         }
         self.vertical_loaded = true;
         self.vp_compression = compress;
+        self.rebuild_stats();
     }
 
     /// A *snapshot fork*: an independent engine answering queries from
@@ -567,6 +732,9 @@ impl ColumnEngine {
             vertical_loaded: self.vertical_loaded,
             sorted_paths: self.sorted_paths,
             run_kernels: self.run_kernels,
+            cbo: self.cbo,
+            stats_catalog: self.stats_catalog.clone(),
+            plan_cache: Mutex::new(FxHashMap::default()),
             verify: self.verify,
             stats: ExecStats::default(),
             write: self.write.clone(),
@@ -593,6 +761,9 @@ impl ColumnEngine {
                 "no layout loaded to apply a delta to".into(),
             ));
         }
+        // A pending tail downgrades scan claims, so memoized rewrites
+        // priced against the clean state no longer apply.
+        self.invalidate_plan_cache();
         if delta.is_empty() {
             return Ok(());
         }
@@ -753,6 +924,7 @@ impl ColumnEngine {
             storage.resize_segment(wal, 0);
         }
         self.wal_bytes = 0;
+        self.rebuild_stats();
         Ok(())
     }
 
@@ -785,17 +957,43 @@ impl ColumnEngine {
         // One context per execution: the derivation (and the join
         // reordering) must see a consistent write-store state throughout.
         let ctx = self.props_ctx();
+        // Run claims of the plan *as submitted* — the claim surface the
+        // caller derived against, which the optimizer rewrites below must
+        // not exceed (enforced at the result boundary after execution).
+        let submitted_runs = self.plan_props(plan, &ctx).run_encoded;
+        let cached;
         let reordered;
         let plan = if self.sorted_paths && swans_plan::optimize::has_join(plan) {
-            reordered = reorder_joins(plan.clone(), &ctx);
-            &reordered
+            // Cost-based enumeration when active (DP over the join graph
+            // plus the leapfrog star kernel, priced against the
+            // statistics catalog, memoized per submitted plan); the
+            // statistics-free rotation heuristic as the A/B baseline.
+            if self.cbo {
+                cached = self.cached_cbo(plan, &ctx);
+                &*cached
+            } else {
+                reordered = reorder_joins(plan.clone(), &ctx);
+                &reordered
+            }
         } else {
             plan
         };
         if self.verify {
             swans_plan::verify::verify(plan, &ctx).map_err(EngineError::Verify)?;
         }
-        self.exec(plan, full_mask(plan.arity()), &ctx)
+        let mut chunk = self.exec(plan, full_mask(plan.arity()), &ctx)?;
+        // Converse run invariant at the caller boundary: the rewritten
+        // plan may legitimately keep different columns run-encoded (a
+        // cheaper join order moves which merge-join left side survives
+        // compressed); expand any run column the submitted plan never
+        // claimed, and count the expansion like any result-boundary one.
+        for i in 0..chunk.arity() {
+            if chunk.col_is_runs(i) && !submitted_runs.contains(&i) {
+                bump(&self.stats.runs_expanded);
+                chunk.expand_col(i);
+            }
+        }
+        Ok(chunk)
     }
 
     /// [`ColumnEngine::execute`] decoded to row-major form — the result
@@ -938,6 +1136,56 @@ impl ColumnEngine {
                 let mut cols = lg.into_cols();
                 cols.extend(rg.into_cols());
                 Chunk::from_optional(lsel.len(), cols)
+            }
+            Plan::LeapfrogJoin { inputs, cols } => {
+                // The multi-way star kernel requires every input
+                // derived-sorted on its key column; an input that lost
+                // its order (or the sorted layer being off) sends the
+                // whole node through its equivalent binary-join fold.
+                let dispatch = self.sorted_paths
+                    && inputs
+                        .iter()
+                        .zip(cols)
+                        .all(|(inp, &c)| self.plan_props(inp, ctx).sorted_on(c));
+                if !dispatch {
+                    return self.exec(&leapfrog_fold(inputs, cols), needed, ctx);
+                }
+                bump(&self.stats.leapfrog_dispatches);
+                let mut children = Vec::with_capacity(inputs.len());
+                let mut off = 0usize;
+                for (inp, &c) in inputs.iter().zip(cols) {
+                    let a = inp.arity();
+                    children.push(self.exec(inp, low_bits(needed >> off, a) | bit(c), ctx)?);
+                    off += a;
+                }
+                let sels = {
+                    let keys: Vec<RunsView<'_>> = children
+                        .iter()
+                        .zip(cols)
+                        .map(|(ch, &c)| match ch.col_runs(c) {
+                            Some(runs) => RunsView::Runs(runs),
+                            None => RunsView::Flat(ch.col(c)),
+                        })
+                        .collect();
+                    ops::leapfrog_join(&keys)
+                };
+                let len = sels[0].len();
+                let mut out: Vec<Option<ColData>> = Vec::new();
+                let mut off = 0usize;
+                for ((mut ch, sel), &c) in children.into_iter().zip(&sels).zip(cols) {
+                    let a = ch.arity();
+                    // Key columns the parent never reads are dropped
+                    // before the gather (the binary join's key-drop
+                    // rule, applied per input).
+                    if (needed >> off) & bit(c) == 0 {
+                        ch.take_col(c);
+                    }
+                    // The derivation claims no run columns on leapfrog
+                    // output — every gather comes out flat.
+                    out.extend(self.par_gather_opts(&ch, sel, false).into_cols());
+                    off += a;
+                }
+                Chunk::from_optional(len, out)
             }
             Plan::Project { input, cols } => {
                 let mut child_needed = 0u64;

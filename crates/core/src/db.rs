@@ -537,6 +537,29 @@ impl Database {
         Ok(format!("{}-- {report}\n", plan.explain_annotated(&ctx)))
     }
 
+    /// EXPLAIN ANALYZE: renders the plan like [`Database::explain_text`]
+    /// and *executes every rendered node* against the current published
+    /// state, printing the measured cardinality as `actual_rows=N` next
+    /// to the cost model's `est_rows` estimate. The estimation error
+    /// (q-error, `max(est/actual, actual/est)`) of any operator can be
+    /// read straight off the output — the same quantity the
+    /// `plan-quality` CI gate bounds across the benchmark suite.
+    ///
+    /// Subtrees are re-executed from scratch per node, so this costs
+    /// more than one query execution; it is a diagnostic, not a fast
+    /// path.
+    pub fn explain_analyze(&self, sparql: &str) -> Result<String, Error> {
+        let plan = compile(&self.dataset(), &self.config, sparql)?.plan;
+        let ctx = self.explain_context();
+        let report =
+            swans_plan::verify::verify(&plan, &ctx).map_err(swans_plan::EngineError::Verify)?;
+        let mut actual = |node: &Plan| self.execute_plan(node).ok().map(|rs| rs.len() as u64);
+        Ok(format!(
+            "{}-- {report}\n",
+            plan.explain_compared(&ctx, &mut actual)
+        ))
+    }
+
     /// Executes a raw logical plan (the algebra-level escape hatch),
     /// decoding results through this database's dictionary.
     pub fn execute_plan(&self, plan: &Plan) -> Result<ResultSet, Error> {

@@ -281,6 +281,7 @@ impl Engine for ColumnEngine {
         vec![
             ("merge_joins", s.merge_joins),
             ("hash_joins", s.hash_joins),
+            ("leapfrog_dispatches", s.leapfrog_dispatches),
             ("sorted_group_counts", s.sorted_group_counts),
             ("hash_group_counts", s.hash_group_counts),
             ("sorted_distincts", s.sorted_distincts),

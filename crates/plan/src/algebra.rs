@@ -10,7 +10,7 @@
 use swans_rdf::Id;
 
 /// Comparison operators for [`Predicate`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// Equal.
     Eq,
@@ -19,7 +19,7 @@ pub enum CmpOp {
 }
 
 /// A single-column comparison against a constant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Predicate {
     /// Output column index of the input plan.
     pub col: usize,
@@ -41,7 +41,7 @@ impl Predicate {
 }
 
 /// A logical query plan.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Plan {
     /// Scan the `triples(s, p, o)` relation, with optional bound positions
     /// pushed into the access path. Output schema: `(s, p, o)`.
@@ -83,6 +83,21 @@ pub enum Plan {
         left_col: usize,
         /// Join column in the right schema.
         right_col: usize,
+    },
+    /// Multi-way equi-join of ≥2 inputs on one shared key (the star
+    /// pattern): row `i` of the output concatenates one row from every
+    /// input, all carrying the same value at their respective `cols`
+    /// position. Semantically identical to the left-deep fold of binary
+    /// [`Plan::Join`]s `((inputs[0] ⋈ inputs[1]) ⋈ inputs[2]) ⋈ ...` on
+    /// that key — including row order — but executable by the
+    /// leapfrog-triejoin kernel when every input is sorted on its key
+    /// column, which intersects all inputs at once instead of
+    /// materializing pairwise intermediates.
+    LeapfrogJoin {
+        /// Input plans, in output-schema order.
+        inputs: Vec<Plan>,
+        /// Per-input join column (in that input's own schema).
+        cols: Vec<usize>,
     },
     /// Keep rows whose `col` is in `values` — the benchmark's
     /// "28 interesting properties" restriction, realized in the paper's SQL
@@ -156,6 +171,7 @@ impl Plan {
             | Plan::HavingCountGt { input, .. }
             | Plan::Distinct { input } => input.arity(),
             Plan::Join { left, right, .. } => left.arity() + right.arity(),
+            Plan::LeapfrogJoin { inputs, .. } => inputs.iter().map(Plan::arity).sum(),
             Plan::Project { cols, .. } => cols.len(),
             Plan::GroupCount { keys, .. } => keys.len() + 1,
             Plan::UnionAll { inputs } => inputs.first().map_or(0, Plan::arity),
@@ -179,6 +195,9 @@ impl Plan {
                 let mut kinds = left.output_kinds();
                 kinds.extend(right.output_kinds());
                 kinds
+            }
+            Plan::LeapfrogJoin { inputs, .. } => {
+                inputs.iter().flat_map(Plan::output_kinds).collect()
             }
             Plan::Project { input, cols } => {
                 let kinds = input.output_kinds();
@@ -232,6 +251,31 @@ impl Plan {
                         right_col,
                         right.arity()
                     ));
+                }
+                Ok(())
+            }
+            Plan::LeapfrogJoin { inputs, cols } => {
+                if inputs.len() < 2 {
+                    return Err(format!(
+                        "LeapfrogJoin needs at least 2 inputs, has {}",
+                        inputs.len()
+                    ));
+                }
+                if cols.len() != inputs.len() {
+                    return Err(format!(
+                        "LeapfrogJoin has {} inputs but {} join columns",
+                        inputs.len(),
+                        cols.len()
+                    ));
+                }
+                for (i, (p, &c)) in inputs.iter().zip(cols.iter()).enumerate() {
+                    p.validate()?;
+                    if c >= p.arity() {
+                        return Err(format!(
+                            "LeapfrogJoin input {i} join column {c} out of range (arity {})",
+                            p.arity()
+                        ));
+                    }
                 }
                 Ok(())
             }
@@ -351,6 +395,9 @@ impl Plan {
                 right_col,
                 ..
             } => format!("Join(left.col{left_col} = right.col{right_col})"),
+            Plan::LeapfrogJoin { inputs, cols } => {
+                format!("LeapfrogJoin({}-way, cols={cols:?})", inputs.len())
+            }
             Plan::Project { cols, .. } => format!("Project({cols:?})"),
             Plan::GroupCount { keys, .. } => format!("GroupCount(keys={keys:?})"),
             Plan::HavingCountGt { min, .. } => format!("HavingCountGt({min})"),
@@ -374,6 +421,11 @@ impl Plan {
             Plan::Join { left, right, .. } => {
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
+            }
+            Plan::LeapfrogJoin { inputs, .. } => {
+                for i in inputs {
+                    i.explain_into(out, depth + 1);
+                }
             }
             Plan::UnionAll { inputs } => {
                 if inputs.len() <= 4 {
@@ -405,7 +457,9 @@ impl Plan {
             | Plan::HavingCountGt { input, .. }
             | Plan::Distinct { input } => input.node_count(),
             Plan::Join { left, right, .. } => left.node_count() + right.node_count(),
-            Plan::UnionAll { inputs } => inputs.iter().map(Plan::node_count).sum(),
+            Plan::LeapfrogJoin { inputs, .. } | Plan::UnionAll { inputs } => {
+                inputs.iter().map(Plan::node_count).sum()
+            }
         }
     }
 }
@@ -447,6 +501,30 @@ pub fn join(left: Plan, right: Plan, left_col: usize, right_col: usize) -> Plan 
         left_col,
         right_col,
     }
+}
+
+/// Multi-way same-key join helper.
+pub fn leapfrog(inputs: Vec<Plan>, cols: Vec<usize>) -> Plan {
+    Plan::LeapfrogJoin { inputs, cols }
+}
+
+/// The binary-join fold a [`Plan::LeapfrogJoin`] is semantically (and
+/// row-order) equivalent to: `((inputs[0] ⋈ inputs[1]) ⋈ inputs[2]) ⋈ ...`,
+/// each later input joined against the shared key at `cols[0]` — input 0
+/// sits at offset 0 of every accumulated schema, so the key keeps that
+/// position throughout. Executors without a multi-way kernel (and the
+/// column engine when an input loses its sort order) evaluate the
+/// operator through this expansion.
+pub fn leapfrog_fold(inputs: &[Plan], cols: &[usize]) -> Plan {
+    assert!(
+        inputs.len() >= 2 && cols.len() == inputs.len(),
+        "malformed leapfrog shape"
+    );
+    let mut acc = inputs[0].clone();
+    for (right, &rc) in inputs[1..].iter().zip(&cols[1..]) {
+        acc = join(acc, right.clone(), cols[0], rc);
+    }
+    acc
 }
 
 /// Projection helper.
@@ -604,6 +682,34 @@ mod tests {
             gg.output_kinds(),
             vec![ColumnKind::Count, ColumnKind::Count]
         );
+    }
+
+    #[test]
+    fn leapfrog_shape_and_fold() {
+        let star = leapfrog(
+            vec![scan_po(0, 1), scan_all(), scan_po(2, 3)],
+            vec![0, 0, 0],
+        );
+        assert_eq!(star.arity(), 9);
+        assert_eq!(star.validate(), Ok(()));
+        assert_eq!(star.node_count(), 4);
+        let Plan::LeapfrogJoin { inputs, cols } = &star else {
+            unreachable!()
+        };
+        let fold = leapfrog_fold(inputs, cols);
+        assert_eq!(fold.arity(), star.arity());
+        assert_eq!(fold.output_kinds(), star.output_kinds());
+        assert!(star
+            .explain()
+            .contains("LeapfrogJoin(3-way, cols=[0, 0, 0])"));
+
+        assert!(leapfrog(vec![scan_all()], vec![0]).validate().is_err());
+        assert!(leapfrog(vec![scan_all(), scan_all()], vec![0])
+            .validate()
+            .is_err());
+        assert!(leapfrog(vec![scan_all(), scan_all()], vec![0, 5])
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -24,8 +24,16 @@
 //!   plan node keeps sorted (and whether rows are distinct), threaded from
 //!   the storage layout so executors can dispatch merge joins and
 //!   run-based aggregation,
+//! * [`stats`] — the per-table statistics catalog engines collect at
+//!   load/merge time (row counts, distincts, compressed scan bytes off the
+//!   RLE headers) and publish through [`props::PropsContext::stats`],
+//! * [`cost`] — the cost model: cardinality estimation and plan pricing
+//!   (scans by compressed bytes, joins by merge-vs-hash-vs-leapfrog
+//!   dispatch), driving the plan enumerator,
 //! * [`mod@optimize`] — a rule-based rewriter (selection pushdown into scans,
-//!   through unions, joins and projections; order-aware join reordering),
+//!   through unions, joins and projections) plus cost-based join
+//!   enumeration ([`optimize::optimize_cbo`]) with the older order-aware
+//!   rotation kept as the statistics-free fallback,
 //! * [`lower`] — scheme lowering: any triple-store plan rewritten for the
 //!   vertically-partitioned layout (the generalized "Perl script"),
 //! * [`sparql`] — a miniature SPARQL front-end compiling
@@ -53,6 +61,7 @@
 //! `swans-rowstore`; the user-facing entry point is `swans-core`.
 
 pub mod algebra;
+pub mod cost;
 pub mod coverage;
 pub mod exec;
 pub mod lower;
@@ -62,15 +71,18 @@ pub mod pattern;
 pub mod props;
 pub mod queries;
 pub mod sparql;
+pub mod stats;
 pub mod verify;
 
 pub use algebra::{CmpOp, ColumnKind, Plan, Predicate};
+pub use cost::{cost, estimate_rows};
 pub use coverage::{analyze, Coverage};
 pub use exec::EngineError;
 pub use lower::lower_to_vertical;
-pub use optimize::{optimize, optimize_for, reorder_joins};
+pub use optimize::{optimize, optimize_cbo, optimize_for, reorder_joins};
 pub use pattern::{JoinPattern, SimplePattern};
 pub use props::{derive as derive_props, PhysProps, PropsContext};
 pub use queries::{build_plan, QueryContext, QueryId, Scheme};
 pub use sparql::{compile_sparql, CompiledQuery, SparqlError};
+pub use stats::{PropStats, StatsCatalog, TripleStats};
 pub use verify::{verify, Claims, PlanPath, VerifyError, VerifyErrorKind, VerifyReport};

@@ -70,6 +70,13 @@ pub fn lower_to_vertical(plan: &Plan, properties: &[Id]) -> Plan {
             left_col: *left_col,
             right_col: *right_col,
         },
+        Plan::LeapfrogJoin { inputs, cols } => Plan::LeapfrogJoin {
+            inputs: inputs
+                .iter()
+                .map(|i| lower_to_vertical(i, properties))
+                .collect(),
+            cols: cols.clone(),
+        },
         Plan::Project { input, cols } => Plan::Project {
             input: Box::new(lower_to_vertical(input, properties)),
             cols: cols.clone(),

@@ -70,6 +70,9 @@ pub fn execute(plan: &Plan, triples: &[Triple]) -> Rows {
             }
             out
         }
+        Plan::LeapfrogJoin { inputs, cols } => {
+            execute(&crate::algebra::leapfrog_fold(inputs, cols), triples)
+        }
         Plan::FilterIn { input, col, values } => {
             let set: std::collections::HashSet<u64> = values.iter().copied().collect();
             let mut rows = execute(input, triples);

@@ -29,9 +29,27 @@
 //! All rewrites are proven answer-preserving by the cross-engine fuzzer in
 //! `tests/random_plans.rs` (which round-trips every random plan through
 //! [`optimize`]) and the randomized suites in `tests/physprops.rs`.
+//!
+//! ## Cost-based enumeration
+//!
+//! [`optimize_cbo`] supersedes the single-rotation heuristic with proper
+//! join enumeration: every maximal chain of `Join` nodes is flattened into
+//! its base relations and join conditions, and a Selinger-style dynamic
+//! program over connected sub-chains picks the cheapest order under
+//! [`crate::cost`] — merge-preserving orders win exactly when the engine
+//! would dispatch merge joins, because the cost model consults the same
+//! [`derive`] the executor does. Star-shaped chains (three or more
+//! relations all joining one shared variable, every input sorted on its
+//! key) are additionally offered as a single multi-way
+//! [`Plan::LeapfrogJoin`]. The final pick between the enumerated order,
+//! the leapfrog form and the old rotation is made by the *real* cost
+//! function, so the enumerated plan never prices above the heuristic's.
+//! [`reorder_joins`] remains available as the statistics-free fallback the
+//! engine uses when cost-based optimization is disabled (`set_cbo(false)`).
 
 use crate::algebra::{CmpOp, Plan, Predicate};
-use crate::props::{derive, PropsContext};
+use crate::cost::{cost, distinct_estimate, estimate_rows};
+use crate::props::{derive, PhysProps, PropsContext};
 
 /// Applies the logical rewrite rules (selection pushdown) bottom-up until
 /// a fixpoint (bounded by plan depth). Returns an equivalent plan.
@@ -46,11 +64,11 @@ pub fn optimize(plan: Plan) -> Plan {
     rewritten
 }
 
-/// [`optimize`] plus the physical [`reorder_joins`] pass for a known
+/// [`optimize`] plus the physical cost-based enumeration pass for a known
 /// layout — for callers planning specifically for an order-exploiting
 /// executor.
 pub fn optimize_for(plan: Plan, ctx: &PropsContext) -> Plan {
-    let rewritten = reorder_joins(rewrite(plan), ctx);
+    let rewritten = optimize_cbo(rewrite(plan), ctx);
     debug_assert_eq!(rewritten.validate(), Ok(()));
     rewritten
 }
@@ -108,12 +126,19 @@ pub fn reorder_joins(plan: Plan, ctx: &PropsContext) -> Plan {
         Plan::Distinct { input } => Plan::Distinct {
             input: Box::new(reorder_joins(*input, ctx)),
         },
+        Plan::LeapfrogJoin { inputs, cols } => Plan::LeapfrogJoin {
+            inputs: inputs.into_iter().map(|i| reorder_joins(i, ctx)).collect(),
+            cols,
+        },
         leaf => leaf,
     }
 }
 
-/// Whether the plan contains any join — executors use this to skip the
-/// [`reorder_joins`] plan clone entirely for join-free plans.
+/// Whether the plan contains any binary join — executors use this to skip
+/// the reordering plan clone entirely for join-free plans. A
+/// [`Plan::LeapfrogJoin`] does not count: it is already a physical join
+/// choice, so a plan containing only leapfrog joins has nothing left to
+/// reorder (its inputs are still searched).
 pub fn has_join(plan: &Plan) -> bool {
     match plan {
         Plan::Join { .. } => true,
@@ -124,7 +149,9 @@ pub fn has_join(plan: &Plan) -> bool {
         | Plan::GroupCount { input, .. }
         | Plan::HavingCountGt { input, .. }
         | Plan::Distinct { input } => has_join(input),
-        Plan::UnionAll { inputs } => inputs.iter().any(has_join),
+        Plan::UnionAll { inputs } | Plan::LeapfrogJoin { inputs, .. } => {
+            inputs.iter().any(has_join)
+        }
     }
 }
 
@@ -192,6 +219,387 @@ fn try_rotate(
     }
 }
 
+/// Largest join chain the dynamic program enumerates; longer chains fall
+/// back to [`reorder_joins`]. 2^8 subsets × 3^8 splits stays well under a
+/// millisecond even with fat union leaves.
+const MAX_DP_LEAVES: usize = 8;
+
+/// Cost-based join enumeration for a known physical layout.
+///
+/// Flattens every maximal chain of binary [`Plan::Join`] nodes into its
+/// base relations and join conditions, then picks the cheapest of:
+///
+/// 1. the Selinger-style dynamic program's best order over connected
+///    sub-chains (bushy plans allowed, cross products excluded), wrapped
+///    in a projection restoring the original column order,
+/// 2. a multi-way [`Plan::LeapfrogJoin`] when the chain is star-shaped —
+///    every relation joins one shared variable and is sorted on its join
+///    column — so the already-sorted columns can be intersected directly,
+/// 3. the [`reorder_joins`] rotation heuristic (which also serves as the
+///    fallback for chains the enumerator does not handle: longer than
+///    [`MAX_DP_LEAVES`], cyclic condition graphs, or cross products).
+///
+/// The final pick uses [`cost`] on the complete candidate plans, so the
+/// returned plan never prices above the rotation heuristic's under the
+/// model. Statistics come from [`PropsContext::stats`]; without a catalog
+/// the cost model's defaults make this a purely structural search (which
+/// still prefers merge-preserving orders, as the dispatch prediction
+/// consults [`derive`] rather than the catalog).
+pub fn optimize_cbo(plan: Plan, ctx: &PropsContext) -> Plan {
+    if !has_join(&plan) {
+        return plan;
+    }
+    let out = enumerate(plan, ctx);
+    debug_assert_eq!(out.validate(), Ok(()));
+    out
+}
+
+/// Recursive descent: enumerate every maximal join-chain root, recurse
+/// through everything else.
+fn enumerate(plan: Plan, ctx: &PropsContext) -> Plan {
+    match plan {
+        Plan::Join { .. } => enumerate_chain(plan, ctx),
+        Plan::Select { input, pred } => Plan::Select {
+            input: Box::new(enumerate(*input, ctx)),
+            pred,
+        },
+        Plan::FilterIn { input, col, values } => Plan::FilterIn {
+            input: Box::new(enumerate(*input, ctx)),
+            col,
+            values,
+        },
+        Plan::Project { input, cols } => Plan::Project {
+            input: Box::new(enumerate(*input, ctx)),
+            cols,
+        },
+        Plan::GroupCount { input, keys } => Plan::GroupCount {
+            input: Box::new(enumerate(*input, ctx)),
+            keys,
+        },
+        Plan::HavingCountGt { input, min } => Plan::HavingCountGt {
+            input: Box::new(enumerate(*input, ctx)),
+            min,
+        },
+        Plan::UnionAll { inputs } => Plan::UnionAll {
+            inputs: inputs.into_iter().map(|i| enumerate(i, ctx)).collect(),
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(enumerate(*input, ctx)),
+        },
+        Plan::LeapfrogJoin { inputs, cols } => Plan::LeapfrogJoin {
+            inputs: inputs.into_iter().map(|i| enumerate(i, ctx)).collect(),
+            cols,
+        },
+        leaf => leaf,
+    }
+}
+
+/// Flattens a tree of `Join` nodes rooted at `plan` into leaves (with
+/// their global column offsets in the original output schema) and join
+/// conditions (as global column pairs).
+fn flatten(
+    plan: Plan,
+    base: usize,
+    leaves: &mut Vec<(Plan, usize)>,
+    conds: &mut Vec<(usize, usize)>,
+) {
+    if let Plan::Join {
+        left,
+        right,
+        left_col,
+        right_col,
+    } = plan
+    {
+        let la = left.arity();
+        flatten(*left, base, leaves, conds);
+        flatten(*right, base + la, leaves, conds);
+        conds.push((base + left_col, base + la + right_col));
+    } else {
+        leaves.push((plan, base));
+    }
+}
+
+/// A join condition localized to leaf coordinates:
+/// `((left leaf, left column), (right leaf, right column))`.
+type LocalCond = ((usize, usize), (usize, usize));
+
+/// One dynamic-programming candidate: a plan for a subset of leaves plus
+/// the order its output concatenates them in.
+struct Cand {
+    plan: Plan,
+    order: Vec<usize>,
+    props: PhysProps,
+    cost: f64,
+}
+
+fn enumerate_chain(plan: Plan, ctx: &PropsContext) -> Plan {
+    let original = plan.clone();
+    let mut raw_leaves: Vec<(Plan, usize)> = Vec::new();
+    let mut raw_conds: Vec<(usize, usize)> = Vec::new();
+    flatten(plan, 0, &mut raw_leaves, &mut raw_conds);
+    let n = raw_leaves.len();
+    if !(2..=MAX_DP_LEAVES).contains(&n) {
+        return reorder_joins(original, ctx);
+    }
+    let offsets: Vec<usize> = raw_leaves.iter().map(|&(_, b)| b).collect();
+    // Recursively enumerate below each leaf (a leaf may hide further join
+    // chains under projections, filters or unions).
+    let leaves: Vec<Plan> = raw_leaves
+        .into_iter()
+        .map(|(l, _)| enumerate(l, ctx))
+        .collect();
+    let arities: Vec<usize> = leaves.iter().map(Plan::arity).collect();
+    // Localize conditions: global column → (leaf index, local column).
+    let locate = |g: usize| {
+        let i = offsets.iter().rposition(|&b| b <= g).expect("offset 0");
+        (i, g - offsets[i])
+    };
+    let conds: Vec<LocalCond> = raw_conds
+        .iter()
+        .map(|&(l, r)| (locate(l), locate(r)))
+        .collect();
+    // The condition graph must be a spanning tree of the leaves (a chain
+    // of k joins always has k conditions over k+1 leaves, so only
+    // connectivity can fail — a cross product somewhere in the chain).
+    if !connected(n, &conds) {
+        return reorder_joins(original, ctx);
+    }
+
+    let mut candidates: Vec<Plan> = Vec::new();
+    if let Some(cols) = star_columns(n, &conds) {
+        let all_sorted = leaves
+            .iter()
+            .zip(&cols)
+            .all(|(l, &c)| derive(l, ctx).sorted_on(c));
+        if all_sorted {
+            // Output schema equals the original leaf concatenation: no
+            // restoring projection needed.
+            candidates.push(Plan::LeapfrogJoin {
+                inputs: leaves.clone(),
+                cols,
+            });
+        }
+    }
+    if let Some(best) = dp_enumerate(&leaves, &arities, &conds, ctx) {
+        candidates.push(restore_order(best, &arities));
+    }
+    // The rotation heuristic over the original chain is both the baseline
+    // the enumerated plan must beat and the fallback if the DP found
+    // nothing. Note the whole choice reads only cardinalities, costs and
+    // *sort* claims — never run-encoding claims, which vary with an
+    // engine's compressed-execution switch while answers (and therefore
+    // the chosen order) must not.
+    //
+    // Hysteresis: the model's abstract units carry estimation error and
+    // ignore kernel constants, so a plan change must *predict* a win
+    // beyond that noise before we deviate from the baseline — a small
+    // modeled edge is as likely to be estimation error as a real win,
+    // and the baseline is never wrong about itself. The leapfrog margin
+    // is stricter than the reorder margin because the kernel's per-seek
+    // constant (binary search, odometer emission) exceeds a linear merge
+    // step — its real advantage is asymptotic (skipping), which shows up
+    // as a large modeled gap precisely when it is real.
+    let baseline = reorder_joins(original, ctx);
+    let base_cost = cost(&baseline, ctx);
+    candidates
+        .into_iter()
+        .map(|p| {
+            let margin = match p {
+                Plan::LeapfrogJoin { .. } => LEAPFROG_MARGIN,
+                _ => REORDER_MARGIN,
+            };
+            let c = cost(&p, ctx) * margin;
+            (p, c)
+        })
+        .filter(|&(_, c)| c < base_cost)
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map_or(baseline, |(p, _)| p)
+}
+
+/// An enumerated join order must predict at least this cost advantage
+/// over the rotation baseline before it replaces it.
+const REORDER_MARGIN: f64 = 1.25;
+/// A leapfrog star must predict at least this advantage over the
+/// baseline before it replaces the binary fold.
+const LEAPFROG_MARGIN: f64 = 2.0;
+
+/// Whether the join-condition graph connects all `n` leaves.
+fn connected(n: usize, conds: &[LocalCond]) -> bool {
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(i) = stack.pop() {
+        for &((a, _), (b, _)) in conds {
+            for (x, y) in [(a, b), (b, a)] {
+                if x == i && !seen[y] {
+                    seen[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+    }
+    seen.into_iter().all(|s| s)
+}
+
+/// If the chain is star-shaped — at least 3 leaves, every leaf joining
+/// through exactly one column, all conditions in one equivalence class —
+/// returns the per-leaf join columns.
+fn star_columns(n: usize, conds: &[LocalCond]) -> Option<Vec<usize>> {
+    if n < 3 {
+        return None;
+    }
+    let mut col_of: Vec<Option<usize>> = vec![None; n];
+    for &((li, lc), (rj, rc)) in conds {
+        for (i, c) in [(li, lc), (rj, rc)] {
+            match col_of[i] {
+                None => col_of[i] = Some(c),
+                Some(prev) if prev == c => {}
+                Some(_) => return None, // leaf joins through two columns
+            }
+        }
+    }
+    // With a connected spanning tree and one column per leaf, all
+    // endpoints sit in a single equivalence class.
+    col_of.into_iter().collect()
+}
+
+/// Selinger-style dynamic program over connected leaf subsets. Returns
+/// the best full-set candidate, or `None` if the condition graph never
+/// connects the full set (cannot happen after [`connected`] passed, but
+/// kept total for safety).
+fn dp_enumerate(
+    leaves: &[Plan],
+    arities: &[usize],
+    conds: &[LocalCond],
+    ctx: &PropsContext,
+) -> Option<Cand> {
+    let n = leaves.len();
+    // Base statistics, computed once per leaf/endpoint (leaf subtrees are
+    // shallow — scans, filtered scans, unions).
+    let est: Vec<f64> = leaves.iter().map(|l| estimate_rows(l, ctx)).collect();
+    let dist: Vec<f64> = conds
+        .iter()
+        .flat_map(|&((li, lc), (rj, rc))| {
+            [
+                distinct_estimate(&leaves[li], lc, ctx),
+                distinct_estimate(&leaves[rj], rc, ctx),
+            ]
+        })
+        .collect();
+    // Factorized subset cardinality: product of leaf estimates divided by
+    // max(d_left, d_right) of every condition internal to the subset.
+    let card = |mask: usize| -> f64 {
+        let mut c: f64 = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| est[i])
+            .product();
+        for (k, &((li, _), (rj, _))) in conds.iter().enumerate() {
+            if mask & (1 << li) != 0 && mask & (1 << rj) != 0 {
+                c /= dist[2 * k].max(dist[2 * k + 1]).max(1.0);
+            }
+        }
+        c
+    };
+    let mut best: Vec<Option<Cand>> = (0..1usize << n).map(|_| None).collect();
+    for (i, leaf) in leaves.iter().enumerate() {
+        best[1 << i] = Some(Cand {
+            plan: leaf.clone(),
+            order: vec![i],
+            props: derive(leaf, ctx),
+            cost: cost(leaf, ctx),
+        });
+    }
+    for mask in 1..1usize << n {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        let out_card = card(mask);
+        let mut sub = (mask - 1) & mask;
+        while sub != 0 {
+            let other = mask ^ sub;
+            if let (Some(l), Some(r)) = (&best[sub], &best[other]) {
+                // Exactly one condition crosses a connected split of a
+                // tree-shaped chain; take the first.
+                let cross = conds.iter().find_map(|&((li, lc), (rj, rc))| {
+                    if sub & (1 << li) != 0 && other & (1 << rj) != 0 {
+                        Some((
+                            output_col(&l.order, arities, li, lc),
+                            output_col(&r.order, arities, rj, rc),
+                        ))
+                    } else if sub & (1 << rj) != 0 && other & (1 << li) != 0 {
+                        Some((
+                            output_col(&l.order, arities, rj, rc),
+                            output_col(&r.order, arities, li, lc),
+                        ))
+                    } else {
+                        None
+                    }
+                });
+                if let Some((left_col, right_col)) = cross {
+                    let merge = l.props.sorted_on(left_col) && r.props.sorted_on(right_col);
+                    let op = if merge {
+                        card(sub) + card(other)
+                    } else {
+                        4.0 * card(sub) + 2.0 * card(other)
+                    };
+                    let total = l.cost + r.cost + op + out_card;
+                    if best[mask].as_ref().is_none_or(|b| total < b.cost) {
+                        let plan = Plan::Join {
+                            left: Box::new(l.plan.clone()),
+                            right: Box::new(r.plan.clone()),
+                            left_col,
+                            right_col,
+                        };
+                        let props = derive(&plan, ctx);
+                        let mut order = l.order.clone();
+                        order.extend(&r.order);
+                        best[mask] = Some(Cand {
+                            plan,
+                            order,
+                            props,
+                            cost: total,
+                        });
+                    }
+                }
+            }
+            sub = (sub - 1) & mask;
+        }
+    }
+    best[(1 << n) - 1].take()
+}
+
+/// Output position of `(leaf, local)` in a candidate concatenating its
+/// leaves in `order`.
+fn output_col(order: &[usize], arities: &[usize], leaf: usize, local: usize) -> usize {
+    let mut off = 0;
+    for &l in order {
+        if l == leaf {
+            return off + local;
+        }
+        off += arities[l];
+    }
+    unreachable!("leaf {leaf} not in candidate order {order:?}")
+}
+
+/// Wraps a DP candidate in the projection restoring the original leaf
+/// concatenation order (skipped when the order is already the identity).
+fn restore_order(cand: Cand, arities: &[usize]) -> Plan {
+    let n = arities.len();
+    if cand.order.iter().copied().eq(0..n) {
+        return cand.plan;
+    }
+    let cols: Vec<usize> = (0..n)
+        .flat_map(|leaf| {
+            let base = output_col(&cand.order, arities, leaf, 0);
+            base..base + arities[leaf]
+        })
+        .collect();
+    Plan::Project {
+        input: Box::new(cand.plan),
+        cols,
+    }
+}
+
 fn rewrite(plan: Plan) -> Plan {
     // First rewrite children, then try to sink a Select at this node.
     match plan {
@@ -232,6 +640,10 @@ fn rewrite(plan: Plan) -> Plan {
         },
         Plan::Distinct { input } => Plan::Distinct {
             input: Box::new(rewrite(*input)),
+        },
+        Plan::LeapfrogJoin { inputs, cols } => Plan::LeapfrogJoin {
+            inputs: inputs.into_iter().map(rewrite).collect(),
+            cols,
         },
         leaf => leaf,
     }

@@ -66,6 +66,14 @@ pub struct PropsContext {
     /// Whether the triples table's leading clustering column is stored
     /// run-length encoded (e.g. the property column under PSO).
     pub triple_lead_rle: bool,
+    /// Per-table statistics the engine collected at load/merge time —
+    /// the input of the cost model ([`crate::cost`]) and of the
+    /// `est_rows` EXPLAIN annotation. `None` (the default) when the
+    /// engine has not collected any: derivation ignores it, the cost
+    /// model falls back to fixed defaults, and EXPLAIN prints no
+    /// estimates. Shared by `Arc` because every snapshot fork republishes
+    /// the same catalog until the next merge recollects.
+    pub stats: Option<std::sync::Arc<crate::stats::StatsCatalog>>,
 }
 
 impl PropsContext {
@@ -99,6 +107,12 @@ impl PropsContext {
     /// run-length encoded.
     pub fn with_triple_lead_rle(mut self) -> Self {
         self.triple_lead_rle = true;
+        self
+    }
+
+    /// Publishes a statistics catalog for the cost model.
+    pub fn with_stats(mut self, stats: crate::stats::StatsCatalog) -> Self {
+        self.stats = Some(std::sync::Arc::new(stats));
         self
     }
 
@@ -384,6 +398,24 @@ pub fn derive(plan: &Plan, ctx: &PropsContext) -> PhysProps {
                 }
             }
         }
+        Plan::LeapfrogJoin { inputs, cols } => {
+            let props: Vec<PhysProps> = inputs.iter().map(|i| derive(i, ctx)).collect();
+            // As with the binary join: concatenations of distinct rows
+            // are distinct.
+            let distinct = props.iter().all(|p| p.distinct);
+            // The kernel advances the shared key in ascending order, so
+            // the output is sorted on the key's position in input 0's
+            // schema (offset 0 of the output). It materializes flat on
+            // every side — no run claims survive. When any input loses
+            // its sort (a pending delta), the executor falls back to the
+            // binary hash-join fold, which claims nothing.
+            let all_sorted = props.iter().zip(cols).all(|(p, &c)| p.sorted_on(c));
+            PhysProps {
+                sorted_by: all_sorted.then(|| vec![cols[0]]),
+                distinct,
+                run_encoded: Vec::new(),
+            }
+        }
         Plan::GroupCount { keys, .. } => {
             // Every group-count path (hash + sort, and the run-based
             // sorted kernels) emits key-sorted rows with distinct keys;
@@ -430,12 +462,35 @@ impl Plan {
     /// tombstone filter preserves order, and the rendering reflects that.
     pub fn explain_annotated(&self, ctx: &PropsContext) -> String {
         let mut out = String::new();
-        annotate_into(self, ctx, &mut out, 0);
+        annotate_into(self, ctx, &mut out, 0, &mut |_| None);
+        out
+    }
+
+    /// [`Plan::explain_annotated`] plus a measured-cardinality column:
+    /// every rendered node additionally calls `actual` and prints the
+    /// returned row count as `actual_rows=N` next to the cost model's
+    /// `est_rows` — the EXPLAIN ANALYZE form, letting estimation error
+    /// (q-error) be read off per node. Nodes the closure declines
+    /// (`None`) print no measurement; the rendering is otherwise
+    /// identical to [`Plan::explain_annotated`].
+    pub fn explain_compared(
+        &self,
+        ctx: &PropsContext,
+        actual: &mut dyn FnMut(&Plan) -> Option<u64>,
+    ) -> String {
+        let mut out = String::new();
+        annotate_into(self, ctx, &mut out, 0, actual);
         out
     }
 }
 
-fn annotate_into(plan: &Plan, ctx: &PropsContext, out: &mut String, depth: usize) {
+fn annotate_into(
+    plan: &Plan,
+    ctx: &PropsContext,
+    out: &mut String,
+    depth: usize,
+    actual: &mut dyn FnMut(&Plan) -> Option<u64>,
+) {
     use std::fmt::Write;
     let pad = "  ".repeat(depth);
     let props = derive(plan, ctx);
@@ -457,7 +512,25 @@ fn annotate_into(plan: &Plan, ctx: &PropsContext, out: &mut String, depth: usize
                 .join(",")
         )
     };
-    let _ = writeln!(out, "{pad}{} [{order}{distinct}{runs}]", plan.node_label());
+    // Cardinality estimates render only when the context carries a
+    // statistics catalog, so statistics-free EXPLAIN output is unchanged.
+    let est = if ctx.stats.is_some() {
+        format!(
+            ", est_rows={}",
+            crate::cost::estimate_rows(plan, ctx).round()
+        )
+    } else {
+        String::new()
+    };
+    let measured = match actual(plan) {
+        Some(rows) => format!(", actual_rows={rows}"),
+        None => String::new(),
+    };
+    let _ = writeln!(
+        out,
+        "{pad}{} [{order}{distinct}{runs}{est}{measured}]",
+        plan.node_label()
+    );
     match plan {
         Plan::ScanTriples { p, .. } => {
             if ctx.inserts_reach_triple_scan(*p) {
@@ -478,18 +551,23 @@ fn annotate_into(plan: &Plan, ctx: &PropsContext, out: &mut String, depth: usize
         | Plan::Project { input, .. }
         | Plan::GroupCount { input, .. }
         | Plan::HavingCountGt { input, .. }
-        | Plan::Distinct { input } => annotate_into(input, ctx, out, depth + 1),
+        | Plan::Distinct { input } => annotate_into(input, ctx, out, depth + 1, actual),
         Plan::Join { left, right, .. } => {
-            annotate_into(left, ctx, out, depth + 1);
-            annotate_into(right, ctx, out, depth + 1);
+            annotate_into(left, ctx, out, depth + 1, actual);
+            annotate_into(right, ctx, out, depth + 1, actual);
+        }
+        Plan::LeapfrogJoin { inputs, .. } => {
+            for i in inputs {
+                annotate_into(i, ctx, out, depth + 1, actual);
+            }
         }
         Plan::UnionAll { inputs } => {
             if inputs.len() <= 4 {
                 for i in inputs {
-                    annotate_into(i, ctx, out, depth + 1);
+                    annotate_into(i, ctx, out, depth + 1, actual);
                 }
             } else {
-                annotate_into(&inputs[0], ctx, out, depth + 1);
+                annotate_into(&inputs[0], ctx, out, depth + 1, actual);
                 let _ = writeln!(
                     out,
                     "{}... {} more property-table scans ...",

@@ -1060,7 +1060,9 @@ mod tests {
                 Plan::Join { left, right, .. } => {
                     has_property_scan(left) || has_property_scan(right)
                 }
-                Plan::UnionAll { inputs } => inputs.iter().any(has_property_scan),
+                Plan::UnionAll { inputs } | Plan::LeapfrogJoin { inputs, .. } => {
+                    inputs.iter().any(has_property_scan)
+                }
             }
         }
         assert!(!has_property_scan(&tri.plan));

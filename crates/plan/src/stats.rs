@@ -1,0 +1,62 @@
+//! Table statistics for the cost model.
+//!
+//! Engines collect a [`StatsCatalog`] when they load or merge their sorted
+//! tables — row counts, per-column distinct counts, and the run counts the
+//! RLE headers already hold — and publish it through
+//! [`PropsContext::stats`](crate::props::PropsContext::stats). The cost
+//! model ([`crate::cost`]) prices scans and joins off these numbers;
+//! without a catalog it falls back to fixed defaults, so plan enumeration
+//! still works (just blindly) against a statistics-free context.
+//!
+//! The catalog describes the *sorted read store* only: a pending
+//! write-store delta leaves it slightly stale until the next merge
+//! rebuilds the tables and the engine recollects. Estimates tolerate that
+//! drift — the q-error gate in `tests/cost_model.rs` bounds how far.
+
+use std::collections::BTreeMap;
+
+use swans_rdf::Id;
+
+/// Statistics of one vertically-partitioned `(s, o)` property table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PropStats {
+    /// Total rows (triples with this property).
+    pub rows: u64,
+    /// Distinct subject values. On the (subject, object)-sorted table this
+    /// equals the subject column's run count — the RLE headers give it for
+    /// free.
+    pub distinct_subjects: u64,
+    /// Distinct object values.
+    pub distinct_objects: u64,
+    /// Bytes a full scan of the table touches: the compressed run headers
+    /// for an RLE-stored subject column (16 B per run), flat values
+    /// (8 B per row) otherwise, plus the flat object column.
+    pub scan_bytes: u64,
+}
+
+/// Statistics of the 3-column triples table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TripleStats {
+    /// Total rows.
+    pub rows: u64,
+    /// Distinct values per logical column (`[s, p, o]`).
+    pub distinct: [u64; 3],
+    /// Bytes a full scan touches (compressed lead column when RLE-stored).
+    pub scan_bytes: u64,
+}
+
+/// The per-table statistics an engine collects at load/merge time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsCatalog {
+    /// Triples-table statistics, when that layout is loaded.
+    pub triple: Option<TripleStats>,
+    /// Per-property statistics of the vertically-partitioned layout.
+    pub props: BTreeMap<Id, PropStats>,
+}
+
+impl StatsCatalog {
+    /// Total triples across the vertically-partitioned tables.
+    pub fn vp_rows(&self) -> u64 {
+        self.props.values().map(|p| p.rows).sum()
+    }
+}

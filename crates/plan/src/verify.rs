@@ -100,7 +100,7 @@ fn children(plan: &Plan) -> Vec<&Plan> {
         | Plan::HavingCountGt { input, .. }
         | Plan::Distinct { input } => vec![input],
         Plan::Join { left, right, .. } => vec![left, right],
-        Plan::UnionAll { inputs } => inputs.iter().collect(),
+        Plan::UnionAll { inputs } | Plan::LeapfrogJoin { inputs, .. } => inputs.iter().collect(),
     }
 }
 
@@ -431,6 +431,28 @@ fn check_structure(plan: &Plan, path: &[usize]) -> Result<(), VerifyError> {
                 return Err(err(VerifyErrorKind::EmptySchema, path, plan));
             }
         }
+        Plan::LeapfrogJoin { inputs, cols } => {
+            // Shape (≥2 inputs, one key column per input) is
+            // `Plan::validate`'s rule; re-report with located errors.
+            if inputs.len() < 2 || cols.len() != inputs.len() {
+                return Err(err(
+                    VerifyErrorKind::ClaimShape {
+                        detail: format!(
+                            "LeapfrogJoin over {} inputs with {} key columns",
+                            inputs.len(),
+                            cols.len()
+                        ),
+                    },
+                    path,
+                    plan,
+                ));
+            }
+            for (input, &c) in inputs.iter().zip(cols) {
+                if c >= input.arity() {
+                    return Err(out_of_range("LeapfrogJoin key", c, input.arity()));
+                }
+            }
+        }
         Plan::UnionAll { inputs } => {
             if inputs.is_empty() {
                 return Err(err(VerifyErrorKind::EmptyUnion, path, plan));
@@ -577,6 +599,23 @@ fn justify(
                 }
             }
         }
+        Plan::LeapfrogJoin { cols, .. } => {
+            let distinct = kid_justified.iter().all(|p| p.distinct);
+            // The kernel only runs when every *claimed* input is sorted
+            // on its key column — otherwise the engine falls back to the
+            // binary hash-join fold, which materializes unordered.
+            let dispatch = claims
+                .children
+                .iter()
+                .zip(cols)
+                .all(|(c, &k)| c.props.sorted_on(k));
+            let sound = kid_justified.iter().zip(cols).all(|(p, &k)| p.sorted_on(k));
+            PhysProps {
+                sorted_by: (dispatch && sound).then(|| vec![cols[0]]),
+                distinct,
+                run_encoded: Vec::new(),
+            }
+        }
         // Key-sorted, key-distinct on every aggregation path.
         Plan::GroupCount { keys, .. } => PhysProps {
             sorted_by: Some((0..=keys.len()).collect()),
@@ -604,6 +643,9 @@ fn materializes_flat(plan: &Plan, claims: &Claims) -> bool {
     match plan {
         Plan::GroupCount { .. } => true,
         Plan::UnionAll { .. } => true,
+        // Both the intersection kernel and its hash-fold fallback
+        // materialize flat output.
+        Plan::LeapfrogJoin { .. } => true,
         Plan::Join {
             left_col,
             right_col,

@@ -254,6 +254,30 @@ impl RowEngine {
                     current: None,
                 })
             }
+            Plan::LeapfrogJoin { inputs, cols } => {
+                // The row store has no multi-way kernel: evaluate the
+                // binary hash-join fold the operator is defined as,
+                // materialized (the key keeps position cols[0] of every
+                // accumulated schema — input 0 sits at offset 0).
+                let key_col = cols[0];
+                let mut acc: Vec<Row> = self.iter(&inputs[0])?.collect();
+                for (inp, &rc) in inputs[1..].iter().zip(&cols[1..]) {
+                    let mut by_key: FxHashMap<u64, Vec<Row>> = FxHashMap::default();
+                    for r in self.iter(inp)? {
+                        by_key.entry(r.get(rc)).or_default().push(r);
+                    }
+                    let mut next = Vec::new();
+                    for l in &acc {
+                        if let Some(matches) = by_key.get(&l.get(key_col)) {
+                            for r in matches {
+                                next.push(l.concat(r));
+                            }
+                        }
+                    }
+                    acc = next;
+                }
+                Box::new(acc.into_iter())
+            }
             Plan::Project { input, cols } => {
                 let cols = cols.clone();
                 Box::new(self.iter(input)?.map(move |r| r.project(&cols)))

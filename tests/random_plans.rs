@@ -77,7 +77,9 @@ fn all_paths(plan: &Plan) -> Vec<Vec<usize>> {
             | Plan::HavingCountGt { input, .. }
             | Plan::Distinct { input } => vec![input],
             Plan::Join { left, right, .. } => vec![left, right],
-            Plan::UnionAll { inputs } => inputs.iter().collect(),
+            Plan::UnionAll { inputs } | Plan::LeapfrogJoin { inputs, .. } => {
+                inputs.iter().collect()
+            }
         };
         for (i, kid) in kids.into_iter().enumerate() {
             prefix.push(i);
@@ -108,7 +110,7 @@ fn node_at_mut<'a>(plan: &'a mut Plan, segs: &[usize]) -> &'a mut Plan {
                     right
                 }
             }
-            Plan::UnionAll { inputs } => &mut inputs[seg],
+            Plan::UnionAll { inputs } | Plan::LeapfrogJoin { inputs, .. } => &mut inputs[seg],
             Plan::ScanTriples { .. } | Plan::ScanProperty { .. } => {
                 unreachable!("path walks off a leaf")
             }

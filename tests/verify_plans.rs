@@ -10,7 +10,7 @@ use swans_bench::updates::configs as all_configs;
 use swans_core::Database;
 use swans_plan::queries::{vocab, QueryContext, QueryId};
 use swans_plan::verify::verify;
-use swans_plan::{build_plan, optimize_for, reorder_joins};
+use swans_plan::{build_plan, optimize_cbo, optimize_for, reorder_joins};
 use swans_rdf::Dataset;
 
 fn dataset() -> Dataset {
@@ -32,6 +32,7 @@ fn verify_and_run_all(db: &Database, qctx: &QueryContext, label: &str) {
         for (form, p) in [
             ("planned", plan.clone()),
             ("optimized", optimize_for(plan.clone(), &ctx)),
+            ("enumerated", optimize_cbo(plan.clone(), &ctx)),
             ("reordered", reorder_joins(plan, &ctx)),
         ] {
             let report = verify(&p, &ctx)
