@@ -1,0 +1,52 @@
+//! Regenerates `BENCH_PR10.json`: the overload-governance experiment —
+//! closed-loop clients at 1×/2×/4× the server's worker capacity against
+//! a bounded pool + bounded admission queue, measuring goodput, success
+//! latency, and the `503`+`Retry-After` shed rate. The acceptance
+//! criterion: goodput under 4× overload stays within ~10% of capacity
+//! instead of collapsing.
+//!
+//! Usage: `cargo run -p swans-bench --release --bin bench_pr10 [-- --quick]`
+//! `--quick` shrinks the data set and request counts for CI smoke runs.
+//! Env knobs: `SWANS_SCALE`, `SWANS_SEED` (see the crate docs).
+
+use swans_bench::{governance, HarnessConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = HarnessConfig::from_env();
+    if std::env::var("SWANS_SCALE").is_err() {
+        // Same sizing logic as bench_serve: requests must pay for real
+        // pages, phases must stay seconds.
+        cfg.scale = if quick { 0.0008 } else { 0.003 };
+    }
+    eprintln!(
+        "[bench_pr10] scale={} seed={} quick={quick}",
+        cfg.scale, cfg.seed
+    );
+    let (phases, worst_ratio) = governance::run(&cfg, quick);
+    let json = governance::to_json(&cfg, quick, &phases, worst_ratio);
+    std::fs::write("BENCH_PR10.json", &json).expect("write BENCH_PR10.json");
+    eprintln!("[bench_pr10] wrote BENCH_PR10.json");
+
+    println!("{}", governance::render(&phases, worst_ratio));
+    assert!(
+        phases.iter().all(|p| p.errors == 0),
+        "every response must be a 200 or a Retry-After-bearing 503"
+    );
+    let four_x = phases
+        .iter()
+        .find(|p| p.load_multiple == 4)
+        .expect("4x phase");
+    assert!(
+        four_x.shed > 0,
+        "4x overload must shed: offered {} all served?",
+        four_x.offered
+    );
+    // Goodput must hold near capacity under overload; quick CI runs on
+    // noisy shared runners get a looser floor.
+    let floor = if quick { 0.6 } else { 0.9 };
+    assert!(
+        worst_ratio >= floor,
+        "goodput collapsed under overload: worst ratio {worst_ratio:.3} < {floor}"
+    );
+}

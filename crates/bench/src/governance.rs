@@ -1,0 +1,300 @@
+//! The overload experiment (`bench_pr10`, `BENCH_PR10.json`): goodput,
+//! latency, and shed rate as offered load climbs past the server's
+//! capacity.
+//!
+//! ## What "graceful degradation" means, measurably
+//!
+//! An ungoverned thread-per-connection server answers overload by
+//! accepting everything: memory grows with the backlog, every request's
+//! latency grows with the queue, and goodput *collapses* as the machine
+//! thrashes. The governed server bounds its worker pool and admission
+//! queue instead, and **sheds** the excess instantly with `503` +
+//! `Retry-After`. The measurable claims this benchmark pins:
+//!
+//! * **Goodput holds**: successful requests per second at 2× and 4×
+//!   offered load stay within ~10% of the saturated single-load
+//!   capacity — the server does capacity-worth of work no matter how
+//!   hard it is hammered.
+//! * **Latency stays bounded**: p99 of *successful* requests is capped
+//!   by the queue depth × service time, not by the offered backlog.
+//! * **Shedding is cheap and honest**: refused requests answer in
+//!   microseconds and carry `Retry-After`, so well-behaved clients back
+//!   off instead of timing out blind.
+//!
+//! The served queries pay real wall-clock time for their simulated I/O
+//! (as in the `bench_serve` experiment), so "capacity" is a genuine
+//! requests-per-second wall, even on a single-core runner.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use swans_core::{Database, Layout, StoreConfig};
+use swans_serve::{http_request_full, percent_encode, serve_with, ServeConfig, Server};
+
+use crate::HarnessConfig;
+
+/// The scan-heavy request: aggregates the largest property table
+/// through a pool too small to cache it, so every request pays
+/// simulated-I/O wall time and the worker pool has a real capacity.
+const SCAN_Q: &str = "SELECT ?t (COUNT(*) AS ?n) WHERE { ?s <type> ?t } GROUP BY ?t";
+
+/// Pool pages for the served database — thrashes on the scan, as in
+/// the serving benchmark.
+const POOL_PAGES: usize = 4;
+/// Wall-clock seconds slept per simulated I/O second.
+const REALTIME_SCALE: f64 = 1.0;
+/// Worker threads — the server's deliberate capacity.
+const WORKERS: usize = 2;
+/// Admission-queue depth: what may wait beyond the workers.
+const QUEUE_DEPTH: usize = 2;
+
+/// One measured phase at a fixed offered load.
+#[derive(Debug, Clone)]
+pub struct OverloadPhase {
+    /// Phase label, e.g. `overload/4x`.
+    pub name: String,
+    /// Offered load as a multiple of the worker count.
+    pub load_multiple: usize,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests attempted across all clients.
+    pub offered: usize,
+    /// `200` responses — the goodput numerator.
+    pub ok: usize,
+    /// `503` shed responses (every one carried `Retry-After`).
+    pub shed: usize,
+    /// Anything else: transport errors, missing `Retry-After`, other
+    /// statuses. Must be 0.
+    pub errors: usize,
+    /// Wall-clock seconds for the phase.
+    pub seconds: f64,
+    /// Successful requests per second.
+    pub goodput_rps: f64,
+    /// Median latency of successful requests, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency of successful requests, milliseconds.
+    pub p99_ms: f64,
+    /// 99th-percentile latency of shed responses, milliseconds —
+    /// refusal must be orders of magnitude cheaper than service.
+    pub shed_p99_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// Runs `clients` closed-loop threads for a fixed wall-clock window
+/// (steady state, no end-of-phase tail where finished clients leave the
+/// server idle), sorting responses into ok / shed / error. A shed
+/// client backs off one millisecond — a token nod to the `Retry-After`
+/// it was handed — so the phase measures the server's shedding, not
+/// loopback connect spin starving a single-core runner.
+fn phase(server: &Server, name: &str, load_multiple: usize, window: Duration) -> OverloadPhase {
+    let clients = WORKERS * load_multiple;
+    let addr = server.addr();
+    let target = format!("/query?q={}", percent_encode(SCAN_Q));
+    let errors = AtomicUsize::new(0);
+    let started = Instant::now();
+    let end = started + window;
+    let (mut ok_ms, mut shed_ms): (Vec<f64>, Vec<f64>) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let errors = &errors;
+                let target = &target;
+                scope.spawn(move || {
+                    let mut ok = Vec::new();
+                    let mut shed = Vec::new();
+                    while Instant::now() < end {
+                        let t0 = Instant::now();
+                        match http_request_full(addr, "GET", target, "", Duration::from_secs(60)) {
+                            Ok((200, _, _)) => ok.push(t0.elapsed().as_secs_f64() * 1000.0),
+                            Ok((503, headers, _))
+                                if headers.iter().any(|(n, _)| n == "retry-after") =>
+                            {
+                                shed.push(t0.elapsed().as_secs_f64() * 1000.0);
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            _ => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    (ok, shed)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).fold(
+            (Vec::new(), Vec::new()),
+            |(mut ok, mut shed), (o, s)| {
+                ok.extend(o);
+                shed.extend(s);
+                (ok, shed)
+            },
+        )
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    ok_ms.sort_by(|a, b| a.total_cmp(b));
+    shed_ms.sort_by(|a, b| a.total_cmp(b));
+    OverloadPhase {
+        name: name.to_string(),
+        load_multiple,
+        clients,
+        offered: ok_ms.len() + shed_ms.len() + errors.load(Ordering::Relaxed),
+        ok: ok_ms.len(),
+        shed: shed_ms.len(),
+        errors: errors.load(Ordering::Relaxed),
+        seconds,
+        goodput_rps: ok_ms.len() as f64 / seconds,
+        p50_ms: percentile(&ok_ms, 50.0),
+        p99_ms: percentile(&ok_ms, 99.0),
+        shed_p99_ms: percentile(&shed_ms, 99.0),
+    }
+}
+
+/// The full experiment: a capacity phase at 1× load (clients ==
+/// workers, nothing queues long, nothing sheds), then overload at 2×
+/// and 4×. Returns the phases and the worst goodput-to-capacity ratio
+/// across the overload phases — the acceptance number.
+pub fn run(cfg: &HarnessConfig, quick: bool) -> (Vec<OverloadPhase>, f64) {
+    let ds = cfg.dataset();
+    let triples = ds.len();
+    let config = StoreConfig::column(Layout::VerticallyPartitioned)
+        .on_machine(swans_storage::MachineProfile::B)
+        .with_pool_pages(POOL_PAGES);
+    let db = Arc::new(Database::open(ds, config).expect("opens"));
+    db.storage().set_realtime_io(REALTIME_SCALE);
+    let server = serve_with(
+        db,
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: WORKERS,
+            queue_depth: QUEUE_DEPTH,
+            // Generous per-request deadline: this experiment isolates
+            // admission control; deadline kills are exercised by the
+            // governance test suite.
+            request_timeout: Duration::from_secs(60),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("binds");
+    eprintln!(
+        "[bench_pr10] {triples} triples, {WORKERS} workers, queue {QUEUE_DEPTH}, pool={POOL_PAGES} pages, realtime io ×{REALTIME_SCALE}, http://{}",
+        server.addr()
+    );
+
+    let window = if quick {
+        Duration::from_millis(500)
+    } else {
+        Duration::from_millis(2500)
+    };
+    // Warm the plan/dictionary paths (the pool stays too small to warm).
+    phase(&server, "warmup", 1, Duration::from_millis(100));
+
+    let mut phases = Vec::new();
+    for load in [1usize, 2, 4] {
+        let p = phase(&server, &format!("overload/{load}x"), load, window);
+        eprintln!(
+            "[bench_pr10] {}: {} clients, goodput {:.1} req/s, shed {}/{} ({:.0}%), p50 {:.1} ms p99 {:.1} ms, shed p99 {:.2} ms",
+            p.name,
+            p.clients,
+            p.goodput_rps,
+            p.shed,
+            p.offered,
+            100.0 * p.shed as f64 / p.offered as f64,
+            p.p50_ms,
+            p.p99_ms,
+            p.shed_p99_ms
+        );
+        phases.push(p);
+    }
+
+    let capacity = phases[0].goodput_rps;
+    let worst_ratio = phases[1..]
+        .iter()
+        .map(|p| p.goodput_rps / capacity)
+        .fold(f64::INFINITY, f64::min);
+    server.shutdown();
+    (phases, worst_ratio)
+}
+
+/// Serializes the results as the `BENCH_PR10.json` document.
+pub fn to_json(
+    cfg: &HarnessConfig,
+    quick: bool,
+    phases: &[OverloadPhase],
+    worst_ratio: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"overload_governance\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", cfg.scale));
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    out.push_str(&format!("  \"queue_depth\": {QUEUE_DEPTH},\n"));
+    out.push_str(&format!("  \"pool_pages\": {POOL_PAGES},\n"));
+    out.push_str(&format!("  \"realtime_io_scale\": {REALTIME_SCALE},\n"));
+    out.push_str(&format!(
+        "  \"cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str(&format!(
+        "  \"worst_goodput_ratio_vs_capacity\": {worst_ratio:.3},\n"
+    ));
+    out.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"load_multiple\": {}, \"clients\": {}, \"offered\": {}, \
+             \"ok\": {}, \"shed\": {}, \"errors\": {}, \"seconds\": {:.3}, \
+             \"goodput_rps\": {:.2}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}, \
+             \"shed_p99_ms\": {:.3}}}{}\n",
+            p.name,
+            p.load_multiple,
+            p.clients,
+            p.offered,
+            p.ok,
+            p.shed,
+            p.errors,
+            p.seconds,
+            p.goodput_rps,
+            p.p50_ms,
+            p.p99_ms,
+            p.shed_p99_ms,
+            if i + 1 == phases.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the human-readable table.
+pub fn render(phases: &[OverloadPhase], worst_ratio: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>8} {:>6} {:>6} {:>11} {:>8} {:>8} {:>10}\n",
+        "phase", "clients", "offered", "ok", "shed", "goodput r/s", "p50 ms", "p99 ms", "shed p99"
+    ));
+    for p in phases {
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>8} {:>6} {:>6} {:>11.1} {:>8.1} {:>8.1} {:>10.2}\n",
+            p.name,
+            p.clients,
+            p.offered,
+            p.ok,
+            p.shed,
+            p.goodput_rps,
+            p.p50_ms,
+            p.p99_ms,
+            p.shed_p99_ms
+        ));
+    }
+    out.push_str(&format!(
+        "\nworst goodput vs capacity under overload: {:.1}% (shedding keeps the server at capacity)\n",
+        worst_ratio * 100.0
+    ));
+    out
+}

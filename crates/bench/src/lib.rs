@@ -25,6 +25,7 @@
 //! | `bench_pr7` | durability: recovery time + WAL/snapshot sizes (`BENCH_PR7.json`) |
 //! | `bench_serve` | concurrent serving over HTTP: throughput/latency vs clients (`BENCH_PR8.json`) |
 //! | `bench_pr9` | plan quality: heuristic vs cost-based enumeration + q-error (`BENCH_PR9.json`) |
+//! | `bench_pr10` | overload governance: goodput/p99/shed rate at 1×/2×/4× load (`BENCH_PR10.json`) |
 //!
 //! Environment knobs: `SWANS_SCALE` (fraction of the 50.3M-triple Barton
 //! data set to synthesize, default 0.02), `SWANS_REPEATS` (averaging, the
@@ -33,6 +34,7 @@
 pub mod compressed;
 pub mod durability;
 pub mod experiments;
+pub mod governance;
 pub mod paper;
 pub mod parallel;
 pub mod planquality;

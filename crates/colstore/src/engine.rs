@@ -18,7 +18,7 @@ use swans_rdf::{Delta, Id, SortOrder, Triple};
 use swans_storage::{SegmentId, StorageManager};
 
 use swans_plan::algebra::{leapfrog_fold, CmpOp, Plan};
-use swans_plan::exec::EngineError;
+use swans_plan::exec::{EngineError, QueryBudget};
 use swans_plan::optimize::{optimize_cbo, reorder_joins};
 use swans_plan::props::{derive as derive_props, PhysProps, PropsContext};
 use swans_plan::stats::{PropStats, StatsCatalog, TripleStats};
@@ -54,6 +54,8 @@ struct ExecStats {
     runs_expanded: AtomicU64,
     scan_bytes_compressed: AtomicU64,
     scan_bytes_logical: AtomicU64,
+    cancelled_queries: AtomicU64,
+    peak_mem_bytes: AtomicU64,
 }
 
 impl ExecStats {
@@ -79,6 +81,8 @@ impl ExecStats {
             runs_expanded: self.runs_expanded.load(Ordering::Relaxed),
             scan_bytes_compressed: self.scan_bytes_compressed.load(Ordering::Relaxed),
             scan_bytes_logical: self.scan_bytes_logical.load(Ordering::Relaxed),
+            cancelled_queries: self.cancelled_queries.load(Ordering::Relaxed),
+            peak_mem_bytes: self.peak_mem_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -103,12 +107,26 @@ impl ExecStats {
         self.runs_expanded.store(0, Ordering::Relaxed);
         self.scan_bytes_compressed.store(0, Ordering::Relaxed);
         self.scan_bytes_logical.store(0, Ordering::Relaxed);
+        self.cancelled_queries.store(0, Ordering::Relaxed);
+        self.peak_mem_bytes.store(0, Ordering::Relaxed);
     }
 }
 
 #[inline]
 fn bump(counter: &AtomicU64) {
     counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Output of a two-key group-count: both key columns plus the counts.
+type GroupCount2 = (Vec<u64>, Vec<u64>, Vec<u64>);
+
+/// Everything an operator evaluation carries besides the plan: the
+/// physical-property context the dispatch decisions derive against and
+/// the caller's resource budget (deadline, cancellation token, memory
+/// limit). Bundled so the recursive executor threads one reference.
+struct ExecCtx<'a> {
+    props: &'a PropsContext,
+    budget: &'a QueryBudget,
 }
 
 /// A point-in-time copy of the dispatch counters.
@@ -179,6 +197,13 @@ pub struct ExecStatsSnapshot {
     /// Bytes the same scans would have charged decompressed (8 bytes per
     /// logical row) — the I/O the run representation saved.
     pub scan_bytes_logical: u64,
+    /// Executions that ended in [`EngineError::Cancelled`] — deadline,
+    /// memory limit, or caller cancellation (resource governance).
+    pub cancelled_queries: u64,
+    /// High-water mark of per-query tracked allocations (bytes charged to
+    /// a [`QueryBudget`] by joins, aggregations, and result
+    /// materialization) across all executions since the last reset.
+    pub peak_mem_bytes: u64,
 }
 
 /// The 3-column triples table, sorted by one clustering order.
@@ -365,7 +390,7 @@ impl ColumnEngine {
 
     /// Enables or disables cost-based join enumeration: with statistics
     /// loaded, join chains are re-planned by
-    /// [`optimize_cbo`](swans_plan::optimize::optimize_cbo) — DP over
+    /// [`optimize_cbo`] — DP over
     /// the join graph plus the leapfrog star kernel — instead of the
     /// statistics-free rotation heuristic. On by default; turning it off
     /// pins the heuristic baseline the plan-quality benchmark compares
@@ -953,6 +978,33 @@ impl ColumnEngine {
     /// first, so an unjustifiable property claim is an
     /// [`EngineError::Verify`] naming the operator, not a wrong answer.
     pub fn execute(&self, plan: &Plan) -> Result<Chunk, EngineError> {
+        self.execute_budgeted(plan, &QueryBudget::unlimited())
+    }
+
+    /// [`ColumnEngine::execute`] under a resource budget: the deadline,
+    /// cancellation token, and memory limit of `budget` are checked
+    /// cooperatively — per operator and per morsel inside the partitioned
+    /// kernels — and a tripped budget surfaces as
+    /// [`EngineError::Cancelled`] (never a panic, never a poisoned lock).
+    /// Tracked allocations (join pair vectors, aggregation tables, result
+    /// materialization) are charged to the budget as they grow, so a
+    /// memory-limit abort happens *during* a blow-up, not after it.
+    pub fn execute_budgeted(
+        &self,
+        plan: &Plan,
+        budget: &QueryBudget,
+    ) -> Result<Chunk, EngineError> {
+        let result = self.execute_inner(plan, budget);
+        self.stats
+            .peak_mem_bytes
+            .fetch_max(budget.peak_mem_bytes(), Ordering::Relaxed);
+        if matches!(result, Err(EngineError::Cancelled { .. })) {
+            bump(&self.stats.cancelled_queries);
+        }
+        result
+    }
+
+    fn execute_inner(&self, plan: &Plan, budget: &QueryBudget) -> Result<Chunk, EngineError> {
         plan.validate().map_err(EngineError::InvalidPlan)?;
         // One context per execution: the derivation (and the join
         // reordering) must see a consistent write-store state throughout.
@@ -981,7 +1033,11 @@ impl ColumnEngine {
         if self.verify {
             swans_plan::verify::verify(plan, &ctx).map_err(EngineError::Verify)?;
         }
-        let mut chunk = self.exec(plan, full_mask(plan.arity()), &ctx)?;
+        let ectx = ExecCtx {
+            props: &ctx,
+            budget,
+        };
+        let mut chunk = self.exec(plan, full_mask(plan.arity()), &ectx)?;
         // Converse run invariant at the caller boundary: the rewritten
         // plan may legitimately keep different columns run-encoded (a
         // cheaper join order moves which merge-join left side survives
@@ -1001,7 +1057,34 @@ impl ColumnEngine {
     /// run-encoded through the whole plan is expanded here (and counted
     /// in [`ExecStatsSnapshot::runs_expanded`]).
     pub fn execute_rows(&self, plan: &Plan) -> Result<Vec<Vec<u64>>, EngineError> {
-        let chunk = self.execute(plan)?;
+        self.execute_rows_budgeted(plan, &QueryBudget::unlimited())
+    }
+
+    /// [`ColumnEngine::execute_budgeted`] decoded to row-major form (see
+    /// [`ColumnEngine::execute_rows`] for the expansion accounting). The
+    /// row-major copy itself is charged to the budget before it is built.
+    pub fn execute_rows_budgeted(
+        &self,
+        plan: &Plan,
+        budget: &QueryBudget,
+    ) -> Result<Vec<Vec<u64>>, EngineError> {
+        let result = self.execute_rows_inner(plan, budget);
+        self.stats
+            .peak_mem_bytes
+            .fetch_max(budget.peak_mem_bytes(), Ordering::Relaxed);
+        if matches!(result, Err(EngineError::Cancelled { .. })) {
+            bump(&self.stats.cancelled_queries);
+        }
+        result
+    }
+
+    fn execute_rows_inner(
+        &self,
+        plan: &Plan,
+        budget: &QueryBudget,
+    ) -> Result<Vec<Vec<u64>>, EngineError> {
+        let chunk = self.execute_inner(plan, budget)?;
+        budget.charge(8 * (chunk.arity() as u64) * chunk.len() as u64)?;
         for i in 0..chunk.arity() {
             if chunk.col_expansion_pending(i) {
                 bump(&self.stats.runs_expanded);
@@ -1010,21 +1093,25 @@ impl ColumnEngine {
         Ok(chunk.to_rows())
     }
 
-    fn exec(&self, plan: &Plan, needed: u64, ctx: &PropsContext) -> Result<Chunk, EngineError> {
+    fn exec(&self, plan: &Plan, needed: u64, ctx: &ExecCtx<'_>) -> Result<Chunk, EngineError> {
+        // Cooperative cancellation: every operator entry checks the
+        // budget (deadline clock + latched token), so deep plans bail
+        // between operators even when no kernel below notices.
+        ctx.budget.check()?;
         let chunk = match plan {
-            Plan::ScanTriples { s, p, o } => self.scan_triples(*s, *p, *o, needed)?,
+            Plan::ScanTriples { s, p, o } => self.scan_triples(ctx.budget, *s, *p, *o, needed)?,
             Plan::ScanProperty {
                 property,
                 s,
                 o,
                 emit_property,
-            } => self.scan_property(*property, *s, *o, *emit_property, needed)?,
+            } => self.scan_property(ctx.budget, *property, *s, *o, *emit_property, needed)?,
             Plan::Select { input, pred } => {
                 let child = self.exec(input, needed | bit(pred.col), ctx)?;
                 // An equality predicate on the child's leading sort column
                 // resolves by binary search instead of a full scan — over
                 // the run headers when the column is run-encoded.
-                if pred.op == CmpOp::Eq && self.plan_props(input, ctx).sorted_on(pred.col) {
+                if pred.op == CmpOp::Eq && self.plan_props(input, ctx.props).sorted_on(pred.col) {
                     bump(&self.stats.sorted_selects);
                     let range = if let Some(runs) = child.col_runs(pred.col) {
                         bump(&self.stats.run_kernel_dispatches);
@@ -1040,14 +1127,15 @@ impl ColumnEngine {
                     // Run-encoded column: one predicate test per run.
                     bump(&self.stats.run_kernel_dispatches);
                     let sel = ops::select_cmp_runs(runs, pred.value, pred.op == CmpOp::Ne);
-                    self.par_gather(&child, &sel)
+                    self.par_gather(ctx.budget, &child, &sel)?
                 } else {
                     let sel = self.par_select_cmp(
+                        ctx.budget,
                         self.flat(&child, pred.col),
                         pred.value,
                         pred.op == CmpOp::Ne,
                     );
-                    self.par_gather(&child, &sel)
+                    self.par_gather(ctx.budget, &child, &sel)?
                 }
             }
             Plan::FilterIn { input, col, values } => {
@@ -1057,7 +1145,7 @@ impl ColumnEngine {
                 // membership scan; run-encoded columns probe the (much
                 // shorter) run headers. Both emit the exact ascending
                 // position vector of the linear kernel.
-                let sorted = self.plan_props(input, ctx).sorted_on(*col);
+                let sorted = self.plan_props(input, ctx.props).sorted_on(*col);
                 let sel = if let Some(runs) = child.col_runs(*col) {
                     bump(&self.stats.run_kernel_dispatches);
                     if sorted {
@@ -1070,9 +1158,9 @@ impl ColumnEngine {
                     bump(&self.stats.sorted_in_selects);
                     ops::select_in_sorted(child.col(*col), values)
                 } else {
-                    self.par_select_in(child.col(*col), values)
+                    self.par_select_in(ctx.budget, child.col(*col), values)
                 };
-                self.par_gather(&child, &sel)
+                self.par_gather(ctx.budget, &child, &sel)?
             }
             Plan::Join {
                 left,
@@ -1087,8 +1175,8 @@ impl ColumnEngine {
                 let r = self.exec(right, right_needed, ctx)?;
                 // Both join columns derived-sorted: the linear merge join
                 // the sorted layouts were built for. Otherwise hash.
-                let use_merge = self.plan_props(left, ctx).sorted_on(*left_col)
-                    && self.plan_props(right, ctx).sorted_on(*right_col);
+                let use_merge = self.plan_props(left, ctx.props).sorted_on(*left_col)
+                    && self.plan_props(right, ctx.props).sorted_on(*right_col);
                 let (lsel, rsel) = if use_merge {
                     bump(&self.stats.merge_joins);
                     let lruns = l.col_runs(*left_col);
@@ -1105,13 +1193,17 @@ impl ColumnEngine {
                             Some(runs) => RunsView::Runs(runs),
                             None => RunsView::Flat(r.col(*right_col)),
                         };
-                        self.par_merge_join_runs(lv, rv)
+                        self.par_merge_join_runs(ctx.budget, lv, rv)?
                     } else {
-                        self.par_merge_join(l.col(*left_col), r.col(*right_col))
+                        self.par_merge_join(ctx.budget, l.col(*left_col), r.col(*right_col))?
                     }
                 } else {
                     bump(&self.stats.hash_joins);
-                    self.par_hash_join(self.flat(&l, *left_col), self.flat(&r, *right_col))
+                    self.par_hash_join(
+                        ctx.budget,
+                        self.flat(&l, *left_col),
+                        self.flat(&r, *right_col),
+                    )?
                 };
                 // The join columns were materialized for probing, but the
                 // parent may never read them — drop those before the
@@ -1131,8 +1223,8 @@ impl ColumnEngine {
                 // a hash join, whose probe selection can happen to be
                 // monotone) must come out flat so no run column is ever
                 // produced unclaimed.
-                let lg = self.par_gather_opts(&l, &lsel, use_merge);
-                let rg = self.par_gather_opts(&r, &rsel, false);
+                let lg = self.par_gather_opts(ctx.budget, &l, &lsel, use_merge)?;
+                let rg = self.par_gather_opts(ctx.budget, &r, &rsel, false)?;
                 let mut cols = lg.into_cols();
                 cols.extend(rg.into_cols());
                 Chunk::from_optional(lsel.len(), cols)
@@ -1146,7 +1238,7 @@ impl ColumnEngine {
                     && inputs
                         .iter()
                         .zip(cols)
-                        .all(|(inp, &c)| self.plan_props(inp, ctx).sorted_on(c));
+                        .all(|(inp, &c)| self.plan_props(inp, ctx.props).sorted_on(c));
                 if !dispatch {
                     return self.exec(&leapfrog_fold(inputs, cols), needed, ctx);
                 }
@@ -1170,6 +1262,8 @@ impl ColumnEngine {
                     ops::leapfrog_join(&keys)
                 };
                 let len = sels[0].len();
+                // The kernel materialized one selection vector per input.
+                ctx.budget.charge(4 * (sels.len() as u64) * len as u64)?;
                 let mut out: Vec<Option<ColData>> = Vec::new();
                 let mut off = 0usize;
                 for ((mut ch, sel), &c) in children.into_iter().zip(&sels).zip(cols) {
@@ -1182,7 +1276,10 @@ impl ColumnEngine {
                     }
                     // The derivation claims no run columns on leapfrog
                     // output — every gather comes out flat.
-                    out.extend(self.par_gather_opts(&ch, sel, false).into_cols());
+                    out.extend(
+                        self.par_gather_opts(ctx.budget, &ch, sel, false)?
+                            .into_cols(),
+                    );
                     off += a;
                 }
                 Chunk::from_optional(len, out)
@@ -1224,7 +1321,7 @@ impl ColumnEngine {
                 let child = self.exec(input, child_needed, ctx)?;
                 // Input sorted by exactly the grouping keys: groups are
                 // contiguous runs — aggregate linearly, no hash table.
-                let runs = self.plan_props(input, ctx).sorted_by_prefix(keys);
+                let runs = self.plan_props(input, ctx.props).sorted_by_prefix(keys);
                 match (keys.len(), runs) {
                     (1, true) => {
                         bump(&self.stats.sorted_group_counts);
@@ -1240,7 +1337,8 @@ impl ColumnEngine {
                     }
                     (1, false) => {
                         bump(&self.stats.hash_group_counts);
-                        let (k, c) = self.par_group_count_1(self.flat(&child, keys[0]));
+                        let (k, c) =
+                            self.par_group_count_1(ctx.budget, self.flat(&child, keys[0]))?;
                         Chunk::from_cols(vec![k, c])
                     }
                     (2, true) => {
@@ -1256,14 +1354,15 @@ impl ColumnEngine {
                     (2, false) => {
                         bump(&self.stats.hash_group_counts);
                         let (k0, k1, c) = self.par_group_count_2(
+                            ctx.budget,
                             self.flat(&child, keys[0]),
                             self.flat(&child, keys[1]),
-                        );
+                        )?;
                         Chunk::from_cols(vec![k0, k1, c])
                     }
                     _ => {
                         bump(&self.stats.hash_group_counts);
-                        self.group_count_generic(&child, keys)
+                        self.group_count_generic(ctx.budget, &child, keys)?
                     }
                 }
             }
@@ -1293,6 +1392,11 @@ impl ColumnEngine {
                 let mut len = 0usize;
                 for inp in inputs {
                     let c = self.exec(inp, needed, ctx)?;
+                    // Each appended input is a fresh copy — the
+                    // materialization cost unions always pay — so charge
+                    // it before the copy happens.
+                    ctx.budget
+                        .charge(8 * (plan.arity() as u64) * c.len() as u64)?;
                     len += c.len();
                     let cols = c.into_cols();
                     for (i, acc_col) in acc.iter_mut().enumerate() {
@@ -1319,7 +1423,7 @@ impl ColumnEngine {
                 )
             }
             Plan::Distinct { input } => {
-                let props = self.plan_props(input, ctx);
+                let props = self.plan_props(input, ctx.props);
                 // Derived-distinct input: nothing to eliminate — pass the
                 // child through (only the columns the parent needs).
                 if props.distinct {
@@ -1337,14 +1441,19 @@ impl ColumnEngine {
                     self.par_distinct_sorted(&cols, child.len())
                 } else {
                     bump(&self.stats.sort_distincts);
-                    self.par_distinct_rows(&cols, child.len())
+                    self.par_distinct_rows(ctx.budget, &cols, child.len())?
                 };
                 drop(cols);
-                self.par_gather(&child, &sel)
+                self.par_gather(ctx.budget, &child, &sel)?
             }
         };
+        // Post-operator budget check *before* the shadow validator: a
+        // latched budget means the kernels above may have early-outed with
+        // partial output, which must surface as Cancelled, not as a
+        // property-claim violation on garbage.
+        ctx.budget.check()?;
         #[cfg(debug_assertions)]
-        self.shadow_validate(plan, ctx, &chunk);
+        self.shadow_validate(plan, ctx.props, &chunk);
         Ok(chunk)
     }
 
@@ -1459,6 +1568,7 @@ impl ColumnEngine {
     /// filter remaining bounds, materialize needed logical columns.
     fn scan_triples(
         &self,
+        budget: &QueryBudget,
         s: Option<Id>,
         p: Option<Id>,
         o: Option<Id>,
@@ -1512,7 +1622,7 @@ impl ColumnEngine {
         let sel: Option<Vec<u32>> = (!residual.is_empty()).then(|| {
             let cols: Vec<&[u64]> = residual.iter().map(|&(c, _)| t.cols[c].read()).collect();
             let vals: Vec<u64> = residual.iter().map(|&(_, v)| v).collect();
-            self.par_range_filter(range.clone(), move |i| {
+            self.par_range_filter(budget, range.clone(), move |i| {
                 cols.iter().zip(&vals).all(|(d, &v)| d[i] == v)
             })
         });
@@ -1617,6 +1727,7 @@ impl ColumnEngine {
     /// Scans one property table (sorted by subject, then object).
     fn scan_property(
         &self,
+        budget: &QueryBudget,
         property: Id,
         s: Option<Id>,
         o: Option<Id>,
@@ -1688,7 +1799,7 @@ impl ColumnEngine {
         if s.is_none() {
             if let Some(ov) = o {
                 let od = t.o.read();
-                sel = Some(self.par_range_filter(range.clone(), move |i| od[i] == ov));
+                sel = Some(self.par_range_filter(budget, range.clone(), move |i| od[i] == ov));
             }
         }
 
@@ -1842,7 +1953,16 @@ impl ColumnEngine {
 
     /// Equality/inequality selection, morsel-parallel over the one
     /// [`ops::select_cmp`] kernel (same shape as [`Self::par_select_in`]).
-    fn par_select_cmp(&self, data: &[u64], value: u64, negate: bool) -> Vec<u32> {
+    /// Morsels observe the budget's cancellation token: once it latches,
+    /// remaining morsels return empty (the caller's post-barrier
+    /// [`QueryBudget::check`] turns the latch into the typed error).
+    fn par_select_cmp(
+        &self,
+        budget: &QueryBudget,
+        data: &[u64],
+        value: u64,
+        negate: bool,
+    ) -> Vec<u32> {
         let parts = partitions(data.len());
         if parts <= 1 {
             return ops::select_cmp(data, value, negate);
@@ -1852,6 +1972,9 @@ impl ColumnEngine {
             parts,
             || (),
             |_, m| {
+                if budget.latched() {
+                    return Vec::new();
+                }
                 let r = morsel_range(data.len(), parts, m);
                 let mut sel = ops::select_cmp(&data[r.clone()], value, negate);
                 for s in &mut sel {
@@ -1864,8 +1987,10 @@ impl ColumnEngine {
 
     /// Positions in `range` (global indices) passing `keep`,
     /// morsel-parallel — the fused residual-filter pass of base scans.
+    /// Cancel-aware per morsel (see [`Self::par_select_cmp`]).
     fn par_range_filter(
         &self,
+        budget: &QueryBudget,
         range: std::ops::Range<usize>,
         keep: impl Fn(usize) -> bool + Sync,
     ) -> Vec<u32> {
@@ -1881,6 +2006,9 @@ impl ColumnEngine {
             parts,
             || (),
             |_, m| {
+                if budget.latched() {
+                    return Vec::new();
+                }
                 let r = morsel_range(len, parts, m);
                 (range.start + r.start..range.start + r.end)
                     .filter(|&i| keep(i))
@@ -1891,7 +2019,8 @@ impl ColumnEngine {
     }
 
     /// `IN`-list selection, morsel-parallel over [`ops::select_in`].
-    fn par_select_in(&self, data: &[u64], values: &[u64]) -> Vec<u32> {
+    /// Cancel-aware per morsel (see [`Self::par_select_cmp`]).
+    fn par_select_in(&self, budget: &QueryBudget, data: &[u64], values: &[u64]) -> Vec<u32> {
         let parts = partitions(data.len());
         if parts <= 1 {
             return ops::select_in(data, values);
@@ -1901,6 +2030,9 @@ impl ColumnEngine {
             parts,
             || (),
             |_, m| {
+                if budget.latched() {
+                    return Vec::new();
+                }
                 let r = morsel_range(data.len(), parts, m);
                 let mut sel = ops::select_in(&data[r.clone()], values);
                 for s in &mut sel {
@@ -1977,8 +2109,13 @@ impl ColumnEngine {
     /// gather run-preservingly instead (O(sel + runs) sequential work,
     /// keeping them run-encoded); an unordered selection expands them
     /// (counted) and gathers flat.
-    fn par_gather(&self, chunk: &Chunk, sel: &[u32]) -> Chunk {
-        self.par_gather_opts(chunk, sel, true)
+    fn par_gather(
+        &self,
+        budget: &QueryBudget,
+        chunk: &Chunk,
+        sel: &[u32],
+    ) -> Result<Chunk, EngineError> {
+        self.par_gather_opts(budget, chunk, sel, true)
     }
 
     /// [`Self::par_gather`] with an explicit run-preservation policy.
@@ -1989,14 +2126,25 @@ impl ColumnEngine {
     /// run-encoded column must never be produced where unclaimed. The
     /// flattening is still run-sourced ([`RunCol::gather_flat`]) for
     /// monotone selections: no whole-column expansion.
-    fn par_gather_opts(&self, chunk: &Chunk, sel: &[u32], preserve_runs: bool) -> Chunk {
+    fn par_gather_opts(
+        &self,
+        budget: &QueryBudget,
+        chunk: &Chunk,
+        sel: &[u32],
+        preserve_runs: bool,
+    ) -> Result<Chunk, EngineError> {
+        // The gather materializes one output value per selected row per
+        // present column — charge it before allocating, so an
+        // over-budget materialization aborts instead of allocating.
+        let present = (0..chunk.arity()).filter(|&i| chunk.has_col(i)).count();
+        budget.charge(8 * (present as u64) * sel.len() as u64)?;
         let any_runs = (0..chunk.arity()).any(|i| chunk.col_is_runs(i));
         let monotone = any_runs && sel.windows(2).all(|w| w[0] <= w[1]);
         let parts = partitions(sel.len());
         if parts <= 1 && (!any_runs || (monotone && preserve_runs)) {
             // The sequential [`Chunk::gather`] applies the same
             // run-preservation rule for monotone selections.
-            return chunk.gather(sel);
+            return Ok(chunk.gather(sel));
         }
 
         // Per-column plan. Everything — flat gathers, run-sourced flat
@@ -2055,7 +2203,7 @@ impl ColumnEngine {
         }
         self.note_batch(tasks.len());
         self.pool.run_once(tasks);
-        Chunk::from_optional(
+        Ok(Chunk::from_optional(
             sel.len(),
             piece_stores
                 .into_iter()
@@ -2066,22 +2214,43 @@ impl ColumnEngine {
                         .or(flat.map(ColData::Owned))
                 })
                 .collect(),
-        )
+        ))
     }
 
     /// Hash equi-join with a hash-partitioned build side and a
     /// morsel-partitioned probe side. Pair stream identical to
     /// [`ops::hash_join`]: per-key chains are built in the same order and
     /// probe morsels concatenate in probe order.
-    fn par_hash_join(&self, left: &[u64], right: &[u64]) -> (Vec<u32>, Vec<u32>) {
+    ///
+    /// Governance: the build table is charged to the budget up front and
+    /// probe morsels charge their pair output incrementally (in 1 MiB
+    /// slabs), so a cross-product-shaped key distribution trips the
+    /// memory limit *during* the blow-up. A latched budget short-circuits
+    /// remaining morsels; the post-barrier check surfaces the typed
+    /// error.
+    fn par_hash_join(
+        &self,
+        budget: &QueryBudget,
+        left: &[u64],
+        right: &[u64],
+    ) -> Result<(Vec<u32>, Vec<u32>), EngineError> {
+        /// Probe morsels re-charge each time their pair buffers grow this
+        /// many bytes — small enough to catch a runaway morsel, large
+        /// enough that well-behaved morsels charge once.
+        const CHARGE_SLAB: u64 = 1 << 20;
         let (build, probe, swapped) = if left.len() <= right.len() {
             (left, right, false)
         } else {
             (right, left, true)
         };
+        // The chain table stores one position + one chain link per build
+        // row.
+        budget.charge(16 * build.len() as u64)?;
         let probe_parts = partitions(probe.len());
         if probe_parts <= 1 {
-            return ops::hash_join(left, right);
+            let (a, b) = ops::hash_join(left, right);
+            budget.charge(8 * a.len() as u64)?;
+            return Ok((a, b));
         }
         // Partition the build side only when it is big enough to amortize
         // the scatter pass; the partition count is fixed (not
@@ -2134,31 +2303,53 @@ impl ColumnEngine {
             probe_parts,
             || (),
             |_, m| {
+                if budget.latched() {
+                    return (Vec::new(), Vec::new());
+                }
                 let r = morsel_range(probe.len(), probe_parts, m);
                 // The pair buffers grow per morsel; the partition tables
                 // (the expensive scratch) are shared across all morsels.
                 let mut bs = Vec::with_capacity(r.len());
                 let mut ps = Vec::with_capacity(r.len());
+                let mut charged = 0u64;
                 for j in r {
                     let key = probe[j];
                     tables[ops::join_partition_of(key, parts_log2) as usize]
                         .probe_into(key, j as u32, &mut bs, &mut ps);
+                    // Incremental slab charging: one hot key matching the
+                    // whole build side grows the buffers superlinearly —
+                    // charge the growth as it happens and bail once the
+                    // budget latches (charge() latches on overflow).
+                    let grown = 8 * (bs.len() as u64);
+                    if grown - charged >= CHARGE_SLAB {
+                        if budget.charge(grown - charged).is_err() {
+                            return (Vec::new(), Vec::new());
+                        }
+                        charged = grown;
+                    }
+                }
+                let grown = 8 * (bs.len() as u64);
+                if budget.charge(grown - charged).is_err() {
+                    return (Vec::new(), Vec::new());
                 }
                 (bs, ps)
             },
         );
+        budget.check()?;
         let total: usize = pieces.iter().map(|(b, _)| b.len()).sum();
+        // The concatenated pair vectors are a second copy of every pair.
+        budget.charge(8 * total as u64)?;
         let mut build_sel = Vec::with_capacity(total);
         let mut probe_sel = Vec::with_capacity(total);
         for (b, p) in pieces {
             build_sel.extend_from_slice(&b);
             probe_sel.extend_from_slice(&p);
         }
-        if swapped {
+        Ok(if swapped {
             (probe_sel, build_sel)
         } else {
             (build_sel, probe_sel)
-        }
+        })
     }
 
     /// Merge equi-join partitioned into left-value-aligned segments; each
@@ -2166,21 +2357,34 @@ impl ColumnEngine {
     /// slice pair, and segments concatenate in value order — exactly the
     /// sequential pair stream, so the order-preservation claim the props
     /// derivation makes for merge joins holds at every width.
-    fn par_merge_join(&self, l: &[u64], r: &[u64]) -> (Vec<u32>, Vec<u32>) {
+    fn par_merge_join(
+        &self,
+        budget: &QueryBudget,
+        l: &[u64],
+        r: &[u64],
+    ) -> Result<(Vec<u32>, Vec<u32>), EngineError> {
         let parts = partitions(l.len());
+        let seq = |budget: &QueryBudget| -> Result<(Vec<u32>, Vec<u32>), EngineError> {
+            let (a, b) = ops::merge_join(l, r);
+            budget.charge(8 * a.len() as u64)?;
+            Ok((a, b))
+        };
         if parts <= 1 || r.is_empty() {
-            return ops::merge_join(l, r);
+            return seq(budget);
         }
         let bounds = aligned_bounds(l.len(), parts, |a, b| l[a] == l[b]);
         let segs = bounds.len() - 1;
         if segs <= 1 {
-            return ops::merge_join(l, r);
+            return seq(budget);
         }
         self.note_batch(segs);
         let pieces = self.pool.run_with(
             segs,
             || (),
             |_, k| {
+                if budget.latched() {
+                    return (Vec::new(), Vec::new());
+                }
                 let (lo, hi) = (bounds[k], bounds[k + 1]);
                 let r_lo = r.partition_point(|&x| x < l[lo]);
                 let r_hi = if hi < l.len() {
@@ -2189,6 +2393,11 @@ impl ColumnEngine {
                     r.len()
                 };
                 let (mut ls, mut rs) = ops::merge_join(&l[lo..hi], &r[r_lo..r_hi]);
+                // Per-segment output charge; on overflow the budget
+                // latches and the remaining segments short-circuit.
+                if budget.charge(8 * ls.len() as u64).is_err() {
+                    return (Vec::new(), Vec::new());
+                }
                 for v in &mut ls {
                     *v += lo as u32;
                 }
@@ -2198,14 +2407,16 @@ impl ColumnEngine {
                 (ls, rs)
             },
         );
+        budget.check()?;
         let total: usize = pieces.iter().map(|(a, _)| a.len()).sum();
+        budget.charge(8 * total as u64)?;
         let mut lsel = Vec::with_capacity(total);
         let mut rsel = Vec::with_capacity(total);
         for (a, b) in pieces {
             lsel.extend_from_slice(&a);
             rsel.extend_from_slice(&b);
         }
-        (lsel, rsel)
+        Ok((lsel, rsel))
     }
 
     /// Merge equi-join with at least one run-encoded side. Partitioning
@@ -2216,10 +2427,20 @@ impl ColumnEngine {
     /// binary-search value alignment of [`aligned_bounds`]. Each segment
     /// runs the sequential run×block kernel and segments concatenate in
     /// value order — exactly the sequential pair stream.
-    fn par_merge_join_runs(&self, l: RunsView<'_>, r: RunsView<'_>) -> (Vec<u32>, Vec<u32>) {
+    fn par_merge_join_runs(
+        &self,
+        budget: &QueryBudget,
+        l: RunsView<'_>,
+        r: RunsView<'_>,
+    ) -> Result<(Vec<u32>, Vec<u32>), EngineError> {
         let parts = partitions(l.len());
+        let seq = |budget: &QueryBudget| -> Result<(Vec<u32>, Vec<u32>), EngineError> {
+            let (a, b) = ops::merge_join_runs(l, r);
+            budget.charge(8 * a.len() as u64)?;
+            Ok((a, b))
+        };
         if parts <= 1 || r.is_empty() {
-            return ops::merge_join_runs(l, r);
+            return seq(budget);
         }
         let bounds: Vec<usize> = match l {
             RunsView::Runs(runs) => {
@@ -2235,13 +2456,16 @@ impl ColumnEngine {
         };
         let segs = bounds.len() - 1;
         if segs <= 1 {
-            return ops::merge_join_runs(l, r);
+            return seq(budget);
         }
         self.note_batch(segs);
         let pieces = self.pool.run_with(
             segs,
             || (),
             |_, k| {
+                if budget.latched() {
+                    return (Vec::new(), Vec::new());
+                }
                 let (lo, hi) = (bounds[k], bounds[k + 1]);
                 let r_lo = r.lower_bound(l.value_at(lo));
                 let r_hi = if hi < l.len() {
@@ -2267,6 +2491,9 @@ impl ColumnEngine {
                     RunsView::Flat(f) => RunsView::Flat(&f[r_lo..r_hi]),
                 };
                 let (mut ls, mut rs) = ops::merge_join_runs(lv, rv);
+                if budget.charge(8 * ls.len() as u64).is_err() {
+                    return (Vec::new(), Vec::new());
+                }
                 for v in &mut ls {
                     *v += lo as u32;
                 }
@@ -2276,14 +2503,16 @@ impl ColumnEngine {
                 (ls, rs)
             },
         );
+        budget.check()?;
         let total: usize = pieces.iter().map(|(a, _)| a.len()).sum();
+        budget.charge(8 * total as u64)?;
         let mut lsel = Vec::with_capacity(total);
         let mut rsel = Vec::with_capacity(total);
         for (a, b) in pieces {
             lsel.extend_from_slice(&a);
             rsel.extend_from_slice(&b);
         }
-        (lsel, rsel)
+        Ok((lsel, rsel))
     }
 
     /// Run-based group-count over a run-encoded sorted key column,
@@ -2362,41 +2591,67 @@ impl ColumnEngine {
 
     /// One-key hash group-count via per-worker partial maps (the map is
     /// the worker's scratch, reused across every morsel it pulls) merged
-    /// and key-sorted at the barrier.
-    fn par_group_count_1(&self, keys: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    /// and key-sorted at the barrier. Each morsel charges its map growth
+    /// to the budget; a latched budget short-circuits remaining morsels.
+    fn par_group_count_1(
+        &self,
+        budget: &QueryBudget,
+        keys: &[u64],
+    ) -> Result<(Vec<u64>, Vec<u64>), EngineError> {
         let parts = partitions(keys.len());
         if parts <= 1 {
-            return ops::group_count_1(keys);
+            let out = ops::group_count_1(keys);
+            budget.charge(16 * out.0.len() as u64)?;
+            return Ok(out);
         }
         self.note_batch(parts);
         let partials = self
             .pool
             .run_reduce(parts, FxHashMap::<u64, u64>::default, |map, m| {
+                if budget.latched() {
+                    return;
+                }
+                let before = map.len();
                 for &k in &keys[morsel_range(keys.len(), parts, m)] {
                     *map.entry(k).or_insert(0) += 1;
                 }
+                let _ = budget.charge(32 * (map.len() - before) as u64);
             });
+        budget.check()?;
         let acc = merge_partials(partials, |a, b| *a += b);
         let mut pairs: Vec<(u64, u64)> = acc.into_iter().collect();
         pairs.sort_unstable();
-        pairs.into_iter().unzip()
+        Ok(pairs.into_iter().unzip())
     }
 
     /// Two-key hash group-count, same shape as [`Self::par_group_count_1`].
-    fn par_group_count_2(&self, k0: &[u64], k1: &[u64]) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    fn par_group_count_2(
+        &self,
+        budget: &QueryBudget,
+        k0: &[u64],
+        k1: &[u64],
+    ) -> Result<GroupCount2, EngineError> {
         debug_assert_eq!(k0.len(), k1.len());
         let parts = partitions(k0.len());
         if parts <= 1 {
-            return ops::group_count_2(k0, k1);
+            let out = ops::group_count_2(k0, k1);
+            budget.charge(24 * out.0.len() as u64)?;
+            return Ok(out);
         }
         self.note_batch(parts);
         let partials =
             self.pool
                 .run_reduce(parts, FxHashMap::<(u64, u64), u64>::default, |map, m| {
+                    if budget.latched() {
+                        return;
+                    }
+                    let before = map.len();
                     for i in morsel_range(k0.len(), parts, m) {
                         *map.entry((k0[i], k1[i])).or_insert(0) += 1;
                     }
+                    let _ = budget.charge(48 * (map.len() - before) as u64);
                 });
+        budget.check()?;
         let acc = merge_partials(partials, |a, b| *a += b);
         let mut trips: Vec<((u64, u64), u64)> = acc.into_iter().collect();
         trips.sort_unstable();
@@ -2408,7 +2663,7 @@ impl ColumnEngine {
             o1.push(b);
             oc.push(c);
         }
-        (o0, o1, oc)
+        Ok((o0, o1, oc))
     }
 
     /// Run-based group-count over a sorted key column, partitioned at
@@ -2505,18 +2760,31 @@ impl ColumnEngine {
     /// scratch reused across morsels) merged with min-position at the
     /// barrier. Returns ascending first-occurrence positions — a
     /// canonical representative set, identical at every pool width.
-    fn par_distinct_rows(&self, cols: &[&[u64]], len: usize) -> Vec<u32> {
+    fn par_distinct_rows(
+        &self,
+        budget: &QueryBudget,
+        cols: &[&[u64]],
+        len: usize,
+    ) -> Result<Vec<u32>, EngineError> {
+        // Per-entry footprint of the dedup maps: the boxed key row plus
+        // map overhead.
+        let entry_bytes = 24 + 8 * cols.len() as u64;
         let parts = partitions(len);
         if parts <= 1 {
             let mut sel = ops::distinct_rows(cols, len);
+            budget.charge(entry_bytes * sel.len() as u64)?;
             sel.sort_unstable();
-            return sel;
+            return Ok(sel);
         }
         self.note_batch(parts);
         let partials = self.pool.run_reduce(
             parts,
             || (FxHashMap::<Box<[u64]>, u32>::default(), Vec::<u64>::new()),
             |(map, keybuf), m| {
+                if budget.latched() {
+                    return;
+                }
+                let before = map.len();
                 for i in morsel_range(len, parts, m) {
                     keybuf.clear();
                     keybuf.extend(cols.iter().map(|c| c[i]));
@@ -2527,22 +2795,29 @@ impl ColumnEngine {
                         }
                     }
                 }
+                let _ = budget.charge(entry_bytes * (map.len() - before) as u64);
             },
         );
+        budget.check()?;
         let acc = merge_partials(
             partials.into_iter().map(|(map, _)| map).collect(),
             |p, v| *p = (*p).min(v),
         );
         let mut sel: Vec<u32> = acc.into_values().collect();
         sel.sort_unstable();
-        sel
+        Ok(sel)
     }
 
     /// Generic hash group-count for ≥3 keys. Up to four keys pack into a
     /// fixed-size array (no per-row allocation) and aggregate in parallel
     /// partial maps; wider key lists fall back to a sequential map keyed
     /// by `Vec` (no benchmark query reaches that).
-    fn group_count_generic(&self, child: &Chunk, keys: &[usize]) -> Chunk {
+    fn group_count_generic(
+        &self,
+        budget: &QueryBudget,
+        child: &Chunk,
+        keys: &[usize],
+    ) -> Result<Chunk, EngineError> {
         let cols: Vec<&[u64]> = keys.iter().map(|&k| child.col(k)).collect();
         let mut rows: Vec<(Vec<u64>, u64)> = if keys.len() <= 4 {
             let n = child.len();
@@ -2559,14 +2834,21 @@ impl ColumnEngine {
             let mut acc = if parts <= 1 {
                 let mut map = FxHashMap::default();
                 fold(&mut map, 0..n);
+                budget.charge(40 * map.len() as u64)?;
                 map
             } else {
                 self.note_batch(parts);
                 let partials =
                     self.pool
                         .run_reduce(parts, FxHashMap::<[u64; 4], u64>::default, |map, m| {
+                            if budget.latched() {
+                                return;
+                            }
+                            let before = map.len();
                             fold(map, morsel_range(n, parts, m));
+                            let _ = budget.charge(40 * (map.len() - before) as u64);
                         });
+                budget.check()?;
                 merge_partials(partials, |a, b| *a += b)
             };
             acc.drain()
@@ -2578,6 +2860,7 @@ impl ColumnEngine {
                 let key: Vec<u64> = cols.iter().map(|c| c[r]).collect();
                 *map.entry(key).or_insert(0) += 1;
             }
+            budget.charge((32 + 8 * keys.len() as u64) * map.len() as u64)?;
             map.into_iter().collect()
         };
         rows.sort_unstable();
@@ -2588,7 +2871,7 @@ impl ColumnEngine {
             }
             out[keys.len()].push(c);
         }
-        Chunk::from_cols(out)
+        Ok(Chunk::from_cols(out))
     }
 }
 

@@ -27,6 +27,7 @@ use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use swans_plan::algebra::Plan;
+use swans_plan::exec::QueryBudget;
 use swans_plan::props::PropsContext;
 use swans_plan::queries::{QueryContext, QueryId};
 use swans_rdf::{Dataset, Delta};
@@ -271,6 +272,41 @@ impl Database {
         let writer = self.writer();
         let compiled = compile(&writer.dataset, &self.config, sparql)?;
         let results = writer.store.execute_plan(&compiled.plan)?;
+        Ok(results
+            .with_columns(compiled.columns)
+            .with_dataset(writer.dataset.clone()))
+    }
+
+    /// [`Database::query`] under a resource budget: the deadline,
+    /// cancellation token, and memory limit in `budget` are checked
+    /// cooperatively throughout execution — per morsel in the column
+    /// engine, every few thousand rows in the row engine — and a tripped
+    /// budget surfaces as
+    /// [`EngineError::Cancelled`](crate::EngineError::Cancelled) (wrapped
+    /// in [`Error::Engine`]), never a panic and never a poisoned lock.
+    ///
+    /// ```
+    /// use swans_core::{Database, Layout, QueryBudget, StoreConfig};
+    /// use swans_rdf::Dataset;
+    ///
+    /// let mut ds = Dataset::new();
+    /// ds.add("<s1>", "<type>", "<Text>");
+    /// let db = Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned))?;
+    /// let budget = QueryBudget::unlimited()
+    ///     .with_timeout(std::time::Duration::from_secs(30))
+    ///     .with_mem_limit(64 << 20);
+    /// let results = db.query_budgeted("SELECT ?s WHERE { ?s <type> <Text> }", &budget)?;
+    /// assert_eq!(results.len(), 1);
+    /// # Ok::<(), swans_core::Error>(())
+    /// ```
+    pub fn query_budgeted(&self, sparql: &str, budget: &QueryBudget) -> Result<ResultSet, Error> {
+        let snap = self.snapshot();
+        if snap.isolated() {
+            return snap.query_budgeted(sparql, budget);
+        }
+        let writer = self.writer();
+        let compiled = compile(&writer.dataset, &self.config, sparql)?;
+        let results = writer.store.execute_plan_budgeted(&compiled.plan, budget)?;
         Ok(results
             .with_columns(compiled.columns)
             .with_dataset(writer.dataset.clone()))
@@ -569,6 +605,22 @@ impl Database {
         }
         let writer = self.writer();
         let results = writer.store.execute_plan(plan)?;
+        Ok(results.with_dataset(writer.dataset.clone()))
+    }
+
+    /// [`Database::execute_plan`] under a resource budget — see
+    /// [`Database::query_budgeted`].
+    pub fn execute_plan_budgeted(
+        &self,
+        plan: &Plan,
+        budget: &QueryBudget,
+    ) -> Result<ResultSet, Error> {
+        let snap = self.snapshot();
+        if snap.isolated() {
+            return snap.execute_plan_budgeted(plan, budget);
+        }
+        let writer = self.writer();
+        let results = writer.store.execute_plan_budgeted(plan, budget)?;
         Ok(results.with_dataset(writer.dataset.clone()))
     }
 

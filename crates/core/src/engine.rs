@@ -18,7 +18,7 @@ use swans_rowstore::engine::TripleIndexConfig;
 use swans_rowstore::RowEngine;
 use swans_storage::StorageManager;
 
-pub use swans_plan::exec::EngineError;
+pub use swans_plan::exec::{CancelReason, EngineError, PartialStats, QueryBudget};
 
 use crate::result::ResultSet;
 use crate::store::Layout;
@@ -55,6 +55,24 @@ pub trait Engine: Send + Sync {
 
     /// Executes a logical plan, returning the (still encoded) result set.
     fn execute(&self, plan: &Plan) -> Result<ResultSet, EngineError>;
+
+    /// Executes a logical plan under a [`QueryBudget`]: the engine checks
+    /// the budget cooperatively (deadline, memory limit, external cancel)
+    /// and returns [`EngineError::Cancelled`] instead of running to
+    /// completion when it expires. Both built-in engines check per
+    /// operator and per morsel / per N rows; the default checks only
+    /// before and after [`Engine::execute`], which still honors deadlines
+    /// and cancellation between plans for engines that never override it.
+    fn execute_budgeted(
+        &self,
+        plan: &Plan,
+        budget: &QueryBudget,
+    ) -> Result<ResultSet, EngineError> {
+        budget.check()?;
+        let result = self.execute(plan);
+        budget.check()?;
+        result
+    }
 
     /// What this engine currently has loaded.
     fn footprint(&self) -> Footprint;
@@ -186,6 +204,15 @@ impl Engine for RowEngine {
         Ok(ResultSet::new(rows, plan.output_kinds()))
     }
 
+    fn execute_budgeted(
+        &self,
+        plan: &Plan,
+        budget: &QueryBudget,
+    ) -> Result<ResultSet, EngineError> {
+        let rows = RowEngine::execute_budgeted(self, plan, budget)?;
+        Ok(ResultSet::new(rows, plan.output_kinds()))
+    }
+
     fn footprint(&self) -> Footprint {
         Footprint {
             has_triple_store: self.has_triple_store(),
@@ -230,6 +257,15 @@ impl Engine for ColumnEngine {
         // columns that stayed run-encoded through the whole plan expand
         // here (counted in the engine's `runs_expanded` statistic).
         let rows = ColumnEngine::execute_rows(self, plan)?;
+        Ok(ResultSet::new(rows, plan.output_kinds()))
+    }
+
+    fn execute_budgeted(
+        &self,
+        plan: &Plan,
+        budget: &QueryBudget,
+    ) -> Result<ResultSet, EngineError> {
+        let rows = ColumnEngine::execute_rows_budgeted(self, plan, budget)?;
         Ok(ResultSet::new(rows, plan.output_kinds()))
     }
 
@@ -299,6 +335,8 @@ impl Engine for ColumnEngine {
             ("runs_expanded", s.runs_expanded),
             ("scan_bytes_compressed", s.scan_bytes_compressed),
             ("scan_bytes_logical", s.scan_bytes_logical),
+            ("cancelled_queries", s.cancelled_queries),
+            ("peak_mem_bytes", s.peak_mem_bytes),
         ]
     }
 }

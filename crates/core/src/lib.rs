@@ -84,7 +84,7 @@ pub mod sweep;
 
 pub use db::Database;
 pub use durable::{DurabilityOptions, Durable, RecoveryReport};
-pub use engine::{Engine, EngineError, Footprint};
+pub use engine::{CancelReason, Engine, EngineError, Footprint, PartialStats, QueryBudget};
 pub use error::Error;
 pub use result::ResultSet;
 pub use runner::{geometric_mean, measure_cold, measure_hot, Measurement};

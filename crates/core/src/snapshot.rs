@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use swans_plan::algebra::Plan;
-use swans_plan::exec::EngineError;
+use swans_plan::exec::{EngineError, QueryBudget};
 use swans_plan::queries::{build_plan, QueryContext, QueryId};
 use swans_plan::sparql::compile_sparql;
 use swans_rdf::Dataset;
@@ -130,9 +130,34 @@ impl Snapshot {
             .with_dataset(self.dataset.clone()))
     }
 
+    /// [`Snapshot::query`] under a resource budget: the deadline,
+    /// cancellation token, and memory limit in `budget` are checked
+    /// cooperatively throughout execution; a tripped budget surfaces as
+    /// [`EngineError::Cancelled`] (wrapped in
+    /// [`Error::Engine`]) — never a panic, and the snapshot pin is
+    /// released as usual when the caller drops its handles.
+    pub fn query_budgeted(&self, sparql: &str, budget: &QueryBudget) -> Result<ResultSet, Error> {
+        let compiled = compile(&self.dataset, &self.config, sparql)?;
+        let results = self.engine()?.execute_budgeted(&compiled.plan, budget)?;
+        Ok(results
+            .with_columns(compiled.columns)
+            .with_dataset(self.dataset.clone()))
+    }
+
     /// Executes a raw logical plan against this version.
     pub fn execute_plan(&self, plan: &Plan) -> Result<ResultSet, Error> {
         let results = self.engine()?.execute(plan)?;
+        Ok(results.with_dataset(self.dataset.clone()))
+    }
+
+    /// [`Snapshot::execute_plan`] under a resource budget — see
+    /// [`Snapshot::query_budgeted`].
+    pub fn execute_plan_budgeted(
+        &self,
+        plan: &Plan,
+        budget: &QueryBudget,
+    ) -> Result<ResultSet, Error> {
+        let results = self.engine()?.execute_budgeted(plan, budget)?;
         Ok(results.with_dataset(self.dataset.clone()))
     }
 
@@ -226,9 +251,36 @@ impl Session {
         Ok((results, run))
     }
 
+    /// [`Session::query`] under a resource budget: the deadline,
+    /// cancellation token, and memory limit in `budget` are checked
+    /// cooperatively throughout execution on this session's private
+    /// fork; a tripped budget surfaces as
+    /// [`EngineError::Cancelled`] — never a
+    /// panic, and the session (with its snapshot pin) stays usable for
+    /// further queries.
+    pub fn query_budgeted(&self, sparql: &str, budget: &QueryBudget) -> Result<ResultSet, Error> {
+        let snap = &self.snapshot;
+        let compiled = compile(&snap.dataset, &snap.config, sparql)?;
+        let results = self.engine.execute_budgeted(&compiled.plan, budget)?;
+        Ok(results
+            .with_columns(compiled.columns)
+            .with_dataset(snap.dataset.clone()))
+    }
+
     /// Executes a raw logical plan against the pinned version.
     pub fn execute_plan(&self, plan: &Plan) -> Result<ResultSet, Error> {
         let results = self.engine.execute(plan)?;
+        Ok(results.with_dataset(self.snapshot.dataset.clone()))
+    }
+
+    /// [`Session::execute_plan`] under a resource budget — see
+    /// [`Session::query_budgeted`].
+    pub fn execute_plan_budgeted(
+        &self,
+        plan: &Plan,
+        budget: &QueryBudget,
+    ) -> Result<ResultSet, Error> {
+        let results = self.engine.execute_budgeted(plan, budget)?;
         Ok(results.with_dataset(self.snapshot.dataset.clone()))
     }
 

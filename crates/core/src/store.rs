@@ -7,7 +7,7 @@
 
 use swans_colstore::ColumnEngine;
 use swans_plan::algebra::Plan;
-use swans_plan::exec::EngineError;
+use swans_plan::exec::{EngineError, QueryBudget};
 use swans_plan::queries::{build_plan, QueryContext, QueryId, Scheme};
 use swans_rdf::{Dataset, SortOrder};
 use swans_rowstore::RowEngine;
@@ -359,6 +359,18 @@ impl RdfStore {
     /// result set.
     pub fn execute_plan(&self, plan: &Plan) -> Result<ResultSet, EngineError> {
         self.engine.execute(plan)
+    }
+
+    /// [`RdfStore::execute_plan`] under a resource budget: the deadline,
+    /// cancellation token, and memory limit in `budget` are honoured
+    /// cooperatively by the engine; a tripped budget surfaces as
+    /// [`EngineError::Cancelled`].
+    pub fn execute_plan_budgeted(
+        &self,
+        plan: &Plan,
+        budget: &QueryBudget,
+    ) -> Result<ResultSet, EngineError> {
+        self.engine.execute_budgeted(plan, budget)
     }
 
     /// Executes an arbitrary plan under the measurement protocol.

@@ -9,7 +9,7 @@
 //! into a cost term), joins by the kernel the engine would dispatch
 //! (merge joins linear, hash joins with build/probe constants, leapfrog
 //! by its galloping bound). Because the dispatch prediction comes from
-//! the same [`derive`](crate::props::derive) the executor consults,
+//! the same [`derive`](crate::props::derive()) the executor consults,
 //! orders that preserve physical properties price lower exactly when the
 //! engine can exploit them.
 //!

@@ -1,4 +1,5 @@
-//! Execution errors shared by every plan executor.
+//! Execution errors and per-query resource budgets shared by every plan
+//! executor.
 //!
 //! Both storage engines (and the naive reference executor's callers)
 //! report failures through [`EngineError`] instead of panicking — the
@@ -7,6 +8,16 @@
 //! return a typed error the caller can handle. The type lives in
 //! `swans_plan` because it is the lowest layer both engines depend on;
 //! `swans_core::engine` re-exports it next to the `Engine` trait.
+//!
+//! [`QueryBudget`] is the cooperative-cancellation token of the same
+//! seam: the front door builds one per query (deadline, memory limit,
+//! external cancel flag) and the engines check it per operator and per
+//! morsel, surfacing exhaustion as [`EngineError::Cancelled`] — never a
+//! panic, never a poisoned lock.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Why a plan could not be executed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +44,17 @@ pub enum EngineError {
     /// write-ahead append, a snapshot publication, or recovery. Carries
     /// the underlying I/O error's message.
     Io(String),
+    /// The query was cancelled cooperatively before it finished: its
+    /// [`QueryBudget`] expired (deadline passed, memory limit exceeded)
+    /// or an external caller pulled the cancel flag. The partial stats
+    /// say how far it got — a governed front door turns this into a
+    /// clean 503, not a crash.
+    Cancelled {
+        /// What exhausted the budget.
+        reason: CancelReason,
+        /// How much the query had consumed when it was stopped.
+        partial: PartialStats,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -48,11 +70,241 @@ impl std::fmt::Display for EngineError {
             EngineError::Verify(e) => write!(f, "plan verification failed: {e}"),
             EngineError::Unsupported(m) => write!(f, "unsupported plan: {m}"),
             EngineError::Io(m) => write!(f, "I/O error: {m}"),
+            EngineError::Cancelled { reason, partial } => write!(
+                f,
+                "query cancelled ({reason}) after {}ms, peak memory {} bytes",
+                partial.elapsed_ms, partial.peak_mem_bytes
+            ),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// Why a [`QueryBudget`] stopped a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The per-query deadline passed.
+    Timeout,
+    /// The per-query memory budget was exceeded.
+    MemoryLimit,
+    /// An external caller pulled the cancel flag (client disconnect,
+    /// server shutdown, explicit kill).
+    Shutdown,
+}
+
+impl std::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CancelReason::Timeout => write!(f, "deadline exceeded"),
+            CancelReason::MemoryLimit => write!(f, "memory limit exceeded"),
+            CancelReason::Shutdown => write!(f, "cancelled by caller"),
+        }
+    }
+}
+
+/// What a cancelled query had consumed when it was stopped — attached to
+/// [`EngineError::Cancelled`] so overload is observable per query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartialStats {
+    /// Wall-clock milliseconds between budget creation and cancellation.
+    pub elapsed_ms: u64,
+    /// Peak tracked memory in bytes charged against the budget.
+    pub peak_mem_bytes: u64,
+}
+
+/// Internal reason codes latched into [`QueryBudget::reason`].
+const REASON_NONE: u8 = 0;
+const REASON_TIMEOUT: u8 = 1;
+const REASON_MEMORY: u8 = 2;
+const REASON_SHUTDOWN: u8 = 3;
+
+/// A per-query resource budget: deadline, memory limit, and a shared
+/// cancel flag, checked cooperatively by the engines (per operator, per
+/// morsel, per N rows).
+///
+/// The budget is *self-latching*: the first failed check (deadline
+/// passed, memory exceeded, external cancel) stores its reason and sets
+/// the cancel flag, so every other worker observing the token stops at
+/// its next morsel with the same typed reason. Clones share all state —
+/// hand a clone to a watchdog thread and [`QueryBudget::cancel`] stops
+/// the query mid-execution.
+///
+/// ```
+/// use swans_plan::exec::{CancelReason, EngineError, QueryBudget};
+/// let budget = QueryBudget::unlimited().with_mem_limit(1024);
+/// assert!(budget.check().is_ok());
+/// budget.charge(4096).unwrap_err();
+/// assert!(matches!(
+///     budget.check(),
+///     Err(EngineError::Cancelled { reason: CancelReason::MemoryLimit, .. })
+/// ));
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryBudget {
+    deadline: Option<Instant>,
+    mem_limit: Option<u64>,
+    started: Instant,
+    cancel: Arc<AtomicBool>,
+    reason: Arc<AtomicU8>,
+    mem_used: Arc<AtomicU64>,
+    mem_peak: Arc<AtomicU64>,
+}
+
+impl Default for QueryBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl QueryBudget {
+    /// A budget that never expires on its own — it can still be stopped
+    /// through [`QueryBudget::cancel`], and it still tracks peak memory.
+    pub fn unlimited() -> Self {
+        Self {
+            deadline: None,
+            mem_limit: None,
+            started: Instant::now(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            reason: Arc::new(AtomicU8::new(REASON_NONE)),
+            mem_used: Arc::new(AtomicU64::new(0)),
+            mem_peak: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Sets the deadline to `timeout` from now.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Sets an absolute deadline (e.g. inherited from admission time, so
+    /// queue wait counts against the request).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the tracked-memory limit in bytes.
+    #[must_use]
+    pub fn with_mem_limit(mut self, bytes: u64) -> Self {
+        self.mem_limit = Some(bytes);
+        self
+    }
+
+    /// Latches `code` as the cancellation reason (first writer wins) and
+    /// raises the shared cancel flag.
+    fn latch(&self, code: u8) {
+        let _ =
+            self.reason
+                .compare_exchange(REASON_NONE, code, Ordering::Relaxed, Ordering::Relaxed);
+        self.cancel.store(true, Ordering::Release);
+    }
+
+    /// Cancels the query from outside (watchdog, disconnect, shutdown):
+    /// every worker observing this budget stops at its next check with
+    /// [`CancelReason::Shutdown`].
+    pub fn cancel(&self) {
+        self.latch(REASON_SHUTDOWN);
+    }
+
+    /// Whether the budget has latched — the cheapest possible probe (one
+    /// atomic load, no clock read), for per-morsel fast paths.
+    pub fn latched(&self) -> bool {
+        self.cancel.load(Ordering::Acquire)
+    }
+
+    /// The shared cancel flag itself, for callers that want to watch or
+    /// pull it without holding the whole budget.
+    pub fn cancel_flag(&self) -> &Arc<AtomicBool> {
+        &self.cancel
+    }
+
+    /// Checks the flag and the deadline without building an error:
+    /// returns `true` (after latching) if the query should stop. Cheap
+    /// enough to call per morsel; reads the clock only when a deadline
+    /// is set and the flag is not already latched.
+    pub fn expired(&self) -> bool {
+        if self.latched() {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.latch(REASON_TIMEOUT);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The per-operator checkpoint: returns the typed
+    /// [`EngineError::Cancelled`] if the budget has latched or the
+    /// deadline has passed.
+    pub fn check(&self) -> Result<(), EngineError> {
+        if self.expired() {
+            Err(self.error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charges `bytes` of tracked memory against the budget, updating the
+    /// peak; errors (and latches) when the limit is exceeded.
+    pub fn charge(&self, bytes: u64) -> Result<(), EngineError> {
+        let used = self.mem_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.mem_peak.fetch_max(used, Ordering::Relaxed);
+        if let Some(limit) = self.mem_limit {
+            if used > limit {
+                self.latch(REASON_MEMORY);
+                return Err(self.error());
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `bytes` of tracked memory to the budget (an operator's
+    /// scratch was dropped).
+    pub fn release(&self, bytes: u64) {
+        self.mem_used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Peak tracked memory in bytes so far.
+    pub fn peak_mem_bytes(&self) -> u64 {
+        self.mem_peak.load(Ordering::Relaxed)
+    }
+
+    /// The reason the budget latched, if it has.
+    pub fn cancel_reason(&self) -> Option<CancelReason> {
+        match self.reason.load(Ordering::Relaxed) {
+            REASON_TIMEOUT => Some(CancelReason::Timeout),
+            REASON_MEMORY => Some(CancelReason::MemoryLimit),
+            REASON_SHUTDOWN => Some(CancelReason::Shutdown),
+            _ => {
+                // The flag can be pulled directly through `cancel_flag`
+                // without a latched reason; report that as Shutdown.
+                self.latched().then_some(CancelReason::Shutdown)
+            }
+        }
+    }
+
+    /// What the query had consumed so far.
+    pub fn partial_stats(&self) -> PartialStats {
+        PartialStats {
+            elapsed_ms: u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            peak_mem_bytes: self.peak_mem_bytes(),
+        }
+    }
+
+    /// The typed error for this budget's latched state.
+    pub fn error(&self) -> EngineError {
+        EngineError::Cancelled {
+            reason: self.cancel_reason().unwrap_or(CancelReason::Shutdown),
+            partial: self.partial_stats(),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -75,6 +327,74 @@ mod tests {
         assert!(EngineError::Io("disk on fire".into())
             .to_string()
             .contains("disk on fire"));
+    }
+
+    #[test]
+    fn timeout_budget_latches_and_reports() {
+        let b = QueryBudget::unlimited().with_timeout(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        let e = b.check().unwrap_err();
+        assert!(matches!(
+            e,
+            EngineError::Cancelled {
+                reason: CancelReason::Timeout,
+                ..
+            }
+        ));
+        // Latched: every subsequent check agrees without re-reading the clock.
+        assert!(b.latched());
+        assert_eq!(b.cancel_reason(), Some(CancelReason::Timeout));
+        assert!(e.to_string().contains("deadline exceeded"), "{e}");
+    }
+
+    #[test]
+    fn memory_budget_charges_and_releases() {
+        let b = QueryBudget::unlimited().with_mem_limit(1000);
+        b.charge(600).expect("within budget");
+        b.release(600);
+        b.charge(900).expect("released memory is reusable");
+        assert_eq!(b.peak_mem_bytes(), 900);
+        let e = b.charge(200).unwrap_err();
+        match e {
+            EngineError::Cancelled { reason, partial } => {
+                assert_eq!(reason, CancelReason::MemoryLimit);
+                assert_eq!(partial.peak_mem_bytes, 1100);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert!(b.expired());
+    }
+
+    #[test]
+    fn external_cancel_is_shared_across_clones() {
+        let b = QueryBudget::unlimited();
+        let watchdog = b.clone();
+        assert!(b.check().is_ok());
+        watchdog.cancel();
+        assert!(matches!(
+            b.check(),
+            Err(EngineError::Cancelled {
+                reason: CancelReason::Shutdown,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn first_latched_reason_wins() {
+        let b = QueryBudget::unlimited().with_mem_limit(10);
+        b.charge(100).unwrap_err();
+        b.cancel(); // later Shutdown does not overwrite MemoryLimit
+        assert_eq!(b.cancel_reason(), Some(CancelReason::MemoryLimit));
+    }
+
+    #[test]
+    fn raw_flag_pull_reports_shutdown() {
+        use std::sync::atomic::Ordering;
+        let b = QueryBudget::unlimited();
+        b.cancel_flag().store(true, Ordering::Release);
+        assert_eq!(b.cancel_reason(), Some(CancelReason::Shutdown));
+        assert!(b.check().is_err());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! * [`stats`] — the per-table statistics catalog engines collect at
 //!   load/merge time (row counts, distincts, compressed scan bytes off the
 //!   RLE headers) and publish through [`props::PropsContext::stats`],
-//! * [`cost`] — the cost model: cardinality estimation and plan pricing
+//! * [`cost`](mod@cost) — the cost model: cardinality estimation and plan pricing
 //!   (scans by compressed bytes, joins by merge-vs-hash-vs-leapfrog
 //!   dispatch), driving the plan enumerator,
 //! * [`mod@optimize`] — a rule-based rewriter (selection pushdown into scans,
@@ -77,7 +77,7 @@ pub mod verify;
 pub use algebra::{CmpOp, ColumnKind, Plan, Predicate};
 pub use cost::{cost, estimate_rows};
 pub use coverage::{analyze, Coverage};
-pub use exec::EngineError;
+pub use exec::{CancelReason, EngineError, PartialStats, QueryBudget};
 pub use lower::lower_to_vertical;
 pub use optimize::{optimize, optimize_cbo, optimize_for, reorder_joins};
 pub use pattern::{JoinPattern, SimplePattern};

@@ -36,9 +36,9 @@
 //! join enumeration: every maximal chain of `Join` nodes is flattened into
 //! its base relations and join conditions, and a Selinger-style dynamic
 //! program over connected sub-chains picks the cheapest order under
-//! [`crate::cost`] — merge-preserving orders win exactly when the engine
+//! [`crate::cost`](mod@crate::cost) — merge-preserving orders win exactly when the engine
 //! would dispatch merge joins, because the cost model consults the same
-//! [`derive`] the executor does. Star-shaped chains (three or more
+//! [`derive`](crate::props::derive()) the executor does. Star-shaped chains (three or more
 //! relations all joining one shared variable, every input sorted on its
 //! key) are additionally offered as a single multi-way
 //! [`Plan::LeapfrogJoin`]. The final pick between the enumerated order,
@@ -237,14 +237,14 @@ const MAX_DP_LEAVES: usize = 8;
 ///    column — so the already-sorted columns can be intersected directly,
 /// 3. the [`reorder_joins`] rotation heuristic (which also serves as the
 ///    fallback for chains the enumerator does not handle: longer than
-///    [`MAX_DP_LEAVES`], cyclic condition graphs, or cross products).
+///    `MAX_DP_LEAVES`, cyclic condition graphs, or cross products).
 ///
 /// The final pick uses [`cost`] on the complete candidate plans, so the
 /// returned plan never prices above the rotation heuristic's under the
 /// model. Statistics come from [`PropsContext::stats`]; without a catalog
 /// the cost model's defaults make this a purely structural search (which
 /// still prefers merge-preserving orders, as the dispatch prediction
-/// consults [`derive`] rather than the catalog).
+/// consults [`derive`](crate::props::derive()) rather than the catalog).
 pub fn optimize_cbo(plan: Plan, ctx: &PropsContext) -> Plan {
     if !has_join(&plan) {
         return plan;

@@ -67,7 +67,7 @@ pub struct PropsContext {
     /// run-length encoded (e.g. the property column under PSO).
     pub triple_lead_rle: bool,
     /// Per-table statistics the engine collected at load/merge time —
-    /// the input of the cost model ([`crate::cost`]) and of the
+    /// the input of the cost model ([`crate::cost`](mod@crate::cost)) and of the
     /// `est_rows` EXPLAIN annotation. `None` (the default) when the
     /// engine has not collected any: derivation ignores it, the cost
     /// model falls back to fixed defaults, and EXPLAIN prints no

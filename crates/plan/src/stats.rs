@@ -4,7 +4,7 @@
 //! tables — row counts, per-column distinct counts, and the run counts the
 //! RLE headers already hold — and publish it through
 //! [`PropsContext::stats`](crate::props::PropsContext::stats). The cost
-//! model ([`crate::cost`]) prices scans and joins off these numbers;
+//! model ([`crate::cost`](mod@crate::cost)) prices scans and joins off these numbers;
 //! without a catalog it falls back to fixed defaults, so plan enumeration
 //! still works (just blindly) against a statistics-free context.
 //!

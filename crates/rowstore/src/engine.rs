@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 
 use swans_plan::algebra::{CmpOp, Plan};
-use swans_plan::exec::EngineError;
+use swans_plan::exec::{EngineError, QueryBudget};
 use swans_rdf::hash::{FxHashMap, FxHashSet, FxHasher};
 use swans_rdf::{Delta, Id, SortOrder, Triple};
 use swans_storage::StorageManager;
@@ -13,6 +13,11 @@ use crate::row::Row;
 use crate::table::{RowTable, TableOptions};
 
 type RowsIter<'a> = Box<dyn Iterator<Item = Row> + 'a>;
+
+/// Rows between cooperative budget checks in the tuple-at-a-time loops
+/// (the row engine's analogue of the column engine's per-morsel token
+/// check — morsels are the same size).
+const BUDGET_CHECK_ROWS: usize = 4096;
 
 /// Index configuration for the triples table.
 #[derive(Debug, Clone)]
@@ -176,12 +181,47 @@ impl RowEngine {
     /// layout this engine never loaded, and unsupported constructs all
     /// surface as [`EngineError`] — plan execution never panics.
     pub fn execute(&self, plan: &Plan) -> Result<Vec<Vec<u64>>, EngineError> {
+        self.execute_budgeted(plan, &QueryBudget::unlimited())
+    }
+
+    /// [`RowEngine::execute`] under a resource budget: the deadline,
+    /// cancellation token, and memory limit are checked cooperatively —
+    /// every `BUDGET_CHECK_ROWS` (4096) rows in the materializing loops — and
+    /// a tripped budget surfaces as [`EngineError::Cancelled`]. Join
+    /// builds, group tables, distinct sets, and the result rows charge
+    /// the budget as they grow.
+    pub fn execute_budgeted(
+        &self,
+        plan: &Plan,
+        budget: &QueryBudget,
+    ) -> Result<Vec<Vec<u64>>, EngineError> {
         plan.validate().map_err(EngineError::InvalidPlan)?;
-        Ok(self.iter(plan)?.map(|r| r.to_vec()).collect())
+        budget.check()?;
+        let row_bytes = 8 * plan.arity() as u64;
+        let mut out: Vec<Vec<u64>> = Vec::new();
+        let mut pending = 0u64;
+        for r in self.iter(plan, budget)? {
+            out.push(r.to_vec());
+            pending += row_bytes;
+            if out.len() % BUDGET_CHECK_ROWS == 0 {
+                budget.charge(std::mem::take(&mut pending))?;
+                budget.check()?;
+            }
+        }
+        budget.charge(pending)?;
+        budget.check()?;
+        Ok(out)
     }
 
     /// Builds the Volcano iterator tree for `plan` (already validated).
-    fn iter<'a>(&'a self, plan: &'a Plan) -> Result<RowsIter<'a>, EngineError> {
+    /// Operators that materialize eagerly (join builds, the leapfrog
+    /// fold, group-count tables) check and charge `budget` while they
+    /// build; streaming operators are policed by their consumer's loop.
+    fn iter<'a>(
+        &'a self,
+        plan: &'a Plan,
+        budget: &QueryBudget,
+    ) -> Result<RowsIter<'a>, EngineError> {
         Ok(match plan {
             Plan::ScanTriples { s, p, o } => {
                 let t = self
@@ -217,14 +257,17 @@ impl RowEngine {
                 let value = pred.value;
                 let ne = pred.op == CmpOp::Ne;
                 Box::new(
-                    self.iter(input)?
+                    self.iter(input, budget)?
                         .filter(move |r| (r.get(col) == value) != ne),
                 )
             }
             Plan::FilterIn { input, col, values } => {
                 let set: FxHashSet<u64> = values.iter().copied().collect();
                 let col = *col;
-                Box::new(self.iter(input)?.filter(move |r| set.contains(&r.get(col))))
+                Box::new(
+                    self.iter(input, budget)?
+                        .filter(move |r| set.contains(&r.get(col))),
+                )
             }
             Plan::Join {
                 left,
@@ -234,7 +277,10 @@ impl RowEngine {
             } => {
                 // Hash join: build on the left input, probe with the right,
                 // streaming. Duplicate chains are kept allocation-free.
-                let build: Vec<Row> = self.iter(left)?.collect();
+                let build: Vec<Row> = self.iter(left, budget)?.collect();
+                // Build rows + hash heads + chain links.
+                budget.charge((std::mem::size_of::<Row>() as u64 + 16) * build.len() as u64)?;
+                budget.check()?;
                 let mut heads: HashMap<u64, u32, BuildHasherDefault<FxHasher>> =
                     HashMap::with_capacity_and_hasher(build.len(), Default::default());
                 let mut next = vec![u32::MAX; build.len()];
@@ -243,7 +289,7 @@ impl RowEngine {
                     next[i] = *e;
                     *e = i as u32;
                 }
-                let right_iter = self.iter(right)?;
+                let right_iter = self.iter(right, budget)?;
                 let rc = *right_col;
                 Box::new(HashJoinIter {
                     build,
@@ -260,33 +306,59 @@ impl RowEngine {
                 // materialized (the key keeps position cols[0] of every
                 // accumulated schema — input 0 sits at offset 0).
                 let key_col = cols[0];
-                let mut acc: Vec<Row> = self.iter(&inputs[0])?.collect();
+                let row_bytes = std::mem::size_of::<Row>() as u64;
+                let mut acc: Vec<Row> = self.iter(&inputs[0], budget)?.collect();
+                budget.charge(row_bytes * acc.len() as u64)?;
                 for (inp, &rc) in inputs[1..].iter().zip(&cols[1..]) {
                     let mut by_key: FxHashMap<u64, Vec<Row>> = FxHashMap::default();
-                    for r in self.iter(inp)? {
+                    let mut n = 0usize;
+                    for r in self.iter(inp, budget)? {
                         by_key.entry(r.get(rc)).or_default().push(r);
+                        n += 1;
+                        if n % BUDGET_CHECK_ROWS == 0 {
+                            budget.check()?;
+                        }
                     }
+                    budget.charge((row_bytes + 8) * n as u64)?;
+                    // The fold output can blow up quadratically on skewed
+                    // keys: charge as it grows so a memory limit aborts
+                    // *during* the blow-up, and honour mid-query
+                    // cancellation between batches.
                     let mut next = Vec::new();
+                    let mut charged = 0u64;
                     for l in &acc {
                         if let Some(matches) = by_key.get(&l.get(key_col)) {
                             for r in matches {
                                 next.push(l.concat(r));
                             }
                         }
+                        let grown = row_bytes * next.len() as u64;
+                        if grown - charged >= row_bytes * BUDGET_CHECK_ROWS as u64 {
+                            budget.charge(grown - charged)?;
+                            charged = grown;
+                            budget.check()?;
+                        }
                     }
+                    budget.charge(row_bytes * next.len() as u64 - charged)?;
                     acc = next;
                 }
                 Box::new(acc.into_iter())
             }
             Plan::Project { input, cols } => {
                 let cols = cols.clone();
-                Box::new(self.iter(input)?.map(move |r| r.project(&cols)))
+                Box::new(self.iter(input, budget)?.map(move |r| r.project(&cols)))
             }
             Plan::GroupCount { input, keys } => {
                 let mut groups: FxHashMap<Row, u64> = FxHashMap::default();
-                for r in self.iter(input)? {
+                let mut n = 0usize;
+                for r in self.iter(input, budget)? {
                     *groups.entry(r.project(keys)).or_insert(0) += 1;
+                    n += 1;
+                    if n % BUDGET_CHECK_ROWS == 0 {
+                        budget.check()?;
+                    }
                 }
+                budget.charge((std::mem::size_of::<Row>() as u64 + 8) * groups.len() as u64)?;
                 Box::new(groups.into_iter().map(|(mut k, c)| {
                     k.push(c);
                     k
@@ -295,18 +367,30 @@ impl RowEngine {
             Plan::HavingCountGt { input, min } => {
                 let min = *min;
                 let last = input.arity() - 1;
-                Box::new(self.iter(input)?.filter(move |r| r.get(last) > min))
+                Box::new(self.iter(input, budget)?.filter(move |r| r.get(last) > min))
             }
             Plan::UnionAll { inputs } => {
                 let iters: Vec<RowsIter<'a>> = inputs
                     .iter()
-                    .map(|p| self.iter(p))
+                    .map(|p| self.iter(p, budget))
                     .collect::<Result<_, _>>()?;
                 Box::new(iters.into_iter().flatten())
             }
             Plan::Distinct { input } => {
                 let mut seen: FxHashSet<Row> = FxHashSet::default();
-                Box::new(self.iter(input)?.filter(move |r| seen.insert(*r)))
+                // Streaming: charge the seen-set growth as rows pass; an
+                // overflowing charge latches the budget and the consumer's
+                // periodic check surfaces the typed error.
+                let b = budget.clone();
+                let entry_bytes = std::mem::size_of::<Row>() as u64 + 8;
+                Box::new(self.iter(input, budget)?.filter(move |r| {
+                    if seen.insert(*r) {
+                        let _ = b.charge(entry_bytes);
+                        true
+                    } else {
+                        false
+                    }
+                }))
             }
         })
     }

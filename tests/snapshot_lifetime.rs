@@ -5,9 +5,12 @@
 //! strong counts returning to baseline once sessions end.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use swans_core::{Database, DurabilityOptions, Layout, StoreConfig};
-use swans_plan::queries::{QueryContext, QueryId};
+use swans_core::{
+    CancelReason, Database, DurabilityOptions, EngineError, Error, Layout, QueryBudget, StoreConfig,
+};
+use swans_plan::queries::{build_plan, QueryContext, QueryId};
 use swans_rdf::Dataset;
 
 fn dataset() -> Dataset {
@@ -129,4 +132,91 @@ fn pinned_snapshot_answers_bit_identically_across_merges_and_checkpoints() {
     );
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Budget kills do not leak pinned versions: a session whose queries
+/// were cancelled mid-execution (deadline, memory limit, and a cancel
+/// fired from another thread) drops its snapshot fork cleanly — the
+/// weak handle dies with the last strong ref and `Arc` strong counts
+/// return exactly to baseline.
+#[test]
+fn cancelled_queries_release_session_forks_and_refcounts() {
+    let ds = dataset();
+    let ctx = QueryContext::from_dataset(&ds, 28);
+    let db = Database::open(ds, StoreConfig::column(Layout::VerticallyPartitioned)).expect("opens");
+    let scheme = db.config().layout.scheme();
+
+    let current = db.snapshot();
+    let baseline = Arc::strong_count(&current);
+    {
+        let session = db.session().expect("forks");
+        assert_eq!(Arc::strong_count(&current), baseline + 1);
+
+        // Deterministic kills: expired deadline and a starvation-level
+        // memory limit, across the whole benchmark suite.
+        for q in QueryId::ALL {
+            let plan = build_plan(q, scheme, &ctx);
+            let expired = QueryBudget::unlimited().with_timeout(Duration::from_nanos(1));
+            match session.execute_plan_budgeted(&plan, &expired) {
+                Err(Error::Engine(EngineError::Cancelled { reason, .. })) => {
+                    assert_eq!(reason, CancelReason::Timeout, "query {q}");
+                }
+                other => panic!("query {q}: expected a timeout kill, got {other:?}"),
+            }
+            let starved = QueryBudget::unlimited().with_mem_limit(1);
+            if let Err(e) = session.execute_plan_budgeted(&plan, &starved) {
+                assert!(
+                    matches!(
+                        e,
+                        Error::Engine(EngineError::Cancelled {
+                            reason: CancelReason::MemoryLimit,
+                            ..
+                        })
+                    ),
+                    "query {q}: a budget failure must be the typed kill, got {e}"
+                );
+            }
+        }
+
+        // Racy kills: a canceller thread firing mid-execution at a sweep
+        // of delays; each query either completes or dies typed.
+        for delay_us in [0u64, 50, 200, 1000] {
+            let budget = QueryBudget::unlimited();
+            let canceller = {
+                let budget = budget.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_micros(delay_us));
+                    budget.cancel();
+                })
+            };
+            let plan = build_plan(QueryId::Q2, scheme, &ctx);
+            match session.execute_plan_budgeted(&plan, &budget) {
+                Ok(_) => {}
+                Err(Error::Engine(EngineError::Cancelled { reason, .. })) => {
+                    assert_eq!(reason, CancelReason::Shutdown);
+                }
+                Err(e) => panic!("mid-execution cancel must stay typed: {e}"),
+            }
+            canceller.join().expect("canceller");
+        }
+
+        // The battered session still answers the full suite.
+        let _ = run_suite(&session, &ctx);
+        drop(session);
+    }
+    assert_eq!(
+        Arc::strong_count(&current),
+        baseline,
+        "cancelled queries must not retain snapshot refs"
+    );
+
+    // With the writer past it and all strong handles gone, the version
+    // deallocates — kills stash no hidden clones.
+    let weak = Arc::downgrade(&current);
+    db.insert([("<fresh>", "<p>", "<o>")]).expect("publishes");
+    drop(current);
+    assert!(
+        weak.upgrade().is_none(),
+        "version outlived every handle after cancelled queries — snapshot leak"
+    );
 }
